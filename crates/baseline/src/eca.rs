@@ -1,0 +1,614 @@
+//! The type-level ECA detector.
+//!
+//! Detection here deliberately mirrors the classical active-database
+//! engines the paper contrasts with: constituents are selected purely by
+//! the parameter context, *without* looking at distances or intervals; the
+//! temporal constraints of the RFID rule are applied afterwards as
+//! condition checks on the already-assembled occurrence. When a check
+//! fails, the occurrence is discarded — but its constituents were already
+//! consumed, so a later, valid combination can never form. That is the
+//! §4.1 failure mode.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rfid_events::{
+    Catalog, Instance, Observation, ParameterContext, PrimitivePattern, Span, Timestamp,
+};
+
+/// Identifier of a baseline rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EcaRuleId(pub u32);
+
+/// The event fragment the baseline supports (the constructs the paper's
+/// comparison needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcaEvent {
+    /// A primitive pattern.
+    Prim(PrimitivePattern),
+    /// `E1 ∨ E2`.
+    Or(Box<EcaEvent>, Box<EcaEvent>),
+    /// `E1 ∧ E2` (type level: any pairing the context allows).
+    And(Box<EcaEvent>, Box<EcaEvent>),
+    /// `E1 ; E2` (type level: order by detection time only).
+    Seq(Box<EcaEvent>, Box<EcaEvent>),
+    /// Snoop's terminator-closed aperiodic `A*(E, T)`: accumulate `E`s,
+    /// emit them all when `T` occurs.
+    Aperiodic {
+        /// Accumulated element.
+        element: Box<EcaEvent>,
+        /// Terminator that closes and emits the batch.
+        terminator: Box<EcaEvent>,
+    },
+}
+
+/// Temporal constraints checked *after* detection, on the assembled
+/// occurrence — the "conditions" of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalCheck {
+    /// `interval(e) ≤ τ` (WITHIN).
+    MaxInterval(Span),
+    /// Adjacent gaps of the first child's elements all in `[lo, hi]`
+    /// (the TSEQ+ distance constraint).
+    GapBounds {
+        /// Minimum adjacent gap.
+        lo: Span,
+        /// Maximum adjacent gap.
+        hi: Span,
+    },
+    /// Distance between the first child (its end) and the second child in
+    /// `[lo, hi]` (the TSEQ distance constraint).
+    DistBounds {
+        /// Minimum distance.
+        lo: Span,
+        /// Maximum distance.
+        hi: Span,
+    },
+}
+
+impl TemporalCheck {
+    /// Evaluates the check on an assembled occurrence.
+    pub fn holds(&self, inst: &Instance) -> bool {
+        match *self {
+            TemporalCheck::MaxInterval(max) => inst.interval() <= max,
+            TemporalCheck::GapBounds { lo, hi } => {
+                let children = inst.children();
+                let Some(first) = children.first() else { return false };
+                let elements = first.children();
+                elements.windows(2).all(|w| {
+                    let gap = w[1].t_end().signed_delta(w[0].t_end());
+                    gap >= 0
+                        && gap as u64 >= lo.as_millis()
+                        && gap as u64 <= hi.as_millis()
+                })
+            }
+            TemporalCheck::DistBounds { lo, hi } => {
+                let children = inst.children();
+                if children.len() < 2 {
+                    return false;
+                }
+                let d = rfid_events::dist(&children[0], &children[1]);
+                d >= 0 && d as u64 >= lo.as_millis() && d as u64 <= hi.as_millis()
+            }
+        }
+    }
+}
+
+/// One registered rule.
+struct EcaRule {
+    root: usize,
+    checks: Vec<TemporalCheck>,
+}
+
+/// A node of the (per-engine) event tree. The baseline does not merge
+/// common subgraphs — each rule brings its own tree, as the classical
+/// engines did per rule definition.
+struct Node {
+    kind: NodeKind,
+    parent: Option<(usize, u8)>,
+}
+
+enum NodeKind {
+    Prim(PrimitivePattern),
+    Or,
+    And,
+    Seq,
+    Aperiodic,
+}
+
+/// Per-node buffers.
+#[derive(Default)]
+struct NodeState {
+    left: VecDeque<Arc<Instance>>,
+    right: VecDeque<Arc<Instance>>,
+}
+
+/// Counters for comparisons with the RCEDA engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EcaStats {
+    /// Observations processed.
+    pub events: u64,
+    /// Occurrences assembled (before condition checks).
+    pub assembled: u64,
+    /// Occurrences surviving the temporal condition checks.
+    pub emitted: u64,
+    /// Occurrences discarded by a failed check (constituents lost).
+    pub discarded: u64,
+}
+
+/// The type-level ECA engine.
+pub struct EcaEngine {
+    catalog: Catalog,
+    context: ParameterContext,
+    nodes: Vec<Node>,
+    states: Vec<NodeState>,
+    rules: Vec<EcaRule>,
+    /// Buffer look-back; entries older than this are pruned (keeps the
+    /// comparison with RCEDA memory-fair).
+    horizon: Span,
+    clock: Timestamp,
+    stats: EcaStats,
+}
+
+impl EcaEngine {
+    /// Creates an engine detecting under the given parameter context.
+    pub fn new(catalog: Catalog, context: ParameterContext) -> Self {
+        Self {
+            catalog,
+            context,
+            nodes: Vec::new(),
+            states: Vec::new(),
+            rules: Vec::new(),
+            horizon: Span::from_secs(300),
+            clock: Timestamp::ZERO,
+            stats: EcaStats::default(),
+        }
+    }
+
+    /// Sets the buffer look-back horizon.
+    pub fn set_horizon(&mut self, horizon: Span) {
+        self.horizon = horizon;
+    }
+
+    /// Registers a rule: a type-level event plus the temporal constraints
+    /// that classical engines can only check post-hoc.
+    pub fn add_rule(&mut self, event: &EcaEvent, checks: Vec<TemporalCheck>) -> EcaRuleId {
+        let root = self.build(event, None);
+        let id = EcaRuleId(self.rules.len() as u32);
+        self.rules.push(EcaRule { root, checks });
+        id
+    }
+
+    fn build(&mut self, event: &EcaEvent, parent: Option<(usize, u8)>) -> usize {
+        let idx = self.nodes.len();
+        let kind = match event {
+            EcaEvent::Prim(p) => NodeKind::Prim(p.clone()),
+            EcaEvent::Or(..) => NodeKind::Or,
+            EcaEvent::And(..) => NodeKind::And,
+            EcaEvent::Seq(..) => NodeKind::Seq,
+            EcaEvent::Aperiodic { .. } => NodeKind::Aperiodic,
+        };
+        self.nodes.push(Node { kind, parent });
+        self.states.push(NodeState::default());
+        match event {
+            EcaEvent::Prim(_) => {}
+            EcaEvent::Or(a, b) | EcaEvent::And(a, b) | EcaEvent::Seq(a, b) => {
+                self.build(a, Some((idx, 0)));
+                self.build(b, Some((idx, 1)));
+            }
+            EcaEvent::Aperiodic { element, terminator } => {
+                self.build(element, Some((idx, 0)));
+                self.build(terminator, Some((idx, 1)));
+            }
+        }
+        idx
+    }
+
+    /// Feeds one observation; firings are delivered to the sink as
+    /// `(rule, occurrence)`.
+    pub fn process(&mut self, obs: Observation, sink: &mut dyn FnMut(EcaRuleId, &Instance)) {
+        self.clock = self.clock.max(obs.at);
+        self.stats.events += 1;
+        let inst = Arc::new(Instance::observation(obs));
+        // Leaves are scanned linearly: classical engines predate dispatch
+        // indexes, and per-rule trees keep this honest for the comparison.
+        let mut activations: Vec<(usize, Arc<Instance>)> = Vec::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Prim(p) = &node.kind {
+                if p.matches(&obs, &self.catalog) {
+                    activations.push((idx, inst.clone()));
+                }
+            }
+        }
+        while let Some((idx, inst)) = activations.pop() {
+            self.deliver(idx, inst, &mut activations, sink);
+        }
+    }
+
+    /// Feeds a stream.
+    pub fn process_all<I: IntoIterator<Item = Observation>>(
+        &mut self,
+        stream: I,
+        sink: &mut dyn FnMut(EcaRuleId, &Instance),
+    ) {
+        for obs in stream {
+            self.process(obs, sink);
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EcaStats {
+        self.stats
+    }
+
+    fn deliver(
+        &mut self,
+        idx: usize,
+        inst: Arc<Instance>,
+        activations: &mut Vec<(usize, Arc<Instance>)>,
+        sink: &mut dyn FnMut(EcaRuleId, &Instance),
+    ) {
+        // Root of some rule?
+        for (rid, rule) in self.rules.iter().enumerate() {
+            if rule.root == idx {
+                self.stats.assembled += 1;
+                if rule.checks.iter().all(|c| c.holds(&inst)) {
+                    self.stats.emitted += 1;
+                    sink(EcaRuleId(rid as u32), &inst);
+                } else {
+                    self.stats.discarded += 1;
+                }
+            }
+        }
+        let Some((parent, side)) = self.nodes[idx].parent else { return };
+        let emissions = self.arrive(parent, side, inst);
+        for e in emissions {
+            activations.push((parent, e));
+        }
+    }
+
+    fn arrive(&mut self, parent: usize, side: u8, inst: Arc<Instance>) -> Vec<Arc<Instance>> {
+        let dead = self.clock.saturating_sub(self.horizon);
+        let state = &mut self.states[parent];
+        state.left.retain(|e| e.t_end() >= dead);
+        state.right.retain(|e| e.t_end() >= dead);
+        match self.nodes[parent].kind {
+            NodeKind::Prim(_) => unreachable!("leaves have no children"),
+            NodeKind::Or => vec![Arc::new(Instance::composite("OR", vec![inst]))],
+            NodeKind::Seq | NodeKind::And => {
+                let is_seq = matches!(self.nodes[parent].kind, NodeKind::Seq);
+                let (own_is_left, own, other) = if side == 0 {
+                    (true, &mut state.left, &mut state.right)
+                } else {
+                    (false, &mut state.right, &mut state.left)
+                };
+                // Type-level order check only: for SEQ the initiator must
+                // simply have been detected earlier.
+                let order_ok = |l: &Instance, r: &Instance| !is_seq || l.t_end() <= r.t_begin();
+                let make = |l: Arc<Instance>, r: Arc<Instance>| {
+                    Arc::new(Instance::composite(if is_seq { "SEQ" } else { "AND" }, vec![l, r]))
+                };
+                let mut out = Vec::new();
+                match self.context {
+                    ParameterContext::Chronicle => {
+                        if let Some(pos) = other.iter().position(|o| {
+                            if own_is_left {
+                                order_ok(&inst, o)
+                            } else {
+                                order_ok(o, &inst)
+                            }
+                        }) {
+                            let o = other.remove(pos).expect("position exists");
+                            out.push(if own_is_left {
+                                make(inst, o)
+                            } else {
+                                make(o, inst)
+                            });
+                        } else {
+                            own.push_back(inst);
+                        }
+                    }
+                    ParameterContext::Recent => {
+                        // Most recent partner; partners are retained (the
+                        // newest replaces older ones).
+                        if let Some(o) = other.back().cloned() {
+                            let pair_ok = if own_is_left {
+                                order_ok(&inst, &o)
+                            } else {
+                                order_ok(&o, &inst)
+                            };
+                            if pair_ok {
+                                out.push(if own_is_left {
+                                    make(inst.clone(), o)
+                                } else {
+                                    make(o, inst.clone())
+                                });
+                            }
+                        }
+                        own.clear();
+                        own.push_back(inst);
+                    }
+                    ParameterContext::Continuous => {
+                        // Every buffered partner completes with this arrival.
+                        let partners: Vec<Arc<Instance>> = other
+                            .iter()
+                            .filter(|o| {
+                                if own_is_left {
+                                    order_ok(&inst, o)
+                                } else {
+                                    order_ok(o, &inst)
+                                }
+                            })
+                            .cloned()
+                            .collect();
+                        if partners.is_empty() {
+                            own.push_back(inst);
+                        } else {
+                            other.retain(|o| {
+                                !partners.iter().any(|p| Arc::ptr_eq(p, o))
+                            });
+                            for o in partners {
+                                out.push(if own_is_left {
+                                    make(inst.clone(), o)
+                                } else {
+                                    make(o, inst.clone())
+                                });
+                            }
+                        }
+                    }
+                    ParameterContext::Cumulative => {
+                        // All buffered partners merge into one occurrence.
+                        if other.is_empty() {
+                            own.push_back(inst);
+                        } else {
+                            let batch: Vec<Arc<Instance>> = other.drain(..).collect();
+                            let merged = Arc::new(Instance::composite("CUM", batch));
+                            out.push(if own_is_left {
+                                make(inst, merged)
+                            } else {
+                                make(merged, inst)
+                            });
+                        }
+                    }
+                    ParameterContext::Unrestricted => {
+                        for o in other.iter() {
+                            let pair_ok = if own_is_left {
+                                order_ok(&inst, o)
+                            } else {
+                                order_ok(o, &inst)
+                            };
+                            if pair_ok {
+                                out.push(if own_is_left {
+                                    make(inst.clone(), o.clone())
+                                } else {
+                                    make(o.clone(), inst.clone())
+                                });
+                            }
+                        }
+                        own.push_back(inst);
+                    }
+                }
+                out
+            }
+            NodeKind::Aperiodic => {
+                if side == 0 {
+                    state.left.push_back(inst);
+                    Vec::new()
+                } else if state.left.is_empty() {
+                    Vec::new()
+                } else {
+                    // Terminator: emit ALL accumulated elements as one run —
+                    // type-level aperiodic has no gap awareness.
+                    let batch: Vec<Arc<Instance>> = state.left.drain(..).collect();
+                    let run = Arc::new(Instance::composite("SEQ+", batch));
+                    vec![Arc::new(Instance::composite("TSEQ", vec![run, inst]))]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::{Epc, Gid96, ReaderId};
+    use rfid_events::EventExpr;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.readers.register("r1", "r1", "line");
+        c.readers.register("r2", "r2", "line-case");
+        c
+    }
+
+    fn pattern(reader: &str) -> PrimitivePattern {
+        match EventExpr::observation_at(reader).build() {
+            EventExpr::Primitive(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    fn epc(n: u64) -> Epc {
+        Gid96::new(1, 1, n).unwrap().into()
+    }
+
+    fn obs(reader: u32, n: u64, secs: u64) -> Observation {
+        Observation::new(ReaderId(reader), epc(n), Timestamp::from_secs(secs))
+    }
+
+    /// Fig. 4's event: TSEQ(TSEQ+(E1, 0s, 1s); E2, 5s, 10s) — the ECA
+    /// engine assembles one type-level batch and then discards it, missing
+    /// both valid occurrences that RCEDA finds.
+    #[test]
+    fn fig4_type_level_detection_fails() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+        let event = EcaEvent::Aperiodic {
+            element: Box::new(EcaEvent::Prim(pattern("r1"))),
+            terminator: Box::new(EcaEvent::Prim(pattern("r2"))),
+        };
+        let rule = eca.add_rule(
+            &event,
+            vec![
+                TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
+                TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+            ],
+        );
+        let _ = rule;
+
+        let mut fired = 0;
+        let history = vec![
+            obs(0, 1, 1),
+            obs(0, 2, 2),
+            obs(0, 3, 3),
+            obs(0, 4, 5),
+            obs(0, 5, 6),
+            obs(0, 6, 7),
+            obs(1, 100, 12),
+            obs(1, 101, 15),
+        ];
+        eca.process_all(history, &mut |_, _| fired += 1);
+
+        assert_eq!(fired, 0, "type-level detection misses every valid occurrence");
+        let stats = eca.stats();
+        assert_eq!(stats.assembled, 1, "one batch: all six items with the first case");
+        assert_eq!(stats.discarded, 1, "the 2s gap fails the post-hoc check");
+    }
+
+    #[test]
+    fn without_gap_violation_type_level_succeeds() {
+        // Sanity: when the stream is benign, the baseline does detect.
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+        let event = EcaEvent::Aperiodic {
+            element: Box::new(EcaEvent::Prim(pattern("r1"))),
+            terminator: Box::new(EcaEvent::Prim(pattern("r2"))),
+        };
+        eca.add_rule(
+            &event,
+            vec![
+                TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
+                TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+            ],
+        );
+        let mut fired = 0;
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(0, 3, 3), obs(1, 100, 9)],
+            &mut |_, _| fired += 1,
+        );
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn recent_context_drops_older_initiators() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Recent);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut pairs = Vec::new();
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(1, 100, 3), obs(1, 101, 4)],
+            &mut |_, inst| {
+                let o = inst.observations();
+                pairs.push((o[0].at.as_millis() / 1000, o[1].at.as_millis() / 1000));
+            },
+        );
+        // Recent: the initiator at t=2 shadows t=1 and is reused.
+        assert_eq!(pairs, vec![(2, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn chronicle_context_pairs_oldest_first() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut pairs = Vec::new();
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(1, 100, 3), obs(1, 101, 4)],
+            &mut |_, inst| {
+                let o = inst.observations();
+                pairs.push((o[0].at.as_millis() / 1000, o[1].at.as_millis() / 1000));
+            },
+        );
+        assert_eq!(pairs, vec![(1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn continuous_context_fans_out() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Continuous);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut fired = 0;
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(1, 100, 3)],
+            &mut |_, _| fired += 1,
+        );
+        assert_eq!(fired, 2, "one occurrence per open window");
+    }
+
+    #[test]
+    fn cumulative_context_merges_all() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Cumulative);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut sizes = Vec::new();
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(1, 100, 3)],
+            &mut |_, inst| sizes.push(inst.primitive_count()),
+        );
+        assert_eq!(sizes, vec![3], "both initiators plus the terminator");
+    }
+
+    #[test]
+    fn unrestricted_context_emits_all_pairs() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Unrestricted);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut fired = 0;
+        eca.process_all(
+            vec![obs(0, 1, 1), obs(0, 2, 2), obs(1, 100, 3), obs(1, 101, 4)],
+            &mut |_, _| fired += 1,
+        );
+        assert_eq!(fired, 4, "2 initiators × 2 terminators");
+    }
+
+    #[test]
+    fn within_check_discards_long_occurrences() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![TemporalCheck::MaxInterval(Span::from_secs(5))]);
+        let mut fired = 0;
+        eca.process_all(vec![obs(0, 1, 1), obs(1, 100, 20)], &mut |_, _| fired += 1);
+        assert_eq!(fired, 0);
+        assert_eq!(eca.stats().discarded, 1);
+    }
+
+    #[test]
+    fn horizon_prunes_buffers() {
+        let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+        eca.set_horizon(Span::from_secs(10));
+        let event = EcaEvent::Seq(
+            Box::new(EcaEvent::Prim(pattern("r1"))),
+            Box::new(EcaEvent::Prim(pattern("r2"))),
+        );
+        eca.add_rule(&event, vec![]);
+        let mut fired = 0;
+        eca.process_all(vec![obs(0, 1, 1), obs(1, 100, 60)], &mut |_, _| fired += 1);
+        assert_eq!(fired, 0, "initiator aged out of the horizon");
+    }
+}

@@ -1,0 +1,29 @@
+//! # rfid-baseline — the traditional ECA comparator
+//!
+//! §4.1 of the paper argues that classic ECA composite-event detection
+//! (Snoop-style) cannot support RFID events, because:
+//!
+//! 1. detection is performed at *type* level — instance-level temporal
+//!    constraints can only be checked afterwards, "as conditions", by which
+//!    time the constituent instances have already been consumed;
+//! 2. the classic parameter contexts (recent, continuous, cumulative)
+//!    cross-match instances of overlapping occurrences.
+//!
+//! This crate implements exactly that style of engine so the claims can be
+//! demonstrated and measured:
+//!
+//! * [`eca::EcaEngine`] — a type-level detector over primitives, `OR`,
+//!   `AND`, `SEQ`, and Snoop's terminator-closed aperiodic (`A*`), running
+//!   under any [`rfid_events::ParameterContext`];
+//! * temporal constraints expressed as post-hoc [`eca::TemporalCheck`]s
+//!   that *discard* non-conforming occurrences after their constituents are
+//!   gone — reproducing the Fig. 4 missed detection;
+//! * the same observation-stream interface as `rceda`, so benches can run
+//!   both engines over identical workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eca;
+
+pub use eca::{EcaEngine, EcaEvent, EcaRuleId, TemporalCheck};

@@ -1,0 +1,125 @@
+//! Cross-validation: on the fragment where type-level detection *is*
+//! correct — plain `SEQ`/`AND` of distinct primitive patterns, chronicle
+//! context, no temporal constraints — the ECA baseline and RCEDA must
+//! produce identical occurrences. Divergence on this fragment would mean
+//! one of the two engines mis-implements chronicle pairing.
+
+use proptest::prelude::*;
+use rceda::{Engine, EngineConfig};
+use rfid_baseline::{EcaEngine, EcaEvent};
+use rfid_epc::{Epc, Gid96, ReaderId};
+use rfid_events::{
+    Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp,
+};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.readers.register("r0", "r0", "a");
+    c.readers.register("r1", "r1", "b");
+    c
+}
+
+fn pattern(reader: &str) -> PrimitivePattern {
+    match EventExpr::observation_at(reader).build() {
+        EventExpr::Primitive(p) => p,
+        _ => unreachable!(),
+    }
+}
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec((0u32..2, 0u64..4, 1u64..3_000), 0..80).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(r, o, dt)| {
+                t += dt;
+                Observation::new(ReaderId(r), epc(o), Timestamp::from_millis(t))
+            })
+            .collect()
+    })
+}
+
+fn pairs_of<F>(mut run: F) -> Vec<(u64, u64)>
+where
+    F: FnMut(&mut dyn FnMut(Vec<u64>)),
+{
+    let mut out = Vec::new();
+    run(&mut |times| {
+        assert_eq!(times.len(), 2);
+        out.push((times[0], times[1]));
+    });
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn seq_agrees_between_engines(stream in stream_strategy()) {
+        let rceda_pairs = pairs_of(|emit| {
+            let mut engine = Engine::new(catalog(), EngineConfig::default());
+            engine
+                .add_rule("seq", EventExpr::observation_at("r0").seq(EventExpr::observation_at("r1")))
+                .unwrap();
+            let mut sink = |_: rceda::RuleId, inst: &rfid_events::Instance| {
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+            };
+            for &obs in &stream {
+                engine.process(obs, &mut sink);
+            }
+            engine.finish(&mut sink);
+        });
+        let eca_pairs = pairs_of(|emit| {
+            let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+            eca.set_horizon(rfid_events::Span::MAX);
+            eca.add_rule(
+                &EcaEvent::Seq(
+                    Box::new(EcaEvent::Prim(pattern("r0"))),
+                    Box::new(EcaEvent::Prim(pattern("r1"))),
+                ),
+                vec![],
+            );
+            eca.process_all(stream.iter().copied(), &mut |_, inst| {
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+            });
+        });
+        prop_assert_eq!(rceda_pairs, eca_pairs);
+    }
+
+    #[test]
+    fn and_agrees_between_engines(stream in stream_strategy()) {
+        let rceda_pairs = pairs_of(|emit| {
+            let mut engine = Engine::new(catalog(), EngineConfig::default());
+            engine
+                .add_rule("and", EventExpr::observation_at("r0").and(EventExpr::observation_at("r1")))
+                .unwrap();
+            let mut sink = |_: rceda::RuleId, inst: &rfid_events::Instance| {
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+            };
+            for &obs in &stream {
+                engine.process(obs, &mut sink);
+            }
+            engine.finish(&mut sink);
+        });
+        let eca_pairs = pairs_of(|emit| {
+            let mut eca = EcaEngine::new(catalog(), ParameterContext::Chronicle);
+            eca.set_horizon(rfid_events::Span::MAX);
+            eca.add_rule(
+                &EcaEvent::And(
+                    Box::new(EcaEvent::Prim(pattern("r0"))),
+                    Box::new(EcaEvent::Prim(pattern("r1"))),
+                ),
+                vec![],
+            );
+            eca.process_all(stream.iter().copied(), &mut |_, inst| {
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+            });
+        });
+        prop_assert_eq!(rceda_pairs, eca_pairs);
+    }
+}

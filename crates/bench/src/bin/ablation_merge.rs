@@ -1,0 +1,33 @@
+//! Ablation A1: common-subgraph merging on vs. off.
+//!
+//! The rule family shares primitive patterns heavily (all duplicate-filter
+//! variants watch the same shelf group); merging collapses those leaves and
+//! any identical composites. The table reports graph size and processing
+//! time for both configurations.
+
+use rceda::EngineConfig;
+use rfid_bench::{engine_from_script, time_engine_pass, BenchWorkload};
+
+fn main() {
+    let workload = BenchWorkload::new();
+    let trace = workload.trace(50_000);
+    println!("stream: {} events", trace.observations.len());
+    println!(
+        "\n{:>8} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "rules", "merging", "graph nodes", "merge hits", "time (ms)", "firings"
+    );
+    for &n in &[50usize, 150, 300] {
+        let script = workload.sim.rule_family(n);
+        for merge in [true, false] {
+            let config = EngineConfig { merge_subgraphs: merge, ..EngineConfig::default() };
+            let mut engine = engine_from_script(&workload, &script, config);
+            let nodes = engine.graph().len();
+            let hits = engine.graph().merged_hits();
+            let (ms, firings) = time_engine_pass(&mut engine, &trace.observations);
+            println!(
+                "{n:>8} {:>10} {nodes:>14} {hits:>14} {ms:>12.1} {firings:>12}",
+                if merge { "on" } else { "off" },
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation A3: RCEDA vs. the type-level ECA baseline on the packing
+//! workload — throughput *and* correctness (detections vs. ground truth).
+//!
+//! The baseline is structurally unable to respect the TSEQ+ gap bound
+//! during detection, so besides being slower per rule tree it misses
+//! aggregations whenever consecutive packing cycles land in one batch.
+
+use rceda::EngineConfig;
+use rfid_baseline::{EcaEngine, EcaEvent, TemporalCheck};
+use rfid_bench::{engine_from_script, time_engine_pass, BenchWorkload};
+use rfid_events::{EventExpr, ParameterContext, PrimitivePattern, Span};
+use rfid_simulator::SimConfig;
+
+fn pattern(reader: &str) -> PrimitivePattern {
+    match EventExpr::observation_at(reader).build() {
+        EventExpr::Primitive(p) => p,
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let cfg = SimConfig { packing_lines: 16, shelves: 0, docks: 0, exits: 0, ..SimConfig::default() };
+    let workload = BenchWorkload::with_config(cfg.clone());
+    let trace = workload.trace(60_000);
+    let expected = trace.truth.containments.len() as u64;
+    println!(
+        "packing workload: {} events, {} expected aggregations",
+        trace.observations.len(),
+        expected
+    );
+
+    // RCEDA with one containment rule per line.
+    let mut script = String::new();
+    for i in 0..cfg.packing_lines {
+        script.push_str(&format!(
+            "CREATE RULE pack{i}, containment_{i} \
+             ON TSEQ(TSEQ+(observation('conv{i}', o1, t1), {} msec, {} msec); \
+                     observation('caser{i}', o2, t2), {} msec, {} msec) \
+             IF true DO send_containment_msg(o2, t2) ",
+            cfg.item_gap_ms.0, cfg.item_gap_ms.1, cfg.case_dist_ms.0, cfg.case_dist_ms.1
+        ));
+    }
+    let mut engine = engine_from_script(&workload, &script, EngineConfig::default());
+    let (rceda_ms, rceda_hits) = time_engine_pass(&mut engine, &trace.observations);
+
+    // Type-level ECA with the equivalent rule per line.
+    let mut eca = EcaEngine::new(workload.sim.catalog.clone(), ParameterContext::Chronicle);
+    for i in 0..cfg.packing_lines {
+        eca.add_rule(
+            &EcaEvent::Aperiodic {
+                element: Box::new(EcaEvent::Prim(pattern(&format!("conv{i}")))),
+                terminator: Box::new(EcaEvent::Prim(pattern(&format!("caser{i}")))),
+            },
+            vec![
+                TemporalCheck::GapBounds {
+                    lo: Span::from_millis(cfg.item_gap_ms.0),
+                    hi: Span::from_millis(cfg.item_gap_ms.1),
+                },
+                TemporalCheck::DistBounds {
+                    lo: Span::from_millis(cfg.case_dist_ms.0),
+                    hi: Span::from_millis(cfg.case_dist_ms.1),
+                },
+            ],
+        );
+    }
+    let mut eca_hits = 0u64;
+    let start = std::time::Instant::now();
+    eca.process_all(trace.observations.clone(), &mut |_, _| eca_hits += 1);
+    let eca_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    println!("\n{:>12} {:>12} {:>14} {:>14} {:>10}", "engine", "time (ms)", "detections", "expected", "recall");
+    println!(
+        "{:>12} {rceda_ms:>12.1} {rceda_hits:>14} {expected:>14} {:>9.1}%",
+        "RCEDA",
+        100.0 * rceda_hits as f64 / expected as f64
+    );
+    println!(
+        "{:>12} {eca_ms:>12.1} {eca_hits:>14} {expected:>14} {:>9.1}%",
+        "ECA",
+        100.0 * eca_hits as f64 / expected as f64
+    );
+    println!("\n(ECA batches are also discarded wholesale when one duplicate or gap");
+    println!(" violation taints them: {} discards)", eca.stats().discarded);
+}

@@ -1,0 +1,93 @@
+//! Ablation A4: parameter contexts on overlapping complex events.
+//!
+//! §4.2's argument: RFID complex events overlap (readers deployed in
+//! sequence observe interleaved occurrences), and only the chronicle
+//! context pairs constituents correctly. We generate interleaved
+//! initiator/terminator pairs with known ground truth and score each
+//! context on the type-level SEQ detector.
+
+use rfid_baseline::{EcaEngine, EcaEvent};
+use rfid_epc::{Epc, Gid96, ReaderId};
+use rfid_events::{
+    Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp,
+};
+
+fn pattern(reader: &str) -> PrimitivePattern {
+    match EventExpr::observation_at(reader).build() {
+        EventExpr::Primitive(p) => p,
+        _ => unreachable!(),
+    }
+}
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+/// Interleaved occurrences: initiators i1 i2 then terminators t1 t2, where
+/// the ground-truth pairing is (i1,t1), (i2,t2) — the order items and their
+/// cases come off two overlapping packing runs.
+fn overlapping_stream(pairs: usize, r1: ReaderId, r2: ReaderId) -> (Vec<Observation>, Vec<(u64, u64)>) {
+    let mut obs = Vec::new();
+    let mut truth = Vec::new();
+    let mut t = 0u64;
+    let mut serial = 0u64;
+    for _ in 0..pairs / 2 {
+        let (a, b) = (serial, serial + 1);
+        serial += 2;
+        let base = t;
+        obs.push(Observation::new(r1, epc(a), Timestamp::from_millis(base)));
+        obs.push(Observation::new(r1, epc(b), Timestamp::from_millis(base + 100)));
+        obs.push(Observation::new(r2, epc(a + 10_000), Timestamp::from_millis(base + 200)));
+        obs.push(Observation::new(r2, epc(b + 10_000), Timestamp::from_millis(base + 300)));
+        truth.push((base, base + 200));
+        truth.push((base + 100, base + 300));
+        t += 1_000;
+    }
+    (obs, truth)
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let r1 = catalog.readers.register("r1", "r1", "line");
+    let r2 = catalog.readers.register("r2", "r2", "line");
+    let (stream, truth) = overlapping_stream(10_000, r1, r2);
+    let truth_set: std::collections::HashSet<(u64, u64)> = truth.iter().copied().collect();
+
+    println!("overlapping SEQ workload: {} events, {} true pairs", stream.len(), truth.len());
+    println!(
+        "\n{:>14} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "context", "detections", "correct", "wrong", "recall", "time (ms)"
+    );
+    for context in ParameterContext::ALL {
+        let mut eca = EcaEngine::new(catalog.clone(), context);
+        eca.add_rule(
+            &EcaEvent::Seq(
+                Box::new(EcaEvent::Prim(pattern("r1"))),
+                Box::new(EcaEvent::Prim(pattern("r2"))),
+            ),
+            vec![],
+        );
+        let mut correct = 0u64;
+        let mut wrong = 0u64;
+        let start = std::time::Instant::now();
+        eca.process_all(stream.iter().copied(), &mut |_, inst| {
+            let o = inst.observations();
+            // Cumulative merges several initiators; grade by first/last.
+            let pair = (o[0].at.as_millis(), o[o.len() - 1].at.as_millis());
+            if o.len() == 2 && truth_set.contains(&pair) {
+                correct += 1;
+            } else {
+                wrong += 1;
+            }
+        });
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        println!(
+            "{:>14} {:>12} {correct:>10} {wrong:>10} {:>9.1}% {ms:>12.1}",
+            context.to_string(),
+            correct + wrong,
+            100.0 * correct as f64 / truth.len() as f64
+        );
+    }
+    println!("\nOnly the chronicle context reaches 100% recall with zero wrong pairs,");
+    println!("which is why RCEDA detects under it (§4.2).");
+}

@@ -1,0 +1,87 @@
+//! Fig. 4 demonstration: RCEDA vs. type-level ECA detection on the paper's
+//! own event history for `E = TSEQ(TSEQ+(E1, 0s, 1s); E2, 5s, 10s)`.
+//!
+//! RCEDA finds the two intended occurrences; the ECA engine assembles one
+//! type-level batch, fails the post-hoc temporal check, and reports nothing.
+
+use rceda::{Engine, EngineConfig};
+use rfid_baseline::{EcaEngine, EcaEvent, TemporalCheck};
+use rfid_epc::{Epc, Gid96, ReaderId};
+use rfid_events::{
+    Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Span, Timestamp,
+};
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+fn history(r1: ReaderId, r2: ReaderId) -> Vec<Observation> {
+    // e1 at 1,2,3 then (gap 2s) e1 at 5,6,7; e2 at 12 and 15.
+    let mut v: Vec<Observation> = [1u64, 2, 3, 5, 6, 7]
+        .iter()
+        .map(|&s| Observation::new(r1, epc(s), Timestamp::from_secs(s)))
+        .collect();
+    v.push(Observation::new(r2, epc(100), Timestamp::from_secs(12)));
+    v.push(Observation::new(r2, epc(101), Timestamp::from_secs(15)));
+    v
+}
+
+fn pattern(reader: &str) -> PrimitivePattern {
+    match EventExpr::observation_at(reader).build() {
+        EventExpr::Primitive(p) => p,
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let r1 = catalog.readers.register("r1", "r1", "conveyor");
+    let r2 = catalog.readers.register("r2", "r2", "case-reader");
+
+    println!("Event: E = TSEQ(TSEQ+(E1, 0sec, 1sec); E2, 5sec, 10sec)");
+    println!("History: e1@1 e1@2 e1@3   e1@5 e1@6 e1@7   e2@12 e2@15\n");
+
+    // --- RCEDA -------------------------------------------------------------
+    let mut engine = Engine::new(catalog.clone(), EngineConfig::default());
+    let event = EventExpr::observation_at("r1")
+        .tseq_plus(Span::ZERO, Span::from_secs(1))
+        .tseq(EventExpr::observation_at("r2"), Span::from_secs(5), Span::from_secs(10));
+    engine.add_rule("fig4", event).unwrap();
+
+    let mut rceda_hits = Vec::new();
+    engine.process_all(history(r1, r2), &mut |_, inst| {
+        let times: Vec<u64> =
+            inst.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+        rceda_hits.push(times);
+    });
+    println!("RCEDA detections ({}):", rceda_hits.len());
+    for hit in &rceda_hits {
+        println!("  items@{:?} + case@{}", &hit[..hit.len() - 1], hit[hit.len() - 1]);
+    }
+
+    // --- Type-level ECA ------------------------------------------------------
+    let mut eca = EcaEngine::new(catalog, ParameterContext::Chronicle);
+    eca.add_rule(
+        &EcaEvent::Aperiodic {
+            element: Box::new(EcaEvent::Prim(pattern("r1"))),
+            terminator: Box::new(EcaEvent::Prim(pattern("r2"))),
+        },
+        vec![
+            TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
+            TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+        ],
+    );
+    let mut eca_hits = 0;
+    eca.process_all(history(r1, r2), &mut |_, _| eca_hits += 1);
+    let stats = eca.stats();
+    println!("\nType-level ECA detections: {eca_hits}");
+    println!(
+        "  (assembled {} type-level batch(es), discarded {} at the post-hoc \
+         temporal check — the constituents were already consumed)",
+        stats.assembled, stats.discarded
+    );
+
+    assert_eq!(rceda_hits.len(), 2, "paper's expected detections");
+    assert_eq!(eca_hits, 0, "paper's §4.1 failure mode");
+    println!("\nResult matches the paper: RCEDA 2 detections, traditional ECA 0.");
+}

@@ -1,0 +1,887 @@
+//! The RCEDA driver (§4.5–§4.6).
+//!
+//! [`Engine`] owns the event graph, per-node state, and the pseudo-event
+//! queue. Its processing loop is the paper's algorithm verbatim:
+//!
+//! * incoming observations and due pseudo events are consumed in global
+//!   timestamp order (pseudo events win ties, so a window that closes at the
+//!   instant an observation arrives is resolved first);
+//! * a primitive occurrence activates every matching leaf and propagates
+//!   upward (`ACTIVATE_PARENT_NODE`), with temporal constraints checked
+//!   *during* propagation;
+//! * non-spontaneous constituents are resolved by querying their recorded
+//!   histories (`QUERY_INTERVAL_NODE`), either immediately when the past
+//!   suffices or via a scheduled pseudo event when the window extends into
+//!   the future (`GENERATE_PSEUDO_EVENT`);
+//! * every occurrence reaching a node with rules attached fires those rules
+//!   into the caller's sink.
+//!
+//! Detection runs under the chronicle parameter context: FIFO buffers,
+//! oldest-compatible matching, and consumption on use.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Span, Timestamp};
+
+use crate::error::InvalidRule;
+use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
+use crate::key::Key;
+use crate::pseudo::{PseudoAction, PseudoEvent, PseudoQueue};
+use crate::state::{dead_before, Entry, NodeState, WaitEntry};
+use crate::stats::EngineStats;
+
+/// Identifier of a registered rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-key buffer cap for join sides with an *unbounded* window (plain
+    /// `SEQ` without `WITHIN`). Bounded windows prune by time instead.
+    pub unbounded_cap: usize,
+    /// Run a global buffer sweep every this many observations.
+    pub sweep_every: u64,
+    /// Merge common subgraphs across rules (ablation A1 turns this off).
+    pub merge_subgraphs: bool,
+    /// Partition join buffers by correlation key (ablation A2 turns this
+    /// off: everything lands in one FIFO and key equality is checked during
+    /// the scan instead).
+    pub partition_buffers: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            unbounded_cap: 1024,
+            sweep_every: 4096,
+            merge_subgraphs: true,
+            partition_buffers: true,
+        }
+    }
+}
+
+/// The occurrence sink: called for every rule firing with the rule and the
+/// detected instance.
+pub type Sink<'s> = dyn FnMut(RuleId, &Instance) + 's;
+
+/// The RFID complex event detection engine.
+pub struct Engine {
+    graph: EventGraph,
+    catalog: Catalog,
+    states: Vec<NodeState>,
+    pseudo: PseudoQueue,
+    clock: Timestamp,
+    seq: u64,
+    rules_at: HashMap<NodeId, Vec<RuleId>>,
+    rule_names: Vec<String>,
+    rule_roots: Vec<NodeId>,
+    rule_enabled: Vec<bool>,
+    rule_firings: Vec<u64>,
+    dispatch: Dispatch,
+    dispatch_dirty: bool,
+    stats: EngineStats,
+    config: EngineConfig,
+}
+
+/// Leaf dispatch index: maps an observation to candidate primitive nodes
+/// without scanning every leaf.
+#[derive(Debug, Default)]
+struct Dispatch {
+    by_reader: HashMap<rfid_epc::ReaderId, Vec<NodeId>>,
+    by_group: HashMap<String, Vec<NodeId>>,
+    any: Vec<NodeId>,
+}
+
+impl Dispatch {
+    fn candidates(&self, catalog: &Catalog, obs: &Observation, out: &mut Vec<NodeId>) {
+        if let Some(v) = self.by_reader.get(&obs.reader) {
+            out.extend_from_slice(v);
+        }
+        if let Some(group) = catalog.readers.group_of(obs.reader) {
+            if let Some(v) = self.by_group.get(group) {
+                out.extend_from_slice(v);
+            }
+        }
+        out.extend_from_slice(&self.any);
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a fixed deployment catalog. Register readers
+    /// and object types in the catalog *before* building the engine — leaf
+    /// dispatch resolves names against it.
+    pub fn new(catalog: Catalog, config: EngineConfig) -> Self {
+        let graph =
+            if config.merge_subgraphs { EventGraph::new() } else { EventGraph::without_merging() };
+        Self {
+            graph,
+            catalog,
+            states: Vec::new(),
+            pseudo: PseudoQueue::new(),
+            clock: Timestamp::ZERO,
+            seq: 0,
+            rules_at: HashMap::new(),
+            rule_names: Vec::new(),
+            rule_roots: Vec::new(),
+            rule_enabled: Vec::new(),
+            rule_firings: Vec::new(),
+            dispatch: Dispatch::default(),
+            dispatch_dirty: true,
+            stats: EngineStats::default(),
+            config,
+        }
+    }
+
+    /// Registers a rule: its event expression is compiled into the shared
+    /// graph (merging common structure) and validated (§4.4). Returns the
+    /// rule id used in sink callbacks.
+    pub fn add_rule(&mut self, name: &str, event: EventExpr) -> Result<RuleId, InvalidRule> {
+        let root = self.graph.add_event(&event)?;
+        let rule = RuleId(self.rule_names.len() as u32);
+        self.rule_names.push(name.to_owned());
+        self.rule_roots.push(root);
+        self.rule_enabled.push(true);
+        self.rule_firings.push(0);
+        self.rules_at.entry(root).or_default().push(rule);
+        self.sync_states();
+        self.dispatch_dirty = true;
+        Ok(rule)
+    }
+
+    /// Creates or refreshes runtime state for every graph node.
+    fn sync_states(&mut self) {
+        for idx in 0..self.graph.len() {
+            let id = NodeId(idx as u32);
+            if idx >= self.states.len() {
+                self.states.push(initial_state(self.graph.node(id)));
+            }
+            // A new rule may have registered additional keyed histories on an
+            // existing negation node.
+            if let NodeState::Negation(neg) = &mut self.states[idx] {
+                neg.ensure_specs(self.graph.hist_specs(id).len().max(1));
+            }
+        }
+    }
+
+    /// Feeds one observation. Observations must arrive in non-decreasing
+    /// timestamp order (the middleware's stream order); due pseudo events
+    /// are executed first.
+    pub fn process(&mut self, obs: Observation, sink: &mut Sink<'_>) {
+        debug_assert!(obs.at >= self.clock, "observations must be time-ordered");
+        while let Some(ev) = self.pseudo.pop_due(obs.at) {
+            self.fire_pseudo(ev, sink);
+        }
+        self.clock = self.clock.max(obs.at);
+        self.stats.events += 1;
+
+        if self.dispatch_dirty {
+            self.rebuild_dispatch();
+        }
+        let mut matched: Vec<NodeId> = Vec::new();
+        self.dispatch.candidates(&self.catalog, &obs, &mut matched);
+        matched.retain(|&leaf| match &self.graph.node(leaf).kind {
+            NodeKind::Primitive(p) => p.matches(&obs, &self.catalog),
+            _ => false,
+        });
+        if !matched.is_empty() {
+            self.stats.matched_events += 1;
+            let inst = Arc::new(Instance::observation(obs));
+            let work: Vec<(NodeId, Arc<Instance>)> =
+                matched.into_iter().map(|leaf| (leaf, inst.clone())).collect();
+            self.run_work(work, sink);
+        }
+
+        if self.stats.events.is_multiple_of(self.config.sweep_every) {
+            self.sweep();
+        }
+    }
+
+    /// Feeds a whole stream, then drains remaining pseudo events so windows
+    /// extending past the last observation resolve.
+    pub fn process_all<I>(&mut self, stream: I, sink: &mut Sink<'_>)
+    where
+        I: IntoIterator<Item = Observation>,
+    {
+        for obs in stream {
+            self.process(obs, sink);
+        }
+        self.finish(sink);
+    }
+
+    /// Drains every pending pseudo event (end of stream): negation windows
+    /// and open `TSEQ+` runs resolve as if time advanced past them.
+    pub fn finish(&mut self, sink: &mut Sink<'_>) {
+        while let Some(ev) = self.pseudo.pop_any() {
+            self.clock = self.clock.max(ev.exec);
+            self.fire_pseudo(ev, sink);
+        }
+    }
+
+    /// Advances the clock to `now`, executing due pseudo events, without
+    /// feeding an observation (heartbeat for quiet streams).
+    pub fn advance_to(&mut self, now: Timestamp, sink: &mut Sink<'_>) {
+        while let Some(ev) = self.pseudo.pop_due(now) {
+            self.fire_pseudo(ev, sink);
+        }
+        self.clock = self.clock.max(now);
+    }
+
+    /// Counters, including buffered-capacity drops.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.pseudo_scheduled = self.pseudo.scheduled;
+        for state in &self.states {
+            if let NodeState::Join { left, right } = state {
+                s.capacity_drops += left.dropped + right.dropped;
+            }
+        }
+        s
+    }
+
+    /// The compiled event graph (inspection, tests, benches).
+    pub fn graph(&self) -> &EventGraph {
+        &self.graph
+    }
+
+    /// Total instances currently held in join buffers, negation histories,
+    /// aperiodic stores, open runs, and waits — the engine's working-set
+    /// gauge (memory diagnostics; sweeping should keep it bounded).
+    pub fn buffered_instances(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| match s {
+                NodeState::Stateless => 0,
+                NodeState::Join { left, right } => left.len() + right.len(),
+                NodeState::Negation(neg) => neg.recorded(),
+                NodeState::Aperiodic(ap) => ap.len(),
+                NodeState::TimedRun(run) => run.open.len(),
+                NodeState::Wait(w) => w.waiting.len(),
+            })
+            .sum()
+    }
+
+    /// The deployment catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Name of a rule.
+    pub fn rule_name(&self, rule: RuleId) -> &str {
+        &self.rule_names[rule.0 as usize]
+    }
+
+    /// Root graph node of a rule.
+    pub fn rule_root(&self, rule: RuleId) -> NodeId {
+        self.rule_roots[rule.0 as usize]
+    }
+
+    /// Number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.rule_names.len()
+    }
+
+    /// Enables or disables a rule. Disabled rules stop firing immediately;
+    /// the shared graph keeps detecting for other rules on the same nodes.
+    /// Returns the previous state.
+    pub fn set_rule_enabled(&mut self, rule: RuleId, enabled: bool) -> bool {
+        let slot = &mut self.rule_enabled[rule.0 as usize];
+        std::mem::replace(slot, enabled)
+    }
+
+    /// Firings so far, per rule (indexed by [`RuleId`]).
+    pub fn firings_per_rule(&self) -> &[u64] {
+        &self.rule_firings
+    }
+
+    /// Clears all runtime state — buffers, histories, open runs, waits,
+    /// pending pseudo events, clock, counters — while keeping the compiled
+    /// rules. After `reset()` the engine behaves as if freshly built, so
+    /// benchmark iterations and replays skip recompilation.
+    pub fn reset(&mut self) {
+        for idx in 0..self.states.len() {
+            self.states[idx] = initial_state(self.graph.node(NodeId(idx as u32)));
+        }
+        self.sync_states(); // restore negation history spec slots
+        self.pseudo = PseudoQueue::new();
+        self.clock = Timestamp::ZERO;
+        self.seq = 0;
+        self.stats = EngineStats::default();
+        for f in &mut self.rule_firings {
+            *f = 0;
+        }
+    }
+
+    /// Whether a rule is currently enabled.
+    pub fn rule_enabled(&self, rule: RuleId) -> bool {
+        self.rule_enabled[rule.0 as usize]
+    }
+
+    /// The engine clock (timestamp of the last consumed event).
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    fn rebuild_dispatch(&mut self) {
+        self.dispatch = Dispatch::default();
+        for &leaf in self.graph.primitives() {
+            let NodeKind::Primitive(p) = &self.graph.node(leaf).kind else { continue };
+            match &p.reader {
+                rfid_events::ReaderSel::Named(name) => {
+                    // A name missing from the catalog can never match.
+                    if let Some(id) = self.catalog.reader(name) {
+                        self.dispatch.by_reader.entry(id).or_default().push(leaf);
+                    }
+                }
+                rfid_events::ReaderSel::Group(g) => {
+                    self.dispatch.by_group.entry(g.to_string()).or_default().push(leaf);
+                }
+                rfid_events::ReaderSel::Any => self.dispatch.any.push(leaf),
+            }
+        }
+        self.dispatch_dirty = false;
+    }
+
+    fn fire_pseudo(&mut self, ev: PseudoEvent, sink: &mut Sink<'_>) {
+        self.stats.pseudo_fired += 1;
+        self.clock = self.clock.max(ev.exec);
+        match ev.action {
+            PseudoAction::CloseRun { node, generation } => {
+                let run = match &mut self.states[node.idx()] {
+                    NodeState::TimedRun(run) if run.generation == generation => {
+                        std::mem::take(&mut run.open)
+                    }
+                    _ => return,
+                };
+                if !run.is_empty() {
+                    let inst = Arc::new(Instance::composite("TSEQ+", run));
+                    self.run_work(vec![(node, inst)], sink);
+                }
+            }
+            PseudoAction::ResolveWait { node, anchor } => {
+                let entry = match &mut self.states[node.idx()] {
+                    NodeState::Wait(w) => w.waiting.remove(&anchor),
+                    _ => None,
+                };
+                let Some(entry) = entry else { return };
+                let (spec, not_side, not_child, kind_name) = {
+                    let n = self.graph.node(node);
+                    let not_side = match &n.plan {
+                        Plan::AndNegation { not_side } => *not_side,
+                        Plan::RightNegationWait => 1,
+                        other => unreachable!("ResolveWait on plan {other:?}"),
+                    };
+                    (
+                        n.hist_spec.expect("wait plan always has a history spec").0 as usize,
+                        not_side,
+                        n.children[not_side as usize],
+                        n.kind.name(),
+                    )
+                };
+                let occurred = match &self.states[not_child.idx()] {
+                    NodeState::Negation(neg) => {
+                        neg.occurred(spec, &entry.key, entry.from, entry.to, false)
+                    }
+                    other => unreachable!("negation child has state {other:?}"),
+                };
+                if !occurred {
+                    let absence = Arc::new(Instance::absence(entry.from, entry.to));
+                    let children = if not_side == 0 {
+                        vec![absence, entry.inst]
+                    } else {
+                        vec![entry.inst, absence]
+                    };
+                    let inst = Arc::new(Instance::composite(kind_name, children));
+                    self.run_work(vec![(node, inst)], sink);
+                }
+            }
+        }
+    }
+
+    /// The ACTIVATE_PARENT_NODE loop: pops node occurrences and propagates
+    /// each to the node's rules and parents.
+    fn run_work(&mut self, mut work: Vec<(NodeId, Arc<Instance>)>, sink: &mut Sink<'_>) {
+        while let Some((node_id, inst)) = work.pop() {
+            self.stats.occurrences += 1;
+            if let Some(rules) = self.rules_at.get(&node_id) {
+                for &rule in rules {
+                    if !self.rule_enabled[rule.0 as usize] {
+                        continue;
+                    }
+                    self.stats.rule_firings += 1;
+                    self.rule_firings[rule.0 as usize] += 1;
+                    sink(rule, &inst);
+                }
+            }
+            let parents = self.graph.node(node_id).parents.clone();
+            for parent in parents {
+                let pnode = self.graph.node(parent);
+                let children = &pnode.children;
+                let is_left = children[0] == node_id;
+                let is_right = children.len() > 1 && children[1] == node_id;
+                if is_left && is_right {
+                    // Self-join (e.g. Rule 1's duplicate filter): match as the
+                    // terminator against strictly older initiators, then
+                    // buffer as an initiator for future arrivals.
+                    self.self_join_arrival(parent, &inst, &mut work);
+                } else if pnode.symmetric {
+                    // Structurally identical children that did not merge
+                    // (ablation A1): both deliver equivalent instances, so
+                    // run the self-join protocol once, on the terminator
+                    // side, and drop the initiator-side duplicate delivery.
+                    if is_right {
+                        self.self_join_arrival(parent, &inst, &mut work);
+                    }
+                } else {
+                    if is_left {
+                        self.arrival(parent, 0, &inst, &mut work);
+                    }
+                    if is_right {
+                        self.arrival(parent, 1, &inst, &mut work);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arrival at a binary node whose two children are the same node: the
+    /// instance first tries to terminate an older initiator, then becomes an
+    /// initiator itself. This yields the chained pairing Rule 1 needs
+    /// ((e1,e2), (e2,e3), …) without ever pairing an instance with itself.
+    fn self_join_arrival(
+        &mut self,
+        parent: NodeId,
+        inst: &Arc<Instance>,
+        work: &mut Vec<(NodeId, Arc<Instance>)>,
+    ) {
+        let node = self.graph.node(parent);
+        debug_assert_eq!(node.plan, Plan::TwoSided, "self-join is always two-sided");
+        let join = &node.join;
+        let key = if join.is_trivial() { Some(Key::new()) } else { join.right_key(inst) };
+        let Some(key) = key else { return };
+        let kind = node.kind.clone();
+        let within = node.within;
+        let horizon = node.horizon;
+        let dead = dead_before(self.clock, horizon, self.graph.max_lag());
+        let cap = if horizon == Span::MAX { self.config.unbounded_cap } else { usize::MAX };
+        let keyed = self.config.partition_buffers;
+        let bucket = if keyed { key.clone() } else { Key::new() };
+
+        let (lbuf, _) = self.states[parent.idx()].join_mut();
+        let matched = lbuf.take_oldest_match(&bucket, dead, |e| {
+            if Arc::ptr_eq(&e.inst, inst) {
+                return false;
+            }
+            if !keyed && !join.is_trivial() && join.left_key(&e.inst).as_ref() != Some(&key) {
+                return false;
+            }
+            pair_ok(&kind, within, &e.inst, inst)
+        });
+        if let Some(e) = matched {
+            let out = Arc::new(Instance::composite(kind.name(), vec![e.inst, inst.clone()]));
+            work.push((parent, out));
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let (lbuf, _) = self.states[parent.idx()].join_mut();
+        lbuf.push(bucket, Entry { inst: inst.clone(), seq }, cap);
+    }
+
+    /// Handles an instance arriving at `parent` from its `side`-th child.
+    /// Emissions are pushed onto `work`.
+    #[allow(clippy::too_many_lines)]
+    fn arrival(
+        &mut self,
+        parent: NodeId,
+        side: u8,
+        inst: &Arc<Instance>,
+        work: &mut Vec<(NodeId, Arc<Instance>)>,
+    ) {
+        let plan = self.graph.node(parent).plan.clone();
+        match plan {
+            Plan::Leaf => unreachable!("leaves have no children"),
+            Plan::Forward => {
+                let node = self.graph.node(parent);
+                if inst.interval() <= node.within {
+                    let wrapped = Arc::new(Instance::composite("OR", vec![inst.clone()]));
+                    work.push((parent, wrapped));
+                }
+            }
+            Plan::TwoSided => {
+                let node = self.graph.node(parent);
+                let join = &node.join;
+                let key = if join.is_trivial() {
+                    Some(Key::new())
+                } else if side == 0 {
+                    join.left_key(inst)
+                } else {
+                    join.right_key(inst)
+                };
+                let Some(key) = key else { return };
+                let kind = node.kind.clone();
+                let within = node.within;
+                let horizon = node.horizon;
+                let dead = dead_before(self.clock, horizon, self.graph.max_lag());
+                let cap =
+                    if horizon == Span::MAX { self.config.unbounded_cap } else { usize::MAX };
+                // Ablation A2: with partitioning off, everything shares one
+                // FIFO and key equality moves into the scan predicate.
+                let keyed = self.config.partition_buffers;
+                let bucket = if keyed { key.clone() } else { Key::new() };
+                let (lbuf, rbuf) = self.states[parent.idx()].join_mut();
+                let (own, other) = if side == 0 { (lbuf, rbuf) } else { (rbuf, lbuf) };
+                let matched = other.take_oldest_match(&bucket, dead, |e| {
+                    // One physical event can never be both constituents of
+                    // an occurrence (same-pattern children deliver the same
+                    // Arc to both sides).
+                    if Arc::ptr_eq(&e.inst, inst) {
+                        return false;
+                    }
+                    if !keyed && !join.is_trivial() {
+                        let other_key = if side == 0 {
+                            join.right_key(&e.inst)
+                        } else {
+                            join.left_key(&e.inst)
+                        };
+                        if other_key.as_ref() != Some(&key) {
+                            return false;
+                        }
+                    }
+                    if side == 0 {
+                        pair_ok(&kind, within, inst, &e.inst)
+                    } else {
+                        pair_ok(&kind, within, &e.inst, inst)
+                    }
+                });
+                match matched {
+                    Some(e) => {
+                        // Retire every buffered copy of both constituents:
+                        // with unmerged same-pattern children an instance
+                        // can sit in both side buffers.
+                        own.remove_ptr_eq(&bucket, &e.inst);
+                        own.remove_ptr_eq(&bucket, inst);
+                        other.remove_ptr_eq(&bucket, inst);
+                        let children = if side == 0 {
+                            vec![inst.clone(), e.inst]
+                        } else {
+                            vec![e.inst, inst.clone()]
+                        };
+                        let out = Arc::new(Instance::composite(kind.name(), children));
+                        work.push((parent, out));
+                    }
+                    None => {
+                        self.seq += 1;
+                        own.push(bucket, Entry { inst: inst.clone(), seq: self.seq }, cap);
+                    }
+                }
+            }
+            Plan::LeftNegationQuery => {
+                debug_assert_eq!(side, 1, "negated initiator never delivers");
+                let node = self.graph.node(parent);
+                let (from, to, exclusive) = match node.kind {
+                    NodeKind::Seq => {
+                        let from = if node.within == Span::MAX {
+                            Timestamp::ZERO
+                        } else {
+                            inst.t_end().saturating_sub(node.within)
+                        };
+                        (from, inst.t_begin(), true)
+                    }
+                    NodeKind::TSeq { min_dist, max_dist } => {
+                        let from = inst.t_end().saturating_sub(max_dist);
+                        let to = inst.t_end().saturating_sub(min_dist).min(inst.t_begin());
+                        (from, to, false)
+                    }
+                    ref other => unreachable!("LeftNegationQuery on {other:?}"),
+                };
+                let Some(key) = negation_query_key(node, 1, inst) else { return };
+                let spec = node.hist_spec.expect("query plan has a spec").0 as usize;
+                let not_child = node.children[0];
+                let kind_name = node.kind.name();
+                let occurred = match &self.states[not_child.idx()] {
+                    NodeState::Negation(neg) => neg.occurred(spec, &key, from, to, exclusive),
+                    other => unreachable!("negation child has state {other:?}"),
+                };
+                if !occurred {
+                    let absence = Arc::new(Instance::absence(from, to));
+                    let out =
+                        Arc::new(Instance::composite(kind_name, vec![absence, inst.clone()]));
+                    work.push((parent, out));
+                }
+            }
+            Plan::LeftAperiodicQuery => {
+                debug_assert_eq!(side, 1);
+                let node = self.graph.node(parent);
+                let from = if node.within == Span::MAX {
+                    Timestamp::ZERO
+                } else {
+                    inst.t_end().saturating_sub(node.within)
+                };
+                let (last_min, last_max) = match node.kind {
+                    NodeKind::Seq => (Timestamp::ZERO, inst.t_begin()),
+                    NodeKind::TSeq { min_dist, max_dist } => (
+                        inst.t_end().saturating_sub(max_dist),
+                        inst.t_end().saturating_sub(min_dist).min(inst.t_begin()),
+                    ),
+                    ref other => unreachable!("LeftAperiodicQuery on {other:?}"),
+                };
+                let within = node.within;
+                let kind_name = node.kind.name();
+                let seqplus_child = node.children[0];
+                let NodeState::Aperiodic(ap) = &mut self.states[seqplus_child.idx()] else {
+                    unreachable!("aperiodic child state");
+                };
+                let elements = ap.take_window(from, last_max);
+                if elements.is_empty() {
+                    return;
+                }
+                let last_end = elements.last().expect("non-empty").t_end();
+                if last_end < last_min {
+                    // The run ended too long before this terminator and would
+                    // be pruned anyway.
+                    return;
+                }
+                let run = Arc::new(Instance::composite("SEQ+", elements));
+                let out = Arc::new(Instance::composite(kind_name, vec![run, inst.clone()]));
+                if out.interval() <= within {
+                    work.push((parent, out));
+                }
+            }
+            Plan::RightNegationWait => {
+                debug_assert_eq!(side, 0, "negated terminator never delivers");
+                // The negation window opens strictly after the initiator
+                // ends; otherwise an initiator whose pattern overlaps the
+                // negated pattern would block itself.
+                let epsilon = Span::from_millis(1);
+                let (from, to) = {
+                    let node = self.graph.node(parent);
+                    match node.kind {
+                        NodeKind::Seq => {
+                            (inst.t_end() + epsilon, inst.t_begin() + node.within)
+                        }
+                        NodeKind::TSeq { min_dist, max_dist } => (
+                            inst.t_end() + min_dist.max(epsilon),
+                            inst.t_end() + max_dist,
+                        ),
+                        ref other => unreachable!("RightNegationWait on {other:?}"),
+                    }
+                };
+                self.wait_on_negation(parent, 1, inst, from, to, work);
+            }
+            Plan::AndNegation { not_side } => {
+                debug_assert_eq!(side, 1 - not_side, "arrivals come from the push side");
+                let (from, to) = {
+                    let bound = self.graph.node(parent).within;
+                    (inst.t_end().saturating_sub(bound), inst.t_begin() + bound)
+                };
+                self.wait_on_negation(parent, not_side, inst, from, to, work);
+            }
+            Plan::NegationRecorder => {
+                let specs = self.graph.hist_specs(parent);
+                let NodeState::Negation(neg) = &mut self.states[parent.idx()] else {
+                    unreachable!("negation state");
+                };
+                neg.ensure_specs(specs.len().max(1));
+                if specs.is_empty() {
+                    // No parent correlates: record under the empty key.
+                    neg.record(0, Key::new(), inst.t_end());
+                } else {
+                    for (i, spec) in specs.iter().enumerate() {
+                        let key: Option<Key> =
+                            spec.extracts.iter().map(|x| x.eval(inst)).collect();
+                        if let Some(key) = key {
+                            neg.record(i, key, inst.t_end());
+                        }
+                    }
+                }
+            }
+            Plan::AperiodicRecorder => {
+                let NodeState::Aperiodic(ap) = &mut self.states[parent.idx()] else {
+                    unreachable!("aperiodic state");
+                };
+                ap.record(inst.clone());
+            }
+            Plan::TimedAperiodic => {
+                let (min_gap, max_gap, within) = {
+                    let node = self.graph.node(parent);
+                    let NodeKind::TSeqPlus { min_gap, max_gap } = node.kind else {
+                        unreachable!("TimedAperiodic on non-TSEQ+ node");
+                    };
+                    (min_gap, max_gap, node.within)
+                };
+                let NodeState::TimedRun(run) = &mut self.states[parent.idx()] else {
+                    unreachable!("timed-run state");
+                };
+                let mut closed: Option<Vec<Arc<Instance>>> = None;
+                if run.open.is_empty() {
+                    run.open.push(inst.clone());
+                } else {
+                    let gap = inst.t_end().signed_delta(run.last_end);
+                    let first_begin = run.open[0].t_begin().min(inst.t_begin());
+                    let extended_interval = inst.t_end() - first_begin;
+                    let gap_ok = gap >= 0
+                        && gap as u64 >= min_gap.as_millis()
+                        && gap as u64 <= max_gap.as_millis();
+                    if gap_ok && extended_interval <= within {
+                        run.open.push(inst.clone());
+                    } else if gap >= 0 && gap as u64 > max_gap.as_millis() {
+                        // Late closure (normally the pseudo event beats us).
+                        closed = Some(std::mem::take(&mut run.open));
+                        run.open.push(inst.clone());
+                    } else {
+                        // Sub-τl gap (or interval overflow): the run cannot be
+                        // extended, and interleaved this tightly it is not a
+                        // valid detection either — discard and restart.
+                        run.open.clear();
+                        run.open.push(inst.clone());
+                    }
+                }
+                run.last_end = inst.t_end();
+                run.generation += 1;
+                let generation = run.generation;
+                self.seq += 1;
+                self.pseudo.schedule(PseudoEvent {
+                    exec: inst.t_end() + max_gap,
+                    seq: self.seq,
+                    action: PseudoAction::CloseRun { node: parent, generation },
+                });
+                if let Some(run) = closed {
+                    let out = Arc::new(Instance::composite("TSEQ+", run));
+                    work.push((parent, out));
+                }
+            }
+        }
+    }
+
+    /// Shared machinery of `AndNegation` and `RightNegationWait`: check the
+    /// past part of the window now; if the window extends into the future,
+    /// anchor the instance and schedule a pseudo event at its close.
+    fn wait_on_negation(
+        &mut self,
+        parent: NodeId,
+        not_side: u8,
+        inst: &Arc<Instance>,
+        from: Timestamp,
+        to: Timestamp,
+        work: &mut Vec<(NodeId, Arc<Instance>)>,
+    ) {
+        let (key, spec, not_child, kind_name) = {
+            let node = self.graph.node(parent);
+            let Some(key) = negation_query_key(node, 1 - not_side, inst) else { return };
+            (
+                key,
+                node.hist_spec.expect("wait plan has a spec").0 as usize,
+                node.children[not_side as usize],
+                node.kind.name(),
+            )
+        };
+
+        let past_end = self.clock.min(to);
+        if from <= past_end {
+            let occurred = match &self.states[not_child.idx()] {
+                NodeState::Negation(neg) => neg.occurred(spec, &key, from, past_end, false),
+                other => unreachable!("negation child has state {other:?}"),
+            };
+            if occurred {
+                return;
+            }
+        }
+        if to <= self.clock {
+            // Whole window already elapsed (lagged push-side delivery).
+            let absence = Arc::new(Instance::absence(from, to));
+            let children = if not_side == 0 {
+                vec![absence, inst.clone()]
+            } else {
+                vec![inst.clone(), absence]
+            };
+            work.push((parent, Arc::new(Instance::composite(kind_name, children))));
+            return;
+        }
+        self.seq += 1;
+        let anchor = self.seq;
+        let NodeState::Wait(w) = &mut self.states[parent.idx()] else {
+            unreachable!("wait state");
+        };
+        w.waiting.insert(anchor, WaitEntry { inst: inst.clone(), key, from, to });
+        self.pseudo.schedule(PseudoEvent {
+            exec: to,
+            seq: anchor,
+            action: PseudoAction::ResolveWait { node: parent, anchor },
+        });
+    }
+
+    /// Global buffer sweep: prune joins, histories, and element stores by
+    /// their horizons.
+    fn sweep(&mut self) {
+        self.stats.sweeps += 1;
+        let lag = self.graph.max_lag();
+        for idx in 0..self.states.len() {
+            let node = self.graph.node(NodeId(idx as u32));
+            let horizon = node.horizon;
+            let retention = node.retention;
+            match &mut self.states[idx] {
+                NodeState::Join { left, right } => {
+                    let dead = dead_before(self.clock, horizon, lag);
+                    left.prune(dead);
+                    right.prune(dead);
+                }
+                NodeState::Negation(neg) => {
+                    neg.prune(dead_before(self.clock, retention, lag));
+                }
+                NodeState::Aperiodic(ap) => {
+                    ap.prune(dead_before(self.clock, retention, lag));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The key the negation must be queried under, extracted from the push-side
+/// instance via the node's join spec.
+fn negation_query_key(node: &Node, push_side: u8, inst: &Instance) -> Option<Key> {
+    if node.join.is_trivial() {
+        return Some(Key::new());
+    }
+    if push_side == 0 {
+        node.join.left_key(inst)
+    } else {
+        node.join.right_key(inst)
+    }
+}
+
+/// Instance-level temporal predicate of a binary constructor — the checks
+/// that make temporal constraints first-class in detection (§4.1).
+fn pair_ok(kind: &NodeKind, within: Span, l: &Instance, r: &Instance) -> bool {
+    if interval2(l, r) > within {
+        return false;
+    }
+    match kind {
+        NodeKind::And => true,
+        NodeKind::Seq => l.t_end() <= r.t_begin(),
+        NodeKind::TSeq { min_dist, max_dist } => {
+            if l.t_end() > r.t_begin() {
+                return false;
+            }
+            let d = dist(l, r);
+            d >= 0 && (d as u64) >= min_dist.as_millis() && (d as u64) <= max_dist.as_millis()
+        }
+        other => unreachable!("pair_ok on {other:?}"),
+    }
+}
+
+fn initial_state(node: &Node) -> NodeState {
+    match &node.plan {
+        Plan::Leaf | Plan::Forward | Plan::LeftNegationQuery | Plan::LeftAperiodicQuery => {
+            NodeState::Stateless
+        }
+        Plan::TwoSided => {
+            NodeState::Join { left: Default::default(), right: Default::default() }
+        }
+        Plan::RightNegationWait | Plan::AndNegation { .. } => NodeState::Wait(Default::default()),
+        Plan::NegationRecorder => NodeState::Negation(Default::default()),
+        Plan::AperiodicRecorder => NodeState::Aperiodic(Default::default()),
+        Plan::TimedAperiodic => NodeState::TimedRun(Default::default()),
+    }
+}

@@ -1,0 +1,93 @@
+//! Rule validation errors.
+//!
+//! §4.4: "An RFID rule r is valid only if the detection mode for its event E
+//! is in either push mode or mixed mode. … If the detection mode for r's
+//! event E is pull, then occurrences of E can never be detected and thus r
+//! will never be triggered. We call such events invalid events, and
+//! corresponding rules invalid rules." The graph builder rejects these at
+//! compile time with a reason precise enough to fix the rule.
+
+use std::fmt;
+
+/// Why a rule's event can never be detected (or is outside the supported
+/// fragment of the algebra).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidRule {
+    /// The root event is pull-mode: it would never announce its occurrences.
+    PullModeRoot {
+        /// Rendered event expression.
+        event: String,
+        /// Which sub-construct forces pull mode.
+        cause: String,
+    },
+    /// A `NOT` (or `SEQ+`/`TSEQ+`) wraps an event that is itself not
+    /// push-mode, so its occurrences could never even be recorded.
+    NonSpontaneousOverNonPush {
+        /// Constructor name (`NOT`, `SEQ+`, `TSEQ+`).
+        constructor: &'static str,
+        /// Rendered inner expression.
+        inner: String,
+    },
+    /// A negated constituent needs a finite window (a `WITHIN` constraint or
+    /// a `TSEQ` distance bound) to ever resolve, and none is present.
+    UnboundedNegation {
+        /// Rendered event expression.
+        event: String,
+    },
+    /// Both constituents of a binary constructor are non-spontaneous; there
+    /// is no push side to drive detection.
+    NoPushSide {
+        /// Rendered event expression.
+        event: String,
+    },
+    /// Correlation variables span a construct the engine cannot join across
+    /// (e.g. a variable shared between a `TSEQ+` body and its sibling).
+    UnsupportedCorrelation {
+        /// The variable name.
+        var: String,
+        /// Rendered event expression.
+        event: String,
+    },
+    /// `OR` requires both alternatives to be spontaneous.
+    NonPushOrBranch {
+        /// Rendered event expression.
+        event: String,
+    },
+}
+
+impl fmt::Display for InvalidRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PullModeRoot { event, cause } => write!(
+                f,
+                "invalid rule: event `{event}` is pull-mode ({cause}); \
+                 it would never be detected"
+            ),
+            Self::NonSpontaneousOverNonPush { constructor, inner } => write!(
+                f,
+                "invalid rule: {constructor} over non-push event `{inner}`; \
+                 occurrences of the inner event could never be recorded"
+            ),
+            Self::UnboundedNegation { event } => write!(
+                f,
+                "invalid rule: negation in `{event}` has no finite window; \
+                 add a WITHIN constraint or TSEQ distance bound"
+            ),
+            Self::NoPushSide { event } => write!(
+                f,
+                "invalid rule: no spontaneous constituent in `{event}` to drive detection"
+            ),
+            Self::UnsupportedCorrelation { var, event } => write!(
+                f,
+                "invalid rule: variable `{var}` in `{event}` correlates across an \
+                 aperiodic sequence, which the engine does not support"
+            ),
+            Self::NonPushOrBranch { event } => write!(
+                f,
+                "invalid rule: OR branch in `{event}` is not spontaneous"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidRule {}

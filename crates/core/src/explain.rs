@@ -1,0 +1,187 @@
+//! Graph inspection: human-readable and Graphviz renderings of a compiled
+//! event graph.
+//!
+//! The paper's Figs. 5–7 draw event graphs with constructor labels and
+//! temporal annotations; [`EventGraph::to_dot`] reproduces that drawing for
+//! any compiled rule set, and [`EventGraph::describe`] prints the analysis
+//! table (mode, plan, window, horizon) that §4.4's algorithms compute.
+
+use std::fmt::Write as _;
+
+use rfid_events::Span;
+
+use crate::graph::{DetectionMode, EventGraph, NodeKind, Plan};
+
+impl EventGraph {
+    /// A text table of every node's static analysis, in id order.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<10} detail",
+            "id", "kind", "mode", "plan", "within", "horizon", "children"
+        );
+        for node in self.nodes() {
+            let mode = match node.mode {
+                DetectionMode::Push => "push",
+                DetectionMode::Pull => "pull",
+                DetectionMode::Mixed => "mixed",
+            };
+            let children: Vec<String> =
+                node.children.iter().map(|c| c.0.to_string()).collect();
+            let detail = match &node.kind {
+                NodeKind::Primitive(p) => format!("{p}"),
+                NodeKind::TSeq { min_dist, max_dist } => format!("dist ∈ [{min_dist}, {max_dist}]"),
+                NodeKind::TSeqPlus { min_gap, max_gap } => format!("gap ∈ [{min_gap}, {max_gap}]"),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<10} {}",
+                node.id.0,
+                node.kind.name(),
+                mode,
+                plan_name(&node.plan),
+                fmt_span(node.within),
+                fmt_span(node.horizon),
+                children.join(","),
+                detail,
+            );
+        }
+        out
+    }
+
+    /// A Graphviz `digraph` in the style of the paper's figures: constructor
+    /// nodes with temporal annotations, edges from constituents to the
+    /// events they construct, pull/mixed nodes visually distinguished.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph event_graph {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
+        for node in self.nodes() {
+            let (shape, style) = match node.mode {
+                DetectionMode::Push => ("ellipse", "solid"),
+                DetectionMode::Mixed => ("ellipse", "dashed"),
+                DetectionMode::Pull => ("box", "dashed"),
+            };
+            let mut label = match &node.kind {
+                NodeKind::Primitive(p) => format!("{p}"),
+                NodeKind::TSeq { min_dist, max_dist } => {
+                    format!("TSEQ [{min_dist},{max_dist}]")
+                }
+                NodeKind::TSeqPlus { min_gap, max_gap } => {
+                    format!("TSEQ+ [{min_gap},{max_gap}]")
+                }
+                other => other.name().to_owned(),
+            };
+            if node.within != Span::MAX {
+                let _ = write!(label, "\\nwithin {}", node.within);
+            }
+            if !node.join.is_trivial() {
+                let vars: Vec<&str> = node.join.vars.iter().map(|v| v.name()).collect();
+                let _ = write!(label, "\\njoin on {}", vars.join(","));
+            }
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\" shape={shape} style={style}];",
+                node.id.0,
+                label.replace('"', "'"),
+            );
+        }
+        for node in self.nodes() {
+            for (slot, child) in node.children.iter().enumerate() {
+                let _ = writeln!(out, "  n{} -> n{} [label=\"{slot}\"];", child.0, node.id.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn plan_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Leaf => "leaf",
+        Plan::Forward => "forward",
+        Plan::TwoSided => "two-sided",
+        Plan::LeftNegationQuery => "neg-query",
+        Plan::LeftAperiodicQuery => "aperiodic-query",
+        Plan::RightNegationWait => "neg-wait",
+        Plan::AndNegation { .. } => "and-negation",
+        Plan::NegationRecorder => "neg-recorder",
+        Plan::AperiodicRecorder => "aperiodic-rec",
+        Plan::TimedAperiodic => "timed-run",
+    }
+}
+
+fn fmt_span(s: Span) -> String {
+    if s == Span::MAX {
+        "∞".to_owned()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_events::EventExpr;
+
+    fn sample_graph() -> EventGraph {
+        let mut g = EventGraph::new();
+        let e = EventExpr::observation_at("r1")
+            .tseq_plus(Span::from_millis(100), Span::from_secs(1))
+            .tseq(
+                EventExpr::observation_at("r2"),
+                Span::from_secs(10),
+                Span::from_secs(20),
+            )
+            .within(Span::from_mins(5));
+        g.add_event(&e).unwrap();
+        let neg = EventExpr::observation_at("r1")
+            .and(EventExpr::observation_at("r2").not())
+            .within(Span::from_secs(5));
+        g.add_event(&neg).unwrap();
+        g
+    }
+
+    #[test]
+    fn describe_lists_every_node() {
+        let g = sample_graph();
+        let text = g.describe();
+        assert_eq!(text.lines().count(), g.len() + 1, "header + one line per node");
+        assert!(text.contains("TSEQ+"));
+        assert!(text.contains("mixed"));
+        assert!(text.contains("pull"));
+        assert!(text.contains("and-negation"));
+        assert!(text.contains("gap ∈ [0.100sec, 1sec]"));
+    }
+
+    #[test]
+    fn dot_is_structurally_complete() {
+        let g = sample_graph();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph event_graph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(
+            dot.matches("[label=\"").count() - dot.matches("] [label").count(),
+            g.len() + g.nodes().iter().map(|n| n.children.len()).sum::<usize>(),
+            "one label per node and per edge"
+        );
+        assert!(dot.contains("within 5sec"), "annotations rendered");
+        assert!(dot.contains("shape=box"), "pull nodes distinguished");
+    }
+
+    #[test]
+    fn dot_edges_match_graph_edges() {
+        let g = sample_graph();
+        let dot = g.to_dot();
+        for node in g.nodes() {
+            for child in &node.children {
+                assert!(
+                    dot.contains(&format!("n{} -> n{}", child.0, node.id.0)),
+                    "edge {} -> {} missing",
+                    child.0,
+                    node.id.0
+                );
+            }
+        }
+    }
+}

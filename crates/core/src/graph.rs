@@ -1,0 +1,901 @@
+//! Event graph construction and static analysis (§4.3–§4.4).
+//!
+//! Compiling a rule's [`EventExpr`] into the shared [`EventGraph`] performs,
+//! in one pass per node:
+//!
+//! * **Interval-constraint propagation** — `WITHIN(E, τ)` is not a node but a
+//!   constraint; it propagates top-down so every descendant's effective
+//!   window is `min(own, parent)` (Fig. 7 of the paper);
+//! * **Common-subgraph merging** — nodes are hash-consed on their structure
+//!   *and* effective window, so identical sub-events across rules share one
+//!   detection node (Fig. 5's merging step; ablation A1 measures the win);
+//! * **Detection-mode assignment** — push / pull / mixed, bottom-up from the
+//!   constructor kinds (§4.4), rejecting *invalid rules* whose root is pull;
+//! * **Execution planning** — each composite node gets a [`Plan`] describing
+//!   how the runtime drives it (two-sided chronicle join, past-window
+//!   negation query, pseudo-event-resolved negation wait, …);
+//! * **Correlation extraction** — shared variables become [`JoinSpec`]s, and
+//!   negation nodes get keyed-history registrations for each parent that
+//!   correlates with them.
+
+use std::collections::HashMap;
+
+use rfid_events::{EventExpr, PrimitivePattern, Span};
+
+use crate::error::InvalidRule;
+use crate::key::{exports_of, Exports, Extract, JoinSpec};
+
+/// Index of a node in the event graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a keyed-history registration on a negation node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistSpecId(pub u32);
+
+/// The constructor a node implements. `WITHIN` never appears: it is folded
+/// into [`Node::within`] during propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Leaf: a primitive observation pattern.
+    Primitive(PrimitivePattern),
+    /// `E1 ∨ E2`.
+    Or,
+    /// `E1 ∧ E2`.
+    And,
+    /// `E1 ; E2`.
+    Seq,
+    /// `TSEQ(E1; E2, τl, τu)`.
+    TSeq {
+        /// Minimum distance `τl`.
+        min_dist: Span,
+        /// Maximum distance `τu`.
+        max_dist: Span,
+    },
+    /// `¬E`.
+    Not,
+    /// `SEQ+(E)`.
+    SeqPlus,
+    /// `TSEQ+(E, τl, τu)`.
+    TSeqPlus {
+        /// Minimum adjacent gap `τl`.
+        min_gap: Span,
+        /// Maximum adjacent gap `τu`.
+        max_gap: Span,
+    },
+}
+
+impl NodeKind {
+    /// Constructor name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeKind::Primitive(_) => "observation",
+            NodeKind::Or => "OR",
+            NodeKind::And => "AND",
+            NodeKind::Seq => "SEQ",
+            NodeKind::TSeq { .. } => "TSEQ",
+            NodeKind::Not => "NOT",
+            NodeKind::SeqPlus => "SEQ+",
+            NodeKind::TSeqPlus { .. } => "TSEQ+",
+        }
+    }
+}
+
+/// §4.4's three detection modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Spontaneous: occurrences propagate to parents unprompted.
+    Push,
+    /// Non-spontaneous: occurrences exist only as answers to queries.
+    Pull,
+    /// Detectable, but only with the help of pseudo events.
+    Mixed,
+}
+
+/// How the runtime drives a composite node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Leaf node; the engine's dispatch index feeds it.
+    Leaf,
+    /// `OR`: forward any child instance (subject to the window).
+    Forward,
+    /// Binary join with both sides delivering instances: chronicle-context
+    /// FIFO buffers per correlation key.
+    TwoSided,
+    /// `SEQ`/`TSEQ` whose initiator is `NOT`: on terminator arrival, query
+    /// the negation's history over the *past* window — no pseudo events
+    /// needed (§4.5's `WITHIN(¬E1; E2, τ)` example).
+    LeftNegationQuery,
+    /// `SEQ`/`TSEQ` whose initiator is `SEQ+`: on terminator arrival, query
+    /// the aperiodic history over the past window.
+    LeftAperiodicQuery,
+    /// `SEQ`/`TSEQ` whose terminator is `NOT`: each initiator instance waits;
+    /// a pseudo event at window close resolves it.
+    RightNegationWait,
+    /// `AND` with a negated side: past-window check at arrival plus a pseudo
+    /// event for the future part (Fig. 8).
+    AndNegation {
+        /// Which side (0 = left, 1 = right) is the `NOT` child.
+        not_side: u8,
+    },
+    /// `NOT`: record inner occurrences into keyed histories.
+    NegationRecorder,
+    /// `SEQ+`: record inner occurrences for pull queries.
+    AperiodicRecorder,
+    /// `TSEQ+`: maintain the open run; close it by gap violation or pseudo
+    /// event and push the closed run to parents.
+    TimedAperiodic,
+}
+
+/// One node of the shared event graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Constructor.
+    pub kind: NodeKind,
+    /// Children (0 for leaves, 1 for unary, 2 for binary constructors).
+    pub children: Vec<NodeId>,
+    /// Parents (any number; shared nodes have several).
+    pub parents: Vec<NodeId>,
+    /// Effective interval constraint after top-down propagation;
+    /// [`Span::MAX`] when unconstrained.
+    pub within: Span,
+    /// Detection mode (§4.4).
+    pub mode: DetectionMode,
+    /// Execution plan.
+    pub plan: Plan,
+    /// Correlation join between the two children (binary nodes; trivial
+    /// otherwise).
+    pub join: JoinSpec,
+    /// Whether this binary node's two children are structurally identical
+    /// (Rule 1's self-join shape). Such nodes run the self-join protocol:
+    /// an arrival may terminate an older occurrence and then initiate a new
+    /// one, even when merging is off and the children are distinct nodes.
+    pub symmetric: bool,
+    /// For plans that query a negation/aperiodic child: which keyed history
+    /// registration on that child to use.
+    pub hist_spec: Option<HistSpecId>,
+    /// Variables this node's instances export.
+    pub exports: Exports,
+    /// How far back this node's own buffers must look (its window), before
+    /// adding the graph-wide lag slack. [`Span::MAX`] = unbounded.
+    pub horizon: Span,
+    /// For history nodes (`NOT`, `SEQ+`): how far back parents may query.
+    /// Recomputed as parents attach.
+    pub retention: Span,
+}
+
+/// A keyed-history registration on a `NOT` node: extraction paths (relative
+/// to the *inner* instance) that one parent's join requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSpec {
+    /// Extraction paths defining the key.
+    pub extracts: Vec<Extract>,
+}
+
+/// The shared event graph for every rule added to an engine.
+#[derive(Debug, Default)]
+pub struct EventGraph {
+    nodes: Vec<Node>,
+    /// Hash-consing table: (canonical expression, effective window) → node.
+    memo: HashMap<(EventExpr, Span), NodeId>,
+    /// Keyed-history registrations per negation node.
+    hist_specs: HashMap<NodeId, Vec<HistSpec>>,
+    /// All primitive (leaf) node ids, for the engine's dispatch index.
+    primitives: Vec<NodeId>,
+    /// Upper bound on how late any node can emit an instance after the
+    /// instance's `t_end` (closure lag of `TSEQ+` runs, negation windows).
+    max_lag: Span,
+    /// Structural sharing diagnostics: compile requests that hit the memo.
+    merged_hits: u64,
+    /// When false, hash-consing is disabled (ablation A1).
+    merging_enabled: bool,
+}
+
+/// Variables mentioned anywhere below a node (not just exported), used to
+/// reject correlations the engine cannot enforce.
+type AllVars = std::collections::BTreeSet<rfid_events::Var>;
+
+impl EventGraph {
+    /// An empty graph with common-subgraph merging enabled.
+    pub fn new() -> Self {
+        Self { merging_enabled: true, ..Self::default() }
+    }
+
+    /// An empty graph that never merges common subgraphs (ablation A1).
+    pub fn without_merging() -> Self {
+        Self { merging_enabled: false, ..Self::default() }
+    }
+
+    /// Compiles a rule's event expression, returning its root node.
+    /// Structure shared with previously added rules is reused.
+    pub fn add_event(&mut self, expr: &EventExpr) -> Result<NodeId, InvalidRule> {
+        let (id, _, _) = self.compile(expr, Span::MAX)?;
+        let root = self.node(id);
+        if root.mode == DetectionMode::Pull {
+            return Err(InvalidRule::PullModeRoot {
+                event: expr.to_string(),
+                cause: format!("root constructor {} is non-spontaneous", root.kind.name()),
+            });
+        }
+        Ok(id)
+    }
+
+    /// The node for an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All primitive (leaf) node ids.
+    pub fn primitives(&self) -> &[NodeId] {
+        &self.primitives
+    }
+
+    /// Keyed-history registrations of a negation/aperiodic node.
+    pub fn hist_specs(&self, id: NodeId) -> &[HistSpec] {
+        self.hist_specs.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Graph-wide emission lag bound: how long after `t_end` an instance can
+    /// still be delivered (pseudo-event closures). Buffer pruning adds this
+    /// slack to every horizon.
+    pub fn max_lag(&self) -> Span {
+        self.max_lag
+    }
+
+    /// How many compile requests were satisfied by an existing node.
+    pub fn merged_hits(&self) -> u64 {
+        self.merged_hits
+    }
+
+    /// Compiles `expr` under an inherited interval constraint. Returns the
+    /// node, its exports snapshot, and the set of all variables below it.
+    fn compile(
+        &mut self,
+        expr: &EventExpr,
+        inherited: Span,
+    ) -> Result<(NodeId, Exports, AllVars), InvalidRule> {
+        // WITHIN folds into the constraint and disappears (propagation).
+        if let EventExpr::Within { inner, window } = expr {
+            return self.compile(inner, (*window).min(inherited));
+        }
+
+        if self.merging_enabled {
+            if let Some(&id) = self.memo.get(&(expr.clone(), inherited)) {
+                self.merged_hits += 1;
+                let node = self.node(id);
+                return Ok((id, node.exports.clone(), self.all_vars_of(id)));
+            }
+        }
+
+        let (id, exports, vars) = match expr {
+            EventExpr::Within { .. } => unreachable!("folded above"),
+            EventExpr::Primitive(p) => {
+                let exports = exports_of(expr, &[]);
+                let mut vars = AllVars::new();
+                vars.extend(exports.keys().cloned());
+                let id = self.push_node(Node {
+                    id: NodeId(0),
+                    kind: NodeKind::Primitive(p.clone()),
+                    children: vec![],
+                    parents: vec![],
+                    within: inherited,
+                    mode: DetectionMode::Push,
+                    plan: Plan::Leaf,
+                    join: JoinSpec::default(),
+                    symmetric: false,
+                    hist_spec: None,
+                    exports: exports.clone(),
+                    horizon: Span::ZERO,
+                    retention: Span::ZERO,
+                });
+                self.primitives.push(id);
+                (id, exports, vars)
+            }
+            EventExpr::Or(a, b) => {
+                let (ca, _, va) = self.compile(a, inherited)?;
+                let (cb, _, vb) = self.compile(b, inherited)?;
+                for c in [ca, cb] {
+                    if self.node(c).mode != DetectionMode::Push {
+                        return Err(InvalidRule::NonPushOrBranch { event: expr.to_string() });
+                    }
+                }
+                let vars: AllVars = va.union(&vb).cloned().collect();
+                let id = self.push_node(Node {
+                    id: NodeId(0),
+                    kind: NodeKind::Or,
+                    children: vec![ca, cb],
+                    parents: vec![],
+                    within: inherited,
+                    mode: DetectionMode::Push,
+                    plan: Plan::Forward,
+                    join: JoinSpec::default(),
+                    symmetric: false,
+                    hist_spec: None,
+                    exports: Exports::new(),
+                    horizon: Span::ZERO,
+                    retention: Span::ZERO,
+                });
+                self.link(id);
+                (id, Exports::new(), vars)
+            }
+            EventExpr::Not(x) => {
+                let (cx, _, vars) = self.compile(x, inherited)?;
+                if self.node(cx).mode == DetectionMode::Pull {
+                    return Err(InvalidRule::NonSpontaneousOverNonPush {
+                        constructor: "NOT",
+                        inner: x.to_string(),
+                    });
+                }
+                let id = self.push_node(Node {
+                    id: NodeId(0),
+                    kind: NodeKind::Not,
+                    children: vec![cx],
+                    parents: vec![],
+                    within: inherited,
+                    mode: DetectionMode::Pull,
+                    plan: Plan::NegationRecorder,
+                    join: JoinSpec::default(),
+                    symmetric: false,
+                    hist_spec: None,
+                    exports: Exports::new(),
+                    horizon: Span::ZERO,
+                    retention: Span::ZERO,
+                });
+                self.link(id);
+                (id, Exports::new(), vars)
+            }
+            EventExpr::SeqPlus(x) => {
+                let (cx, _, vars) = self.compile(x, inherited)?;
+                if self.node(cx).mode == DetectionMode::Pull {
+                    return Err(InvalidRule::NonSpontaneousOverNonPush {
+                        constructor: "SEQ+",
+                        inner: x.to_string(),
+                    });
+                }
+                let id = self.push_node(Node {
+                    id: NodeId(0),
+                    kind: NodeKind::SeqPlus,
+                    children: vec![cx],
+                    parents: vec![],
+                    within: inherited,
+                    mode: DetectionMode::Pull,
+                    plan: Plan::AperiodicRecorder,
+                    join: JoinSpec::default(),
+                    symmetric: false,
+                    hist_spec: None,
+                    exports: Exports::new(),
+                    horizon: Span::ZERO,
+                    retention: Span::ZERO,
+                });
+                self.link(id);
+                (id, Exports::new(), vars)
+            }
+            EventExpr::TSeqPlus { inner, min_gap, max_gap } => {
+                let (cx, _, vars) = self.compile(inner, inherited)?;
+                if self.node(cx).mode == DetectionMode::Pull {
+                    return Err(InvalidRule::NonSpontaneousOverNonPush {
+                        constructor: "TSEQ+",
+                        inner: inner.to_string(),
+                    });
+                }
+                let id = self.push_node(Node {
+                    id: NodeId(0),
+                    kind: NodeKind::TSeqPlus { min_gap: *min_gap, max_gap: *max_gap },
+                    children: vec![cx],
+                    parents: vec![],
+                    within: inherited,
+                    mode: DetectionMode::Mixed,
+                    plan: Plan::TimedAperiodic,
+                    join: JoinSpec::default(),
+                    symmetric: false,
+                    hist_spec: None,
+                    exports: Exports::new(),
+                    horizon: Span::ZERO,
+                    retention: Span::ZERO,
+                });
+                self.link(id);
+                // Closed runs are delivered by a pseudo event up to max_gap
+                // after their last element.
+                self.max_lag = if self.max_lag >= *max_gap { self.max_lag } else { *max_gap };
+                (id, Exports::new(), vars)
+            }
+            EventExpr::And(a, b) => self.compile_binary(expr, NodeKind::And, a, b, inherited)?,
+            EventExpr::Seq(a, b) => self.compile_binary(expr, NodeKind::Seq, a, b, inherited)?,
+            EventExpr::TSeq { first, second, min_dist, max_dist } => self.compile_binary(
+                expr,
+                NodeKind::TSeq { min_dist: *min_dist, max_dist: *max_dist },
+                first,
+                second,
+                inherited,
+            )?,
+        };
+
+        if self.merging_enabled {
+            self.memo.insert((expr.clone(), inherited), id);
+        }
+        Ok((id, exports, vars))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn compile_binary(
+        &mut self,
+        expr: &EventExpr,
+        kind: NodeKind,
+        a: &EventExpr,
+        b: &EventExpr,
+        inherited: Span,
+    ) -> Result<(NodeId, Exports, AllVars), InvalidRule> {
+        let (ca, ea, va) = self.compile(a, inherited)?;
+        let (cb, eb, vb) = self.compile(b, inherited)?;
+        let ma = self.node(ca).mode;
+        let mb = self.node(cb).mode;
+        let is_and = matches!(kind, NodeKind::And);
+        let (min_dist, max_dist) = match kind {
+            NodeKind::TSeq { min_dist, max_dist } => (Some(min_dist), Some(max_dist)),
+            _ => (None, None),
+        };
+
+        // The finite bound available to resolve a trailing negation.
+        let neg_bound = match max_dist {
+            Some(d) => d.min(inherited),
+            None => inherited,
+        };
+
+        // Joinable exports: a NOT side joins through its inner event.
+        let joinable = |g: &EventGraph, id: NodeId, own: &Exports| -> Exports {
+            let node = g.node(id);
+            if node.kind == NodeKind::Not {
+                let inner = node.children[0];
+                g.node(inner).exports.clone()
+            } else {
+                own.clone()
+            }
+        };
+        let ja = joinable(self, ca, &ea);
+        let jb = joinable(self, cb, &eb);
+        let join = JoinSpec::between(&ja, &jb);
+
+        // Every variable shared across the two subtrees must be enforceable
+        // through the join, otherwise the rule would silently under-constrain.
+        for var in va.intersection(&vb) {
+            if !join.vars.contains(var) {
+                return Err(InvalidRule::UnsupportedCorrelation {
+                    var: var.name().to_owned(),
+                    event: expr.to_string(),
+                });
+            }
+        }
+
+        let not_a = self.node(ca).kind == NodeKind::Not;
+        let not_b = self.node(cb).kind == NodeKind::Not;
+        let seqplus_a = self.node(ca).kind == NodeKind::SeqPlus;
+        let seqplus_b = self.node(cb).kind == NodeKind::SeqPlus;
+
+        let (plan, mode) = match (ma, mb) {
+            (DetectionMode::Pull, DetectionMode::Pull) => {
+                return Err(InvalidRule::NoPushSide { event: expr.to_string() })
+            }
+            (DetectionMode::Pull, _) if not_a && is_and => {
+                if neg_bound == Span::MAX {
+                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                }
+                (Plan::AndNegation { not_side: 0 }, DetectionMode::Mixed)
+            }
+            (_, DetectionMode::Pull) if not_b && is_and => {
+                if neg_bound == Span::MAX {
+                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                }
+                (Plan::AndNegation { not_side: 1 }, DetectionMode::Mixed)
+            }
+            (DetectionMode::Pull, _) if not_a => {
+                // SEQ(¬A; B): answered entirely from the past at B's arrival.
+                (Plan::LeftNegationQuery, mb)
+            }
+            (DetectionMode::Pull, _) if seqplus_a && !is_and => {
+                (Plan::LeftAperiodicQuery, mb)
+            }
+            (DetectionMode::Pull, _) if seqplus_a => {
+                // AND over SEQ+ has no terminator to scope the run.
+                return Err(InvalidRule::PullModeRoot {
+                    event: expr.to_string(),
+                    cause: "SEQ+ as an AND constituent never closes".to_owned(),
+                });
+            }
+            (_, DetectionMode::Pull) if not_b => {
+                if neg_bound == Span::MAX {
+                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                }
+                (Plan::RightNegationWait, DetectionMode::Mixed)
+            }
+            (_, DetectionMode::Pull) if seqplus_b => {
+                // SEQ(A; SEQ+(B)) can never announce the end of the run.
+                return Err(InvalidRule::PullModeRoot {
+                    event: expr.to_string(),
+                    cause: "SEQ+ as terminator never closes".to_owned(),
+                });
+            }
+            (DetectionMode::Pull, _) | (_, DetectionMode::Pull) => {
+                return Err(InvalidRule::NoPushSide { event: expr.to_string() })
+            }
+            (DetectionMode::Push, DetectionMode::Push) => (Plan::TwoSided, DetectionMode::Push),
+            _ => (Plan::TwoSided, DetectionMode::Mixed),
+        };
+
+        // Buffer look-back for this node's own window.
+        let horizon = match (min_dist, max_dist) {
+            (Some(_), Some(d)) => d.min(inherited),
+            _ => inherited,
+        };
+
+        let exports = {
+            let child_exports = [&ea, &eb];
+            exports_of(expr, &child_exports)
+        };
+        let vars: AllVars = va.union(&vb).cloned().collect();
+
+        let mut node = Node {
+            id: NodeId(0),
+            kind,
+            children: vec![ca, cb],
+            parents: vec![],
+            within: inherited,
+            mode,
+            plan,
+            join,
+            symmetric: a == b,
+            hist_spec: None,
+            exports: exports.clone(),
+            horizon,
+            retention: Span::ZERO,
+        };
+
+        // Register the keyed history this node will query on its negation /
+        // aperiodic child, and remember which registration to use.
+        let query_side = match &node.plan {
+            Plan::LeftNegationQuery | Plan::LeftAperiodicQuery => Some(0u8),
+            Plan::RightNegationWait => Some(1),
+            Plan::AndNegation { not_side } => Some(*not_side),
+            _ => None,
+        };
+        if let Some(side) = query_side {
+            let child = node.children[side as usize];
+            let extracts =
+                if side == 0 { node.join.left.clone() } else { node.join.right.clone() };
+            let spec = HistSpec { extracts };
+            let specs = self.hist_specs.entry(child).or_default();
+            let spec_id = match specs.iter().position(|s| *s == spec) {
+                Some(i) => HistSpecId(i as u32),
+                None => {
+                    specs.push(spec);
+                    HistSpecId((specs.len() - 1) as u32)
+                }
+            };
+            node.hist_spec = Some(spec_id);
+        }
+
+        let id = self.push_node(node);
+        self.link(id);
+
+        // The AND+NOT / SEQ+NOT plans emit up to `neg_bound` after the push
+        // side's instance; account for it in the lag slack.
+        if matches!(
+            self.node(id).plan,
+            Plan::AndNegation { .. } | Plan::RightNegationWait
+        ) && neg_bound != Span::MAX
+            && self.max_lag < neg_bound
+        {
+            self.max_lag = neg_bound;
+        }
+
+        Ok((id, exports, vars))
+    }
+
+    fn push_node(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        node.id = id;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Attaches `id` as parent of its children and refreshes the retention
+    /// horizon of any history child.
+    fn link(&mut self, id: NodeId) {
+        let children = self.nodes[id.idx()].children.clone();
+        let parent_horizon = self.nodes[id.idx()].horizon;
+        for c in children {
+            if !self.nodes[c.idx()].parents.contains(&id) {
+                self.nodes[c.idx()].parents.push(id);
+            }
+            let child = &mut self.nodes[c.idx()];
+            if child.retention < parent_horizon {
+                child.retention = parent_horizon;
+            }
+        }
+    }
+
+    fn all_vars_of(&self, id: NodeId) -> AllVars {
+        let mut vars = AllVars::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            if let NodeKind::Primitive(p) = &node.kind {
+                if let Some(v) = &p.reader_var {
+                    vars.insert(v.clone());
+                }
+                if let Some(v) = &p.object_var {
+                    vars.insert(v.clone());
+                }
+            }
+            stack.extend(node.children.iter().copied());
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(reader: &str) -> EventExpr {
+        EventExpr::observation_at(reader).build()
+    }
+
+    #[test]
+    fn primitive_rule_compiles_to_leaf() {
+        let mut g = EventGraph::new();
+        let id = g.add_event(&p("r1")).unwrap();
+        let node = g.node(id);
+        assert_eq!(node.mode, DetectionMode::Push);
+        assert_eq!(node.plan, Plan::Leaf);
+        assert_eq!(g.primitives(), &[id]);
+    }
+
+    #[test]
+    fn within_propagates_to_descendants() {
+        // Fig. 7: WITHIN(TSEQ+(E1 ∨ E2, 0.1s, 1s) ; E3, 10min)
+        let mut g = EventGraph::new();
+        let e = p("r1")
+            .or(p("r2"))
+            .tseq_plus(Span::from_millis(100), Span::from_secs(1))
+            .seq(p("r3"))
+            .within(Span::from_mins(10));
+        let root = g.add_event(&e).unwrap();
+        for node in g.nodes() {
+            assert_eq!(node.within, Span::from_mins(10), "{:?}", node.kind);
+        }
+        assert_eq!(g.node(root).kind, NodeKind::Seq);
+    }
+
+    #[test]
+    fn inner_within_keeps_minimum() {
+        let mut g = EventGraph::new();
+        let e = p("r1").within(Span::from_secs(5)).and(p("r2")).within(Span::from_secs(30));
+        let root = g.add_event(&e).unwrap();
+        let and = g.node(root);
+        assert_eq!(and.within, Span::from_secs(30));
+        let left = g.node(and.children[0]);
+        assert_eq!(left.within, Span::from_secs(5), "min(5s, 30s)");
+        let right = g.node(and.children[1]);
+        assert_eq!(right.within, Span::from_secs(30));
+    }
+
+    #[test]
+    fn common_subgraphs_merge() {
+        let mut g = EventGraph::new();
+        let r1 = g.add_event(&p("r1").seq(p("r2"))).unwrap();
+        let r2 = g.add_event(&p("r1").seq(p("r2"))).unwrap();
+        assert_eq!(r1, r2, "identical events share one root");
+        assert!(g.merged_hits() > 0);
+
+        // Shared leaf, different composite.
+        let before = g.len();
+        g.add_event(&p("r1").and(p("r2"))).unwrap();
+        assert_eq!(g.len(), before + 1, "only the AND node is new");
+    }
+
+    #[test]
+    fn merging_respects_within_difference() {
+        let mut g = EventGraph::new();
+        let a = g.add_event(&p("r1").seq(p("r2")).within(Span::from_secs(5))).unwrap();
+        let b = g.add_event(&p("r1").seq(p("r2")).within(Span::from_secs(9))).unwrap();
+        assert_ne!(a, b, "different effective windows must not merge");
+    }
+
+    #[test]
+    fn without_merging_duplicates() {
+        let mut g = EventGraph::without_merging();
+        let a = g.add_event(&p("r1").seq(p("r2"))).unwrap();
+        let b = g.add_event(&p("r1").seq(p("r2"))).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(g.merged_hits(), 0);
+    }
+
+    #[test]
+    fn modes_match_section_4_4() {
+        let mut g = EventGraph::new();
+
+        // Push: plain sequence of primitives.
+        let seq = g.add_event(&p("r1").seq(p("r2"))).unwrap();
+        assert_eq!(g.node(seq).mode, DetectionMode::Push);
+
+        // Mixed: TSEQ+ over a push child.
+        let tsp = g
+            .add_event(
+                &p("r1")
+                    .tseq_plus(Span::ZERO, Span::from_secs(1))
+                    .within(Span::from_secs(100)),
+            )
+            .unwrap();
+        assert_eq!(g.node(tsp).mode, DetectionMode::Mixed);
+
+        // Mixed: AND with negation under WITHIN (Fig. 8).
+        let andneg = g
+            .add_event(&p("r1").and(p("r2").not()).within(Span::from_secs(10)))
+            .unwrap();
+        assert_eq!(g.node(andneg).mode, DetectionMode::Mixed);
+        assert_eq!(g.node(andneg).plan, Plan::AndNegation { not_side: 1 });
+
+        // Push: SEQ(¬A; B) — resolved from the past.
+        let negseq = g
+            .add_event(&p("r1").not().seq(p("r2")).within(Span::from_secs(30)))
+            .unwrap();
+        assert_eq!(g.node(negseq).mode, DetectionMode::Push);
+        assert_eq!(g.node(negseq).plan, Plan::LeftNegationQuery);
+    }
+
+    #[test]
+    fn invalid_rules_are_rejected() {
+        let mut g = EventGraph::new();
+
+        // NOT at the root.
+        assert!(matches!(
+            g.add_event(&p("r1").not()),
+            Err(InvalidRule::PullModeRoot { .. })
+        ));
+
+        // SEQ+ at the root.
+        assert!(matches!(
+            g.add_event(&p("r1").seq_plus()),
+            Err(InvalidRule::PullModeRoot { .. })
+        ));
+
+        // Unbounded trailing negation.
+        assert!(matches!(
+            g.add_event(&p("r1").seq(p("r2").not())),
+            Err(InvalidRule::UnboundedNegation { .. })
+        ));
+
+        // Unbounded AND-negation.
+        assert!(matches!(
+            g.add_event(&p("r1").and(p("r2").not())),
+            Err(InvalidRule::UnboundedNegation { .. })
+        ));
+
+        // No push side.
+        assert!(matches!(
+            g.add_event(&p("r1").not().seq(p("r2").not()).within(Span::from_secs(5))),
+            Err(InvalidRule::NoPushSide { .. })
+        ));
+
+        // NOT over NOT.
+        assert!(matches!(
+            g.add_event(&p("r1").not().not().seq(p("r2"))),
+            Err(InvalidRule::NonSpontaneousOverNonPush { .. })
+        ));
+
+        // SEQ+ as terminator.
+        assert!(matches!(
+            g.add_event(&p("r1").seq(p("r2").seq_plus())),
+            Err(InvalidRule::PullModeRoot { .. })
+        ));
+
+        // OR over a negation.
+        assert!(matches!(
+            g.add_event(&p("r1").or(p("r2").not())),
+            Err(InvalidRule::NonPushOrBranch { .. })
+        ));
+
+        // SEQ+ as an AND constituent (no way to drive the window).
+        assert!(g
+            .add_event(&p("r1").seq_plus().and(p("r2")).within(Span::from_secs(5)))
+            .is_err());
+
+        // TSEQ+ over a pull child.
+        assert!(matches!(
+            g.add_event(&p("r1").not().tseq_plus(Span::ZERO, Span::from_secs(1))),
+            Err(InvalidRule::NonSpontaneousOverNonPush { .. })
+        ));
+    }
+
+    #[test]
+    fn correlation_across_aperiodic_is_rejected() {
+        let mut g = EventGraph::new();
+        let left = EventExpr::observation_at("r1")
+            .bind_object("o")
+            .tseq_plus(Span::ZERO, Span::from_secs(1));
+        let right = EventExpr::observation_at("r2").bind_object("o").build();
+        let e = left.tseq(right, Span::from_secs(5), Span::from_secs(10));
+        assert!(matches!(
+            g.add_event(&e),
+            Err(InvalidRule::UnsupportedCorrelation { .. })
+        ));
+    }
+
+    #[test]
+    fn rule1_duplicate_filter_compiles_with_join() {
+        // WITHIN(observation(r,o,t1); observation(r,o,t2), 5sec)
+        let mut g = EventGraph::new();
+        let e = EventExpr::observation()
+            .bind_reader("r")
+            .bind_object("o")
+            .seq(EventExpr::observation().bind_reader("r").bind_object("o"))
+            .within(Span::from_secs(5));
+        let root = g.add_event(&e).unwrap();
+        let node = g.node(root);
+        assert_eq!(node.join.vars.len(), 2);
+        assert_eq!(node.plan, Plan::TwoSided);
+    }
+
+    #[test]
+    fn negation_query_registers_keyed_history() {
+        // Rule 2: WITHIN(¬observation(r,o,t1); observation(r,o,t2), 30sec)
+        let mut g = EventGraph::new();
+        let e = EventExpr::observation()
+            .bind_reader("r")
+            .bind_object("o")
+            .not()
+            .seq(EventExpr::observation().bind_reader("r").bind_object("o"))
+            .within(Span::from_secs(30));
+        let root = g.add_event(&e).unwrap();
+        let node = g.node(root);
+        let not_id = node.children[0];
+        assert_eq!(g.node(not_id).kind, NodeKind::Not);
+        assert_eq!(g.hist_specs(not_id).len(), 1);
+        assert_eq!(g.hist_specs(not_id)[0].extracts.len(), 2);
+        assert_eq!(node.hist_spec, Some(HistSpecId(0)));
+    }
+
+    #[test]
+    fn retention_tracks_parent_horizons() {
+        let mut g = EventGraph::new();
+        let e = p("r1").seq(p("r2")).within(Span::from_secs(7));
+        let root = g.add_event(&e).unwrap();
+        let left = g.node(root).children[0];
+        assert_eq!(g.node(left).retention, Span::from_secs(7));
+    }
+
+    #[test]
+    fn max_lag_accounts_for_closure_delay() {
+        let mut g = EventGraph::new();
+        g.add_event(
+            &p("r1")
+                .tseq_plus(Span::ZERO, Span::from_secs(3))
+                .within(Span::from_secs(60)),
+        )
+        .unwrap();
+        assert_eq!(g.max_lag(), Span::from_secs(3));
+    }
+}

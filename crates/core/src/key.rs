@@ -1,0 +1,264 @@
+//! Correlation keys: instance-level equality joins from shared variables.
+//!
+//! Rule 1 of the paper reads `WITHIN(observation(r, o, t1); observation(r, o,
+//! t2), 5sec)` — the two constituents must agree on *both* the reader and the
+//! object. The graph builder turns shared variables into a [`JoinSpec`] per
+//! binary node; at runtime each side's buffer is partitioned by the
+//! [`Key`] the spec extracts, so matching is a hash lookup instead of a scan
+//! over every buffered instance (ablation A2 measures the difference).
+
+use std::collections::BTreeMap;
+
+use rfid_epc::{Epc, ReaderId};
+use rfid_events::{EventExpr, Instance, InstanceKind, Var};
+
+/// Which attribute of an observation a variable binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// The reader id.
+    Reader,
+    /// The object EPC.
+    Object,
+}
+
+/// A path from a node's instance down to one observation attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Extract {
+    /// The instance is a primitive observation; read the attribute directly.
+    Obs(Attr),
+    /// Descend into the i-th child of the composite instance.
+    Child(u8, Box<Extract>),
+}
+
+impl Extract {
+    /// Wraps an extraction one composite level deeper.
+    pub fn under(self, child: u8) -> Self {
+        Extract::Child(child, Box::new(self))
+    }
+
+    /// Evaluates the path against an instance. `None` when the instance's
+    /// shape does not match (e.g. an absence witness), which callers treat as
+    /// "no key" — the instance then never joins.
+    pub fn eval(&self, inst: &Instance) -> Option<KeyPart> {
+        match self {
+            Extract::Obs(attr) => match inst.kind() {
+                InstanceKind::Observation(obs) => Some(match attr {
+                    Attr::Reader => KeyPart::Reader(obs.reader),
+                    Attr::Object => KeyPart::Object(obs.object),
+                }),
+                _ => None,
+            },
+            Extract::Child(i, inner) => {
+                inst.children().get(*i as usize).and_then(|c| inner.eval(c))
+            }
+        }
+    }
+}
+
+/// One component of a correlation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyPart {
+    /// A reader id.
+    Reader(ReaderId),
+    /// An object EPC.
+    Object(Epc),
+}
+
+/// A correlation key: the tuple of shared-variable values, in sorted
+/// variable-name order. The empty key means "uncorrelated" — every instance
+/// lands in one partition.
+pub type Key = Vec<KeyPart>;
+
+/// The variables a node's instances can provide, with how to extract each.
+pub type Exports = BTreeMap<Var, Extract>;
+
+/// Equality-join specification for a binary node: aligned extraction paths
+/// for the variables both sides share, sorted by variable name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinSpec {
+    /// Extraction paths relative to a left-side instance.
+    pub left: Vec<Extract>,
+    /// Extraction paths relative to a right-side instance.
+    pub right: Vec<Extract>,
+    /// The shared variable names (diagnostics only).
+    pub vars: Vec<Var>,
+}
+
+impl JoinSpec {
+    /// Builds the spec for two export maps; empty when no variables overlap.
+    pub fn between(left: &Exports, right: &Exports) -> Self {
+        let mut spec = JoinSpec::default();
+        for (var, lx) in left {
+            if let Some(rx) = right.get(var) {
+                spec.left.push(lx.clone());
+                spec.right.push(rx.clone());
+                spec.vars.push(var.clone());
+            }
+        }
+        spec
+    }
+
+    /// Whether any variables are shared.
+    pub fn is_trivial(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Extracts the left-side key. `None` if any path fails to resolve.
+    pub fn left_key(&self, inst: &Instance) -> Option<Key> {
+        extract_all(&self.left, inst)
+    }
+
+    /// Extracts the right-side key. `None` if any path fails to resolve.
+    pub fn right_key(&self, inst: &Instance) -> Option<Key> {
+        extract_all(&self.right, inst)
+    }
+}
+
+fn extract_all(paths: &[Extract], inst: &Instance) -> Option<Key> {
+    paths.iter().map(|p| p.eval(inst)).collect()
+}
+
+/// Computes the exports of an expression node from its children's exports,
+/// mirroring the composite instance shapes the detector produces.
+///
+/// * primitives export their bound attributes;
+/// * binary constructors re-export both sides one child level down (left
+///   wins when both bind the same variable — they are equal by the join);
+/// * `OR`, `NOT`, and the aperiodic sequences export nothing: an `OR` child
+///   index is branch-dependent, absences carry no attributes, and sequence
+///   elements bind per-element.
+pub fn exports_of(expr: &EventExpr, child_exports: &[&Exports]) -> Exports {
+    match expr {
+        EventExpr::Primitive(p) => {
+            let mut out = Exports::new();
+            if let Some(v) = &p.reader_var {
+                out.insert(v.clone(), Extract::Obs(Attr::Reader));
+            }
+            if let Some(v) = &p.object_var {
+                out.insert(v.clone(), Extract::Obs(Attr::Object));
+            }
+            out
+        }
+        EventExpr::And(..) | EventExpr::Seq(..) | EventExpr::TSeq { .. } => {
+            let mut out = Exports::new();
+            debug_assert_eq!(child_exports.len(), 2);
+            // Right first so that left insertions overwrite: the left path is
+            // the canonical extraction when both sides bind a variable.
+            for (var, x) in child_exports[1] {
+                out.insert(var.clone(), x.clone().under(1));
+            }
+            for (var, x) in child_exports[0] {
+                out.insert(var.clone(), x.clone().under(0));
+            }
+            out
+        }
+        EventExpr::Within { .. } => {
+            // WITHIN is a constraint, not a node; the builder never asks for
+            // its exports directly.
+            child_exports.first().map(|e| (*e).clone()).unwrap_or_default()
+        }
+        EventExpr::Or(..)
+        | EventExpr::Not(..)
+        | EventExpr::SeqPlus(..)
+        | EventExpr::TSeqPlus { .. } => Exports::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::Gid96;
+    use rfid_events::{Observation, Timestamp};
+    use std::sync::Arc;
+
+    fn obs(reader: u32, serial: u64, ms: u64) -> Instance {
+        Instance::observation(Observation::new(
+            ReaderId(reader),
+            Gid96::new(1, 1, serial).unwrap().into(),
+            Timestamp::from_millis(ms),
+        ))
+    }
+
+    #[test]
+    fn extract_from_primitive() {
+        let inst = obs(3, 77, 0);
+        assert_eq!(Extract::Obs(Attr::Reader).eval(&inst), Some(KeyPart::Reader(ReaderId(3))));
+        let KeyPart::Object(epc) = Extract::Obs(Attr::Object).eval(&inst).unwrap() else {
+            panic!("expected object part");
+        };
+        assert_eq!(epc, Gid96::new(1, 1, 77).unwrap().into());
+    }
+
+    #[test]
+    fn extract_descends_children() {
+        let comp =
+            Instance::composite("SEQ", vec![Arc::new(obs(1, 1, 0)), Arc::new(obs(2, 2, 5))]);
+        let path = Extract::Obs(Attr::Reader).under(1);
+        assert_eq!(path.eval(&comp), Some(KeyPart::Reader(ReaderId(2))));
+    }
+
+    #[test]
+    fn extract_fails_gracefully_on_shape_mismatch() {
+        let absence = Instance::absence(Timestamp::ZERO, Timestamp::from_secs(1));
+        assert_eq!(Extract::Obs(Attr::Reader).eval(&absence), None);
+        let prim = obs(1, 1, 0);
+        assert_eq!(Extract::Obs(Attr::Reader).under(0).eval(&prim), None);
+    }
+
+    #[test]
+    fn join_spec_aligns_shared_vars() {
+        // Two primitives both binding r and o (Rule 1's shape).
+        let pattern = |_: ()| {
+            let e = EventExpr::observation().bind_reader("r").bind_object("o").build();
+            exports_of(&e, &[])
+        };
+        let left = pattern(());
+        let right = pattern(());
+        let spec = JoinSpec::between(&left, &right);
+        assert_eq!(spec.vars.len(), 2);
+        assert!(!spec.is_trivial());
+
+        let a = obs(5, 9, 0);
+        let b = obs(5, 9, 100);
+        let c = obs(5, 8, 100);
+        assert_eq!(spec.left_key(&a), spec.right_key(&b));
+        assert_ne!(spec.left_key(&a), spec.right_key(&c));
+    }
+
+    #[test]
+    fn binary_exports_are_wrapped() {
+        let left = EventExpr::observation().bind_object("o").build();
+        let right = EventExpr::observation().bind_reader("r").build();
+        let le = exports_of(&left, &[]);
+        let re = exports_of(&right, &[]);
+        let seq = left.seq(right);
+        let exports = exports_of(&seq, &[&le, &re]);
+        assert_eq!(exports.len(), 2);
+        assert_eq!(exports[&Var::new("o")], Extract::Obs(Attr::Object).under(0));
+        assert_eq!(exports[&Var::new("r")], Extract::Obs(Attr::Reader).under(1));
+    }
+
+    #[test]
+    fn left_binding_wins_on_conflict() {
+        let left = EventExpr::observation().bind_object("o").build();
+        let right = EventExpr::observation().bind_object("o").build();
+        let le = exports_of(&left, &[]);
+        let re = exports_of(&right, &[]);
+        let and = left.and(right);
+        let exports = exports_of(&and, &[&le, &re]);
+        assert_eq!(exports[&Var::new("o")], Extract::Obs(Attr::Object).under(0));
+    }
+
+    #[test]
+    fn opaque_constructors_export_nothing() {
+        let inner = EventExpr::observation().bind_object("o").build();
+        let ie = exports_of(&inner, &[]);
+        for e in [
+            inner.clone().not(),
+            inner.clone().seq_plus(),
+            inner.clone().or(EventExpr::observation().build()),
+        ] {
+            assert!(exports_of(&e, &[&ie, &ie]).is_empty(), "{e} should export nothing");
+        }
+    }
+}

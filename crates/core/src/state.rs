@@ -1,0 +1,479 @@
+//! Per-node runtime state.
+//!
+//! Each graph node owns the mutable state its [`crate::graph::Plan`] needs:
+//! chronicle-context FIFO buffers partitioned by correlation key for
+//! two-sided joins, keyed occurrence histories for negations, element
+//! histories for `SEQ+`, the open run of a `TSEQ+`, and anchored waits for
+//! pseudo-event-resolved negations. Everything here is passive — the engine
+//! drives it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use rfid_events::{Instance, Span, Timestamp};
+
+use crate::key::Key;
+
+/// A buffered instance with its admission sequence number (FIFO tie-break
+/// and wait anchor).
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The buffered instance.
+    pub inst: Arc<Instance>,
+    /// Global admission counter value.
+    pub seq: u64,
+}
+
+/// One side of a two-sided join: FIFO queues per correlation key.
+///
+/// The paper's chronicle context pairs "the oldest initiator with the oldest
+/// terminator"; partitioning by key keeps that property *per correlated
+/// group* while making lookup O(1) in the number of keys.
+#[derive(Debug, Default)]
+pub struct KeyedBuffer {
+    queues: HashMap<Key, VecDeque<Entry>>,
+    len: usize,
+    /// Instances evicted by the unbounded-buffer cap (reported in stats).
+    pub dropped: u64,
+}
+
+impl KeyedBuffer {
+    /// Total buffered instances across keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an entry under a key; evicts the oldest entry of that key
+    /// when `cap` is exceeded (only finite for unbounded-horizon nodes).
+    pub fn push(&mut self, key: Key, entry: Entry, cap: usize) {
+        let q = self.queues.entry(key).or_default();
+        q.push_back(entry);
+        self.len += 1;
+        if q.len() > cap {
+            q.pop_front();
+            self.len -= 1;
+            self.dropped += 1;
+        }
+    }
+
+    /// Removes and returns the oldest entry under `key` satisfying `pred`,
+    /// first discarding leading entries older than `dead_before` (they can
+    /// never match again).
+    pub fn take_oldest_match(
+        &mut self,
+        key: &Key,
+        dead_before: Timestamp,
+        mut pred: impl FnMut(&Entry) -> bool,
+    ) -> Option<Entry> {
+        let q = self.queues.get_mut(key)?;
+        while let Some(front) = q.front() {
+            if front.inst.t_end() < dead_before {
+                q.pop_front();
+                self.len -= 1;
+            } else {
+                break;
+            }
+        }
+        let pos = q.iter().position(&mut pred)?;
+        self.len -= 1;
+        q.remove(pos)
+    }
+
+    /// Removes every entry under `key` holding exactly this instance
+    /// (pointer identity). Used when a pair is consumed: with unmerged
+    /// same-pattern children, one physical instance may sit in both side
+    /// buffers, and chronicle consumption must retire every copy.
+    pub fn remove_ptr_eq(&mut self, key: &Key, inst: &Arc<Instance>) {
+        if let Some(q) = self.queues.get_mut(key) {
+            let before = q.len();
+            q.retain(|e| !Arc::ptr_eq(&e.inst, inst));
+            self.len -= before - q.len();
+        }
+    }
+
+    /// Drops every entry (across keys) with `t_end < dead_before`.
+    pub fn prune(&mut self, dead_before: Timestamp) {
+        self.queues.retain(|_, q| {
+            while let Some(front) = q.front() {
+                if front.inst.t_end() < dead_before {
+                    q.pop_front();
+                    self.len -= 1;
+                } else {
+                    break;
+                }
+            }
+            !q.is_empty()
+        });
+    }
+}
+
+/// Occurrence history for one correlation key of a negation node.
+#[derive(Debug, Default)]
+struct KeyHist {
+    /// First occurrence ever (survives pruning — answers unbounded
+    /// "never occurred before t" queries).
+    earliest: Option<Timestamp>,
+    /// Recent occurrence end-times, ascending.
+    times: VecDeque<Timestamp>,
+}
+
+/// State of a `NOT` node: one keyed history per registered
+/// [`crate::graph::HistSpec`].
+#[derive(Debug, Default)]
+pub struct NegationState {
+    histories: Vec<HashMap<Key, KeyHist>>,
+}
+
+impl NegationState {
+    /// Makes room for `n` registered history specs.
+    pub fn ensure_specs(&mut self, n: usize) {
+        while self.histories.len() < n {
+            self.histories.push(HashMap::new());
+        }
+    }
+
+    /// Records an inner occurrence ending at `t` under `key` in history
+    /// `spec`.
+    pub fn record(&mut self, spec: usize, key: Key, t: Timestamp) {
+        let hist = self.histories[spec].entry(key).or_default();
+        hist.earliest = Some(match hist.earliest {
+            Some(e) => e.min(t),
+            None => t,
+        });
+        // Streams are processed in timestamp order, but composite inner
+        // events may be delivered with lag; keep the deque sorted.
+        match hist.times.back() {
+            Some(&back) if back > t => {
+                let pos = hist.times.partition_point(|&x| x <= t);
+                hist.times.insert(pos, t);
+            }
+            _ => hist.times.push_back(t),
+        }
+    }
+
+    /// Whether any occurrence under `key` falls in `[from, to]`
+    /// (or `[from, to)` when `exclusive_end`).
+    pub fn occurred(
+        &self,
+        spec: usize,
+        key: &Key,
+        from: Timestamp,
+        to: Timestamp,
+        exclusive_end: bool,
+    ) -> bool {
+        let Some(hist) = self.histories.get(spec).and_then(|h| h.get(key)) else {
+            return false;
+        };
+        if let Some(earliest) = hist.earliest {
+            // Fast path for "never occurred before" queries anchored at the
+            // epoch; also correct when pruning removed old entries.
+            if from == Timestamp::ZERO {
+                return if exclusive_end { earliest < to } else { earliest <= to };
+            }
+            if earliest > to || (exclusive_end && earliest == to) {
+                return false;
+            }
+        }
+        let start = hist.times.partition_point(|&t| t < from);
+        match hist.times.get(start) {
+            Some(&t) if exclusive_end => t < to,
+            Some(&t) => t <= to,
+            None => false,
+        }
+    }
+
+    /// Drops recorded occurrences older than `dead_before`; the per-key
+    /// `earliest` marker is kept so unbounded queries stay exact.
+    pub fn prune(&mut self, dead_before: Timestamp) {
+        for map in &mut self.histories {
+            for hist in map.values_mut() {
+                while let Some(&front) = hist.times.front() {
+                    if front < dead_before {
+                        hist.times.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total retained occurrence records (diagnostics).
+    pub fn recorded(&self) -> usize {
+        self.histories.iter().flat_map(|m| m.values()).map(|h| h.times.len()).sum()
+    }
+}
+
+/// State of a `SEQ+` node: the element history parents query.
+#[derive(Debug, Default)]
+pub struct AperiodicState {
+    /// (end-time, instance), ascending by end-time.
+    hist: VecDeque<(Timestamp, Arc<Instance>)>,
+}
+
+impl AperiodicState {
+    /// Records an inner occurrence.
+    pub fn record(&mut self, inst: Arc<Instance>) {
+        let t = inst.t_end();
+        match self.hist.back() {
+            Some(&(back, _)) if back > t => {
+                let pos = self.hist.partition_point(|&(x, _)| x <= t);
+                self.hist.insert(pos, (t, inst));
+            }
+            _ => self.hist.push_back((t, inst)),
+        }
+    }
+
+    /// Removes and returns all occurrences with end-time in `[from, to]`,
+    /// oldest first (chronicle: a consumed run is not reused).
+    pub fn take_window(&mut self, from: Timestamp, to: Timestamp) -> Vec<Arc<Instance>> {
+        let start = self.hist.partition_point(|&(t, _)| t < from);
+        let end = self.hist.partition_point(|&(t, _)| t <= to);
+        self.hist.drain(start..end).map(|(_, i)| i).collect()
+    }
+
+    /// Drops occurrences older than `dead_before`.
+    pub fn prune(&mut self, dead_before: Timestamp) {
+        while let Some(&(front, _)) = self.hist.front() {
+            if front < dead_before {
+                self.hist.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Retained element count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+}
+
+/// State of a `TSEQ+` node: the open run.
+#[derive(Debug, Default)]
+pub struct TimedRunState {
+    /// Elements of the current open run, in arrival order.
+    pub open: Vec<Arc<Instance>>,
+    /// End-time of the last element.
+    pub last_end: Timestamp,
+    /// Incremented whenever the run changes; a closure pseudo event only
+    /// fires if its recorded generation still matches.
+    pub generation: u64,
+}
+
+/// A push-side instance waiting for a negation window to close.
+#[derive(Debug)]
+pub struct WaitEntry {
+    /// The waiting instance.
+    pub inst: Arc<Instance>,
+    /// Correlation key the negation must be queried under.
+    pub key: Key,
+    /// Start of the yet-unchecked part of the negation window.
+    pub from: Timestamp,
+    /// End of the negation window (the pseudo event's execution time).
+    pub to: Timestamp,
+}
+
+/// State of a node whose plan waits on negation windows.
+#[derive(Debug, Default)]
+pub struct WaitState {
+    /// Waiting entries by anchor (the admission sequence number).
+    pub waiting: HashMap<u64, WaitEntry>,
+}
+
+/// The full runtime state of one node.
+#[derive(Debug, Default)]
+pub enum NodeState {
+    /// Leaves, `OR` forwarding, and pure query plans hold no state.
+    #[default]
+    Stateless,
+    /// Two-sided chronicle join buffers.
+    Join {
+        /// Left-side buffer.
+        left: KeyedBuffer,
+        /// Right-side buffer.
+        right: KeyedBuffer,
+    },
+    /// Negation histories.
+    Negation(NegationState),
+    /// `SEQ+` element history.
+    Aperiodic(AperiodicState),
+    /// `TSEQ+` open run.
+    TimedRun(TimedRunState),
+    /// Negation-wait anchors (`AND` with `NOT`, `SEQ(A; ¬B)`).
+    Wait(WaitState),
+}
+
+impl NodeState {
+    /// The join buffers; panics if the node is not a join (engine bug).
+    pub fn join_mut(&mut self) -> (&mut KeyedBuffer, &mut KeyedBuffer) {
+        match self {
+            NodeState::Join { left, right } => (left, right),
+            other => panic!("expected join state, found {other:?}"),
+        }
+    }
+}
+
+/// Retention helper: the earliest timestamp a node still needs, given the
+/// current clock, its horizon, and the graph-wide lag slack.
+pub fn dead_before(clock: Timestamp, horizon: Span, lag: Span) -> Timestamp {
+    if horizon == Span::MAX {
+        return Timestamp::ZERO;
+    }
+    clock.saturating_sub(horizon + lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::{Gid96, ReaderId};
+    use rfid_events::Observation;
+
+    fn inst(ms: u64) -> Arc<Instance> {
+        Arc::new(Instance::observation(Observation::new(
+            ReaderId(0),
+            Gid96::new(1, 1, ms).unwrap().into(),
+            Timestamp::from_millis(ms),
+        )))
+    }
+
+    fn entry(ms: u64, seq: u64) -> Entry {
+        Entry { inst: inst(ms), seq }
+    }
+
+    #[test]
+    fn keyed_buffer_fifo_and_match() {
+        let mut buf = KeyedBuffer::default();
+        let key: Key = vec![];
+        buf.push(key.clone(), entry(100, 1), usize::MAX);
+        buf.push(key.clone(), entry(200, 2), usize::MAX);
+        buf.push(key.clone(), entry(300, 3), usize::MAX);
+        assert_eq!(buf.len(), 3);
+
+        // Oldest matching wins (chronicle).
+        let got = buf.take_oldest_match(&key, Timestamp::ZERO, |e| e.seq >= 2).unwrap();
+        assert_eq!(got.seq, 2);
+        assert_eq!(buf.len(), 2);
+
+        // Dead-before discards the stale head before matching.
+        let got = buf
+            .take_oldest_match(&key, Timestamp::from_millis(250), |_| true)
+            .unwrap();
+        assert_eq!(got.seq, 3);
+        assert_eq!(buf.len(), 0, "stale head was discarded");
+    }
+
+    #[test]
+    fn keyed_buffer_cap_evicts_oldest() {
+        let mut buf = KeyedBuffer::default();
+        let key: Key = vec![];
+        for i in 0..5 {
+            buf.push(key.clone(), entry(i * 100, i), 3);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped, 2);
+        let got = buf.take_oldest_match(&key, Timestamp::ZERO, |_| true).unwrap();
+        assert_eq!(got.seq, 2, "entries 0 and 1 were evicted");
+    }
+
+    #[test]
+    fn keyed_buffer_prune_across_keys() {
+        let mut buf = KeyedBuffer::default();
+        buf.push(vec![], entry(100, 1), usize::MAX);
+        let other_key: Key =
+            vec![crate::key::KeyPart::Reader(ReaderId(7))];
+        buf.push(other_key, entry(900, 2), usize::MAX);
+        buf.prune(Timestamp::from_millis(500));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn negation_history_windows() {
+        let mut neg = NegationState::default();
+        neg.ensure_specs(1);
+        neg.record(0, vec![], Timestamp::from_secs(2));
+        neg.record(0, vec![], Timestamp::from_secs(8));
+
+        let occ = |from: u64, to: u64, excl: bool| {
+            neg.occurred(0, &vec![], Timestamp::from_secs(from), Timestamp::from_secs(to), excl)
+        };
+        assert!(occ(0, 10, false));
+        assert!(occ(3, 8, false));
+        assert!(!occ(3, 8, true), "exclusive end misses the t=8 record");
+        assert!(!occ(3, 7, false));
+        assert!(occ(2, 2, false), "point query hits");
+        assert!(!occ(9, 20, false));
+    }
+
+    #[test]
+    fn negation_earliest_survives_pruning() {
+        let mut neg = NegationState::default();
+        neg.ensure_specs(1);
+        neg.record(0, vec![], Timestamp::from_secs(1));
+        neg.record(0, vec![], Timestamp::from_secs(100));
+        neg.prune(Timestamp::from_secs(50));
+        assert_eq!(neg.recorded(), 1);
+        // "Did it ever occur before t=10?" still answerable exactly.
+        assert!(neg.occurred(0, &vec![], Timestamp::ZERO, Timestamp::from_secs(10), true));
+        assert!(!neg.occurred(0, &vec![], Timestamp::ZERO, Timestamp::from_secs(1), true));
+    }
+
+    #[test]
+    fn negation_keys_are_independent() {
+        let mut neg = NegationState::default();
+        neg.ensure_specs(1);
+        let k1: Key = vec![crate::key::KeyPart::Reader(ReaderId(1))];
+        let k2: Key = vec![crate::key::KeyPart::Reader(ReaderId(2))];
+        neg.record(0, k1.clone(), Timestamp::from_secs(5));
+        assert!(neg.occurred(0, &k1, Timestamp::ZERO, Timestamp::from_secs(10), false));
+        assert!(!neg.occurred(0, &k2, Timestamp::ZERO, Timestamp::from_secs(10), false));
+    }
+
+    #[test]
+    fn negation_out_of_order_record_stays_sorted() {
+        let mut neg = NegationState::default();
+        neg.ensure_specs(1);
+        neg.record(0, vec![], Timestamp::from_secs(10));
+        neg.record(0, vec![], Timestamp::from_secs(4)); // lagged delivery
+        assert!(neg.occurred(0, &vec![], Timestamp::from_secs(3), Timestamp::from_secs(5), false));
+    }
+
+    #[test]
+    fn aperiodic_take_window_consumes() {
+        let mut ap = AperiodicState::default();
+        for ms in [100u64, 200, 300, 400] {
+            ap.record(inst(ms));
+        }
+        let got = ap.take_window(Timestamp::from_millis(150), Timestamp::from_millis(400));
+        assert_eq!(got.len(), 3, "window is inclusive at both ends");
+        assert_eq!(ap.len(), 1, "taken elements are consumed");
+        let again = ap.take_window(Timestamp::from_millis(150), Timestamp::from_millis(400));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn dead_before_clamps() {
+        assert_eq!(
+            dead_before(Timestamp::from_secs(100), Span::from_secs(10), Span::from_secs(2)),
+            Timestamp::from_secs(88)
+        );
+        assert_eq!(
+            dead_before(Timestamp::from_secs(5), Span::from_secs(10), Span::ZERO),
+            Timestamp::ZERO
+        );
+        assert_eq!(
+            dead_before(Timestamp::from_secs(100), Span::MAX, Span::ZERO),
+            Timestamp::ZERO
+        );
+    }
+}

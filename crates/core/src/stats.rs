@@ -1,0 +1,39 @@
+//! Engine counters, used by tests, benches, and EXPERIMENTS.md tables.
+
+/// Monotone counters the engine maintains while detecting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Primitive observations processed.
+    pub events: u64,
+    /// Primitive observations that matched at least one leaf pattern.
+    pub matched_events: u64,
+    /// Pseudo events scheduled.
+    pub pseudo_scheduled: u64,
+    /// Pseudo events executed.
+    pub pseudo_fired: u64,
+    /// Complex event occurrences emitted (all nodes, pre-rule fan-out).
+    pub occurrences: u64,
+    /// Rule firings delivered to the sink.
+    pub rule_firings: u64,
+    /// Instances evicted by the unbounded-buffer cap.
+    pub capacity_drops: u64,
+    /// Buffer sweep passes performed.
+    pub sweeps: u64,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={}",
+            self.events,
+            self.matched_events,
+            self.pseudo_fired,
+            self.pseudo_scheduled,
+            self.occurrences,
+            self.rule_firings,
+            self.capacity_drops,
+            self.sweeps,
+        )
+    }
+}

@@ -1,0 +1,347 @@
+//! Engine edge cases beyond the paper's worked examples: lagged
+//! deliveries, unbounded windows, dynamic rule addition, buffer hygiene,
+//! and composite negation.
+
+use std::sync::Arc;
+
+use rceda::{Engine, EngineConfig, RuleId};
+use rfid_epc::{Epc, Gid96, ReaderId};
+use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
+
+fn catalog(n: u32) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 1..=n {
+        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+    }
+    c
+}
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+fn obs(reader: u32, serial: u64, ms: u64) -> Observation {
+    Observation::new(ReaderId(reader - 1), epc(serial), Timestamp::from_millis(ms))
+}
+
+fn at(reader: &str) -> rfid_events::expr::ObservationBuilder {
+    EventExpr::observation_at(reader)
+}
+
+fn collect(engine: &mut Engine, stream: Vec<Observation>) -> Vec<(RuleId, Arc<Instance>)> {
+    let mut out = Vec::new();
+    engine.process_all(stream, &mut |r, i| out.push((r, Arc::new(i.clone()))));
+    out
+}
+
+/// A terminator arriving *before* the initiator's TSEQ+ run has closed must
+/// still pair once the closure pseudo event delivers the run (the right
+/// buffer exists exactly for this).
+#[test]
+fn terminator_before_run_closure_still_pairs() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    let event = at("r1")
+        .tseq_plus(Span::ZERO, Span::from_secs(10))
+        .tseq(at("r2"), Span::ZERO, Span::from_secs(20));
+    engine.add_rule("lagged", event).unwrap();
+
+    let fired = collect(
+        &mut engine,
+        vec![
+            obs(1, 1, 0),
+            obs(2, 9, 1_000), // case read 1s later; run closes at t=10s
+        ],
+    );
+    assert_eq!(fired.len(), 1);
+    let times: Vec<u64> = fired[0].1.observations().iter().map(|o| o.at.as_millis()).collect();
+    assert_eq!(times, vec![0, 1_000]);
+}
+
+/// SEQ(¬A; B) with no WITHIN bound: "B never preceded by any A" — answered
+/// from the epoch via the per-key earliest-occurrence marker, which must
+/// survive pruning.
+#[test]
+fn unbounded_negation_initiator_uses_first_seen() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    let event = at("r1").not().seq(at("r2"));
+    engine.add_rule("never-before", event).unwrap();
+
+    let fired = collect(
+        &mut engine,
+        vec![
+            obs(2, 1, 1_000),   // no r1 ever: fires
+            obs(1, 9, 2_000),   // an r1 occurs
+            obs(2, 2, 500_000), // long after (past any retention): must NOT fire
+        ],
+    );
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].1.observations()[0].at, Timestamp::from_secs(1));
+}
+
+/// Negation over a *composite* inner event: ¬(A;B) records sequence
+/// occurrences, not primitives.
+#[test]
+fn negation_over_composite_event() {
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    let ab = at("r1").seq(at("r2")).within(Span::from_secs(5));
+    let event = EventExpr::Not(Box::new(ab)).seq(at("r3")).within(Span::from_secs(30));
+    engine.add_rule("no-ab-then-c", event).unwrap();
+
+    // A then B (a full AB occurrence) then C: blocked.
+    let fired = collect(
+        &mut engine,
+        vec![obs(1, 1, 0), obs(2, 2, 1_000), obs(3, 3, 10_000)],
+    );
+    assert!(fired.is_empty(), "the AB occurrence blocks C");
+
+    // A alone (no B): the AB event never occurred, so C fires.
+    let mut engine2 = Engine::new(catalog(3), EngineConfig::default());
+    let ab = at("r1").seq(at("r2")).within(Span::from_secs(5));
+    let event = EventExpr::Not(Box::new(ab)).seq(at("r3")).within(Span::from_secs(30));
+    engine2.add_rule("no-ab-then-c", event).unwrap();
+    let fired = collect(&mut engine2, vec![obs(1, 1, 0), obs(3, 3, 10_000)]);
+    assert_eq!(fired.len(), 1);
+}
+
+/// AND of a TSEQ+ run with a primitive: the run's closure (a pseudo event)
+/// participates in a two-sided join like any push instance.
+#[test]
+fn and_of_run_and_primitive() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    let event = at("r1")
+        .tseq_plus(Span::ZERO, Span::from_secs(1))
+        .and(at("r2"))
+        .within(Span::from_secs(60));
+    engine.add_rule("run-and-prim", event).unwrap();
+
+    let fired = collect(
+        &mut engine,
+        vec![obs(1, 1, 0), obs(1, 2, 500), obs(2, 9, 30_000)],
+    );
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].1.observations().len(), 3, "two run elements + the primitive");
+}
+
+/// Rules can be added mid-stream; they see only subsequent events.
+#[test]
+fn dynamic_rule_addition() {
+    let mut engine = Engine::new(catalog(1), EngineConfig::default());
+    let mut fired = Vec::new();
+    let mut sink = |r: RuleId, _: &Instance| fired.push(r);
+
+    engine.process(obs(1, 1, 0), &mut sink);
+    let rule = engine.add_rule("late", at("r1").build()).unwrap();
+    engine.process(obs(1, 2, 1_000), &mut sink);
+    engine.finish(&mut sink);
+
+    assert_eq!(fired, vec![rule], "only the post-registration event fired");
+}
+
+/// The unbounded-buffer cap evicts oldest initiators instead of growing
+/// without limit (plain SEQ with no WITHIN).
+#[test]
+fn unbounded_seq_is_capped() {
+    let config = EngineConfig { unbounded_cap: 16, ..EngineConfig::default() };
+    let mut engine = Engine::new(catalog(2), config);
+    engine.add_rule("unbounded", at("r1").seq(at("r2"))).unwrap();
+
+    let stream: Vec<Observation> = (0..100).map(|i| obs(1, i, i * 10)).collect();
+    let _ = collect(&mut engine, stream);
+    let stats = engine.stats();
+    assert_eq!(stats.capacity_drops, 100 - 16, "oldest 84 evicted");
+}
+
+/// Sweeping prunes aged buffers; correctness after many windows' worth of
+/// traffic is unchanged.
+#[test]
+fn sweeping_does_not_disturb_detection() {
+    let config = EngineConfig { sweep_every: 64, ..EngineConfig::default() };
+    let mut engine = Engine::new(catalog(2), config);
+    engine
+        .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(2)))
+        .unwrap();
+
+    // 1000 pairs, each well separated; every pair must fire despite sweeps.
+    let mut stream = Vec::new();
+    for i in 0..1000u64 {
+        stream.push(obs(1, i, i * 10_000));
+        stream.push(obs(2, i + 10_000, i * 10_000 + 1_000));
+    }
+    let fired = collect(&mut engine, stream);
+    assert_eq!(fired.len(), 1000);
+    assert!(engine.stats().sweeps > 0);
+}
+
+/// `advance_to` resolves windows without observations (quiet-stream
+/// heartbeat), and time never runs backwards.
+#[test]
+fn advance_to_resolves_windows() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule(
+            "alone",
+            at("r1").and(at("r2").not()).within(Span::from_secs(5)),
+        )
+        .unwrap();
+
+    let fired = std::cell::Cell::new(0u32);
+    let mut sink = |_: RuleId, _: &Instance| fired.set(fired.get() + 1);
+    engine.process(obs(1, 1, 0), &mut sink);
+    assert_eq!(fired.get(), 0, "window still open");
+    engine.advance_to(Timestamp::from_secs(4), &mut sink);
+    assert_eq!(fired.get(), 0, "window closes at t=5, exclusive tick at 4");
+    engine.advance_to(Timestamp::from_secs(6), &mut sink);
+    assert_eq!(fired.get(), 1, "heartbeat resolved the negation");
+}
+
+/// OR forwards occurrences of either branch and both firings carry the OR
+/// wrapper (stable child indexing for bindings).
+#[test]
+fn or_wraps_instances() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine.add_rule("or", at("r1").or(at("r2"))).unwrap();
+    let fired = collect(&mut engine, vec![obs(1, 1, 0), obs(2, 2, 100)]);
+    assert_eq!(fired.len(), 2);
+    for (_, inst) in &fired {
+        assert_eq!(inst.children().len(), 1, "OR wraps exactly one constituent");
+    }
+}
+
+/// Identical rules registered twice fire twice per occurrence (merged to
+/// one node, fanned out to both rules).
+#[test]
+fn duplicate_rules_fan_out() {
+    let mut engine = Engine::new(catalog(1), EngineConfig::default());
+    let a = engine.add_rule("a", at("r1").build()).unwrap();
+    let b = engine.add_rule("b", at("r1").build()).unwrap();
+    assert_eq!(engine.rule_root(a), engine.rule_root(b), "merged");
+    let fired = collect(&mut engine, vec![obs(1, 1, 0)]);
+    let mut rules: Vec<RuleId> = fired.iter().map(|(r, _)| *r).collect();
+    rules.sort();
+    assert_eq!(rules, vec![a, b]);
+}
+
+/// Disabling a rule silences it without touching other rules on the same
+/// (merged) node; re-enabling restores it.
+#[test]
+fn rule_enable_disable() {
+    let mut engine = Engine::new(catalog(1), EngineConfig::default());
+    let a = engine.add_rule("a", at("r1").build()).unwrap();
+    let b = engine.add_rule("b", at("r1").build()).unwrap();
+    assert!(engine.rule_enabled(a));
+
+    let was = engine.set_rule_enabled(a, false);
+    assert!(was);
+    let mut fired = Vec::new();
+    engine.process(obs(1, 1, 0), &mut |r, _| fired.push(r));
+    assert_eq!(fired, vec![b], "only the enabled rule fires");
+
+    engine.set_rule_enabled(a, true);
+    fired.clear();
+    engine.process(obs(1, 2, 1_000), &mut |r, _| fired.push(r));
+    assert_eq!(fired.len(), 2);
+}
+
+/// `reset()` restores a fresh engine without recompiling rules.
+#[test]
+fn reset_clears_state_keeps_rules() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(5)))
+        .unwrap();
+
+    let mut fired = 0u32;
+    engine.process_all(vec![obs(1, 1, 0), obs(2, 2, 2_000)], &mut |_, _: &Instance| fired += 1);
+    assert_eq!(fired, 1);
+    assert_eq!(engine.firings_per_rule(), &[1]);
+
+    engine.reset();
+    assert_eq!(engine.stats().events, 0);
+    assert_eq!(engine.firings_per_rule(), &[0]);
+    assert_eq!(engine.buffered_instances(), 0);
+
+    // A second pass starting at t=0 again (which would violate monotonic
+    // time without the reset) detects identically.
+    let mut fired = 0u32;
+    engine.process_all(vec![obs(1, 3, 0), obs(2, 4, 2_000)], &mut |_, _: &Instance| fired += 1);
+    assert_eq!(fired, 1);
+    assert_eq!(engine.firings_per_rule(), &[1]);
+}
+
+/// A pattern naming a reader absent from the catalog never matches and
+/// never panics.
+#[test]
+fn unknown_reader_pattern_is_inert() {
+    let mut engine = Engine::new(catalog(1), EngineConfig::default());
+    engine.add_rule("ghost", EventExpr::observation_at("ghost-reader").build()).unwrap();
+    let fired = collect(&mut engine, vec![obs(1, 1, 0)]);
+    assert!(fired.is_empty());
+}
+
+/// Deeply nested expressions compile and detect (stacking all constructor
+/// kinds in one rule).
+#[test]
+fn deeply_nested_rule() {
+    let mut engine = Engine::new(catalog(4), EngineConfig::default());
+    let event = at("r1")
+        .or(at("r2"))
+        .tseq_plus(Span::ZERO, Span::from_secs(2))
+        .seq(at("r3").and(at("r4").not()).within(Span::from_secs(3)))
+        .within(Span::from_mins(2));
+    engine.add_rule("tower", event).unwrap();
+    assert!(engine.graph().len() >= 7);
+
+    let fired = collect(
+        &mut engine,
+        vec![
+            obs(1, 1, 0),
+            obs(2, 2, 1_000), // run of two (via OR)
+            obs(3, 3, 20_000), // r3 with no r4 within 3s
+        ],
+    );
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].1.observations().len(), 3);
+}
+
+/// The working set stays bounded under sustained traffic: sweeping plus
+/// time-based pruning keep buffered instances proportional to the window,
+/// not to the stream length.
+#[test]
+fn working_set_is_bounded_by_the_window() {
+    let config = EngineConfig { sweep_every: 128, ..EngineConfig::default() };
+    let mut engine = Engine::new(catalog(2), config);
+    engine
+        .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(2)))
+        .unwrap();
+
+    let mut peak_after_warmup = 0usize;
+    let mut sink = |_: RuleId, _: &Instance| {};
+    // Only initiators, never matched: without pruning this grows to 50_000.
+    for i in 0..50_000u64 {
+        engine.process(obs(1, i, i * 100), &mut sink);
+        if i > 10_000 {
+            peak_after_warmup = peak_after_warmup.max(engine.buffered_instances());
+        }
+    }
+    // 2s window + lag slack at 10 obs/sec ≈ tens of entries, not thousands.
+    assert!(
+        peak_after_warmup < 2_000,
+        "working set grew to {peak_after_warmup} — pruning is broken"
+    );
+}
+
+/// Stats display is stable and total counters are coherent.
+#[test]
+fn stats_are_coherent() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule("asset", at("r1").and(at("r2").not()).within(Span::from_secs(5)))
+        .unwrap();
+    let fired = collect(&mut engine, vec![obs(1, 1, 0), obs(1, 2, 60_000)]);
+    let stats = engine.stats();
+    assert_eq!(stats.rule_firings as usize, fired.len());
+    assert!(stats.pseudo_fired <= stats.pseudo_scheduled);
+    assert!(stats.matched_events <= stats.events);
+    let line = stats.to_string();
+    assert!(line.contains("events=2"), "{line}");
+}

@@ -1,0 +1,261 @@
+//! Shared-subgraph scenarios: nodes serving several rules must keep every
+//! consumer correct — including negation nodes queried under *different*
+//! correlation keys and aperiodic nodes feeding different parents.
+
+use std::sync::Arc;
+
+use rceda::{Engine, EngineConfig, RuleId};
+use rfid_epc::{Epc, Gid96, ReaderId};
+use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
+
+fn catalog(n: u32) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 1..=n {
+        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+    }
+    c
+}
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+fn obs(reader: u32, serial: u64, secs: f64) -> Observation {
+    Observation::new(
+        ReaderId(reader - 1),
+        epc(serial),
+        Timestamp::from_millis((secs * 1000.0) as u64),
+    )
+}
+
+fn at(reader: &str) -> rfid_events::expr::ObservationBuilder {
+    EventExpr::observation_at(reader)
+}
+
+/// One negation node, two querying parents with different keys: one rule
+/// correlates on the object, the other is uncorrelated. Each must see its
+/// own answer.
+#[test]
+fn negation_node_with_two_key_specs() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    // Rule A: r2 observation of object o with no r1 observation of the SAME o
+    // in the last 10s.
+    let keyed = EventExpr::observation_at("r1")
+        .bind_object("o")
+        .not()
+        .seq(EventExpr::observation_at("r2").bind_object("o"))
+        .within(Span::from_secs(10));
+    // Rule B: r2 observation with no r1 observation of ANY object in 10s.
+    let unkeyed = at("r1").not().seq(at("r2")).within(Span::from_secs(10));
+    let rule_a = engine.add_rule("keyed", keyed).unwrap();
+    let rule_b = engine.add_rule("unkeyed", unkeyed).unwrap();
+
+    // The NOT nodes differ (different inner patterns), but if they merged
+    // they'd still need distinct history specs; either way both answers
+    // must be right.
+    let mut fired: Vec<(RuleId, Epc)> = Vec::new();
+    engine.process_all(
+        vec![
+            obs(1, 1, 0.0),  // r1 sees object 1
+            obs(2, 2, 5.0),  // r2 sees object 2: keyed fires (no r1 of obj 2);
+                             // unkeyed blocked (an r1 of something at t=0)
+            obs(2, 1, 6.0),  // r2 sees object 1: keyed blocked; unkeyed blocked
+            obs(2, 3, 20.0), // both fire (nothing from r1 in [10,20])
+        ],
+        &mut |r, inst: &Instance| {
+            fired.push((r, inst.observations()[0].object));
+        },
+    );
+
+    let a_hits: Vec<Epc> =
+        fired.iter().filter(|(r, _)| *r == rule_a).map(|(_, o)| *o).collect();
+    let b_hits: Vec<Epc> =
+        fired.iter().filter(|(r, _)| *r == rule_b).map(|(_, o)| *o).collect();
+    assert_eq!(a_hits, vec![epc(2), epc(3)]);
+    assert_eq!(b_hits, vec![epc(3)]);
+}
+
+/// One TSEQ+ node shared (merged) by two parents with different distance
+/// bounds: the closed run must satisfy each parent independently, and
+/// chronicle consumption in one parent must not starve the other.
+#[test]
+fn shared_run_feeds_two_parents_independently() {
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    let run = || at("r1").tseq_plus(Span::ZERO, Span::from_secs(1));
+    let near = run().tseq(at("r2"), Span::from_secs(2), Span::from_secs(5));
+    let far = run().tseq(at("r3"), Span::from_secs(8), Span::from_secs(20));
+    let rule_near = engine.add_rule("near", near).unwrap();
+    let rule_far = engine.add_rule("far", far).unwrap();
+    assert!(engine.graph().merged_hits() > 0, "the TSEQ+ subgraph merged");
+
+    let mut fired = Vec::new();
+    engine.process_all(
+        vec![
+            obs(1, 1, 0.0),
+            obs(1, 2, 0.5),
+            obs(2, 10, 3.5),  // 3s after the run: near fires
+            obs(3, 11, 10.0), // 9.5s after the run: far fires — same run!
+        ],
+        &mut |r, inst: &Instance| fired.push((r, inst.observations().len())),
+    );
+
+    assert!(fired.contains(&(rule_near, 3)), "near rule got run + its case: {fired:?}");
+    assert!(fired.contains(&(rule_far, 3)), "far rule got run + its case: {fired:?}");
+}
+
+/// Same structure under different WITHIN constraints must NOT merge, and
+/// each rule enforces its own window.
+#[test]
+fn different_windows_detect_independently() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    let tight = engine
+        .add_rule("tight", at("r1").seq(at("r2")).within(Span::from_secs(2)))
+        .unwrap();
+    let loose = engine
+        .add_rule("loose", at("r1").seq(at("r2")).within(Span::from_secs(60)))
+        .unwrap();
+    assert_ne!(engine.rule_root(tight), engine.rule_root(loose));
+
+    let mut fired = Vec::new();
+    engine.process_all(
+        vec![obs(1, 1, 0.0), obs(2, 2, 10.0)],
+        &mut |r, _: &Instance| fired.push(r),
+    );
+    assert_eq!(fired, vec![loose], "10s pair passes only the 60s window");
+}
+
+/// An OR node under WITHIN filters out branch instances whose own interval
+/// exceeds the window (composite branches).
+#[test]
+fn or_under_within_filters_long_branch_instances() {
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    // Branch 1: a SEQ that can stretch; branch 2: a primitive.
+    // The inner SEQ's within is the propagated 5s, so a 10s-spread pair
+    // never forms; the primitive branch always passes.
+    let event = at("r1").seq(at("r2")).or(at("r3")).within(Span::from_secs(5));
+    engine.add_rule("or", event).unwrap();
+
+    let mut fired = 0u32;
+    engine.process_all(
+        vec![
+            obs(1, 1, 0.0),
+            obs(2, 2, 10.0), // pair spread 10s > 5s: no SEQ instance
+            obs(3, 3, 20.0), // primitive branch fires
+        ],
+        &mut |_, _: &Instance| fired += 1,
+    );
+    assert_eq!(fired, 1);
+}
+
+/// Interval constraints bind composite terminators too: a TSEQ whose
+/// terminator is itself a pair respects interval2 against WITHIN.
+#[test]
+fn composite_terminator_interval_checked() {
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    let event = at("r1")
+        .seq(at("r2").and(at("r3")).within(Span::from_secs(30)))
+        .within(Span::from_secs(8));
+    engine.add_rule("nested", event).unwrap();
+
+    let mut fired = 0u32;
+    // Total spread 0→7s fits the 8s window.
+    engine.process_all(
+        vec![obs(1, 1, 0.0), obs(2, 2, 5.0), obs(3, 3, 7.0)],
+        &mut |_, _: &Instance| fired += 1,
+    );
+    assert_eq!(fired, 1);
+
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    let event = at("r1")
+        .seq(at("r2").and(at("r3")).within(Span::from_secs(30)))
+        .within(Span::from_secs(8));
+    engine.add_rule("nested", event).unwrap();
+    let mut fired = 0u32;
+    // Inner pair fits 8s (propagated min(30,8)=8) but the whole spread is 12s.
+    engine.process_all(
+        vec![obs(1, 1, 0.0), obs(2, 2, 5.0), obs(3, 3, 12.0)],
+        &mut |_, _: &Instance| fired += 1,
+    );
+    assert_eq!(fired, 0, "outer window rejects the 12s spread");
+}
+
+/// The reorderer in front of the engine repairs reader skew end to end.
+#[test]
+fn reorderer_feeds_engine_correctly() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(5)))
+        .unwrap();
+
+    // r2's feed runs 300 ms ahead of r1's — raw interleaving is disordered.
+    let raw = vec![obs(2, 10, 1.3), obs(1, 1, 1.0), obs(2, 11, 2.3), obs(1, 2, 2.0)];
+    let mut reorderer = rfid_events::Reorderer::new(Span::from_millis(500));
+    let mut fired = Vec::new();
+    let mut sink = |_: RuleId, inst: &Instance| {
+        fired.push(inst.observations().iter().map(|o| o.at.as_millis()).collect::<Vec<_>>())
+    };
+    for o in raw {
+        if let Ok(batch) = reorderer.offer(o) {
+            for obs in batch {
+                engine.process(obs, &mut sink);
+            }
+        }
+    }
+    for obs in reorderer.flush() {
+        engine.process(obs, &mut sink);
+    }
+    engine.finish(&mut sink);
+    assert_eq!(fired, vec![vec![1_000, 1_300], vec![2_000, 2_300]]);
+}
+
+/// Absence instances are shaped stably for downstream consumers: the
+/// negated side's slot holds the absence, in both AND and SEQ plans.
+#[test]
+fn absence_slot_positions_are_stable() {
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule("and-neg", at("r1").and(at("r2").not()).within(Span::from_secs(2)))
+        .unwrap();
+    let mut shapes = Vec::new();
+    engine.process_all(vec![obs(1, 1, 0.0)], &mut |_, inst: &Instance| {
+        let kids = inst.children();
+        shapes.push((kids[0].is_absence(), kids[1].is_absence()));
+    });
+    assert_eq!(shapes, vec![(false, true)], "NOT was the right child");
+
+    let mut engine = Engine::new(catalog(2), EngineConfig::default());
+    engine
+        .add_rule("neg-seq", at("r1").not().seq(at("r2")).within(Span::from_secs(2)))
+        .unwrap();
+    let mut shapes = Vec::new();
+    engine.process_all(vec![obs(2, 1, 0.0)], &mut |_, inst: &Instance| {
+        let kids = inst.children();
+        shapes.push((kids[0].is_absence(), kids[1].is_absence()));
+    });
+    assert_eq!(shapes, vec![(true, false)], "NOT was the left child");
+}
+
+/// Arc sharing: a run's elements are shared, not cloned, when the same
+/// closed run reaches two parents.
+#[test]
+fn shared_instances_are_pointer_shared() {
+    let mut engine = Engine::new(catalog(3), EngineConfig::default());
+    let run = || at("r1").tseq_plus(Span::ZERO, Span::from_secs(1));
+    engine
+        .add_rule("a", run().seq(at("r2")).within(Span::from_secs(30)))
+        .unwrap();
+    engine
+        .add_rule("b", run().seq(at("r3")).within(Span::from_secs(30)))
+        .unwrap();
+
+    let mut runs: Vec<Arc<Instance>> = Vec::new();
+    engine.process_all(
+        vec![obs(1, 1, 0.0), obs(2, 2, 5.0), obs(3, 3, 6.0)],
+        &mut |_, inst: &Instance| runs.push(inst.children()[0].clone()),
+    );
+    assert_eq!(runs.len(), 2);
+    assert!(
+        Arc::ptr_eq(&runs[0], &runs[1]),
+        "both rules received the same closed-run allocation"
+    );
+}

@@ -1,0 +1,314 @@
+//! # rfid-edge — reader-edge filtering
+//!
+//! Fig. 2 of the paper places an *Event Filtering* stage between the raw
+//! reader observations and complex event detection. §3.1 shows that
+//! filtering can be expressed as rules (Rule 1 flags duplicates, Rule 2
+//! extracts infield events); deployments additionally run cheap stateless-ish
+//! filters right at the edge, before events ever reach the engine, to cut
+//! volume. This crate provides those:
+//!
+//! * [`DedupFilter`] — drops re-reads of the same `(reader, object)` within
+//!   a window (the *drop* counterpart of Rule 1's *flag*);
+//! * [`GlitchFilter`] — passes a tag only after `k` sightings within a
+//!   window, suppressing RF ghosts (single spurious decodes);
+//! * [`RateLimiter`] — at most one read per `(reader, object)` per period,
+//!   taming bulk-read floods from smart shelves;
+//! * [`Pipeline`] — composes filters in order, with per-stage drop counts.
+//!
+//! Every filter implements [`EdgeFilter`]: offer an observation, get back
+//! the observations that pass (possibly delayed — `GlitchFilter` releases a
+//! tag's first sighting only once it is corroborated).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use rfid_epc::{Epc, ReaderId};
+use rfid_events::{Observation, Span, Timestamp};
+
+/// A streaming observation filter.
+pub trait EdgeFilter {
+    /// Offers one observation (non-decreasing timestamps); returns the
+    /// observations released downstream by this offer.
+    fn offer(&mut self, obs: Observation) -> Vec<Observation>;
+
+    /// End of stream: release anything still held back.
+    fn flush(&mut self) -> Vec<Observation> {
+        Vec::new()
+    }
+
+    /// Observations suppressed so far.
+    fn dropped(&self) -> u64;
+}
+
+type TagKey = (ReaderId, Epc);
+
+/// Drops repeat reads of the same tag by the same reader within a window.
+///
+/// The surviving read is the *first* of each burst, and the window restarts
+/// with every retained read (re-reads inside the window do not extend it —
+/// a tag sitting on a shelf is re-admitted every `window`).
+#[derive(Debug)]
+pub struct DedupFilter {
+    window: Span,
+    last_pass: HashMap<TagKey, Timestamp>,
+    dropped: u64,
+}
+
+impl DedupFilter {
+    /// Creates a dedup filter with the given suppression window.
+    pub fn new(window: Span) -> Self {
+        Self { window, last_pass: HashMap::new(), dropped: 0 }
+    }
+}
+
+impl EdgeFilter for DedupFilter {
+    fn offer(&mut self, obs: Observation) -> Vec<Observation> {
+        let key = (obs.reader, obs.object);
+        match self.last_pass.get(&key) {
+            Some(&last) if obs.at < last + self.window => {
+                self.dropped += 1;
+                Vec::new()
+            }
+            _ => {
+                self.last_pass.insert(key, obs.at);
+                vec![obs]
+            }
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Passes a tag only after `k` sightings within a window: a single decode
+/// (an RF ghost) never reaches the engine. The releases are the first `k`-th
+/// corroborating sighting; earlier sightings of the burst are absorbed.
+#[derive(Debug)]
+pub struct GlitchFilter {
+    k: u32,
+    window: Span,
+    sightings: HashMap<TagKey, Vec<Timestamp>>,
+    dropped: u64,
+}
+
+impl GlitchFilter {
+    /// Requires `k` sightings within `window`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero (a filter that passes nothing it has seen zero
+    /// times is a configuration bug).
+    pub fn new(k: u32, window: Span) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, window, sightings: HashMap::new(), dropped: 0 }
+    }
+}
+
+impl EdgeFilter for GlitchFilter {
+    fn offer(&mut self, obs: Observation) -> Vec<Observation> {
+        if self.k == 1 {
+            return vec![obs];
+        }
+        let seen = self.sightings.entry((obs.reader, obs.object)).or_default();
+        seen.push(obs.at);
+        let horizon = obs.at.saturating_sub(self.window);
+        seen.retain(|&t| t >= horizon);
+        if seen.len() as u32 >= self.k {
+            seen.clear();
+            vec![obs]
+        } else {
+            self.dropped += 1;
+            Vec::new()
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        // Sightings that were part of a burst that eventually passed are
+        // still counted: they were individually suppressed.
+        self.dropped
+    }
+}
+
+/// At most one observation per `(reader, object)` per period — a hard rate
+/// cap for bulk-read floods.
+#[derive(Debug)]
+pub struct RateLimiter {
+    period: Span,
+    last: HashMap<TagKey, Timestamp>,
+    dropped: u64,
+}
+
+impl RateLimiter {
+    /// Creates a rate limiter with the given minimum spacing.
+    pub fn new(period: Span) -> Self {
+        Self { period, last: HashMap::new(), dropped: 0 }
+    }
+}
+
+impl EdgeFilter for RateLimiter {
+    fn offer(&mut self, obs: Observation) -> Vec<Observation> {
+        let key = (obs.reader, obs.object);
+        match self.last.get(&key) {
+            Some(&t) if obs.at < t + self.period => {
+                self.dropped += 1;
+                Vec::new()
+            }
+            _ => {
+                self.last.insert(key, obs.at);
+                vec![obs]
+            }
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A chain of filters applied in order.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn EdgeFilter + Send>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (passes everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage.
+    pub fn then(mut self, stage: impl EdgeFilter + Send + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Offers an observation through every stage.
+    pub fn offer(&mut self, obs: Observation) -> Vec<Observation> {
+        let mut batch = vec![obs];
+        for stage in &mut self.stages {
+            let mut next = Vec::new();
+            for o in batch {
+                next.extend(stage.offer(o));
+            }
+            if next.is_empty() {
+                return next;
+            }
+            batch = next;
+        }
+        batch
+    }
+
+    /// Flushes every stage in order (later stages see earlier flushes).
+    pub fn flush(&mut self) -> Vec<Observation> {
+        let mut carried: Vec<Observation> = Vec::new();
+        for i in 0..self.stages.len() {
+            let mut next = Vec::new();
+            for o in carried {
+                next.extend(self.stages[i].offer(o));
+            }
+            next.extend(self.stages[i].flush());
+            carried = next;
+        }
+        carried
+    }
+
+    /// Per-stage drop counts, in stage order.
+    pub fn dropped_per_stage(&self) -> Vec<u64> {
+        self.stages.iter().map(|s| s.dropped()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::Gid96;
+
+    fn obs(reader: u32, serial: u64, ms: u64) -> Observation {
+        Observation::new(
+            ReaderId(reader),
+            Gid96::new(1, 1, serial).unwrap().into(),
+            Timestamp::from_millis(ms),
+        )
+    }
+
+    #[test]
+    fn dedup_drops_bursts_keeps_revisits() {
+        let mut f = DedupFilter::new(Span::from_secs(5));
+        assert_eq!(f.offer(obs(0, 1, 0)).len(), 1);
+        assert!(f.offer(obs(0, 1, 1_000)).is_empty(), "burst re-read dropped");
+        assert!(f.offer(obs(0, 1, 4_999)).is_empty());
+        assert_eq!(f.offer(obs(0, 1, 5_000)).len(), 1, "window elapsed");
+        assert_eq!(f.offer(obs(1, 1, 5_100)).len(), 1, "different reader is independent");
+        assert_eq!(f.offer(obs(0, 2, 5_100)).len(), 1, "different tag is independent");
+        assert_eq!(f.dropped(), 2);
+    }
+
+    #[test]
+    fn glitch_filter_requires_corroboration() {
+        let mut f = GlitchFilter::new(3, Span::from_secs(2));
+        assert!(f.offer(obs(0, 1, 0)).is_empty(), "single decode is a ghost");
+        assert!(f.offer(obs(0, 1, 500)).is_empty());
+        assert_eq!(f.offer(obs(0, 1, 900)).len(), 1, "third sighting corroborates");
+        // Sightings outside the window do not count.
+        assert!(f.offer(obs(0, 2, 10_000)).is_empty());
+        assert!(f.offer(obs(0, 2, 13_000)).is_empty(), "first sighting aged out");
+        assert!(f.offer(obs(0, 2, 14_000)).is_empty(), "only two in window");
+        assert_eq!(f.offer(obs(0, 2, 14_500)).len(), 1);
+    }
+
+    #[test]
+    fn glitch_filter_k1_is_transparent() {
+        let mut f = GlitchFilter::new(1, Span::from_secs(1));
+        assert_eq!(f.offer(obs(0, 1, 0)).len(), 1);
+        assert_eq!(f.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn glitch_filter_rejects_k0() {
+        let _ = GlitchFilter::new(0, Span::from_secs(1));
+    }
+
+    #[test]
+    fn rate_limiter_spaces_reads() {
+        let mut f = RateLimiter::new(Span::from_secs(30));
+        assert_eq!(f.offer(obs(0, 1, 0)).len(), 1);
+        assert!(f.offer(obs(0, 1, 29_999)).is_empty());
+        assert_eq!(f.offer(obs(0, 1, 30_000)).len(), 1);
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn pipeline_chains_stages() {
+        let mut p = Pipeline::new()
+            .then(GlitchFilter::new(2, Span::from_secs(1)))
+            .then(DedupFilter::new(Span::from_secs(10)));
+        let mut out = Vec::new();
+        // Ghost (one decode) → dropped by stage 1.
+        out.extend(p.offer(obs(0, 1, 0)));
+        // Corroborated burst → stage 1 releases once, stage 2 passes it.
+        out.extend(p.offer(obs(0, 1, 500)));
+        // Another corroborated burst within dedup window → stage 2 drops.
+        out.extend(p.offer(obs(0, 1, 2_000)));
+        out.extend(p.offer(obs(0, 1, 2_400)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.dropped_per_stage(), vec![2, 1]);
+    }
+
+    #[test]
+    fn pipeline_flush_carries_through() {
+        let mut p = Pipeline::new().then(DedupFilter::new(Span::from_secs(1)));
+        assert_eq!(p.offer(obs(0, 1, 0)).len(), 1);
+        assert!(p.flush().is_empty(), "stateless-release filters hold nothing");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new();
+        assert_eq!(p.offer(obs(0, 1, 0)).len(), 1);
+        assert!(p.dropped_per_stage().is_empty());
+    }
+}

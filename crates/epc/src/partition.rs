@@ -1,0 +1,139 @@
+//! Partition tables from the EPCglobal Tag Data Standard.
+//!
+//! GS1 company prefixes vary in length (6–12 decimal digits); the *partition*
+//! field of an encoding selects how the fixed bit budget is split between the
+//! company prefix and the item/serial/asset reference. Each scheme has its own
+//! table; all share the same shape, captured by [`PartitionRow`].
+
+/// One row of a partition table: bit and digit widths for the company prefix
+/// and for the scheme-specific second field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionRow {
+    /// Partition value stored in the 3-bit partition field.
+    pub partition: u8,
+    /// Bits allocated to the GS1 company prefix.
+    pub company_bits: u32,
+    /// Decimal digits of the company prefix.
+    pub company_digits: u32,
+    /// Bits allocated to the second field (item reference, serial reference,
+    /// or asset type depending on the scheme).
+    pub other_bits: u32,
+    /// Decimal digits of the second field.
+    pub other_digits: u32,
+}
+
+/// SGTIN-96 partition table (TDS 1.x Table: SGTIN).
+pub const SGTIN: [PartitionRow; 7] = [
+    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 4, other_digits: 1 },
+    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 7, other_digits: 2 },
+    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 10, other_digits: 3 },
+    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 14, other_digits: 4 },
+    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 17, other_digits: 5 },
+    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 20, other_digits: 6 },
+    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 24, other_digits: 7 },
+];
+
+/// SSCC-96 partition table (second field is the serial reference).
+pub const SSCC: [PartitionRow; 7] = [
+    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 18, other_digits: 5 },
+    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 21, other_digits: 6 },
+    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 24, other_digits: 7 },
+    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 28, other_digits: 8 },
+    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 31, other_digits: 9 },
+    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 34, other_digits: 10 },
+    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 38, other_digits: 11 },
+];
+
+/// GRAI-96 partition table (second field is the asset type).
+pub const GRAI: [PartitionRow; 7] = [
+    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 4, other_digits: 0 },
+    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 7, other_digits: 1 },
+    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 10, other_digits: 2 },
+    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 14, other_digits: 3 },
+    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 17, other_digits: 4 },
+    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 20, other_digits: 5 },
+    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 24, other_digits: 6 },
+];
+
+/// Looks up a partition row by the stored 3-bit partition value.
+pub fn by_value(table: &'static [PartitionRow; 7], partition: u8) -> Option<&'static PartitionRow> {
+    table.iter().find(|row| row.partition == partition)
+}
+
+/// Looks up the partition row matching a company prefix of `digits` decimal
+/// digits. Company prefixes of 6–12 digits are representable.
+pub fn by_company_digits(
+    table: &'static [PartitionRow; 7],
+    digits: u32,
+) -> Option<&'static PartitionRow> {
+    table.iter().find(|row| row.company_digits == digits)
+}
+
+/// The largest value representable by a decimal field of `digits` digits.
+pub fn max_decimal(digits: u32) -> u64 {
+    10u64.checked_pow(digits).map_or(u64::MAX, |p| p - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_bit_consistent() {
+        // Every SGTIN row splits 44 bits between company and item reference.
+        for row in &SGTIN {
+            assert_eq!(row.company_bits + row.other_bits, 44, "SGTIN p{}", row.partition);
+            assert_eq!(row.company_digits + row.other_digits, 13, "SGTIN p{}", row.partition);
+        }
+        // Every SSCC row splits 58 bits between company and serial reference.
+        for row in &SSCC {
+            assert_eq!(row.company_bits + row.other_bits, 58, "SSCC p{}", row.partition);
+            assert_eq!(row.company_digits + row.other_digits, 17, "SSCC p{}", row.partition);
+        }
+        // Every GRAI row splits 44 bits between company and asset type.
+        for row in &GRAI {
+            assert_eq!(row.company_bits + row.other_bits, 44, "GRAI p{}", row.partition);
+            assert_eq!(row.company_digits + row.other_digits, 12, "GRAI p{}", row.partition);
+        }
+    }
+
+    #[test]
+    fn decimal_capacity_fits_bit_width() {
+        // 10^digits - 1 must fit in the allocated bits for every row.
+        for table in [&SGTIN, &SSCC, &GRAI] {
+            for row in table.iter() {
+                assert!(
+                    (max_decimal(row.company_digits) as u128) < (1u128 << row.company_bits),
+                    "company field p{} overflows",
+                    row.partition
+                );
+                assert!(
+                    (max_decimal(row.other_digits) as u128) < (1u128 << row.other_bits),
+                    "other field p{} overflows",
+                    row.partition
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_digits() {
+        assert_eq!(by_company_digits(&SGTIN, 7).unwrap().partition, 5);
+        assert_eq!(by_company_digits(&SGTIN, 12).unwrap().partition, 0);
+        assert!(by_company_digits(&SGTIN, 13).is_none());
+        assert!(by_company_digits(&SGTIN, 5).is_none());
+    }
+
+    #[test]
+    fn lookup_by_value() {
+        assert_eq!(by_value(&SSCC, 3).unwrap().company_digits, 9);
+        assert!(by_value(&SSCC, 7).is_none());
+    }
+
+    #[test]
+    fn max_decimal_edges() {
+        assert_eq!(max_decimal(0), 0);
+        assert_eq!(max_decimal(1), 9);
+        assert_eq!(max_decimal(12), 999_999_999_999);
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's `group(r)` function: reader identities, groups, and locations.
+//!
+//! "Readers are often deployed into groups in which readers perform the same
+//! functionality" (§2.1): all dock-door readers at a site form one group, all
+//! shelf readers another. Event definitions predicate on `group(r)`, and when
+//! no group is given, "the default primitive event type is a group with the
+//! reader itself".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A reader identity. Readers are themselves EPC-addressable in deployments,
+/// but within the event system a dense small integer id is what flows through
+/// millions of observations; the registry maps it to the descriptive record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReaderId(pub u32);
+
+impl std::fmt::Display for ReaderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reader#{}", self.0)
+    }
+}
+
+/// Descriptive record for a deployed reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReaderDef {
+    /// Dense id used in observations.
+    pub id: ReaderId,
+    /// Human name, e.g. `"r1"` — the name rules refer to.
+    pub name: Arc<str>,
+    /// Group name; defaults to the reader's own name.
+    pub group: Arc<str>,
+    /// Symbolic location (warehouse, shipping route, shelf, exit…), used by
+    /// location-transformation rules.
+    pub location: Arc<str>,
+}
+
+/// Registry implementing `group(r)` and name/location lookups.
+#[derive(Debug, Default, Clone)]
+pub struct ReaderRegistry {
+    defs: Vec<ReaderDef>,
+    by_name: HashMap<Arc<str>, ReaderId>,
+    groups: HashMap<Arc<str>, Vec<ReaderId>>,
+}
+
+impl ReaderRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a reader with an explicit group and location. Returns its id.
+    ///
+    /// Registering the same name twice returns the existing id unchanged —
+    /// reader definitions are immutable once deployed.
+    pub fn register(&mut self, name: &str, group: &str, location: &str) -> ReaderId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ReaderId(self.defs.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        let group: Arc<str> = Arc::from(group);
+        let location: Arc<str> = Arc::from(location);
+        self.by_name.insert(name.clone(), id);
+        self.groups.entry(group.clone()).or_default().push(id);
+        self.defs.push(ReaderDef { id, name, group, location });
+        id
+    }
+
+    /// Registers a reader in the default group (itself), per §2.1.
+    pub fn register_default(&mut self, name: &str, location: &str) -> ReaderId {
+        // Cannot borrow `name` twice through `register`; inline the default.
+        self.register(name, name, location)
+    }
+
+    /// The full record for a reader id.
+    pub fn def(&self, id: ReaderId) -> Option<&ReaderDef> {
+        self.defs.get(id.0 as usize)
+    }
+
+    /// Resolves a reader name to its id.
+    pub fn id_of(&self, name: &str) -> Option<ReaderId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `group(r)`: the group name of a reader.
+    pub fn group_of(&self, id: ReaderId) -> Option<&str> {
+        self.def(id).map(|d| &*d.group)
+    }
+
+    /// Whether `group(r) = group` holds.
+    pub fn in_group(&self, id: ReaderId, group: &str) -> bool {
+        self.group_of(id) == Some(group)
+    }
+
+    /// All readers in a group.
+    pub fn members(&self, group: &str) -> &[ReaderId] {
+        self.groups.get(group).map_or(&[], Vec::as_slice)
+    }
+
+    /// The symbolic location a reader signals.
+    pub fn location_of(&self, id: ReaderId) -> Option<&str> {
+        self.def(id).map(|d| &*d.location)
+    }
+
+    /// Number of registered readers.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates over all reader records in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReaderDef> {
+        self.defs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ReaderRegistry::new();
+        let r1 = reg.register("r1", "g1", "dock-a");
+        let r2 = reg.register("r2", "g1", "dock-b");
+        let r3 = reg.register_default("r3", "exit");
+
+        assert_eq!(reg.id_of("r1"), Some(r1));
+        assert_eq!(reg.group_of(r1), Some("g1"));
+        assert_eq!(reg.group_of(r3), Some("r3"), "default group is the reader itself");
+        assert_eq!(reg.members("g1"), &[r1, r2]);
+        assert_eq!(reg.location_of(r2), Some("dock-b"));
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut reg = ReaderRegistry::new();
+        let a = reg.register("r1", "g1", "dock-a");
+        let b = reg.register("r1", "other", "elsewhere");
+        assert_eq!(a, b);
+        assert_eq!(reg.group_of(a), Some("g1"), "first definition wins");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn in_group_predicate() {
+        let mut reg = ReaderRegistry::new();
+        let r1 = reg.register("r1", "g1", "dock-a");
+        assert!(reg.in_group(r1, "g1"));
+        assert!(!reg.in_group(r1, "g2"));
+        assert!(!reg.in_group(ReaderId(99), "g1"));
+    }
+
+    #[test]
+    fn empty_group_has_no_members() {
+        let reg = ReaderRegistry::new();
+        assert!(reg.members("nope").is_empty());
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: every representable identifier round-trips through its
+//! binary encoding, hex label, and pure-identity URI.
+
+use proptest::prelude::*;
+use rfid_epc::{Epc, Gid96, Grai96, Sgtin96, Sscc96};
+
+/// (company_digits, company_prefix) across every partition row.
+fn company_strategy() -> impl Strategy<Value = (u32, u64)> {
+    (6u32..=12).prop_flat_map(|digits| {
+        let max = 10u64.pow(digits) - 1;
+        (Just(digits), 0..=max)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sgtin_roundtrips((digits, company) in company_strategy(),
+                        filter in 0u8..8,
+                        serial in 0u64..(1 << 38)) {
+        // Item reference digit budget depends on the partition.
+        let item_digits = 13 - digits;
+        let item_max = 10u64.pow(item_digits) - 1;
+        let item = serial % (item_max + 1);
+        let v = Sgtin96::new(filter, company, digits, item, serial).unwrap();
+        prop_assert_eq!(Sgtin96::decode(v.encode()).unwrap(), v);
+        let epc = Epc::from(v);
+        prop_assert_eq!(Epc::from_hex(&epc.to_hex()).unwrap(), epc);
+        let reparsed = Epc::from_uri(&epc.to_uri()).unwrap();
+        prop_assert_eq!(reparsed.to_uri(), epc.to_uri());
+    }
+
+    #[test]
+    fn sscc_roundtrips((digits, company) in company_strategy(),
+                       filter in 0u8..8,
+                       serial_seed in any::<u64>()) {
+        let serial_digits = 17 - digits;
+        let serial_max = 10u64.pow(serial_digits) - 1;
+        let serial = serial_seed % (serial_max + 1);
+        let v = Sscc96::new(filter, company, digits, serial).unwrap();
+        prop_assert_eq!(Sscc96::decode(v.encode()).unwrap(), v);
+        let epc = Epc::from(v);
+        prop_assert_eq!(Epc::from_hex(&epc.to_hex()).unwrap(), epc);
+    }
+
+    #[test]
+    fn grai_roundtrips((digits, company) in company_strategy(),
+                       asset_seed in any::<u64>(),
+                       serial in 0u64..(1 << 38)) {
+        let asset_digits = 12 - digits;
+        let asset_max = 10u64.pow(asset_digits).saturating_sub(1);
+        let asset = if asset_max == 0 { 0 } else { asset_seed % (asset_max + 1) };
+        let v = Grai96::new(0, company, digits, asset, serial).unwrap();
+        prop_assert_eq!(Grai96::decode(v.encode()).unwrap(), v);
+        let epc = Epc::from(v);
+        let reparsed = Epc::from_uri(&epc.to_uri()).unwrap();
+        prop_assert_eq!(reparsed.to_uri(), epc.to_uri());
+    }
+
+    #[test]
+    fn gid_roundtrips(manager in 0u64..(1 << 28),
+                      class in 0u64..(1 << 24),
+                      serial in 0u64..(1 << 36)) {
+        let v = Gid96::new(manager, class, serial).unwrap();
+        prop_assert_eq!(Gid96::decode(v.encode()).unwrap(), v);
+        let epc = Epc::from(v);
+        prop_assert_eq!(Epc::from_uri(&epc.to_uri()).unwrap(), epc);
+    }
+
+    /// Distinct identifiers never collide in binary form.
+    #[test]
+    fn encodings_are_injective(a in 0u64..(1 << 36), b in 0u64..(1 << 36)) {
+        let ea = Epc::from(Gid96::new(1, 1, a).unwrap());
+        let eb = Epc::from(Gid96::new(1, 1, b).unwrap());
+        prop_assert_eq!(a == b, ea == eb);
+    }
+
+    /// Arbitrary 96-bit words never panic the decoder paths.
+    #[test]
+    fn decoding_arbitrary_words_is_total(word in any::<u128>()) {
+        let epc = Epc::from_raw(word & ((1u128 << 96) - 1));
+        let _ = epc.class();
+        let _ = epc.as_sgtin();
+        let _ = epc.as_sscc();
+        let _ = epc.as_grai();
+        let _ = epc.as_gid();
+        let _ = epc.to_uri();
+        let _ = epc.to_hex();
+    }
+}

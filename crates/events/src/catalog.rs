@@ -1,0 +1,48 @@
+//! The deployment catalog: the bridge between patterns and identities.
+//!
+//! Primitive event types predicate on `group(r)` and `type(o)` (§2.1). Both
+//! functions are deployment configuration, not stream data, so they live in a
+//! catalog that the detection engine consults when matching observations.
+
+use rfid_epc::{ReaderId, ReaderRegistry, TypeRegistry};
+
+/// Deployment configuration: readers (with groups and locations) and object
+/// type mappings. Shared immutably by the engine once detection starts.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    /// `group(r)` and reader name/location resolution.
+    pub readers: ReaderRegistry,
+    /// `type(o)` resolution.
+    pub types: TypeRegistry,
+}
+
+impl Catalog {
+    /// An empty catalog. Patterns that reference groups or types will match
+    /// nothing until the registries are populated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a catalog from pre-populated registries.
+    pub fn from_parts(readers: ReaderRegistry, types: TypeRegistry) -> Self {
+        Self { readers, types }
+    }
+
+    /// Resolves a reader name used in a rule (`observation('r1', o, t)`).
+    pub fn reader(&self, name: &str) -> Option<ReaderId> {
+        self.readers.id_of(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_reader_names() {
+        let mut cat = Catalog::new();
+        let id = cat.readers.register("r1", "g1", "dock");
+        assert_eq!(cat.reader("r1"), Some(id));
+        assert_eq!(cat.reader("r2"), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Parameter contexts (§4.2).
+//!
+//! A parameter context decides *which* combinations of constituent instances
+//! are pulled out of the event history as occurrences of a complex event.
+//! The paper reviews the four restricted contexts of Chakravarthy et al. and
+//! argues that only **chronicle** is correct for RFID streams, because
+//! complex RFID events routinely overlap (multiple packing lines, readers in
+//! sequence): under recent/continuous/cumulative, instances from overlapping
+//! occurrences get cross-matched.
+//!
+//! RCEDA therefore detects under [`ParameterContext::Chronicle`]; the
+//! baseline crate implements all five so tests and benches can demonstrate
+//! the difference on the paper's own examples.
+
+use serde::{Deserialize, Serialize};
+
+/// Instance-selection policy for complex event detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParameterContext {
+    /// All combinations of constituent instances are occurrences.
+    /// Combinatorial; almost never what an application wants.
+    Unrestricted,
+    /// Only the *most recent* instance of each constituent participates;
+    /// older initiators are discarded when a newer one arrives.
+    Recent,
+    /// Each initiator starts its own detection window and is paired with the
+    /// first terminator that follows it; a terminator can complete several
+    /// pending windows.
+    Continuous,
+    /// All instances of each constituent since the last detection are
+    /// accumulated into one occurrence, then the buffers reset.
+    Cumulative,
+    /// The oldest initiator is paired with the oldest terminator; every
+    /// instance participates in at most one occurrence. Correct under
+    /// overlap, and the context RCEDA uses.
+    Chronicle,
+}
+
+impl ParameterContext {
+    /// All five contexts, for exhaustive comparisons.
+    pub const ALL: [ParameterContext; 5] = [
+        ParameterContext::Unrestricted,
+        ParameterContext::Recent,
+        ParameterContext::Continuous,
+        ParameterContext::Cumulative,
+        ParameterContext::Chronicle,
+    ];
+
+    /// Whether instances are consumed on use (at most one occurrence per
+    /// instance). True only for chronicle and cumulative.
+    pub fn consumes_instances(self) -> bool {
+        matches!(self, ParameterContext::Chronicle | ParameterContext::Cumulative)
+    }
+}
+
+impl std::fmt::Display for ParameterContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ParameterContext::Unrestricted => "unrestricted",
+            ParameterContext::Recent => "recent",
+            ParameterContext::Continuous => "continuous",
+            ParameterContext::Cumulative => "cumulative",
+            ParameterContext::Chronicle => "chronicle",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_context_once() {
+        let mut names: Vec<String> =
+            ParameterContext::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn consumption_policy() {
+        assert!(ParameterContext::Chronicle.consumes_instances());
+        assert!(ParameterContext::Cumulative.consumes_instances());
+        assert!(!ParameterContext::Recent.consumes_instances());
+        assert!(!ParameterContext::Unrestricted.consumes_instances());
+        assert!(!ParameterContext::Continuous.consumes_instances());
+    }
+}

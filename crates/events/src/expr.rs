@@ -1,0 +1,571 @@
+//! Event types as an algebra (§2.2).
+//!
+//! An [`EventExpr`] is the *type* of a complex event: primitive patterns
+//! composed with the three non-temporal constructors (`OR`, `AND`, `NOT`) and
+//! the five temporal ones (`SEQ`, `TSEQ`, `SEQ+`, `TSEQ+`, `WITHIN`). The
+//! detection engine compiles expressions into graphs; the rule language
+//! parses into them; applications can also build them directly with the
+//! fluent combinators:
+//!
+//! ```
+//! use rfid_events::{EventExpr, Span};
+//!
+//! // Example 2 of the paper: a laptop seen at the exit with no superuser
+//! // within 5 seconds.
+//! let laptop = EventExpr::observation_at("r4").with_type("laptop");
+//! let superuser = EventExpr::observation_at("r4").with_type("superuser");
+//! let alert = laptop.and(superuser.not()).within(Span::from_secs(5));
+//! assert_eq!(alert.to_string(), "WITHIN((obs(r='r4', type='laptop') ∧ ¬obs(r='r4', type='superuser')), 5sec)");
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use rfid_epc::Epc;
+
+use crate::catalog::Catalog;
+use crate::observation::Observation;
+use crate::time::Span;
+
+/// A named variable binding a primitive attribute, used for instance-level
+/// correlation across constituents (Rule 1: the two observations must share
+/// `r` and `o`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(Arc::from(name.as_ref()))
+    }
+
+    /// The variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(value: &str) -> Self {
+        Self::new(value)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Which readers a primitive pattern accepts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReaderSel {
+    /// Any reader.
+    Any,
+    /// The reader registered under this name (§2.1 default: "a group with the
+    /// reader itself").
+    Named(Arc<str>),
+    /// Any reader with `group(r)` equal to this group.
+    Group(Arc<str>),
+}
+
+/// Which objects a primitive pattern accepts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ObjectSel {
+    /// Any object.
+    Any,
+    /// Exactly this EPC.
+    Exact(Epc),
+    /// Any object with `type(o)` equal to this type.
+    Type(Arc<str>),
+}
+
+/// A primitive event type: a predicate over observations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrimitivePattern {
+    /// Reader predicate.
+    pub reader: ReaderSel,
+    /// Object predicate.
+    pub object: ObjectSel,
+    /// Variable bound to the reader, for correlation.
+    pub reader_var: Option<Var>,
+    /// Variable bound to the object, for correlation.
+    pub object_var: Option<Var>,
+}
+
+impl PrimitivePattern {
+    /// A pattern accepting every observation.
+    pub fn any() -> Self {
+        Self { reader: ReaderSel::Any, object: ObjectSel::Any, reader_var: None, object_var: None }
+    }
+
+    /// Whether an observation satisfies the reader and object predicates.
+    /// Variables do not constrain a single observation; they constrain
+    /// *pairs* and are enforced by the engine's correlation machinery.
+    pub fn matches(&self, obs: &Observation, catalog: &Catalog) -> bool {
+        let reader_ok = match &self.reader {
+            ReaderSel::Any => true,
+            ReaderSel::Named(name) => catalog
+                .readers
+                .def(obs.reader)
+                .is_some_and(|d| *d.name == **name),
+            ReaderSel::Group(group) => catalog.readers.in_group(obs.reader, group),
+        };
+        if !reader_ok {
+            return false;
+        }
+        match &self.object {
+            ObjectSel::Any => true,
+            ObjectSel::Exact(epc) => obs.object == *epc,
+            ObjectSel::Type(ty) => catalog.types.is_type(obs.object, ty),
+        }
+    }
+}
+
+impl fmt::Display for PrimitivePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        match &self.reader {
+            ReaderSel::Any => {}
+            ReaderSel::Named(n) => parts.push(format!("r='{n}'")),
+            ReaderSel::Group(g) => parts.push(format!("group='{g}'")),
+        }
+        match &self.object {
+            ObjectSel::Any => {}
+            ObjectSel::Exact(e) => parts.push(format!("o={e}")),
+            ObjectSel::Type(t) => parts.push(format!("type='{t}'")),
+        }
+        if let Some(v) = &self.reader_var {
+            parts.push(format!("r→{v}"));
+        }
+        if let Some(v) = &self.object_var {
+            parts.push(format!("o→{v}"));
+        }
+        write!(f, "obs({})", parts.join(", "))
+    }
+}
+
+/// An RFID event type: the algebra of §2.2.
+///
+/// `Eq`/`Hash` are structural, which is exactly what the engine's
+/// common-subgraph merging needs: two rules mentioning the same sub-event
+/// share one detection node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventExpr {
+    /// A primitive observation pattern.
+    Primitive(PrimitivePattern),
+    /// `E1 ∨ E2` — either occurs.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// `E1 ∧ E2` — both occur, any order.
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// `¬E` — no instance of `E` occurs (non-spontaneous).
+    Not(Box<EventExpr>),
+    /// `E1 ; E2` — `E2` occurs after `E1` has occurred.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// `TSEQ(E1; E2, τl, τu)` — sequence with `τl ≤ dist(e1, e2) ≤ τu`.
+    TSeq {
+        /// Initiator.
+        first: Box<EventExpr>,
+        /// Terminator.
+        second: Box<EventExpr>,
+        /// Minimum distance `τl`.
+        min_dist: Span,
+        /// Maximum distance `τu`.
+        max_dist: Span,
+    },
+    /// `SEQ+(E)` — one or more occurrences of `E` (non-spontaneous).
+    SeqPlus(Box<EventExpr>),
+    /// `TSEQ+(E, τl, τu)` — one or more occurrences with every adjacent gap
+    /// in `[τl, τu]`.
+    TSeqPlus {
+        /// Repeated event.
+        inner: Box<EventExpr>,
+        /// Minimum adjacent gap `τl`.
+        min_gap: Span,
+        /// Maximum adjacent gap `τu`.
+        max_gap: Span,
+    },
+    /// `WITHIN(E, τ)` — an instance of `E` with `interval(e) ≤ τ`.
+    Within {
+        /// Constrained event.
+        inner: Box<EventExpr>,
+        /// Maximum interval `τ`.
+        window: Span,
+    },
+}
+
+/// Builder for primitive patterns; finished implicitly because it derefs into
+/// an [`EventExpr`] wherever one is expected via `From`.
+#[derive(Debug, Clone)]
+pub struct ObservationBuilder(PrimitivePattern);
+
+impl ObservationBuilder {
+    /// Restricts to objects of a `type(o)` class.
+    pub fn with_type(mut self, ty: &str) -> Self {
+        self.0.object = ObjectSel::Type(Arc::from(ty));
+        self
+    }
+
+    /// Restricts to one exact object EPC.
+    pub fn with_object(mut self, epc: Epc) -> Self {
+        self.0.object = ObjectSel::Exact(epc);
+        self
+    }
+
+    /// Binds the reader attribute to a correlation variable.
+    pub fn bind_reader(mut self, var: impl Into<Var>) -> Self {
+        self.0.reader_var = Some(var.into());
+        self
+    }
+
+    /// Binds the object attribute to a correlation variable.
+    pub fn bind_object(mut self, var: impl Into<Var>) -> Self {
+        self.0.object_var = Some(var.into());
+        self
+    }
+
+    /// Finishes into an expression.
+    pub fn build(self) -> EventExpr {
+        EventExpr::Primitive(self.0)
+    }
+}
+
+impl From<ObservationBuilder> for EventExpr {
+    fn from(value: ObservationBuilder) -> Self {
+        value.build()
+    }
+}
+
+macro_rules! forward_combinators {
+    () => {
+        /// `self ∨ other`.
+        pub fn or(self, other: impl Into<EventExpr>) -> EventExpr {
+            EventExpr::Or(Box::new(self.into()), Box::new(other.into()))
+        }
+
+        /// `self ∧ other`.
+        pub fn and(self, other: impl Into<EventExpr>) -> EventExpr {
+            EventExpr::And(Box::new(self.into()), Box::new(other.into()))
+        }
+
+        /// `¬self`.
+        #[allow(clippy::should_implement_trait)] // deliberate: ¬ in the algebra
+        pub fn not(self) -> EventExpr {
+            EventExpr::Not(Box::new(self.into()))
+        }
+
+        /// `self ; other`.
+        pub fn seq(self, other: impl Into<EventExpr>) -> EventExpr {
+            EventExpr::Seq(Box::new(self.into()), Box::new(other.into()))
+        }
+
+        /// `TSEQ(self; other, min_dist, max_dist)`.
+        pub fn tseq(self, other: impl Into<EventExpr>, min_dist: Span, max_dist: Span) -> EventExpr {
+            assert!(min_dist <= max_dist, "TSEQ bounds reversed");
+            EventExpr::TSeq {
+                first: Box::new(self.into()),
+                second: Box::new(other.into()),
+                min_dist,
+                max_dist,
+            }
+        }
+
+        /// `SEQ+(self)`.
+        pub fn seq_plus(self) -> EventExpr {
+            EventExpr::SeqPlus(Box::new(self.into()))
+        }
+
+        /// `TSEQ+(self, min_gap, max_gap)`.
+        pub fn tseq_plus(self, min_gap: Span, max_gap: Span) -> EventExpr {
+            assert!(min_gap <= max_gap, "TSEQ+ bounds reversed");
+            EventExpr::TSeqPlus { inner: Box::new(self.into()), min_gap, max_gap }
+        }
+
+        /// `WITHIN(self, window)`.
+        pub fn within(self, window: Span) -> EventExpr {
+            EventExpr::Within { inner: Box::new(self.into()), window }
+        }
+    };
+}
+
+impl ObservationBuilder {
+    forward_combinators!();
+}
+
+impl EventExpr {
+    /// Starts a primitive pattern matching any observation.
+    pub fn observation() -> ObservationBuilder {
+        ObservationBuilder(PrimitivePattern::any())
+    }
+
+    /// Starts a primitive pattern for a named reader
+    /// (`observation('r1', o, t)`).
+    pub fn observation_at(reader: &str) -> ObservationBuilder {
+        let mut p = PrimitivePattern::any();
+        p.reader = ReaderSel::Named(Arc::from(reader));
+        ObservationBuilder(p)
+    }
+
+    /// Starts a primitive pattern for a reader group
+    /// (`observation(r, o, t), group(r)='g1'`).
+    pub fn observation_in_group(group: &str) -> ObservationBuilder {
+        let mut p = PrimitivePattern::any();
+        p.reader = ReaderSel::Group(Arc::from(group));
+        ObservationBuilder(p)
+    }
+
+    /// `ALL(E1, …, En)` — all occur, any order. §2.2 defines it as sugar for
+    /// the conjunction chain `E1 ∧ E2 ∧ … ∧ En`, which is exactly how it
+    /// compiles (left-leaning), so `ALL` sub-events merge with equivalent
+    /// `AND` chains in the graph.
+    ///
+    /// # Panics
+    /// Panics on an empty list — `ALL()` has no meaning.
+    pub fn all<I>(events: I) -> EventExpr
+    where
+        I: IntoIterator,
+        I::Item: Into<EventExpr>,
+    {
+        let mut iter = events.into_iter();
+        let first = iter.next().expect("ALL of no events").into();
+        iter.fold(first, |acc, e| acc.and(e))
+    }
+
+    forward_combinators!();
+
+    /// Visits every primitive pattern, left to right.
+    pub fn for_each_primitive<'a>(&'a self, f: &mut impl FnMut(&'a PrimitivePattern)) {
+        match self {
+            EventExpr::Primitive(p) => f(p),
+            EventExpr::Or(a, b) | EventExpr::And(a, b) | EventExpr::Seq(a, b) => {
+                a.for_each_primitive(f);
+                b.for_each_primitive(f);
+            }
+            EventExpr::TSeq { first, second, .. } => {
+                first.for_each_primitive(f);
+                second.for_each_primitive(f);
+            }
+            EventExpr::Not(x) | EventExpr::SeqPlus(x) => x.for_each_primitive(f),
+            EventExpr::TSeqPlus { inner, .. } | EventExpr::Within { inner, .. } => {
+                inner.for_each_primitive(f)
+            }
+        }
+    }
+
+    /// Number of primitive patterns (leaf count).
+    pub fn primitive_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_primitive(&mut |_| n += 1);
+        n
+    }
+
+    /// Depth of the expression tree (a primitive has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            EventExpr::Primitive(_) => 1,
+            EventExpr::Or(a, b) | EventExpr::And(a, b) | EventExpr::Seq(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+            EventExpr::TSeq { first, second, .. } => 1 + first.depth().max(second.depth()),
+            EventExpr::Not(x) | EventExpr::SeqPlus(x) => 1 + x.depth(),
+            EventExpr::TSeqPlus { inner, .. } | EventExpr::Within { inner, .. } => 1 + inner.depth(),
+        }
+    }
+
+    /// Whether the expression contains a non-spontaneous constructor
+    /// (`NOT`, `SEQ+`, or `TSEQ+`) anywhere.
+    pub fn has_non_spontaneous(&self) -> bool {
+        match self {
+            EventExpr::Primitive(_) => false,
+            EventExpr::Not(_) | EventExpr::SeqPlus(_) | EventExpr::TSeqPlus { .. } => true,
+            EventExpr::Or(a, b) | EventExpr::And(a, b) | EventExpr::Seq(a, b) => {
+                a.has_non_spontaneous() || b.has_non_spontaneous()
+            }
+            EventExpr::TSeq { first, second, .. } => {
+                first.has_non_spontaneous() || second.has_non_spontaneous()
+            }
+            EventExpr::Within { inner, .. } => inner.has_non_spontaneous(),
+        }
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::Primitive(p) => write!(f, "{p}"),
+            EventExpr::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            EventExpr::And(a, b) => write!(f, "({a} ∧ {b})"),
+            EventExpr::Not(x) => write!(f, "¬{x}"),
+            EventExpr::Seq(a, b) => write!(f, "({a} ; {b})"),
+            EventExpr::TSeq { first, second, min_dist, max_dist } => {
+                write!(f, "TSEQ({first}; {second}, {min_dist}, {max_dist})")
+            }
+            EventExpr::SeqPlus(x) => write!(f, "SEQ+({x})"),
+            EventExpr::TSeqPlus { inner, min_gap, max_gap } => {
+                write!(f, "TSEQ+({inner}, {min_gap}, {max_gap})")
+            }
+            EventExpr::Within { inner, window } => write!(f, "WITHIN({inner}, {window})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::Gid96;
+    use rfid_epc::ReaderId;
+    use crate::time::Timestamp;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.readers.register("r1", "g1", "dock-a");
+        cat.readers.register("r2", "g1", "dock-b");
+        cat.readers.register("r4", "exit", "exit");
+        cat.types.map_class_of(Gid96::new(9, 1, 0).unwrap().into(), "laptop");
+        cat
+    }
+
+    fn laptop(serial: u64) -> Epc {
+        Gid96::new(9, 1, serial).unwrap().into()
+    }
+
+    fn pallet(serial: u64) -> Epc {
+        Gid96::new(9, 2, serial).unwrap().into()
+    }
+
+    #[test]
+    fn named_reader_pattern() {
+        let cat = catalog();
+        let p = match EventExpr::observation_at("r1").build() {
+            EventExpr::Primitive(p) => p,
+            _ => unreachable!(),
+        };
+        let at_r1 = Observation::new(ReaderId(0), laptop(1), Timestamp::ZERO);
+        let at_r2 = Observation::new(ReaderId(1), laptop(1), Timestamp::ZERO);
+        assert!(p.matches(&at_r1, &cat));
+        assert!(!p.matches(&at_r2, &cat));
+    }
+
+    #[test]
+    fn group_pattern_spans_readers() {
+        let cat = catalog();
+        let p = match EventExpr::observation_in_group("g1").build() {
+            EventExpr::Primitive(p) => p,
+            _ => unreachable!(),
+        };
+        assert!(p.matches(&Observation::new(ReaderId(0), laptop(1), Timestamp::ZERO), &cat));
+        assert!(p.matches(&Observation::new(ReaderId(1), laptop(1), Timestamp::ZERO), &cat));
+        assert!(!p.matches(&Observation::new(ReaderId(2), laptop(1), Timestamp::ZERO), &cat));
+    }
+
+    #[test]
+    fn type_pattern_uses_catalog() {
+        let cat = catalog();
+        let p = match EventExpr::observation().with_type("laptop").build() {
+            EventExpr::Primitive(p) => p,
+            _ => unreachable!(),
+        };
+        assert!(p.matches(&Observation::new(ReaderId(0), laptop(7), Timestamp::ZERO), &cat));
+        assert!(!p.matches(&Observation::new(ReaderId(0), pallet(7), Timestamp::ZERO), &cat));
+    }
+
+    #[test]
+    fn exact_object_pattern() {
+        let cat = catalog();
+        let p = match EventExpr::observation().with_object(laptop(42)).build() {
+            EventExpr::Primitive(p) => p,
+            _ => unreachable!(),
+        };
+        assert!(p.matches(&Observation::new(ReaderId(0), laptop(42), Timestamp::ZERO), &cat));
+        assert!(!p.matches(&Observation::new(ReaderId(0), laptop(43), Timestamp::ZERO), &cat));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let e = EventExpr::observation_at("r1")
+            .tseq_plus(Span::from_millis(100), Span::from_secs(1))
+            .tseq(
+                EventExpr::observation_at("r2"),
+                Span::from_secs(10),
+                Span::from_secs(20),
+            );
+        assert_eq!(
+            e.to_string(),
+            "TSEQ(TSEQ+(obs(r='r1'), 0.100sec, 1sec); obs(r='r2'), 10sec, 20sec)"
+        );
+    }
+
+    #[test]
+    fn structural_equality_enables_merging() {
+        let a = EventExpr::observation_at("r1").seq(EventExpr::observation_at("r2"));
+        let b = EventExpr::observation_at("r1").seq(EventExpr::observation_at("r2"));
+        let c = EventExpr::observation_at("r2").seq(EventExpr::observation_at("r1"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |e: &EventExpr| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn traversal_and_metrics() {
+        let e = EventExpr::observation_at("r1")
+            .and(EventExpr::observation_at("r4").with_type("superuser").not())
+            .within(Span::from_secs(5));
+        assert_eq!(e.primitive_count(), 2);
+        assert_eq!(e.depth(), 4);
+        assert!(e.has_non_spontaneous());
+
+        let plain = EventExpr::observation_at("r1").seq(EventExpr::observation_at("r2"));
+        assert!(!plain.has_non_spontaneous());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds reversed")]
+    fn tseq_rejects_reversed_bounds() {
+        let _ = EventExpr::observation_at("r1").tseq(
+            EventExpr::observation_at("r2"),
+            Span::from_secs(10),
+            Span::from_secs(5),
+        );
+    }
+
+    #[test]
+    fn all_expands_to_and_chain() {
+        let e = EventExpr::all([
+            EventExpr::observation_at("r1").build(),
+            EventExpr::observation_at("r2").build(),
+            EventExpr::observation_at("r3").build(),
+        ]);
+        let chain = EventExpr::observation_at("r1")
+            .and(EventExpr::observation_at("r2"))
+            .and(EventExpr::observation_at("r3"));
+        assert_eq!(e, chain);
+
+        let single = EventExpr::all([EventExpr::observation_at("r1").build()]);
+        assert_eq!(single, EventExpr::observation_at("r1").build());
+    }
+
+    #[test]
+    #[should_panic(expected = "ALL of no events")]
+    fn all_of_nothing_panics() {
+        let _ = EventExpr::all(Vec::<EventExpr>::new());
+    }
+
+    #[test]
+    fn variables_bind() {
+        let e = EventExpr::observation().bind_reader("r").bind_object("o").build();
+        match e {
+            EventExpr::Primitive(p) => {
+                assert_eq!(p.reader_var.unwrap().name(), "r");
+                assert_eq!(p.object_var.unwrap().name(), "o");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Event instances and the functions of Fig. 3.
+//!
+//! An *instance* is one concrete occurrence of an event type. Primitive
+//! instances wrap a single [`Observation`]; composite instances record which
+//! constituent instances produced them (needed by rule actions such as Rule
+//! 4's `BULK INSERT`, which iterates the items of a detected sequence); and
+//! *absence* instances witness the non-occurrence of a negated event over a
+//! window — they carry no observations but do carry the window as their
+//! `[t_begin, t_end]`.
+//!
+//! Children are shared via [`Arc`], so a sequence instance of 10,000 items
+//! costs pointers, not copies, when it flows up a multi-level event graph.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::observation::Observation;
+use crate::time::{Span, Timestamp};
+
+/// What kind of occurrence an instance is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// A primitive reader observation.
+    Observation(Observation),
+    /// A complex event occurrence; `op` names the constructor that produced
+    /// it (e.g. `"TSEQ+"`), `children` are its constituent instances in
+    /// detection order.
+    Composite {
+        /// Constructor name, for diagnostics.
+        op: &'static str,
+        /// Constituents in detection order.
+        children: Vec<Arc<Instance>>,
+    },
+    /// A witnessed non-occurrence: "no instance of the negated event in
+    /// `[t_begin, t_end]`".
+    Absence,
+}
+
+/// One concrete occurrence of an event type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    t_begin: Timestamp,
+    t_end: Timestamp,
+    kind: InstanceKind,
+}
+
+impl Instance {
+    /// Wraps a primitive observation: instantaneous, `t_begin = t_end = t`.
+    pub fn observation(obs: Observation) -> Self {
+        Self { t_begin: obs.at, t_end: obs.at, kind: InstanceKind::Observation(obs) }
+    }
+
+    /// Builds a composite occurrence over `children`, spanning from the
+    /// earliest child begin to the latest child end.
+    ///
+    /// # Panics
+    /// Panics if `children` is empty — a composite occurrence must have
+    /// constituents; an empty detection is an engine bug.
+    pub fn composite(op: &'static str, children: Vec<Arc<Instance>>) -> Self {
+        assert!(!children.is_empty(), "composite instance with no constituents");
+        let t_begin = children.iter().map(|c| c.t_begin).min().expect("non-empty");
+        let t_end = children.iter().map(|c| c.t_end).max().expect("non-empty");
+        Self { t_begin, t_end, kind: InstanceKind::Composite { op, children } }
+    }
+
+    /// Witnesses non-occurrence over `[from, to]`.
+    pub fn absence(from: Timestamp, to: Timestamp) -> Self {
+        assert!(from <= to, "absence window reversed");
+        Self { t_begin: from, t_end: to, kind: InstanceKind::Absence }
+    }
+
+    /// `t_begin(e)` — the starting time.
+    pub fn t_begin(&self) -> Timestamp {
+        self.t_begin
+    }
+
+    /// `t_end(e)` — the ending time.
+    pub fn t_end(&self) -> Timestamp {
+        self.t_end
+    }
+
+    /// `interval(e) = t_end(e) - t_begin(e)`.
+    pub fn interval(&self) -> Span {
+        self.t_end - self.t_begin
+    }
+
+    /// The kind of occurrence.
+    pub fn kind(&self) -> &InstanceKind {
+        &self.kind
+    }
+
+    /// Whether this is an absence witness.
+    pub fn is_absence(&self) -> bool {
+        matches!(self.kind, InstanceKind::Absence)
+    }
+
+    /// Direct children of a composite; empty for primitives and absences.
+    pub fn children(&self) -> &[Arc<Instance>] {
+        match &self.kind {
+            InstanceKind::Composite { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// All primitive observations under this instance, depth-first in
+    /// detection order. This is the binding set rule actions operate over.
+    pub fn observations(&self) -> Vec<Observation> {
+        let mut out = Vec::new();
+        self.collect_observations(&mut out);
+        out
+    }
+
+    fn collect_observations(&self, out: &mut Vec<Observation>) {
+        match &self.kind {
+            InstanceKind::Observation(obs) => out.push(*obs),
+            InstanceKind::Composite { children, .. } => {
+                for child in children {
+                    child.collect_observations(out);
+                }
+            }
+            InstanceKind::Absence => {}
+        }
+    }
+
+    /// Number of primitive observations under this instance.
+    pub fn primitive_count(&self) -> usize {
+        match &self.kind {
+            InstanceKind::Observation(_) => 1,
+            InstanceKind::Composite { children, .. } => {
+                children.iter().map(|c| c.primitive_count()).sum()
+            }
+            InstanceKind::Absence => 0,
+        }
+    }
+}
+
+/// `dist(e1, e2) = t_end(e2) - t_end(e1)`, signed: negative when `e2` ended
+/// before `e1`.
+pub fn dist(e1: &Instance, e2: &Instance) -> i64 {
+    e2.t_end().signed_delta(e1.t_end())
+}
+
+/// Pairwise `interval(e1, e2) = max(t_end) - min(t_begin)` — the total window
+/// two instances jointly cover.
+pub fn interval2(e1: &Instance, e2: &Instance) -> Span {
+    let end = e1.t_end().max(e2.t_end());
+    let begin = e1.t_begin().min(e2.t_begin());
+    end - begin
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            InstanceKind::Observation(obs) => write!(f, "{obs}"),
+            InstanceKind::Composite { op, children } => {
+                write!(f, "{op}[{}..{}]({} constituents)", self.t_begin, self.t_end, children.len())
+            }
+            InstanceKind::Absence => write!(f, "absence[{}..{}]", self.t_begin, self.t_end),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::{Gid96, ReaderId};
+
+    fn obs_at(ms: u64) -> Instance {
+        Instance::observation(Observation::new(
+            ReaderId(1),
+            Gid96::new(1, 1, ms).unwrap().into(),
+            Timestamp::from_millis(ms),
+        ))
+    }
+
+    #[test]
+    fn primitive_is_instantaneous() {
+        let e = obs_at(5000);
+        assert_eq!(e.t_begin(), e.t_end());
+        assert_eq!(e.interval(), Span::ZERO);
+        assert_eq!(e.primitive_count(), 1);
+    }
+
+    #[test]
+    fn composite_spans_children() {
+        let e = Instance::composite(
+            "SEQ",
+            vec![Arc::new(obs_at(1000)), Arc::new(obs_at(3000)), Arc::new(obs_at(2000))],
+        );
+        assert_eq!(e.t_begin(), Timestamp::from_secs(1));
+        assert_eq!(e.t_end(), Timestamp::from_secs(3));
+        assert_eq!(e.interval(), Span::from_secs(2));
+        assert_eq!(e.primitive_count(), 3);
+    }
+
+    #[test]
+    fn nested_observation_traversal_preserves_order() {
+        let inner = Instance::composite("SEQ+", vec![Arc::new(obs_at(100)), Arc::new(obs_at(200))]);
+        let outer = Instance::composite("SEQ", vec![Arc::new(inner), Arc::new(obs_at(900))]);
+        let times: Vec<u64> = outer.observations().iter().map(|o| o.at.as_millis()).collect();
+        assert_eq!(times, vec![100, 200, 900]);
+    }
+
+    #[test]
+    fn fig3_functions() {
+        // Two instances as in Fig. 3: e1 = [1s, 3s], e2 = [2s, 5s].
+        let e1 = Instance::composite("AND", vec![Arc::new(obs_at(1000)), Arc::new(obs_at(3000))]);
+        let e2 = Instance::composite("AND", vec![Arc::new(obs_at(2000)), Arc::new(obs_at(5000))]);
+        assert_eq!(dist(&e1, &e2), 2000);
+        assert_eq!(dist(&e2, &e1), -2000);
+        assert_eq!(interval2(&e1, &e2), Span::from_secs(4));
+        assert_eq!(interval2(&e2, &e1), Span::from_secs(4));
+    }
+
+    #[test]
+    fn absence_carries_window_but_no_observations() {
+        let a = Instance::absence(Timestamp::from_secs(20), Timestamp::from_secs(30));
+        assert!(a.is_absence());
+        assert_eq!(a.interval(), Span::from_secs(10));
+        assert!(a.observations().is_empty());
+        assert_eq!(a.primitive_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no constituents")]
+    fn empty_composite_panics() {
+        let _ = Instance::composite("AND", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_absence_panics() {
+        let _ = Instance::absence(Timestamp::from_secs(2), Timestamp::from_secs(1));
+    }
+}

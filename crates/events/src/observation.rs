@@ -1,0 +1,80 @@
+//! The primitive event: `observation(r, o, t)`.
+//!
+//! "Primitive events in RFID applications are events generated during the
+//! interaction between readers and tagged objects" (§2.1). An observation is
+//! instantaneous (`t_begin = t_end = t`) and atomic. Everything else in the
+//! system is built from these.
+
+use rfid_epc::{Epc, ReaderId};
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// A single reader observation — the only primitive event in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Observation {
+    /// The observing reader (`r`).
+    pub reader: ReaderId,
+    /// The observed object (`o`).
+    pub object: Epc,
+    /// When the observation was made (`t`).
+    pub at: Timestamp,
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub fn new(reader: ReaderId, object: Epc, at: Timestamp) -> Self {
+        Self { reader, object, at }
+    }
+}
+
+impl std::fmt::Display for Observation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "observation({}, {}, {})", self.reader, self.object, self.at)
+    }
+}
+
+/// Orders observations by time, then reader, then object — the canonical
+/// stream order. Readers stamping the same millisecond tie-break
+/// deterministically so replays are reproducible.
+impl PartialOrd for Observation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Observation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.reader, self.object).cmp(&(other.at, other.reader, other.object))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::Gid96;
+
+    fn obs(reader: u32, serial: u64, ms: u64) -> Observation {
+        Observation::new(
+            ReaderId(reader),
+            Gid96::new(1, 1, serial).unwrap().into(),
+            Timestamp::from_millis(ms),
+        )
+    }
+
+    #[test]
+    fn stream_order_is_time_major() {
+        let mut v = [obs(2, 1, 50), obs(1, 2, 50), obs(9, 9, 10)];
+        v.sort();
+        assert_eq!(v[0].at, Timestamp::from_millis(10));
+        assert_eq!(v[1].reader, ReaderId(1), "same time ties break by reader");
+        assert_eq!(v[2].reader, ReaderId(2));
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        let text = obs(1, 7, 5000).to_string();
+        assert!(text.starts_with("observation(reader#1, "), "{text}");
+        assert!(text.ends_with("t=5sec)"), "{text}");
+    }
+}

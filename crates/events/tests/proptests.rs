@@ -1,0 +1,75 @@
+//! Property tests over the time and instance layers.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rfid_epc::{Gid96, ReaderId};
+use rfid_events::{dist, interval2, Instance, Observation, Span, Timestamp};
+
+fn obs(ms: u64) -> Instance {
+    Instance::observation(Observation::new(
+        ReaderId(0),
+        Gid96::new(1, 1, ms).unwrap().into(),
+        Timestamp::from_millis(ms),
+    ))
+}
+
+fn composite(times: Vec<u64>) -> Instance {
+    Instance::composite("AND", times.into_iter().map(|t| Arc::new(obs(t))).collect())
+}
+
+proptest! {
+    /// Spans survive a display → parse round trip.
+    #[test]
+    fn span_display_parse_roundtrip(ms in 0u64..10_000_000) {
+        let span = Span::from_millis(ms);
+        let parsed: Span = span.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, span);
+    }
+
+    /// `dist` is antisymmetric, `interval(e1,e2)` symmetric — Fig. 3's
+    /// functions behave like the definitions demand.
+    #[test]
+    fn fig3_function_laws(a in prop::collection::vec(0u64..100_000, 1..6),
+                          b in prop::collection::vec(0u64..100_000, 1..6)) {
+        let e1 = composite(a);
+        let e2 = composite(b);
+        prop_assert_eq!(dist(&e1, &e2), -dist(&e2, &e1));
+        prop_assert_eq!(interval2(&e1, &e2), interval2(&e2, &e1));
+        // The joint window contains both instances' own intervals.
+        prop_assert!(interval2(&e1, &e2) >= e1.interval());
+        prop_assert!(interval2(&e1, &e2) >= e2.interval());
+    }
+
+    /// Composite instances span exactly their children, and the observation
+    /// traversal preserves child order and multiplicity.
+    #[test]
+    fn composite_structure(times in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let inst = composite(times.clone());
+        let min = *times.iter().min().unwrap();
+        let max = *times.iter().max().unwrap();
+        prop_assert_eq!(inst.t_begin(), Timestamp::from_millis(min));
+        prop_assert_eq!(inst.t_end(), Timestamp::from_millis(max));
+        prop_assert_eq!(inst.primitive_count(), times.len());
+        let collected: Vec<u64> =
+            inst.observations().iter().map(|o| o.at.as_millis()).collect();
+        prop_assert_eq!(collected, times);
+    }
+
+    /// Timestamp arithmetic is consistent: (t + s) - t == s and
+    /// saturating ops never wrap.
+    #[test]
+    fn timestamp_arithmetic(ms in 0u64..u64::MAX / 4, s in 0u64..u64::MAX / 4) {
+        let t = Timestamp::from_millis(ms);
+        let span = Span::from_millis(s);
+        prop_assert_eq!((t + span) - t, span);
+        prop_assert!(t.saturating_sub(span) <= t);
+        prop_assert!(t.saturating_add(span) >= t);
+    }
+
+    /// Span parsing never panics on arbitrary input.
+    #[test]
+    fn span_parse_is_total(text in ".{0,40}") {
+        let _ = text.parse::<Span>();
+    }
+}

@@ -1,0 +1,382 @@
+//! The rule runtime: scripts in, transformed data out.
+//!
+//! [`RuleRuntime`] ties the pieces together: it parses a script, compiles
+//! each rule's event into the RCEDA engine, and — on every firing — binds
+//! variables, evaluates the condition, and executes the actions against the
+//! embedded [`Database`] and the [`Procedures`] registry. This is the
+//! complete loop of Fig. 2: observations in, semantic data and messages out.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rceda::{Engine, EngineConfig, RuleId};
+use rfid_events::{Catalog, Observation, Timestamp};
+use rfid_store::{Database, Value};
+
+use crate::actions::{execute, ActionError};
+use crate::ast::{CondAst, EventAst, RuleDecl};
+use crate::bind::{bind, BindError};
+use crate::compile::{build_defines, compile_event, resolve_aliases, CompileError};
+use crate::cond::eval_cond;
+use crate::parser::{parse_script, ParseError};
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Script text did not parse.
+    Parse(ParseError),
+    /// An event did not compile.
+    Compile(CompileError),
+    /// The engine rejected the rule (§4.4 invalid rule).
+    Invalid(rceda::InvalidRule),
+    /// A firing could not bind its variables.
+    Bind(BindError),
+    /// An action failed.
+    Action(ActionError),
+    /// A rule id was declared twice (§3 requires unique ids).
+    DuplicateRuleId(String),
+    /// `DROP RULE` named a rule that was never created.
+    UnknownRuleId(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Compile(e) => write!(f, "{e}"),
+            Self::Invalid(e) => write!(f, "{e}"),
+            Self::Bind(e) => write!(f, "{e}"),
+            Self::Action(e) => write!(f, "{e}"),
+            Self::DuplicateRuleId(id) => write!(f, "duplicate rule id `{id}`"),
+            Self::UnknownRuleId(id) => write!(f, "no rule with id `{id}` to drop"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ParseError> for RuntimeError {
+    fn from(value: ParseError) -> Self {
+        Self::Parse(value)
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(value: CompileError) -> Self {
+        Self::Compile(value)
+    }
+}
+
+impl From<rceda::InvalidRule> for RuntimeError {
+    fn from(value: rceda::InvalidRule) -> Self {
+        Self::Invalid(value)
+    }
+}
+
+/// Boxed procedure handler.
+pub type ProcHandler = Box<dyn FnMut(&[Value]) + Send>;
+
+/// Registry of user procedures (`send_alarm`, `send_duplicate_msg`, …).
+///
+/// Every invocation is recorded in [`Procedures::log`] regardless of whether
+/// a handler is installed, so tests and examples can assert on calls without
+/// wiring callbacks.
+#[derive(Default)]
+pub struct Procedures {
+    handlers: HashMap<String, ProcHandler>,
+    /// Chronological record of every call: `(procedure, args)`.
+    pub log: Vec<(String, Vec<Value>)>,
+}
+
+impl Procedures {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a handler for a procedure name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        handler: impl FnMut(&[Value]) + Send + 'static,
+    ) -> &mut Self {
+        self.handlers.insert(name.to_owned(), Box::new(handler));
+        self
+    }
+
+    /// Invokes a procedure: records the call, then runs the handler if any.
+    pub fn invoke(&mut self, name: &str, args: Vec<Value>) {
+        if let Some(h) = self.handlers.get_mut(name) {
+            h(&args);
+        }
+        self.log.push((name.to_owned(), args));
+    }
+
+    /// Calls logged for one procedure name.
+    pub fn calls<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a [Value]> + 'a {
+        self.log.iter().filter(move |(n, _)| n == name).map(|(_, a)| a.as_slice())
+    }
+}
+
+impl fmt::Debug for Procedures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Procedures")
+            .field("handlers", &self.handlers.keys().collect::<Vec<_>>())
+            .field("log_len", &self.log.len())
+            .finish()
+    }
+}
+
+/// One loaded rule with everything a firing needs.
+struct CompiledRule {
+    decl: RuleDecl,
+    /// Alias-free event AST (for variable binding).
+    event: EventAst,
+}
+
+/// The complete rule-processing runtime.
+pub struct RuleRuntime {
+    engine: Engine,
+    /// The engine owns one catalog copy for matching; the runtime keeps
+    /// another for binding/conditions/actions while the engine is borrowed.
+    catalog: Catalog,
+    db: Database,
+    procs: Procedures,
+    rules: Vec<CompiledRule>,
+    defines: HashMap<String, EventAst>,
+    errors: Vec<RuntimeError>,
+}
+
+impl RuleRuntime {
+    /// Creates a runtime over a deployment catalog, with the standard RFID
+    /// tables provisioned.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_parts(catalog, Database::rfid(), EngineConfig::default())
+    }
+
+    /// Creates a runtime with a custom database and engine configuration.
+    pub fn with_parts(catalog: Catalog, db: Database, config: EngineConfig) -> Self {
+        Self {
+            engine: Engine::new(catalog.clone(), config),
+            catalog,
+            db,
+            procs: Procedures::new(),
+            rules: Vec::new(),
+            defines: HashMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Parses and loads a script (any number of `DEFINE`s and rules).
+    /// Returns the ids of the newly created rules, in script order.
+    /// Rule ids must be unique across everything loaded so far (§3: "the
+    /// unique id … for a rule").
+    pub fn load(&mut self, script: &str) -> Result<Vec<RuleId>, RuntimeError> {
+        let parsed = parse_script(script)?;
+        for rule in &parsed.rules {
+            let clash = self.rules.iter().any(|r| r.decl.id == rule.id)
+                || parsed.rules.iter().filter(|r| r.id == rule.id).count() > 1;
+            if clash {
+                return Err(RuntimeError::DuplicateRuleId(rule.id.clone()));
+            }
+        }
+        // New defines extend (and may shadow) earlier ones.
+        for d in &parsed.defines {
+            let resolved = resolve_aliases(&d.event, &self.defines)?;
+            self.defines.insert(d.name.clone(), resolved);
+        }
+        // Validate the batch's internal defines too.
+        let _ = build_defines(&parsed.defines)?;
+        let mut ids = Vec::new();
+        for rule in parsed.rules {
+            let event = resolve_aliases(&rule.event, &self.defines)?;
+            let expr = compile_event(&event)?;
+            let id = self.engine.add_rule(&rule.name, expr)?;
+            debug_assert_eq!(id.0 as usize, self.rules.len());
+            self.rules.push(CompiledRule { decl: rule, event });
+            ids.push(id);
+        }
+        for dropped in &parsed.drops {
+            let idx = self
+                .rules
+                .iter()
+                .position(|r| &r.decl.id == dropped)
+                .ok_or_else(|| RuntimeError::UnknownRuleId(dropped.clone()))?;
+            self.engine.set_rule_enabled(RuleId(idx as u32), false);
+        }
+        Ok(ids)
+    }
+
+    /// Enables or disables a rule by its declared id (`DROP RULE` uses the
+    /// same mechanism). Returns the previous state.
+    pub fn set_rule_enabled_by_id(
+        &mut self,
+        id: &str,
+        enabled: bool,
+    ) -> Result<bool, RuntimeError> {
+        let idx = self
+            .rules
+            .iter()
+            .position(|r| r.decl.id == id)
+            .ok_or_else(|| RuntimeError::UnknownRuleId(id.to_owned()))?;
+        Ok(self.engine.set_rule_enabled(RuleId(idx as u32), enabled))
+    }
+
+    /// Registers a procedure handler.
+    pub fn register_procedure(
+        &mut self,
+        name: &str,
+        handler: impl FnMut(&[Value]) + Send + 'static,
+    ) {
+        self.procs.register(name, handler);
+    }
+
+    /// Feeds one observation; any rule firings run their conditions and
+    /// actions immediately.
+    pub fn process(&mut self, obs: Observation) {
+        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        engine.process(obs, &mut |rule, inst| {
+            fire(rules, rule, inst, catalog, db, procs, errors);
+        });
+    }
+
+    /// Feeds a whole stream and finishes it.
+    pub fn process_all<I: IntoIterator<Item = Observation>>(&mut self, stream: I) {
+        for obs in stream {
+            self.process(obs);
+        }
+        self.finish();
+    }
+
+    /// Resolves all pending windows (end of stream).
+    pub fn finish(&mut self) {
+        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        engine.finish(&mut |rule, inst| {
+            fire(rules, rule, inst, catalog, db, procs, errors);
+        });
+    }
+
+    /// Advances the clock without an observation (heartbeat).
+    pub fn advance_to(&mut self, now: Timestamp) {
+        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        engine.advance_to(now, &mut |rule, inst| {
+            fire(rules, rule, inst, catalog, db, procs, errors);
+        });
+    }
+
+    /// The data store.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The data store, mutably (seeding test fixtures).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The procedure registry (inspect `log` in tests).
+    pub fn procedures(&self) -> &Procedures {
+        &self.procs
+    }
+
+    /// The underlying engine (stats, graph inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Errors collected from firings (bad bindings, failed actions). Rule
+    /// processing continues past them.
+    pub fn errors(&self) -> &[RuntimeError] {
+        &self.errors
+    }
+
+    /// Retrospective detection (§1's history-oriented tracking): asks *new*
+    /// questions of *old* data. Builds a fresh runtime over the same
+    /// catalog, loads `script`, and replays this runtime's `OBSERVATION`
+    /// table — the filtered sightings earlier rules recorded — through it
+    /// in timestamp order. Rows naming readers absent from the catalog are
+    /// skipped. Returns the analysis runtime (inspect its store and
+    /// procedure log) and the number of skipped rows.
+    pub fn replay_observations_with(
+        &self,
+        script: &str,
+    ) -> Result<(RuleRuntime, usize), RuntimeError> {
+        let rows = self
+            .db
+            .table("OBSERVATION")
+            .map(|t| t.iter().cloned().collect::<Vec<_>>())
+            .unwrap_or_default();
+        let mut stream = Vec::with_capacity(rows.len());
+        let mut skipped = 0usize;
+        for row in rows {
+            let (Some(name), Some(object), Some(at)) =
+                (row[0].as_str(), row[1].as_epc(), row[2].as_time_or_uc())
+            else {
+                skipped += 1;
+                continue;
+            };
+            match self.catalog.reader(name) {
+                Some(reader) => stream.push(Observation::new(reader, object, at)),
+                None => skipped += 1,
+            }
+        }
+        stream.sort();
+        let mut analysis = RuleRuntime::new(self.catalog.clone());
+        analysis.load(script)?;
+        analysis.process_all(stream);
+        Ok((analysis, skipped))
+    }
+
+    /// Persists the current store state to a durable snapshot at `path`
+    /// (see [`rfid_store::DurableDatabase`]). Restart with
+    /// [`RuleRuntime::with_restored`] to continue over the same data.
+    pub fn persist(&self, path: impl Into<std::path::PathBuf>) -> Result<(), rfid_store::WalError> {
+        let durable = rfid_store::DurableDatabase::create(path, self.db.clone())?;
+        drop(durable); // create() syncs before returning
+        Ok(())
+    }
+
+    /// Builds a runtime over a store recovered from a durable snapshot/log.
+    pub fn with_restored(
+        catalog: Catalog,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, rfid_store::WalError> {
+        let durable = rfid_store::DurableDatabase::open(path)?;
+        Ok(Self::with_parts(catalog, durable.db().clone(), EngineConfig::default()))
+    }
+
+    /// Declared id/name of a rule.
+    pub fn rule_decl(&self, id: RuleId) -> Option<(&str, &str)> {
+        self.rules.get(id.0 as usize).map(|r| (r.decl.id.as_str(), r.decl.name.as_str()))
+    }
+}
+
+/// One firing: bind → condition → actions.
+fn fire(
+    rules: &[CompiledRule],
+    rule: RuleId,
+    inst: &rfid_events::Instance,
+    catalog: &Catalog,
+    db: &mut Database,
+    procs: &mut Procedures,
+    errors: &mut Vec<RuntimeError>,
+) {
+    let Some(compiled) = rules.get(rule.0 as usize) else { return };
+    let bindings = match bind(&compiled.event, inst, catalog) {
+        Ok(b) => b,
+        Err(e) => {
+            errors.push(RuntimeError::Bind(e));
+            return;
+        }
+    };
+    if compiled.decl.condition != CondAst::True
+        && !eval_cond(&compiled.decl.condition, &bindings, inst, catalog, db)
+    {
+        return;
+    }
+    for action in &compiled.decl.actions {
+        if let Err(e) = execute(action, &bindings, inst, catalog, db, procs) {
+            errors.push(RuntimeError::Action(e));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's canonical rules as ready-to-load script builders.
+//!
+//! These are the exact Rules 1–5 of §3, parameterized by reader/group names
+//! and time constants so examples, tests, and benchmarks can instantiate
+//! them against any deployment.
+
+use rfid_events::Span;
+
+/// Rule 1 — duplicate detection: the same reader seeing the same object
+/// twice within `window` marks the earlier event as a duplicate (reported
+/// via the `send_duplicate_msg` procedure).
+pub fn duplicate_detection(rule_id: &str, window: Span) -> String {
+    format!(
+        "CREATE RULE {rule_id}, duplicate_detection \
+         ON WITHIN(observation(r, o, t1); observation(r, o, t2), {window}) \
+         IF true \
+         DO send_duplicate_msg(r, o, t1)"
+    )
+}
+
+/// Rule 2 — infield filtering: an object seen by reader `r` for the first
+/// time within the bulk-read period is recorded in `OBSERVATION`.
+pub fn infield_filtering(rule_id: &str, period: Span) -> String {
+    format!(
+        "CREATE RULE {rule_id}, infield_filtering \
+         ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), {period}) \
+         IF true \
+         DO INSERT INTO OBSERVATION VALUES (r, o, t2)"
+    )
+}
+
+/// Outfield filtering (§3.1, "defined similarly by switching the order of
+/// the negated event"): an object not re-read for a full period has left
+/// the field; report it via `send_outfield_msg`.
+pub fn outfield_filtering(rule_id: &str, period: Span) -> String {
+    format!(
+        "CREATE RULE {rule_id}, outfield_filtering \
+         ON WITHIN(observation(r, o, t1); NOT observation(r, o, t2), {period}) \
+         IF true \
+         DO send_outfield_msg(r, o, t1)"
+    )
+}
+
+/// Rule 3 — location transformation: any observation by readers in `group`
+/// moves the object to the reader's location (UC close-and-append).
+pub fn location_change(rule_id: &str, group: &str) -> String {
+    format!(
+        "CREATE RULE {rule_id}, location_change \
+         ON observation(r, o, t), group(r) = '{group}' \
+         IF true \
+         DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = UC; \
+            INSERT INTO OBJECTLOCATION VALUES (o, location(r), t, UC)"
+    )
+}
+
+/// Rule 4 — containment aggregation: a gap-bounded run of item readings at
+/// `item_reader` followed (within the distance bounds) by a container
+/// reading at `container_reader` packs the items into the container.
+#[allow(clippy::too_many_arguments)]
+pub fn containment(
+    rule_id: &str,
+    item_reader: &str,
+    container_reader: &str,
+    min_gap: Span,
+    max_gap: Span,
+    min_dist: Span,
+    max_dist: Span,
+) -> String {
+    format!(
+        "DEFINE E1_{rule_id} = observation('{item_reader}', o1, t1) \
+         DEFINE E2_{rule_id} = observation('{container_reader}', o2, t2) \
+         CREATE RULE {rule_id}, containment_rule \
+         ON TSEQ(TSEQ+(E1_{rule_id}, {min_gap}, {max_gap}); E2_{rule_id}, {min_dist}, {max_dist}) \
+         IF true \
+         DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, UC)"
+    )
+}
+
+/// Rule 5 — asset monitoring: a `laptop`-typed object at `exit_reader` with
+/// no `superuser`-typed badge within `window` raises `send_alarm`.
+pub fn asset_monitoring(rule_id: &str, exit_reader: &str, window: Span) -> String {
+    format!(
+        "DEFINE EAsset_{rule_id} = observation('{exit_reader}', oa, ta), type(oa) = 'laptop' \
+         DEFINE EBadge_{rule_id} = observation('{exit_reader}', ob, tb), type(ob) = 'superuser' \
+         CREATE RULE {rule_id}, asset_monitoring \
+         ON WITHIN(EAsset_{rule_id} AND NOT EBadge_{rule_id}, {window}) \
+         IF true \
+         DO send_alarm(oa, ta)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    #[test]
+    fn every_canned_rule_parses() {
+        let w = Span::from_secs(5);
+        for script in [
+            duplicate_detection("r1", w),
+            infield_filtering("r2", Span::from_secs(30)),
+            outfield_filtering("r2b", Span::from_secs(30)),
+            location_change("r3", "dock"),
+            containment(
+                "r4",
+                "r1",
+                "r2",
+                Span::from_millis(100),
+                Span::from_secs(1),
+                Span::from_secs(10),
+                Span::from_secs(20),
+            ),
+            asset_monitoring("r5", "r4", w),
+        ] {
+            parse_script(&script).unwrap_or_else(|e| panic!("{script}\n→ {e}"));
+        }
+    }
+
+    #[test]
+    fn rule_ids_keep_defines_distinct() {
+        // Two containment rules in one script must not collide on aliases.
+        let a = containment(
+            "c1",
+            "r1",
+            "r2",
+            Span::from_millis(100),
+            Span::from_secs(1),
+            Span::from_secs(10),
+            Span::from_secs(20),
+        );
+        let b = containment(
+            "c2",
+            "r3",
+            "r4",
+            Span::from_millis(100),
+            Span::from_secs(1),
+            Span::from_secs(10),
+            Span::from_secs(20),
+        );
+        let script = format!("{a} {b}");
+        let parsed = parse_script(&script).unwrap();
+        assert_eq!(parsed.defines.len(), 4);
+        assert_eq!(parsed.rules.len(), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! Lexer for the rule language.
+//!
+//! Keywords are case-insensitive (`CREATE RULE` and `create rule` both
+//! work); identifiers keep their case. `--` starts a line comment. Strings
+//! accept single or double quotes. Durations are lexed as a number followed
+//! by a unit identifier and combined by the parser.
+
+use std::fmt;
+
+use rfid_events::Span;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// Quoted string literal (quotes stripped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Duration literal (`0.1 sec`, `5sec`, `10 min`).
+    Duration(Span),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+` (as in `SEQ+`)
+    Plus,
+    /// `∧` (AND)
+    Wedge,
+    /// `∨` (OR)
+    Vee,
+    /// `¬` (NOT)
+    Neg,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Duration(d) => write!(f, "{d}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Semi => f.write_str(";"),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Wedge => f.write_str("∧"),
+            Token::Vee => f.write_str("∨"),
+            Token::Neg => f.write_str("¬"),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const DURATION_UNITS: &[&str] =
+    &["ms", "msec", "s", "sec", "secs", "second", "seconds", "m", "min", "mins", "h", "hr"];
+
+/// Tokenizes a script.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError { line, message: "stray `-`".into() });
+                }
+            }
+            '(' => push_simple(&mut out, &mut chars, Token::LParen),
+            ')' => push_simple(&mut out, &mut chars, Token::RParen),
+            ',' => push_simple(&mut out, &mut chars, Token::Comma),
+            ';' => push_simple(&mut out, &mut chars, Token::Semi),
+            '+' => push_simple(&mut out, &mut chars, Token::Plus),
+            '∧' => push_simple(&mut out, &mut chars, Token::Wedge),
+            '∨' => push_simple(&mut out, &mut chars, Token::Vee),
+            '¬' => push_simple(&mut out, &mut chars, Token::Neg),
+            '=' => push_simple(&mut out, &mut chars, Token::Eq),
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(LexError { line, message: "expected `!=`".into() });
+                }
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        out.push(Token::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        out.push(Token::Ne);
+                    }
+                    _ => out.push(Token::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(c) if c == quote => break,
+                        Some('\n') | None => {
+                            return Err(LexError { line, message: "unterminated string".into() })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Peek past whitespace for a duration unit.
+                let mut lookahead = chars.clone();
+                while lookahead.peek().is_some_and(|c| *c == ' ' || *c == '\t') {
+                    lookahead.next();
+                }
+                let mut unit = String::new();
+                while lookahead.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    unit.push(lookahead.next().expect("peeked"));
+                }
+                let unit_lc = unit.to_ascii_lowercase();
+                if DURATION_UNITS.contains(&unit_lc.as_str()) {
+                    chars = lookahead;
+                    let span: Span = format!("{num} {unit_lc}").parse().map_err(|e| LexError {
+                        line,
+                        message: format!("bad duration: {e}"),
+                    })?;
+                    out.push(Token::Duration(span));
+                } else if is_float {
+                    return Err(LexError {
+                        line,
+                        message: format!("float `{num}` without a duration unit"),
+                    });
+                } else {
+                    let value = num.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("integer `{num}` out of range"),
+                    })?;
+                    out.push(Token::Int(value));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(LexError { line, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_simple(
+    out: &mut Vec<Token>,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    tok: Token,
+) {
+    chars.next();
+    out.push(tok);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_rule_header() {
+        let toks = lex("CREATE RULE r2, duplicate_detection").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("CREATE".into()),
+                Token::Ident("RULE".into()),
+                Token::Ident("r2".into()),
+                Token::Comma,
+                Token::Ident("duplicate_detection".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_durations() {
+        let toks = lex("0.1 sec 5sec 10 min 250 msec").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Duration(Span::from_millis(100)),
+                Token::Duration(Span::from_secs(5)),
+                Token::Duration(Span::from_mins(10)),
+                Token::Duration(Span::from_millis(250)),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_int_from_duration() {
+        let toks = lex("VALUES (o, 5, 5 sec)").unwrap();
+        assert!(toks.contains(&Token::Int(5)));
+        assert!(toks.contains(&Token::Duration(Span::from_secs(5))));
+    }
+
+    #[test]
+    fn lexes_strings_both_quotes() {
+        let toks = lex(r#"'r1' "laptop""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("r1".into()), Token::Str("laptop".into())]);
+    }
+
+    #[test]
+    fn lexes_operators_and_unicode() {
+        let toks = lex("a ∧ ¬b ∨ c; d != e <= f <> g").unwrap();
+        assert!(toks.contains(&Token::Wedge));
+        assert!(toks.contains(&Token::Neg));
+        assert!(toks.contains(&Token::Vee));
+        assert!(toks.contains(&Token::Semi));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+        assert!(toks.contains(&Token::Le));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("a -- the rest is noise ∅∅\nb").unwrap();
+        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = lex("ok\n  'unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("5.5").is_err(), "float without unit");
+        assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn seq_plus_lexes_as_ident_plus() {
+        let toks = lex("SEQ+(E1)").unwrap();
+        assert_eq!(toks[0], Token::Ident("SEQ".into()));
+        assert_eq!(toks[1], Token::Plus);
+    }
+}

@@ -1,0 +1,188 @@
+//! Action-execution coverage: every statement kind, operator, and value
+//! function through the full runtime.
+
+use rfid_epc::{Epc, Gid96};
+use rfid_events::{Catalog, Observation, Timestamp};
+use rfid_rules::RuleRuntime;
+use rfid_store::{Cond, Filter, Value};
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+fn runtime() -> RuleRuntime {
+    let mut c = Catalog::new();
+    c.readers.register("r1", "docks", "dock-a");
+    c.types.map_class_of(epc(0), "item");
+    RuleRuntime::new(c)
+}
+
+fn feed(rt: &mut RuleRuntime, events: &[(u64, u64)]) {
+    let r1 = rt.engine().catalog().reader("r1").unwrap();
+    for &(serial, secs) in events {
+        rt.process(Observation::new(r1, epc(serial), Timestamp::from_secs(secs)));
+    }
+    rt.finish();
+}
+
+#[test]
+fn delete_action_removes_rows() {
+    let mut rt = runtime();
+    // Every sighting clears the object's whole location history (a purge
+    // rule, say for privacy) and records a fresh row.
+    rt.load(
+        "CREATE RULE purge, privacy \
+         ON observation(r, o, t) IF true \
+         DO DELETE FROM OBJECTLOCATION WHERE object_epc = o; \
+            INSERT INTO OBJECTLOCATION VALUES (o, location(r), t, UC)",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 0), (1, 10), (1, 20)]);
+    assert!(rt.errors().is_empty());
+    let rows = rt
+        .db()
+        .table("OBJECTLOCATION")
+        .unwrap()
+        .select(&Filter::on(Cond::eq("object_epc", epc(1))))
+        .unwrap();
+    assert_eq!(rows.len(), 1, "each firing deleted the previous history");
+    assert_eq!(rows[0][2], Value::Time(Timestamp::from_secs(20)));
+}
+
+#[test]
+fn update_with_multiple_sets_and_range_where() {
+    let mut rt = runtime();
+    rt.db_mut()
+        .record_location(epc(1), "old", Timestamp::from_secs(0))
+        .unwrap();
+    rt.db_mut()
+        .record_location(epc(2), "old", Timestamp::from_secs(100))
+        .unwrap();
+    // Rewrite every row that started before the sighting: two SET clauses,
+    // a range WHERE.
+    rt.load(
+        "CREATE RULE rewrite, demo \
+         ON observation(r, o, t) IF true \
+         DO UPDATE OBJECTLOCATION SET loc_id = 'migrated', tstart = now() \
+            WHERE tstart < t",
+    )
+    .unwrap();
+    feed(&mut rt, &[(9, 50)]);
+    assert!(rt.errors().is_empty(), "{}", rt.errors()[0]);
+    let migrated = rt
+        .db()
+        .table("OBJECTLOCATION")
+        .unwrap()
+        .select(&Filter::on(Cond::eq("loc_id", "migrated")))
+        .unwrap();
+    assert_eq!(migrated.len(), 1, "only the t=0 row started before t=50");
+    assert_eq!(migrated[0][2], Value::Time(Timestamp::from_secs(50)), "now() applied");
+}
+
+#[test]
+fn where_with_ne_operator() {
+    let mut rt = runtime();
+    rt.db_mut().record_location(epc(1), "keep", Timestamp::from_secs(0)).unwrap();
+    rt.db_mut().record_location(epc(2), "zap", Timestamp::from_secs(0)).unwrap();
+    rt.load(
+        "CREATE RULE sweep, demo ON observation(r, o, t) IF true \
+         DO DELETE FROM OBJECTLOCATION WHERE loc_id != 'keep'",
+    )
+    .unwrap();
+    feed(&mut rt, &[(9, 5)]);
+    let table = rt.db().table("OBJECTLOCATION").unwrap();
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.iter().next().unwrap()[1], Value::str("keep"));
+}
+
+#[test]
+fn procedures_with_zero_args_and_builtins() {
+    let mut rt = runtime();
+    rt.load(
+        "CREATE RULE p, demo ON observation(r, o, t) IF true \
+         DO ping(); describe(group(r), type(o), now())",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 7)]);
+    assert!(rt.errors().is_empty(), "{}", rt.errors()[0]);
+    assert_eq!(rt.procedures().calls("ping").next().unwrap().len(), 0);
+    let describe: Vec<&[Value]> = rt.procedures().calls("describe").collect();
+    assert_eq!(
+        describe[0],
+        &[
+            Value::str("docks"),
+            Value::str("item"),
+            Value::Time(Timestamp::from_secs(7)),
+        ][..]
+    );
+}
+
+#[test]
+fn action_on_missing_table_is_reported_not_fatal() {
+    let mut rt = runtime();
+    rt.load(
+        "CREATE RULE bad, demo ON observation(r, o, t) IF true \
+         DO INSERT INTO NO_SUCH VALUES (o); after(o)",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 1)]);
+    assert_eq!(rt.errors().len(), 1, "the insert failed");
+    assert_eq!(
+        rt.procedures().calls("after").count(),
+        1,
+        "later actions still ran"
+    );
+}
+
+#[test]
+fn unbound_variable_in_action_is_reported() {
+    let mut rt = runtime();
+    rt.load(
+        "CREATE RULE ub, demo ON observation(r, o, t) IF true DO p(ghost_var)",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 1)]);
+    assert_eq!(rt.errors().len(), 1);
+    assert!(rt.errors()[0].to_string().contains("ghost_var"));
+}
+
+#[test]
+fn unicode_strings_flow_through() {
+    let mut rt = runtime();
+    rt.load(
+        "CREATE RULE u, demo ON observation(r, o, t) IF true DO note('ärgerlich — 警告')",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 1)]);
+    assert_eq!(
+        rt.procedures().calls("note").next().unwrap()[0],
+        Value::str("ärgerlich — 警告")
+    );
+}
+
+#[test]
+fn shared_database_concurrent_readers() {
+    use std::sync::Arc;
+
+    let mut rt = runtime();
+    rt.load(
+        "CREATE RULE loc, demo ON observation(r, o, t) IF true \
+         DO INSERT INTO OBJECTLOCATION VALUES (o, location(r), t, UC)",
+    )
+    .unwrap();
+    feed(&mut rt, &[(1, 1), (2, 2), (3, 3)]);
+
+    // Publish a snapshot for reader threads.
+    let shared = rt.db().clone().into_shared();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let db = shared.read();
+            db.table("OBJECTLOCATION").unwrap().len()
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 3);
+    }
+}

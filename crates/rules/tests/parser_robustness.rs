@@ -1,0 +1,75 @@
+//! Robustness: the lexer and parser are total functions — arbitrary input
+//! yields `Ok` or `Err`, never a panic — and generated well-formed scripts
+//! always parse.
+
+use proptest::prelude::*;
+use rfid_events::Span;
+use rfid_rules::parser::{parse_event, parse_script};
+use rfid_rules::stdlib;
+use rfid_rules::token::lex;
+
+proptest! {
+    #[test]
+    fn lexer_is_total(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_is_total_on_ascii_soup(input in "[ -~]{0,200}") {
+        let _ = parse_script(&input);
+        let _ = parse_event(&input);
+    }
+
+    /// Any well-formed rule built from the generator grammar parses.
+    #[test]
+    fn generated_rules_parse(
+        kind in 0usize..5,
+        w1 in 1u64..100_000,
+        w2 in 1u64..100_000,
+        reader in "[a-z][a-z0-9_]{0,10}",
+        table in "[A-Z][A-Z0-9_]{0,10}",
+    ) {
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        let script = match kind {
+            0 => format!(
+                "CREATE RULE g, gen ON WITHIN(observation(r, o, t1); \
+                 observation(r, o, t2), {lo} msec) IF true DO p(r, o)"
+            ),
+            1 => format!(
+                "CREATE RULE g, gen ON TSEQ(TSEQ+(observation('{reader}', o1, t1), \
+                 {lo} msec, {hi} msec); observation(r2, o2, t2), {lo} msec, {hi} msec) \
+                 IF true DO BULK INSERT INTO {table} VALUES (o1, o2, t2, UC)"
+            ),
+            2 => format!(
+                "DEFINE A = observation('{reader}', o, t) \
+                 CREATE RULE g, gen ON WITHIN(A AND NOT A, {hi} msec) \
+                 IF count() >= 1 DO p()"
+            ),
+            3 => format!(
+                "CREATE RULE g, gen ON ALL(observation('{reader}', a, t1), \
+                 observation(r, b, t2), observation(r2, c, t3)) \
+                 IF EXISTS({table} WHERE x = a) DO UPDATE {table} SET y = b WHERE x = a"
+            ),
+            _ => format!(
+                "CREATE RULE g, gen ON observation(r, o, t), group(r) = '{reader}' \
+                 IF type(o) = '{reader}' OR interval() < {hi} msec \
+                 DO DELETE FROM {table} WHERE x = o; p(o)"
+            ),
+        };
+        parse_script(&script).unwrap_or_else(|e| panic!("{script}\n→ {e}"));
+    }
+
+    /// The stdlib builders parse for any sane window.
+    #[test]
+    fn stdlib_parses_for_any_window(ms in 1u64..10_000_000) {
+        let w = Span::from_millis(ms);
+        for script in [
+            stdlib::duplicate_detection("r1", w),
+            stdlib::infield_filtering("r2", w),
+            stdlib::outfield_filtering("r2b", w),
+            stdlib::asset_monitoring("r5", "x", w),
+        ] {
+            parse_script(&script).unwrap();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Scenario configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the supply-chain scenario. Times are in milliseconds of
+/// simulated (logical) clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; every run with the same config is identical.
+    pub seed: u64,
+    /// Packing lines (each = one conveyor reader + one case reader).
+    pub packing_lines: usize,
+    /// Items per packing cycle: inclusive range.
+    pub items_per_case: (usize, usize),
+    /// Conveyor gap between consecutive items, ms (the paper's 0.1–1 s).
+    pub item_gap_ms: (u64, u64),
+    /// Distance from the last item to the case read, ms (the paper's
+    /// 10–20 s).
+    pub case_dist_ms: (u64, u64),
+    /// Idle pause between packing cycles, ms (must exceed `item_gap_ms.1`
+    /// so runs close).
+    pub cycle_pause_ms: (u64, u64),
+    /// Smart shelves (each = one shelf reader bulk-reading its population).
+    pub shelves: usize,
+    /// Bulk-read period of a shelf, ms (the paper's 30 s).
+    pub shelf_period_ms: u64,
+    /// Initial tags per shelf.
+    pub shelf_population: usize,
+    /// Per-period probability that a new tag appears on a shelf.
+    pub shelf_arrival_prob: f64,
+    /// Per-period probability that a present tag is removed.
+    pub shelf_departure_prob: f64,
+    /// Dock-door portals objects move through (location changes).
+    pub docks: usize,
+    /// Mean inter-arrival of portal crossings per dock, ms.
+    pub dock_mean_gap_ms: u64,
+    /// Building exits monitored for asset movement.
+    pub exits: usize,
+    /// Mean inter-arrival of exit passages per exit, ms.
+    pub exit_mean_gap_ms: u64,
+    /// Fraction of exit passages that are unauthorized (no badge → alarm).
+    pub unauthorized_fraction: f64,
+    /// Asset-monitoring window, ms (the paper's 5 s); the badge of an
+    /// authorized passage is read within this window.
+    pub exit_window_ms: u64,
+    /// Point-of-sale registers (sales close containments and move items to
+    /// the `sold` location).
+    pub pos_registers: usize,
+    /// Probability that a packed case's items are eventually sold.
+    pub sale_prob: f64,
+    /// Delay from packing to sale, ms (inclusive range).
+    pub sale_delay_ms: (u64, u64),
+    /// Probability that a (non-conveyor) read is immediately followed by a
+    /// duplicate re-read of the same tag.
+    pub duplicate_prob: f64,
+    /// Gap between a read and its duplicate, ms.
+    pub duplicate_gap_ms: (u64, u64),
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            packing_lines: 8,
+            items_per_case: (4, 12),
+            item_gap_ms: (100, 1000),
+            case_dist_ms: (10_000, 20_000),
+            cycle_pause_ms: (2_000, 5_000),
+            shelves: 8,
+            shelf_period_ms: 30_000,
+            shelf_population: 20,
+            shelf_arrival_prob: 0.3,
+            shelf_departure_prob: 0.1,
+            docks: 4,
+            dock_mean_gap_ms: 2_000,
+            exits: 2,
+            exit_mean_gap_ms: 10_000,
+            unauthorized_fraction: 0.2,
+            exit_window_ms: 5_000,
+            pos_registers: 2,
+            sale_prob: 0.3,
+            sale_delay_ms: (60_000, 600_000),
+            duplicate_prob: 0.05,
+            duplicate_gap_ms: (50, 2_000),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration scaled for benchmark-size streams: more parallel
+    /// sites so a given number of events spans less simulated time.
+    pub fn benchmark() -> Self {
+        Self {
+            packing_lines: 64,
+            shelves: 64,
+            docks: 32,
+            exits: 8,
+            ..Self::default()
+        }
+    }
+
+    /// A deployment large enough that the merged stream arrives at roughly
+    /// the paper's 1000 events per (logical) second.
+    pub fn paper_scale() -> Self {
+        Self {
+            packing_lines: 512,
+            shelves: 768,
+            docks: 192,
+            exits: 48,
+            pos_registers: 16,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency; called by the scenario builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cycle_pause_ms.0 <= self.item_gap_ms.1 {
+            return Err(format!(
+                "cycle pause ({} ms) must exceed the max item gap ({} ms) so TSEQ+ runs close",
+                self.cycle_pause_ms.0, self.item_gap_ms.1
+            ));
+        }
+        for (lo, hi, what) in [
+            (self.sale_delay_ms.0, self.sale_delay_ms.1, "sale_delay_ms"),
+            (self.items_per_case.0 as u64, self.items_per_case.1 as u64, "items_per_case"),
+            (self.item_gap_ms.0, self.item_gap_ms.1, "item_gap_ms"),
+            (self.case_dist_ms.0, self.case_dist_ms.1, "case_dist_ms"),
+            (self.cycle_pause_ms.0, self.cycle_pause_ms.1, "cycle_pause_ms"),
+            (self.duplicate_gap_ms.0, self.duplicate_gap_ms.1, "duplicate_gap_ms"),
+        ] {
+            if lo > hi {
+                return Err(format!("{what}: reversed range ({lo} > {hi})"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.sale_prob)
+            || !(0.0..=1.0).contains(&self.unauthorized_fraction)
+            || !(0.0..=1.0).contains(&self.duplicate_prob)
+            || !(0.0..=1.0).contains(&self.shelf_arrival_prob)
+            || !(0.0..=1.0).contains(&self.shelf_departure_prob)
+        {
+            return Err("probabilities must lie in [0, 1]".to_owned());
+        }
+        if self.packing_lines + self.shelves + self.docks + self.exits == 0 {
+            return Err("at least one site process is required".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate().unwrap();
+        SimConfig::benchmark().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_run_closure_hazard() {
+        let cfg = SimConfig { cycle_pause_ms: (500, 900), ..SimConfig::default() };
+        assert!(cfg.validate().unwrap_err().contains("TSEQ+ runs close"));
+    }
+
+    #[test]
+    fn validation_catches_reversed_ranges_and_bad_probs() {
+        let cfg = SimConfig { item_gap_ms: (1000, 100), ..SimConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig { duplicate_prob: 1.5, ..SimConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+}

@@ -1,0 +1,137 @@
+//! Deterministic EPC allocation for the simulated world.
+//!
+//! Each object class gets the scheme a real deployment would use: trade
+//! items are SGTIN-96, logistic units (cases, pallets) are SSCC-96,
+//! returnable assets (laptops) are GRAI-96, and employee badges are GID-96.
+//! Serial counters make every allocated EPC unique and reproducible.
+
+use rfid_epc::{Epc, Gid96, Grai96, Sgtin96, Sscc96};
+
+/// The simulated company's GS1 prefix (7 digits, partition 5).
+pub const COMPANY_PREFIX: u64 = 614_141;
+const COMPANY_DIGITS: u32 = 7;
+
+/// SGTIN item reference of the simulated trade item class.
+pub const ITEM_REFERENCE: u64 = 812_345;
+/// GRAI asset type of laptops.
+pub const LAPTOP_ASSET_TYPE: u64 = 11;
+/// GID manager/class of employee badges.
+pub const BADGE_MANAGER: u64 = 9_001;
+/// GID object class of superuser badges.
+pub const SUPERUSER_CLASS: u64 = 7;
+/// GID object class of regular employee badges.
+pub const EMPLOYEE_CLASS: u64 = 8;
+
+/// Allocates unique EPCs per object class.
+#[derive(Debug, Default, Clone)]
+pub struct EpcAllocator {
+    items: u64,
+    cases: u64,
+    laptops: u64,
+    badges: u64,
+}
+
+impl EpcAllocator {
+    /// A fresh allocator (serials start at 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next trade item (SGTIN-96).
+    pub fn item(&mut self) -> Epc {
+        self.items += 1;
+        Sgtin96::new(1, COMPANY_PREFIX, COMPANY_DIGITS, ITEM_REFERENCE, self.items)
+            .expect("serial space is 38 bits")
+            .into()
+    }
+
+    /// Next case/pallet (SSCC-96).
+    pub fn case(&mut self) -> Epc {
+        self.cases += 1;
+        Sscc96::new(2, COMPANY_PREFIX, COMPANY_DIGITS, self.cases)
+            .expect("serial reference fits")
+            .into()
+    }
+
+    /// Next laptop (GRAI-96).
+    pub fn laptop(&mut self) -> Epc {
+        self.laptops += 1;
+        Grai96::new(0, COMPANY_PREFIX, COMPANY_DIGITS, LAPTOP_ASSET_TYPE, self.laptops)
+            .expect("serial space is 38 bits")
+            .into()
+    }
+
+    /// Next badge (GID-96); `superuser` selects the authorized class.
+    pub fn badge(&mut self, superuser: bool) -> Epc {
+        self.badges += 1;
+        let class = if superuser { SUPERUSER_CLASS } else { EMPLOYEE_CLASS };
+        Gid96::new(BADGE_MANAGER, class, self.badges)
+            .expect("serial space is 36 bits")
+            .into()
+    }
+
+    /// Sample EPCs per class, for registering `type(o)` class rules without
+    /// consuming serials that the stream will use.
+    pub fn class_samples() -> [(Epc, &'static str); 4] {
+        [
+            (
+                Sgtin96::new(1, COMPANY_PREFIX, COMPANY_DIGITS, ITEM_REFERENCE, 0)
+                    .expect("valid")
+                    .into(),
+                "item",
+            ),
+            (Sscc96::new(2, COMPANY_PREFIX, COMPANY_DIGITS, 0).expect("valid").into(), "case"),
+            (
+                Grai96::new(0, COMPANY_PREFIX, COMPANY_DIGITS, LAPTOP_ASSET_TYPE, 0)
+                    .expect("valid")
+                    .into(),
+                "laptop",
+            ),
+            (
+                Gid96::new(BADGE_MANAGER, SUPERUSER_CLASS, 0).expect("valid").into(),
+                "superuser",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_epc::EpcClass;
+    use std::collections::HashSet;
+
+    #[test]
+    fn classes_use_the_right_schemes() {
+        let mut a = EpcAllocator::new();
+        assert_eq!(a.item().class(), EpcClass::Sgtin96);
+        assert_eq!(a.case().class(), EpcClass::Sscc96);
+        assert_eq!(a.laptop().class(), EpcClass::Grai96);
+        assert_eq!(a.badge(true).class(), EpcClass::Gid96);
+    }
+
+    #[test]
+    fn allocations_are_unique() {
+        let mut a = EpcAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(a.item()));
+            assert!(seen.insert(a.case()));
+            assert!(seen.insert(a.laptop()));
+            assert!(seen.insert(a.badge(false)));
+        }
+    }
+
+    #[test]
+    fn class_samples_share_class_keys_with_allocations() {
+        use rfid_epc::types::ClassKey;
+        let mut a = EpcAllocator::new();
+        let samples = EpcAllocator::class_samples();
+        assert_eq!(ClassKey::of(samples[0].0), ClassKey::of(a.item()));
+        assert_eq!(ClassKey::of(samples[1].0), ClassKey::of(a.case()));
+        assert_eq!(ClassKey::of(samples[2].0), ClassKey::of(a.laptop()));
+        assert_eq!(ClassKey::of(samples[3].0), ClassKey::of(a.badge(true)));
+        // Regular employee badges are a *different* class from superusers.
+        assert_ne!(ClassKey::of(samples[3].0), ClassKey::of(a.badge(false)));
+    }
+}

@@ -1,0 +1,331 @@
+//! Site processes: the generators that emit observations.
+//!
+//! Each process simulates one physical installation over a logical time
+//! horizon and returns its observations *plus ground truth* — the complex
+//! events a correct detector must find in them. Processes draw from their
+//! own seeded RNG, so adding a process never perturbs another's stream.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rfid_epc::{Epc, ReaderId};
+use rfid_events::{Observation, Timestamp};
+
+use crate::config::SimConfig;
+use crate::epcgen::EpcAllocator;
+
+/// One expected containment aggregation (Rule 4 ground truth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainmentTruth {
+    /// The container read at the case reader.
+    pub case: Epc,
+    /// The items of the run, in conveyor order.
+    pub items: Vec<Epc>,
+    /// When the case was read (the firing's final constituent).
+    pub at: Timestamp,
+}
+
+/// Ground truth accumulated across processes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// Expected Rule 4 aggregations.
+    pub containments: Vec<ContainmentTruth>,
+    /// Expected point-of-sale events: (item, sale time). Each sale must end
+    /// the item's open containment and move it to the `sold` location.
+    pub sales: Vec<(Epc, Timestamp)>,
+    /// Expected Rule 2 infield events: (shelf reader, tag, first-read time).
+    pub infields: Vec<(ReaderId, Epc, Timestamp)>,
+    /// Expected Rule 5 alarms: (laptop, exit-read time).
+    pub alarms: Vec<(Epc, Timestamp)>,
+    /// Expected Rule 1 duplicate flags: (reader, tag, duplicate-read time).
+    pub duplicates: Vec<(ReaderId, Epc, Timestamp)>,
+    /// Expected Rule 3 location changes (one per portal crossing).
+    pub location_changes: Vec<Timestamp>,
+}
+
+impl GroundTruth {
+    /// Merges another process's truth into this one.
+    pub fn merge(&mut self, other: GroundTruth) {
+        self.containments.extend(other.containments);
+        self.sales.extend(other.sales);
+        self.infields.extend(other.infields);
+        self.alarms.extend(other.alarms);
+        self.duplicates.extend(other.duplicates);
+        self.location_changes.extend(other.location_changes);
+    }
+}
+
+fn sample(rng: &mut StdRng, range: (u64, u64)) -> u64 {
+    if range.0 == range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..=range.1)
+    }
+}
+
+/// A packing line: runs of items on the conveyor (gaps within the Rule 4
+/// bounds), each followed by its case read within the distance bounds.
+///
+/// The line is **pipelined**, as Fig. 1b of the paper depicts: the next
+/// run's items start flowing `cycle_pause` after the previous run's *last
+/// item*, so they interleave with the pending case read. This overlap is
+/// precisely what breaks type-level ECA detection (the items of two runs
+/// land in one batch) while chronicle-context RCEDA pairs them correctly.
+/// Case reads are kept in run order (the conveyor delivers cases FIFO), so
+/// the ground truth stays exact.
+pub fn packing_line(
+    cfg: &SimConfig,
+    rng: &mut StdRng,
+    alloc: &mut EpcAllocator,
+    conveyor: ReaderId,
+    case_reader: ReaderId,
+    until: Timestamp,
+) -> (Vec<Observation>, GroundTruth) {
+    let mut obs = Vec::new();
+    let mut truth = GroundTruth::default();
+    let mut t = Timestamp::from_millis(sample(rng, cfg.cycle_pause_ms));
+    let mut prev_case_at: Option<Timestamp> = None;
+    loop {
+        let n_items = sample(rng, (cfg.items_per_case.0 as u64, cfg.items_per_case.1 as u64));
+        let mut items = Vec::with_capacity(n_items as usize);
+        for i in 0..n_items {
+            if i > 0 {
+                t += rfid_events::Span::from_millis(sample(rng, cfg.item_gap_ms));
+            }
+            if t > until {
+                obs.sort();
+                return (obs, truth);
+            }
+            let item = alloc.item();
+            items.push(item);
+            obs.push(Observation::new(conveyor, item, t));
+        }
+        // Case distance sampled within the rule bounds, floored so cases
+        // stay in run order (FIFO conveyor). The floor is always within the
+        // bounds because runs are at least a cycle pause apart.
+        let mut dist_lo = cfg.case_dist_ms.0;
+        if let Some(prev) = prev_case_at {
+            if prev >= t {
+                let needed = prev.as_millis() - t.as_millis() + 1;
+                dist_lo = dist_lo.max(needed);
+            }
+        }
+        debug_assert!(dist_lo <= cfg.case_dist_ms.1, "case ordering floor exceeds max dist");
+        let case_at =
+            t + rfid_events::Span::from_millis(sample(rng, (dist_lo, cfg.case_dist_ms.1)));
+        if case_at > until {
+            obs.sort();
+            return (obs, truth);
+        }
+        let case = alloc.case();
+        obs.push(Observation::new(case_reader, case, case_at));
+        truth.containments.push(ContainmentTruth { case, items, at: case_at });
+        prev_case_at = Some(case_at);
+        // Pipelined: the next run follows the last *item*, not the case.
+        t += rfid_events::Span::from_millis(sample(rng, cfg.cycle_pause_ms));
+    }
+}
+
+/// A smart shelf: bulk-reads its population exactly every period. Tags
+/// arrive (infield) and depart; reads may be followed by injected duplicate
+/// re-reads (Rule 1 ground truth).
+pub fn smart_shelf(
+    cfg: &SimConfig,
+    rng: &mut StdRng,
+    alloc: &mut EpcAllocator,
+    reader: ReaderId,
+    until: Timestamp,
+) -> (Vec<Observation>, GroundTruth) {
+    let mut obs = Vec::new();
+    let mut truth = GroundTruth::default();
+    let mut population: Vec<Epc> = (0..cfg.shelf_population).map(|_| alloc.item()).collect();
+    let mut first_read: std::collections::HashSet<Epc> = std::collections::HashSet::new();
+    // Shelves poll on their own schedules, already running before the
+    // trace starts: a random phase keeps hundreds of shelves from
+    // bulk-reading in lock-step (which would pulse the merged stream
+    // unrealistically) and makes the aggregate rate stationary from t=0.
+    let phase = sample(rng, (1, cfg.shelf_period_ms.max(2) - 1));
+    let mut t = Timestamp::from_millis(phase);
+    while t <= until {
+        for &tag in &population {
+            obs.push(Observation::new(reader, tag, t));
+            if first_read.insert(tag) {
+                truth.infields.push((reader, tag, t));
+            }
+            if rng.gen_bool(cfg.duplicate_prob) {
+                let dup_at =
+                    t + rfid_events::Span::from_millis(sample(rng, cfg.duplicate_gap_ms));
+                if dup_at <= until {
+                    obs.push(Observation::new(reader, tag, dup_at));
+                    truth.duplicates.push((reader, tag, dup_at));
+                }
+            }
+        }
+        // Population churn between periods. Departed tags never return, so
+        // the infield ground truth stays exact.
+        if rng.gen_bool(cfg.shelf_arrival_prob) {
+            population.push(alloc.item());
+        }
+        if population.len() > 1 && rng.gen_bool(cfg.shelf_departure_prob) {
+            let idx = rng.gen_range(0..population.len());
+            population.swap_remove(idx);
+        }
+        t += rfid_events::Span::from_millis(cfg.shelf_period_ms);
+    }
+    (obs, truth)
+}
+
+/// A dock-door portal: objects cross it one at a time; every crossing is a
+/// location change (Rule 3 ground truth).
+pub fn dock_portal(
+    cfg: &SimConfig,
+    rng: &mut StdRng,
+    alloc: &mut EpcAllocator,
+    reader: ReaderId,
+    until: Timestamp,
+) -> (Vec<Observation>, GroundTruth) {
+    let mut obs = Vec::new();
+    let mut truth = GroundTruth::default();
+    let gap = (cfg.dock_mean_gap_ms / 2, cfg.dock_mean_gap_ms * 3 / 2);
+    let mut t = Timestamp::from_millis(sample(rng, gap).max(1));
+    while t <= until {
+        obs.push(Observation::new(reader, alloc.case(), t));
+        truth.location_changes.push(t);
+        t += rfid_events::Span::from_millis(sample(rng, gap).max(1));
+    }
+    (obs, truth)
+}
+
+/// A building exit: laptops leave, either accompanied by a superuser badge
+/// within the monitoring window (authorized) or alone (Rule 5 alarm).
+/// Passages are spaced more than two windows apart so badges never bleed
+/// into a neighbouring passage.
+pub fn building_exit(
+    cfg: &SimConfig,
+    rng: &mut StdRng,
+    alloc: &mut EpcAllocator,
+    reader: ReaderId,
+    until: Timestamp,
+) -> (Vec<Observation>, GroundTruth) {
+    let mut obs = Vec::new();
+    let mut truth = GroundTruth::default();
+    let min_gap = cfg.exit_window_ms * 2 + 2_000;
+    let gap = (min_gap.max(cfg.exit_mean_gap_ms / 2), min_gap.max(cfg.exit_mean_gap_ms * 3 / 2));
+    let mut t = Timestamp::from_millis(sample(rng, gap));
+    while t <= until {
+        let laptop = alloc.laptop();
+        obs.push(Observation::new(reader, laptop, t));
+        if rng.gen_bool(cfg.unauthorized_fraction) {
+            truth.alarms.push((laptop, t));
+        } else {
+            let badge_delay = sample(rng, (500, cfg.exit_window_ms.saturating_sub(1_000).max(501)));
+            let badge_at = t + rfid_events::Span::from_millis(badge_delay);
+            obs.push(Observation::new(reader, alloc.badge(true), badge_at));
+        }
+        t += rfid_events::Span::from_millis(sample(rng, gap));
+    }
+    (obs, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn until(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn packing_line_respects_bounds() {
+        let cfg = SimConfig::default();
+        let mut alloc = EpcAllocator::new();
+        let (obs, truth) = packing_line(
+            &cfg,
+            &mut rng(1),
+            &mut alloc,
+            ReaderId(0),
+            ReaderId(1),
+            until(600),
+        );
+        assert!(!truth.containments.is_empty());
+        for c in &truth.containments {
+            assert!(c.items.len() >= cfg.items_per_case.0);
+            assert!(c.items.len() <= cfg.items_per_case.1);
+        }
+        // Conveyor gaps within bounds inside a run.
+        let conveyor: Vec<&Observation> =
+            obs.iter().filter(|o| o.reader == ReaderId(0)).collect();
+        let mut run_start = 0;
+        for truth_c in &truth.containments {
+            let run = &conveyor[run_start..run_start + truth_c.items.len()];
+            for w in run.windows(2) {
+                let gap = w[1].at.as_millis() - w[0].at.as_millis();
+                assert!(gap >= cfg.item_gap_ms.0 && gap <= cfg.item_gap_ms.1, "gap {gap}");
+            }
+            let dist = truth_c.at.as_millis() - run.last().unwrap().at.as_millis();
+            assert!(dist >= cfg.case_dist_ms.0 && dist <= cfg.case_dist_ms.1, "dist {dist}");
+            run_start += truth_c.items.len();
+        }
+    }
+
+    #[test]
+    fn shelf_truth_counts_first_reads() {
+        let cfg = SimConfig { duplicate_prob: 0.2, ..SimConfig::default() };
+        let mut alloc = EpcAllocator::new();
+        let (obs, truth) =
+            smart_shelf(&cfg, &mut rng(2), &mut alloc, ReaderId(5), until(300));
+        assert!(truth.infields.len() >= cfg.shelf_population);
+        assert!(!truth.duplicates.is_empty());
+        assert!(!obs.is_empty());
+        // Every duplicate ground-truth entry has a base read within the
+        // duplicate gap before it.
+        for &(reader, tag, at) in &truth.duplicates {
+            let base = obs.iter().any(|o| {
+                o.reader == reader
+                    && o.object == tag
+                    && o.at < at
+                    && (at.as_millis() - o.at.as_millis()) <= cfg.duplicate_gap_ms.1
+            });
+            assert!(base, "duplicate without base read");
+        }
+    }
+
+    #[test]
+    fn exit_alarm_fraction_is_roughly_configured() {
+        let cfg = SimConfig { unauthorized_fraction: 0.5, exit_mean_gap_ms: 1, ..SimConfig::default() };
+        let mut alloc = EpcAllocator::new();
+        let (obs, truth) =
+            building_exit(&cfg, &mut rng(3), &mut alloc, ReaderId(9), until(10_000));
+        let laptops = obs
+            .iter()
+            .filter(|o| o.object.class() == rfid_epc::EpcClass::Grai96)
+            .count();
+        assert!(laptops > 50);
+        let frac = truth.alarms.len() as f64 / laptops as f64;
+        assert!((0.35..0.65).contains(&frac), "alarm fraction {frac}");
+    }
+
+    #[test]
+    fn processes_are_deterministic() {
+        let cfg = SimConfig::default();
+        let run = |seed| {
+            let mut alloc = EpcAllocator::new();
+            dock_portal(&cfg, &mut rng(seed), &mut alloc, ReaderId(0), until(100))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn dock_truth_matches_observations() {
+        let cfg = SimConfig::default();
+        let mut alloc = EpcAllocator::new();
+        let (obs, truth) =
+            dock_portal(&cfg, &mut rng(4), &mut alloc, ReaderId(3), until(120));
+        assert_eq!(obs.len(), truth.location_changes.len());
+    }
+}

@@ -1,0 +1,366 @@
+//! The full supply-chain scenario: catalog, merged stream, ground truth,
+//! and matching rule scripts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_epc::ReaderId;
+use rfid_events::{Catalog, Observation, Timestamp};
+
+use crate::config::SimConfig;
+use crate::epcgen::EpcAllocator;
+use crate::processes::{building_exit, dock_portal, packing_line, smart_shelf};
+
+pub use crate::processes::{ContainmentTruth, GroundTruth};
+
+/// A generated workload: the observation stream plus what a correct
+/// detector must find in it.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Time-ordered observations.
+    pub observations: Vec<Observation>,
+    /// Expected complex events.
+    pub truth: GroundTruth,
+    /// Logical end of generation.
+    pub until: Timestamp,
+}
+
+impl Trace {
+    /// Logical arrival rate (events per simulated second).
+    pub fn rate(&self) -> f64 {
+        if self.until == Timestamp::ZERO {
+            return 0.0;
+        }
+        self.observations.len() as f64 / (self.until.as_millis() as f64 / 1000.0)
+    }
+}
+
+/// The simulated deployment: readers, types, and processes.
+#[derive(Debug, Clone)]
+pub struct SupplyChain {
+    cfg: SimConfig,
+    /// Reader/type catalog for the detection engine.
+    pub catalog: Catalog,
+    conveyors: Vec<ReaderId>,
+    case_readers: Vec<ReaderId>,
+    shelves: Vec<ReaderId>,
+    docks: Vec<ReaderId>,
+    exits: Vec<ReaderId>,
+    pos: Vec<ReaderId>,
+}
+
+impl SupplyChain {
+    /// Builds the deployment: one reader pair per packing line, shelves in
+    /// the `shelves` group, docks in `docks`, exits in `exits`, and `type(o)`
+    /// class rules for items, cases, laptops, and superuser badges.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+    pub fn build(cfg: SimConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid simulator config: {e}"));
+        let mut catalog = Catalog::new();
+        let conveyors = (0..cfg.packing_lines)
+            .map(|i| {
+                catalog.readers.register(
+                    &format!("conv{i}"),
+                    &format!("conv{i}"),
+                    &format!("packing-line-{i}"),
+                )
+            })
+            .collect();
+        let case_readers = (0..cfg.packing_lines)
+            .map(|i| {
+                catalog.readers.register(
+                    &format!("caser{i}"),
+                    &format!("caser{i}"),
+                    &format!("packing-line-{i}-case"),
+                )
+            })
+            .collect();
+        let shelves = (0..cfg.shelves)
+            .map(|i| {
+                catalog.readers.register(&format!("shelf{i}"), "shelves", &format!("shelf-{i}"))
+            })
+            .collect();
+        let docks = (0..cfg.docks)
+            .map(|i| catalog.readers.register(&format!("dock{i}"), "docks", &format!("dock-{i}")))
+            .collect();
+        let exits = (0..cfg.exits)
+            .map(|i| catalog.readers.register(&format!("exit{i}"), "exits", &format!("exit-{i}")))
+            .collect();
+        let pos = (0..cfg.pos_registers)
+            .map(|i| catalog.readers.register(&format!("pos{i}"), "pos", &format!("register-{i}")))
+            .collect();
+        for (sample, ty) in EpcAllocator::class_samples() {
+            catalog.types.map_class_of(sample, ty);
+        }
+        Self { cfg, catalog, conveyors, case_readers, shelves, docks, exits, pos }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Generates the merged stream over a fixed logical horizon.
+    pub fn generate_until(&self, until: Timestamp) -> Trace {
+        let mut alloc = EpcAllocator::new();
+        let mut all = Vec::new();
+        let mut truth = GroundTruth::default();
+        let mut proc_idx = 0u64;
+        let rng_for = |idx: &mut u64| {
+            *idx += 1;
+            StdRng::seed_from_u64(self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(*idx))
+        };
+        for (i, &conveyor) in self.conveyors.iter().enumerate() {
+            let mut rng = rng_for(&mut proc_idx);
+            let (obs, t) =
+                packing_line(&self.cfg, &mut rng, &mut alloc, conveyor, self.case_readers[i], until);
+            all.extend(obs);
+            truth.merge(t);
+        }
+        for &shelf in &self.shelves {
+            let mut rng = rng_for(&mut proc_idx);
+            let (obs, t) = smart_shelf(&self.cfg, &mut rng, &mut alloc, shelf, until);
+            all.extend(obs);
+            truth.merge(t);
+        }
+        for &dock in &self.docks {
+            let mut rng = rng_for(&mut proc_idx);
+            let (obs, t) = dock_portal(&self.cfg, &mut rng, &mut alloc, dock, until);
+            all.extend(obs);
+            truth.merge(t);
+        }
+        for &exit in &self.exits {
+            let mut rng = rng_for(&mut proc_idx);
+            let (obs, t) = building_exit(&self.cfg, &mut rng, &mut alloc, exit, until);
+            all.extend(obs);
+            truth.merge(t);
+        }
+        // Point of sale: a fraction of packed cases' items are later sold
+        // at a register, which must end their containment. Sales are a
+        // cross-process flow, so they are derived from the packing truth.
+        if !self.pos.is_empty() && self.cfg.sale_prob > 0.0 {
+            use rand::Rng;
+            let mut rng = rng_for(&mut proc_idx);
+            let mut register = 0usize;
+            for c in &truth.containments {
+                if !rng.gen_bool(self.cfg.sale_prob) {
+                    continue;
+                }
+                let delay = rng.gen_range(self.cfg.sale_delay_ms.0..=self.cfg.sale_delay_ms.1);
+                let mut t = c.at + rfid_events::Span::from_millis(delay);
+                let reader = self.pos[register % self.pos.len()];
+                register += 1;
+                for &item in &c.items {
+                    if t > until {
+                        break;
+                    }
+                    all.push(Observation::new(reader, item, t));
+                    truth.sales.push((item, t));
+                    // Items scanned one by one at the register.
+                    t += rfid_events::Span::from_millis(1_500);
+                }
+            }
+        }
+        all.sort();
+        Trace { observations: all, truth, until }
+    }
+
+    /// Generates approximately `target_events` observations (within a few
+    /// percent), by estimating the aggregate arrival rate and refining once.
+    pub fn generate(&self, target_events: usize) -> Trace {
+        let est_rate = self.estimated_rate_per_ms().max(1e-6);
+        let mut horizon = (target_events as f64 / est_rate) as u64;
+        let mut trace = self.generate_until(Timestamp::from_millis(horizon.max(1_000)));
+        if !trace.observations.is_empty() {
+            let actual = trace.observations.len() as f64;
+            let deviation = (actual - target_events as f64).abs() / target_events as f64;
+            if deviation > 0.05 {
+                horizon = (horizon as f64 * target_events as f64 / actual) as u64;
+                trace = self.generate_until(Timestamp::from_millis(horizon.max(1_000)));
+            }
+        }
+        trace
+    }
+
+    fn estimated_rate_per_ms(&self) -> f64 {
+        let c = &self.cfg;
+        let avg = |r: (u64, u64)| (r.0 + r.1) as f64 / 2.0;
+        let items = (c.items_per_case.0 + c.items_per_case.1) as f64 / 2.0;
+        let cycle =
+            items * avg(c.item_gap_ms) + avg(c.case_dist_ms) + avg(c.cycle_pause_ms);
+        let line_rate = (items + 1.0) / cycle;
+        let shelf_rate = c.shelf_population as f64 * (1.0 + c.duplicate_prob)
+            / c.shelf_period_ms as f64;
+        let dock_rate = 1.0 / c.dock_mean_gap_ms as f64;
+        let exit_gap = (c.exit_window_ms * 2 + 2_000).max(c.exit_mean_gap_ms) as f64;
+        let exit_rate = (2.0 - c.unauthorized_fraction) / exit_gap;
+        let sale_rate = if c.pos_registers > 0 {
+            line_rate * c.packing_lines as f64 * c.sale_prob * items / (items + 1.0)
+        } else {
+            0.0
+        };
+        line_rate * c.packing_lines as f64
+            + shelf_rate * c.shelves as f64
+            + dock_rate * c.docks as f64
+            + exit_rate * c.exits as f64
+            + sale_rate
+    }
+
+    /// The scenario's canonical rule set (the paper's Rules 1–5 scoped to
+    /// this deployment): duplicate filtering and infield filtering on the
+    /// shelves, location transformation at the docks, one containment rule
+    /// per packing line, and asset monitoring at the exits.
+    pub fn rule_set(&self) -> String {
+        let c = &self.cfg;
+        let mut script = String::new();
+        script.push_str(&format!(
+            "CREATE RULE dup, duplicate_detection \
+             ON WITHIN((observation(r, o, t1), group(r) = 'shelves'); \
+                       (observation(r, o, t2), group(r) = 'shelves'), 5 sec) \
+             IF true DO send_duplicate_msg(r, o, t1) \
+             CREATE RULE infield, infield_filtering \
+             ON WITHIN(NOT (observation(r, o, t1), group(r) = 'shelves'); \
+                       (observation(r, o, t2), group(r) = 'shelves'), {period} msec) \
+             IF true DO INSERT INTO OBSERVATION VALUES (r, o, t2) \
+             CREATE RULE loc, location_change \
+             ON observation(r, o, t), group(r) = 'docks' \
+             IF true \
+             DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = UC; \
+                INSERT INTO OBJECTLOCATION VALUES (o, location(r), t, UC) \
+             CREATE RULE sale, point_of_sale \
+             ON observation(r, o, t), group(r) = 'pos' \
+             IF true \
+             DO UPDATE OBJECTCONTAINMENT SET tend = t WHERE object_epc = o AND tend = UC; \
+                UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = UC; \
+                INSERT INTO OBJECTLOCATION VALUES (o, 'sold', t, UC) \
+             CREATE RULE asset, asset_monitoring \
+             ON WITHIN((observation(r, oa, ta), group(r) = 'exits', type(oa) = 'laptop') \
+                 AND NOT (observation(r, ob, tb), group(r) = 'exits', type(ob) = 'superuser'), \
+                 {window} msec) \
+             IF true DO send_alarm(oa, ta) ",
+            period = c.shelf_period_ms,
+            window = c.exit_window_ms,
+        ));
+        for i in 0..c.packing_lines {
+            script.push_str(&self.containment_rule(i, c.case_dist_ms));
+        }
+        script
+    }
+
+    fn containment_rule(&self, line: usize, dist: (u64, u64)) -> String {
+        let c = &self.cfg;
+        format!(
+            "CREATE RULE pack{line}, containment_line_{line} \
+             ON TSEQ(TSEQ+(observation('conv{line}', o1, t1), {glo} msec, {ghi} msec); \
+                     observation('caser{line}', o2, t2), {dlo} msec, {dhi} msec) \
+             IF true DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, UC) ",
+            glo = c.item_gap_ms.0,
+            ghi = c.item_gap_ms.1,
+            dlo = dist.0,
+            dhi = dist.1,
+        )
+    }
+
+    /// A family of `n` *distinct* rules for the rules-scaling experiment
+    /// (Fig. 9b). Rules cycle through the four kinds with slightly varied
+    /// windows, so none merge away and all stay valid.
+    pub fn rule_family(&self, n: usize) -> String {
+        let c = &self.cfg;
+        let mut script = String::new();
+        for k in 0..n {
+            match k % 4 {
+                0 => script.push_str(&format!(
+                    "CREATE RULE fam{k}, dup_{k} \
+                     ON WITHIN((observation(r, o, t1), group(r) = 'shelves'); \
+                               (observation(r, o, t2), group(r) = 'shelves'), {w} msec) \
+                     IF true DO send_duplicate_msg(r, o, t1) ",
+                    w = 5_000 + (k as u64) * 16,
+                )),
+                1 => script.push_str(&format!(
+                    "CREATE RULE fam{k}, asset_{k} \
+                     ON WITHIN((observation(r, oa, ta), group(r) = 'exits', type(oa) = 'laptop') \
+                         AND NOT (observation(r, ob, tb), group(r) = 'exits', \
+                                  type(ob) = 'superuser'), {w} msec) \
+                     IF true DO send_alarm(oa, ta) ",
+                    w = c.exit_window_ms + (k as u64) * 16,
+                )),
+                2 => {
+                    let line = (k / 4) % c.packing_lines;
+                    let jitter = (k as u64) * 8;
+                    script.push_str(&format!(
+                        "CREATE RULE fam{k}, pack_{k} \
+                         ON TSEQ(TSEQ+(observation('conv{line}', o1, t1), {glo} msec, {ghi} msec); \
+                                 observation('caser{line}', o2, t2), {dlo} msec, {dhi} msec) \
+                         IF true DO send_containment_msg(o2, t2) ",
+                        glo = c.item_gap_ms.0,
+                        ghi = c.item_gap_ms.1,
+                        dlo = c.case_dist_ms.0,
+                        dhi = c.case_dist_ms.1 + jitter,
+                    ));
+                }
+                _ => script.push_str(&format!(
+                    "CREATE RULE fam{k}, infield_{k} \
+                     ON WITHIN(NOT (observation(r, o, t1), group(r) = 'shelves'); \
+                               (observation(r, o, t2), group(r) = 'shelves'), {w} msec) \
+                     IF true DO send_infield_msg(r, o, t2) ",
+                    w = c.shelf_period_ms + (k as u64) * 16,
+                )),
+            }
+        }
+        script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_sorted_and_deterministic() {
+        let sim = SupplyChain::build(SimConfig::default());
+        let a = sim.generate_until(Timestamp::from_secs(120));
+        let b = sim.generate_until(Timestamp::from_secs(120));
+        assert_eq!(a.observations, b.observations);
+        assert!(a.observations.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!a.truth.containments.is_empty());
+        assert!(!a.truth.infields.is_empty());
+    }
+
+    #[test]
+    fn generate_hits_target_within_tolerance() {
+        let sim = SupplyChain::build(SimConfig::default());
+        let trace = sim.generate(20_000);
+        let n = trace.observations.len() as f64;
+        assert!((n - 20_000.0).abs() / 20_000.0 < 0.10, "got {n} events");
+        assert!(trace.rate() > 0.0);
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a = SupplyChain::build(SimConfig::default())
+            .generate_until(Timestamp::from_secs(60));
+        let b = SupplyChain::build(SimConfig { seed: 43, ..SimConfig::default() })
+            .generate_until(Timestamp::from_secs(60));
+        assert_ne!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn catalog_covers_all_processes() {
+        let cfg = SimConfig::default();
+        let sim = SupplyChain::build(cfg.clone());
+        let expected =
+            cfg.packing_lines * 2 + cfg.shelves + cfg.docks + cfg.exits + cfg.pos_registers;
+        assert_eq!(sim.catalog.readers.len(), expected);
+        assert_eq!(sim.catalog.readers.members("shelves").len(), cfg.shelves);
+        assert_eq!(sim.catalog.readers.members("exits").len(), cfg.exits);
+        assert_eq!(sim.catalog.readers.members("pos").len(), cfg.pos_registers);
+    }
+
+    #[test]
+    fn rule_family_size_and_distinctness() {
+        let sim = SupplyChain::build(SimConfig::default());
+        let script = sim.rule_family(100);
+        assert_eq!(script.matches("CREATE RULE").count(), 100);
+    }
+}

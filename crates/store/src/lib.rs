@@ -1,0 +1,34 @@
+//! # rfid-store — the temporal RFID data store
+//!
+//! RFID rules *act* on a data store: Rule 2 inserts observations, Rule 3
+//! rewrites `OBJECTLOCATION` with "Until Changed" (UC) semantics, Rule 4
+//! bulk-inserts containment relationships. This crate is that store — an
+//! embedded, in-memory implementation of the temporal data model the paper
+//! builds on (Wang & Liu, VLDB 2005):
+//!
+//! * [`value`] / [`table`] — a small typed row store with schemas, filters,
+//!   and hash indexes;
+//! * [`db`] — the database of named tables, pre-provisioned with the
+//!   paper's `OBSERVATION`, `OBJECTLOCATION`, and `OBJECTCONTAINMENT`
+//!   schemas;
+//! * [`temporal`] — UC-aware operations: close-and-append location updates,
+//!   containment with period validity, snapshot queries ("where was object X
+//!   at time t", "what was in pallet P at time t", transitive closure), and
+//!   history queries.
+//!
+//! The rule-language crate executes its SQL-subset actions against this
+//! store; applications can also use it directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod table;
+pub mod temporal;
+pub mod value;
+pub mod wal;
+
+pub use db::{Database, SharedDatabase};
+pub use table::{ColumnType, Cond, CondOp, Filter, Row, Schema, Table, TableError};
+pub use value::Value;
+pub use wal::{DurableDatabase, WalError};

@@ -1,0 +1,126 @@
+//! Property tests over the temporal store: UC invariants must survive any
+//! interleaving of location updates, packings, sales, and queries.
+
+use proptest::prelude::*;
+use rfid_epc::{Epc, Gid96};
+use rfid_store::{Cond, CondOp, Database, Filter, Value};
+use rfid_events::Timestamp;
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    MoveTo { object: u64, loc: u8 },
+    Pack { case: u64, item: u64 },
+    Unpack { item: u64 },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..6, 0u8..4).prop_map(|(object, loc)| Op::MoveTo { object, loc }),
+            (100u64..104, 0u64..6).prop_map(|(case, item)| Op::Pack { case, item }),
+            (0u64..6).prop_map(|item| Op::Unpack { item }),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    /// After any op sequence: at most one open (UC) location row per
+    /// object, at most one open containment per item, and the snapshot
+    /// queries agree with a naive replay.
+    #[test]
+    fn uc_invariants_hold(ops in ops_strategy()) {
+        let mut db = Database::rfid();
+        let mut naive_loc: std::collections::HashMap<u64, u8> = Default::default();
+        let mut naive_parent: std::collections::HashMap<u64, Option<u64>> = Default::default();
+        for (i, op) in ops.iter().enumerate() {
+            let t = Timestamp::from_secs(i as u64 + 1);
+            match *op {
+                Op::MoveTo { object, loc } => {
+                    db.record_location(epc(object), &format!("loc{loc}"), t).unwrap();
+                    naive_loc.insert(object, loc);
+                }
+                Op::Pack { case, item } => {
+                    db.record_containment(epc(case), &[epc(item)], t).unwrap();
+                    naive_parent.insert(item, Some(case));
+                }
+                Op::Unpack { item } => {
+                    db.end_containment(epc(item), t).unwrap();
+                    naive_parent.insert(item, None);
+                }
+            }
+        }
+        let now = Timestamp::from_secs(ops.len() as u64 + 10);
+
+        // One open row per object, tops.
+        for object in 0u64..6 {
+            let open = db
+                .table("OBJECTLOCATION").unwrap()
+                .count(
+                    &Filter::on(Cond::eq("object_epc", epc(object)))
+                        .and(Cond::new("tend", CondOp::Eq, Value::Uc)),
+                )
+                .unwrap();
+            prop_assert!(open <= 1, "object {object} has {open} open location rows");
+            let expected = naive_loc.get(&object).map(|l| format!("loc{l}"));
+            prop_assert_eq!(db.current_location(epc(object)).unwrap(), expected);
+            prop_assert_eq!(db.location_at(epc(object), now).unwrap(),
+                            naive_loc.get(&object).map(|l| format!("loc{l}")));
+
+            let open_containments = db
+                .table("OBJECTCONTAINMENT").unwrap()
+                .count(
+                    &Filter::on(Cond::eq("object_epc", epc(object)))
+                        .and(Cond::new("tend", CondOp::Eq, Value::Uc)),
+                )
+                .unwrap();
+            prop_assert!(open_containments <= 1);
+            let expected_parent = naive_parent.get(&object).copied().flatten().map(epc);
+            prop_assert_eq!(db.parent_at(epc(object), now).unwrap(), expected_parent);
+        }
+    }
+
+    /// Location history periods tile the timeline: consecutive rows abut,
+    /// only the last is open.
+    #[test]
+    fn history_periods_tile(moves in prop::collection::vec(0u8..5, 1..20)) {
+        let mut db = Database::rfid();
+        for (i, loc) in moves.iter().enumerate() {
+            db.record_location(epc(1), &format!("loc{loc}"), Timestamp::from_secs(i as u64))
+                .unwrap();
+        }
+        let history = db.location_history(epc(1)).unwrap();
+        prop_assert_eq!(history.len(), moves.len());
+        for w in history.windows(2) {
+            prop_assert_eq!(w[0].period.to, Some(w[1].period.from), "gap in the timeline");
+        }
+        prop_assert_eq!(history.last().unwrap().period.to, None, "latest row open");
+    }
+
+    /// select/count/delete agree with each other on random filters.
+    #[test]
+    fn select_count_delete_agree(rows in prop::collection::vec((0u64..5, 0u8..3), 0..40),
+                                 probe in 0u64..5) {
+        let mut db = Database::rfid();
+        for (i, &(object, loc)) in rows.iter().enumerate() {
+            db.table_mut("OBJECTLOCATION").unwrap().insert(vec![
+                Value::Epc(epc(object)),
+                Value::str(format!("loc{loc}")),
+                Value::Time(Timestamp::from_secs(i as u64)),
+                Value::Uc,
+            ]).unwrap();
+        }
+        let filter = Filter::on(Cond::eq("object_epc", epc(probe)));
+        let table = db.table_mut("OBJECTLOCATION").unwrap();
+        let selected = table.select(&filter).unwrap().len();
+        prop_assert_eq!(selected, table.count(&filter).unwrap());
+        let deleted = table.delete(&filter).unwrap();
+        prop_assert_eq!(deleted, selected);
+        prop_assert_eq!(table.count(&filter).unwrap(), 0);
+        prop_assert_eq!(table.len(), rows.len() - deleted);
+    }
+}

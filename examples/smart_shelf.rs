@@ -1,0 +1,69 @@
+//! Semantic filtering (Rules 1–2 of the paper) on a smart shelf: the shelf
+//! bulk-reads everything on it every 30 seconds, but the application only
+//! wants *infield* events (a product put on the shelf), *outfield* events
+//! (a product taken off), and duplicate suppression.
+//!
+//! ```text
+//! cargo run --example smart_shelf
+//! ```
+
+use rfid_cep::epc::{Epc, Sgtin96};
+use rfid_cep::events::{Catalog, Observation, Span, Timestamp};
+use rfid_cep::rules::{stdlib, RuleRuntime};
+
+fn product(serial: u64) -> Epc {
+    Sgtin96::new(1, 614_141, 7, 112_345, serial).unwrap().into()
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let shelf = catalog.readers.register("shelf1", "shelves", "aisle-3-shelf-1");
+    catalog.types.map_class_of(product(0), "product");
+
+    let mut runtime = RuleRuntime::new(catalog);
+    runtime.load(&stdlib::duplicate_detection("r1", Span::from_secs(5))).unwrap();
+    runtime.load(&stdlib::infield_filtering("r2", Span::from_secs(30))).unwrap();
+    runtime.load(&stdlib::outfield_filtering("r2b", Span::from_secs(30))).unwrap();
+    runtime.register_procedure("send_outfield_msg", |args| {
+        println!("  ← outfield: {} last seen at {}", args[1], args[2]);
+    });
+
+    // 3 products sit on the shelf; the shelf bulk-reads every 30 s.
+    // Product 2 is sold (taken off) after the second read; product 4
+    // appears at t=60. One read glitches into a duplicate.
+    let mut stream = Vec::new();
+    for (tick, present) in [
+        (0u64, vec![1u64, 2, 3]),
+        (30, vec![1, 2, 3]),
+        (60, vec![1, 3, 4]),
+        (90, vec![1, 3, 4]),
+    ] {
+        for serial in present {
+            stream.push(Observation::new(shelf, product(serial), Timestamp::from_secs(tick)));
+        }
+    }
+    // The glitch: product 1 re-read 800 ms after the t=30 bulk read.
+    stream.push(Observation::new(shelf, product(1), Timestamp::from_millis(30_800)));
+    stream.sort();
+
+    println!("feeding {} raw reads (12 bulk + 1 duplicate)…\n", stream.len());
+    runtime.process_all(stream);
+
+    // Infield events landed in the OBSERVATION table.
+    let infields = runtime.db().table("OBSERVATION").unwrap();
+    println!("\ninfield events recorded: {}", infields.len());
+    for row in infields.iter() {
+        println!("  → infield: {} at {}", row[1], row[2]);
+    }
+    assert_eq!(infields.len(), 4, "products 1, 2, 3 at t=0 and product 4 at t=60");
+
+    let dups = runtime.procedures().calls("send_duplicate_msg").count();
+    println!("duplicates suppressed: {dups}");
+    assert_eq!(dups, 1);
+
+    let outfields = runtime.procedures().calls("send_outfield_msg").count();
+    // Product 2 left after t=30; products 1, 3, 4 leave "at end of stream"
+    // when their final windows expire.
+    println!("outfield events: {outfields} (product 2 sold; 1, 3, 4 at stream end)");
+    assert_eq!(outfields, 4);
+}

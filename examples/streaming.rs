@@ -1,0 +1,83 @@
+//! Online processing, end to end: skewed reader feeds → out-of-order
+//! repair → edge filtering → the rule runtime on its own thread, queried
+//! live while events keep arriving ("processed on the fly", §1).
+//!
+//! ```text
+//! cargo run --example streaming
+//! ```
+
+use rfid_cep::edge::{DedupFilter, Pipeline};
+use rfid_cep::epc::{Epc, Gid96, Grai96};
+use rfid_cep::events::{Catalog, Observation, Reorderer, Span, Timestamp};
+use rfid_cep::rules::{stdlib, RuleRuntime};
+
+fn laptop(serial: u64) -> Epc {
+    Grai96::new(0, 614_141, 7, 11, serial).unwrap().into()
+}
+
+fn badge(serial: u64) -> Epc {
+    Gid96::new(9_001, 7, serial).unwrap().into()
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let exit = catalog.readers.register("r4", "exits", "building-exit");
+    catalog.types.map_class_of(laptop(0), "laptop");
+    catalog.types.map_class_of(badge(0), "superuser");
+
+    let mut runtime = RuleRuntime::new(catalog);
+    runtime.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    runtime.register_procedure("send_alarm", |args| {
+        println!("  🔔 ALARM for {}", args[0]);
+    });
+
+    // The runtime moves onto its own thread; this thread stays the producer.
+    let handle = runtime.spawn(64);
+
+    // Raw feed: the badge antenna reports ~400 ms later than the portal
+    // antenna, and the portal occasionally double-reads.
+    let raw = vec![
+        // 09:00 laptop + badge (authorized), with a duplicate portal read.
+        Observation::new(exit, laptop(1), Timestamp::from_millis(100)),
+        Observation::new(exit, laptop(1), Timestamp::from_millis(350)), // re-read
+        Observation::new(exit, badge(7), Timestamp::from_millis(2_000)),
+        // 09:05 lone laptop (alarm), reported out of order vs. the badge
+        // burst above because of antenna skew.
+        Observation::new(exit, laptop(2), Timestamp::from_millis(300_000)),
+    ];
+
+    // In front of the engine: repair bounded disorder, then drop duplicates.
+    let mut reorderer = Reorderer::new(Span::from_millis(500));
+    let mut filters = Pipeline::new().then(DedupFilter::new(Span::from_secs(2)));
+    let mut sent = 0usize;
+    for obs in raw {
+        if let Ok(batch) = reorderer.offer(obs) {
+            for o in batch {
+                for passed in filters.offer(o) {
+                    handle.send(passed);
+                    sent += 1;
+                }
+            }
+        }
+    }
+    for o in reorderer.flush() {
+        for passed in filters.offer(o) {
+            handle.send(passed);
+            sent += 1;
+        }
+    }
+
+    // Live query, ordered after everything sent so far.
+    let events_seen = handle.with_runtime(|rt| rt.engine().stats().events);
+    println!("engine has consumed {events_seen} of {sent} forwarded reads (live query)");
+
+    // A quiet stream still resolves its windows via heartbeats.
+    handle.advance_to(Timestamp::from_secs(400));
+    let alarms = handle.with_runtime(|rt| rt.procedures().calls("send_alarm").count());
+    println!("alarms after heartbeat: {alarms}");
+
+    let runtime = handle.stop();
+    assert_eq!(runtime.procedures().calls("send_alarm").count(), 1);
+    assert_eq!(filters.dropped_per_stage(), vec![1], "the duplicate was dropped at the edge");
+    println!("stream closed cleanly; exactly the 09:05 laptop alarmed.");
+}

@@ -1,0 +1,28 @@
+//! # rfid-cep — Complex Event Processing for RFID Data Streams
+//!
+//! Facade crate for the full system: a reproduction of Wang, Liu, Liu & Bai,
+//! *"Bridging Physical and Virtual Worlds: Complex Event Processing for RFID
+//! Data Streams"* (EDBT 2006).
+//!
+//! The individual subsystems live in focused crates; this crate re-exports
+//! them so applications can depend on one name:
+//!
+//! * [`epc`] — EPC identity layer (codecs, `type(o)`, `group(r)`)
+//! * [`events`] — event model and the RFID event algebra
+//! * [`engine`] — RCEDA, the graph-based complex event detection engine
+//! * [`store`] — the temporal RFID data store and SQL-subset executor
+//! * [`rules`] — the declarative rule language and runtime
+//! * [`simulator`] — the RFID-enabled supply chain workload generator
+//! * [`edge`] — reader-edge filtering (dedup, glitch removal, rate caps)
+//! * [`baseline`] — the traditional ECA comparator
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use rceda as engine;
+pub use rfid_baseline as baseline;
+pub use rfid_edge as edge;
+pub use rfid_epc as epc;
+pub use rfid_events as events;
+pub use rfid_rules as rules;
+pub use rfid_simulator as simulator;
+pub use rfid_store as store;

@@ -1,0 +1,111 @@
+//! The paper's worked figures, reproduced through the *declarative* rule
+//! language (the core-crate tests exercise the same scenarios through the
+//! programmatic algebra).
+
+use rfid_cep::epc::{Epc, Gid96};
+use rfid_cep::events::{Catalog, Observation, Timestamp};
+use rfid_cep::rules::RuleRuntime;
+use rfid_cep::store::Value;
+
+fn epc(class: u64, serial: u64) -> Epc {
+    Gid96::new(1, class, serial).unwrap().into()
+}
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.readers.register("r1", "r1", "conveyor");
+    c.readers.register("r2", "r2", "case-reader");
+    c.types.map_class_of(epc(10, 0), "laptop");
+    c.types.map_class_of(epc(20, 0), "superuser");
+    c
+}
+
+/// Fig. 8: `WITHIN(E1 ∧ ¬E2, 10 sec)` over history {e2@2, e1@10, e1@20}.
+/// The e1@10 is killed by the past e2@2; the e1@20 is confirmed by the
+/// pseudo event at t=30.
+#[test]
+fn fig8_through_the_rule_language() {
+    let mut rt = RuleRuntime::new(catalog());
+    rt.load(
+        "DEFINE E1 = observation('r1', o1, t1) \
+         DEFINE E2 = observation('r2', o2, t2) \
+         CREATE RULE fig8, within_and_not \
+         ON WITHIN(E1 AND NOT E2, 10 sec) \
+         IF true DO emit(o1, t1)",
+    )
+    .unwrap();
+
+    let r1 = rt.engine().catalog().reader("r1").unwrap();
+    let r2 = rt.engine().catalog().reader("r2").unwrap();
+    rt.process_all([
+        Observation::new(r2, epc(20, 1), Timestamp::from_secs(2)),
+        Observation::new(r1, epc(10, 1), Timestamp::from_secs(10)),
+        Observation::new(r1, epc(10, 2), Timestamp::from_secs(20)),
+    ]);
+
+    let emitted: Vec<&[Value]> = rt.procedures().calls("emit").collect();
+    assert_eq!(emitted.len(), 1);
+    assert_eq!(emitted[0][0], Value::Epc(epc(10, 2)), "only the t=20 instance");
+    assert_eq!(emitted[0][1], Value::Time(Timestamp::from_secs(20)));
+}
+
+/// Fig. 4: `TSEQ(TSEQ+(E1, 0s, 1s); E2, 5s, 10s)` over the paper's history.
+/// Chronicle context yields {e1¹,e1²,e1³,e2¹²} and {e1⁵,e1⁶,e1⁷,e2¹⁵}.
+#[test]
+fn fig4_through_the_rule_language() {
+    let mut rt = RuleRuntime::new(catalog());
+    rt.load(
+        "DEFINE E1 = observation('r1', o1, t1) \
+         DEFINE E2 = observation('r2', o2, t2) \
+         CREATE RULE fig4, packing \
+         ON TSEQ(TSEQ+(E1, 0, 1 sec); E2, 5 sec, 10 sec) \
+         IF true DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, UC)",
+    )
+    .unwrap();
+
+    let r1 = rt.engine().catalog().reader("r1").unwrap();
+    let r2 = rt.engine().catalog().reader("r2").unwrap();
+    let mut stream: Vec<Observation> = [1u64, 2, 3, 5, 6, 7]
+        .iter()
+        .map(|&s| Observation::new(r1, epc(30, s), Timestamp::from_secs(s)))
+        .collect();
+    stream.push(Observation::new(r2, epc(40, 1), Timestamp::from_secs(12)));
+    stream.push(Observation::new(r2, epc(40, 2), Timestamp::from_secs(15)));
+    rt.process_all(stream);
+
+    assert!(rt.errors().is_empty(), "{}", rt.errors()[0]);
+    let db = rt.db();
+    let mut first = db.contents_at(epc(40, 1), Timestamp::from_secs(13)).unwrap();
+    first.sort();
+    assert_eq!(first, vec![epc(30, 1), epc(30, 2), epc(30, 3)]);
+    let mut second = db.contents_at(epc(40, 2), Timestamp::from_secs(16)).unwrap();
+    second.sort();
+    assert_eq!(second, vec![epc(30, 5), epc(30, 6), epc(30, 7)]);
+}
+
+/// Example 2 / Rule 5 with the paper's exact DEFINE syntax.
+#[test]
+fn example2_with_paper_syntax() {
+    let mut rt = RuleRuntime::new(catalog());
+    rt.load(
+        "DEFINE E4 = observation('r2', o4, t4), type(o4) = 'laptop' \
+         DEFINE E5 = observation('r2', o5, t5), type(o5) = 'superuser' \
+         CREATE RULE r5, asset_monitoring_rule \
+         ON WITHIN(E4 ∧ ¬E5, 5 sec) \
+         IF true DO send_alarm(o4)",
+    )
+    .unwrap();
+
+    let r2 = rt.engine().catalog().reader("r2").unwrap();
+    rt.process_all([
+        // laptop + badge: fine.
+        Observation::new(r2, epc(10, 1), Timestamp::from_secs(0)),
+        Observation::new(r2, epc(20, 9), Timestamp::from_secs(3)),
+        // laptop alone: alarm.
+        Observation::new(r2, epc(10, 2), Timestamp::from_secs(60)),
+    ]);
+
+    let alarms: Vec<&[Value]> = rt.procedures().calls("send_alarm").collect();
+    assert_eq!(alarms.len(), 1);
+    assert_eq!(alarms[0][0], Value::Epc(epc(10, 2)));
+}

@@ -1,0 +1,235 @@
+//! Property-based tests over random observation streams: the engine's core
+//! invariants must hold for *any* input, not just the staged scenarios.
+
+use proptest::prelude::*;
+use rfid_cep::engine::{Engine, EngineConfig, RuleId};
+use rfid_cep::epc::{Epc, Gid96, ReaderId};
+use rfid_cep::events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
+
+const READERS: u32 = 3;
+const OBJECTS: u64 = 5;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..READERS {
+        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+    }
+    c
+}
+
+fn epc(n: u64) -> Epc {
+    Gid96::new(1, 1, n).unwrap().into()
+}
+
+/// A random time-ordered stream: (reader, object, time).
+fn stream_strategy() -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec((0..READERS, 0..OBJECTS, 0u64..2_000), 0..120).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(r, o, dt)| {
+                t += dt;
+                Observation::new(ReaderId(r), epc(o), Timestamp::from_millis(t))
+            })
+            .collect()
+    })
+}
+
+/// Runs a rule over a stream and collects every firing's constituent
+/// observations.
+fn run_rule(
+    event: EventExpr,
+    stream: &[Observation],
+    config: EngineConfig,
+) -> Vec<Vec<Observation>> {
+    let mut engine = Engine::new(catalog(), config);
+    engine.add_rule("prop", event).expect("valid rule");
+    let mut out = Vec::new();
+    let mut sink = |_: RuleId, inst: &Instance| out.push(inst.observations());
+    for &obs in stream {
+        engine.process(obs, &mut sink);
+    }
+    engine.finish(&mut sink);
+    out
+}
+
+fn dup_rule() -> EventExpr {
+    EventExpr::observation()
+        .bind_reader("r")
+        .bind_object("o")
+        .seq(EventExpr::observation().bind_reader("r").bind_object("o"))
+        .within(Span::from_secs(5))
+}
+
+fn seq_rule() -> EventExpr {
+    EventExpr::observation_at("r0")
+        .seq(EventExpr::observation_at("r1"))
+        .within(Span::from_secs(10))
+}
+
+fn tseq_rule() -> EventExpr {
+    EventExpr::observation_at("r0").tseq(
+        EventExpr::observation_at("r1"),
+        Span::from_secs(1),
+        Span::from_secs(4),
+    )
+}
+
+fn run_rule_pair(event: EventExpr, stream: &[Observation]) -> Vec<(Observation, Observation)> {
+    run_rule(event, stream, EngineConfig::default())
+        .into_iter()
+        .map(|obs| {
+            assert_eq!(obs.len(), 2);
+            (obs[0], obs[1])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The correlation in Rule 1 must hold on every emitted pair, with the
+    /// window respected.
+    #[test]
+    fn duplicate_pairs_share_reader_object_and_window(stream in stream_strategy()) {
+        for (a, b) in run_rule_pair(dup_rule(), &stream) {
+            prop_assert_eq!(a.reader, b.reader);
+            prop_assert_eq!(a.object, b.object);
+            prop_assert!(a.at <= b.at);
+            prop_assert!(b.at.signed_delta(a.at) <= 5_000);
+        }
+    }
+
+    /// Chronicle context: every observation participates in at most one
+    /// occurrence of a given complex event, and pairs never interleave
+    /// backwards (oldest initiator first).
+    #[test]
+    fn chronicle_consumes_each_instance_once(stream in stream_strategy()) {
+        let pairs = run_rule_pair(seq_rule(), &stream);
+        let mut used = std::collections::HashSet::new();
+        let mut last_initiator = None;
+        for (a, b) in &pairs {
+            prop_assert!(used.insert(*a), "initiator reused: {a}");
+            prop_assert!(used.insert(*b), "terminator reused: {b}");
+            if let Some(prev) = last_initiator {
+                prop_assert!(a.at >= prev, "initiators must be consumed oldest-first");
+            }
+            last_initiator = Some(a.at);
+        }
+    }
+
+    /// TSEQ distance bounds are instance-level constraints: every emitted
+    /// pair satisfies them exactly.
+    #[test]
+    fn tseq_bounds_hold_on_every_firing(stream in stream_strategy()) {
+        for (a, b) in run_rule_pair(tseq_rule(), &stream) {
+            let d = b.at.signed_delta(a.at);
+            prop_assert!((1_000..=4_000).contains(&d), "dist {d} out of bounds");
+        }
+    }
+
+    /// Detection is a pure function of the stream.
+    #[test]
+    fn detection_is_deterministic(stream in stream_strategy()) {
+        let a = run_rule(dup_rule(), &stream, EngineConfig::default());
+        let b = run_rule(dup_rule(), &stream, EngineConfig::default());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Ablation equivalence: keyed and flat buffers are semantically
+    /// identical (partitioning is an optimization, not a semantic change).
+    #[test]
+    fn partitioning_does_not_change_semantics(stream in stream_strategy()) {
+        let keyed = run_rule(dup_rule(), &stream, EngineConfig::default());
+        let flat = run_rule(
+            dup_rule(),
+            &stream,
+            EngineConfig { partition_buffers: false, ..EngineConfig::default() },
+        );
+        prop_assert_eq!(keyed, flat);
+    }
+
+    /// Ablation equivalence: subgraph merging does not change what a rule
+    /// set detects.
+    #[test]
+    fn merging_does_not_change_semantics(stream in stream_strategy()) {
+        let collect = |merge: bool| {
+            let mut engine = Engine::new(
+                catalog(),
+                EngineConfig { merge_subgraphs: merge, ..EngineConfig::default() },
+            );
+            let r1 = engine.add_rule("a", seq_rule()).unwrap();
+            let r2 = engine.add_rule("b", dup_rule()).unwrap();
+            let r3 = engine.add_rule("c", seq_rule()).unwrap(); // duplicate of r1
+            let mut out: Vec<(RuleId, Vec<Observation>)> = Vec::new();
+            let mut sink = |r: RuleId, inst: &Instance| out.push((r, inst.observations()));
+            for &obs in &stream {
+                engine.process(obs, &mut sink);
+            }
+            engine.finish(&mut sink);
+            let per_rule = |rule: RuleId| -> Vec<Vec<Observation>> {
+                out.iter().filter(|(r, _)| *r == rule).map(|(_, o)| o.clone()).collect()
+            };
+            (per_rule(r1), per_rule(r2), per_rule(r3))
+        };
+        let merged = collect(true);
+        let unmerged = collect(false);
+        prop_assert_eq!(&merged.0, &unmerged.0);
+        prop_assert_eq!(&merged.1, &unmerged.1);
+        prop_assert_eq!(&merged.2, &unmerged.2);
+        // Identical rules on a merged graph fire identically.
+        prop_assert_eq!(&merged.0, &merged.2);
+    }
+
+    /// TSEQ+ runs respect the gap bounds between all adjacent elements and
+    /// the WITHIN interval.
+    #[test]
+    fn tseqplus_runs_respect_gaps(stream in stream_strategy()) {
+        let event = EventExpr::observation_at("r0")
+            .tseq_plus(Span::from_millis(0), Span::from_millis(1_500))
+            .within(Span::from_secs(30));
+        for run in run_rule(event, &stream, EngineConfig::default()) {
+            prop_assert!(!run.is_empty());
+            for w in run.windows(2) {
+                let gap = w[1].at.signed_delta(w[0].at);
+                prop_assert!((0..=1_500).contains(&gap), "gap {gap}");
+            }
+            let span = run.last().unwrap().at.signed_delta(run.first().unwrap().at);
+            prop_assert!(span <= 30_000);
+        }
+    }
+
+    /// Negation soundness: WITHIN(E1 ∧ ¬E2, τ) never fires when an E2
+    /// exists within τ of the E1, and always fires when none does.
+    #[test]
+    fn negation_is_sound_and_complete(stream in stream_strategy()) {
+        let event = EventExpr::observation_at("r0")
+            .and(EventExpr::observation_at("r1").not())
+            .within(Span::from_secs(3));
+        let firings = run_rule(event, &stream, EngineConfig::default());
+        let fired_at: std::collections::HashSet<Timestamp> =
+            firings.iter().map(|o| o[0].at).collect();
+
+        for obs in stream.iter().filter(|o| o.reader == ReaderId(0)) {
+            let blocked = stream.iter().any(|e2| {
+                e2.reader == ReaderId(1) && e2.at.signed_delta(obs.at).unsigned_abs() <= 3_000
+            });
+            if blocked {
+                prop_assert!(
+                    !fired_at.contains(&obs.at) ||
+                    // Two r0 observations at the same instant: the firing may
+                    // belong to the other one; skip the ambiguous case.
+                    stream.iter().filter(|o| o.reader == ReaderId(0) && o.at == obs.at).count() > 1,
+                    "fired despite an r1 within the window (t={})",
+                    obs.at
+                );
+            } else {
+                prop_assert!(
+                    fired_at.contains(&obs.at),
+                    "missed an unaccompanied r0 at t={}",
+                    obs.at
+                );
+            }
+        }
+    }
+}

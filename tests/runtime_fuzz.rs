@@ -1,0 +1,123 @@
+//! Whole-pipeline property: any rule the runtime accepts, fed any
+//! time-ordered stream, must never panic and never produce internal errors
+//! (binding failures are engine/AST shape bugs, not user errors — the
+//! runtime promises they cannot happen for rules it accepted).
+
+use proptest::prelude::*;
+use rfid_cep::epc::{Epc, Gid96, ReaderId};
+use rfid_cep::events::{Catalog, Observation, Timestamp};
+use rfid_cep::rules::RuleRuntime;
+
+const READERS: u32 = 3;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.readers.register("r0", "g", "a");
+    c.readers.register("r1", "g", "b");
+    c.readers.register("r2", "solo", "c");
+    c.types.map_class_of(Gid96::new(1, 1, 0).unwrap().into(), "item");
+    c
+}
+
+fn epc(class: u64, n: u64) -> Epc {
+    Gid96::new(1, class, n).unwrap().into()
+}
+
+/// A pool of structurally diverse rules that all load successfully.
+fn rule_pool() -> Vec<&'static str> {
+    vec![
+        // Self-join with correlation.
+        "CREATE RULE a, dup ON WITHIN(observation(r, o, t1); observation(r, o, t2), 3 sec) \
+         IF true DO p(r, o, t1)",
+        // Negated initiator.
+        "CREATE RULE b, infield ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), 7 sec) \
+         IF true DO INSERT INTO OBSERVATION VALUES (r, o, t2)",
+        // Negated terminator.
+        "CREATE RULE c, outfield ON WITHIN(observation(r, o, t1); NOT observation(r, o, t2), 4 sec) \
+         IF true DO p(o)",
+        // AND with negation and type predicate.
+        "CREATE RULE d, asset ON WITHIN((observation('r2', a, t1), type(a) = 'item') \
+         AND NOT observation('r0', b, t2), 2 sec) IF true DO p(a)",
+        // Aperiodic with bulk insert.
+        "CREATE RULE e, pack ON TSEQ(TSEQ+(observation('r0', o1, t1), 0, 2 sec); \
+         observation('r1', o2, t2), 1 sec, 10 sec) \
+         IF true DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, UC)",
+        // OR of groups with condition functions.
+        "CREATE RULE f, ordemo ON (observation(x, o, t), group(x) = 'g') OR observation('r2', o, t) \
+         IF count() >= 1 AND interval() <= 1 min DO p(o)",
+        // SEQ+ initiator.
+        "CREATE RULE g, batch ON WITHIN(SEQ+(observation('r1', o, t)); observation('r2', c, t2), 30 sec) \
+         IF true DO p(c)",
+        // ALL + EXISTS.
+        "CREATE RULE h, tri ON WITHIN(ALL(observation('r0', a, t1), observation('r1', b, t2)), 20 sec) \
+         IF NOT EXISTS(OBSERVATION WHERE object_epc = a) DO p(a, b)",
+        // Location transformation.
+        "CREATE RULE i, loc ON observation(r, o, t), group(r) = 'g' IF true \
+         DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = UC; \
+            INSERT INTO OBJECTLOCATION VALUES (o, location(r), t, UC)",
+    ]
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec((0..READERS, 0u64..3, 0u64..6, 0u64..4_000), 0..150).prop_map(
+        |steps| {
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(r, class, o, dt)| {
+                    t += dt;
+                    Observation::new(
+                        ReaderId(r),
+                        epc(class + 1, o),
+                        Timestamp::from_millis(t),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_rule_subset_any_stream_runs_clean(
+        mask in 1usize..(1 << 9),
+        stream in stream_strategy(),
+    ) {
+        let mut rt = RuleRuntime::new(catalog());
+        for (i, script) in rule_pool().iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                rt.load(script).unwrap_or_else(|e| panic!("pool rule {i}: {e}"));
+            }
+        }
+        rt.process_all(stream);
+        for err in rt.errors() {
+            prop_assert!(
+                false,
+                "runtime error on accepted rules: {err}"
+            );
+        }
+    }
+
+    /// Loading the whole pool twice (duplicate rules, maximal sharing) is
+    /// also clean, and detection stays deterministic.
+    #[test]
+    fn duplicate_pool_is_deterministic(stream in stream_strategy()) {
+        let run = || {
+            let mut rt = RuleRuntime::new(catalog());
+            for script in rule_pool() {
+                rt.load(script).unwrap();
+            }
+            // Second copies under fresh ids (merged nodes, double firings).
+            for script in rule_pool() {
+                let renamed = script.replace("CREATE RULE ", "CREATE RULE x");
+                rt.load(&renamed).unwrap();
+            }
+            rt.process_all(stream.iter().copied());
+            assert!(rt.errors().is_empty());
+            (rt.engine().stats(), rt.procedures().log.len())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,152 @@
+//! The full pipeline of Fig. 2 at scale: simulator → rule language →
+//! engine → store, validated *exactly* against the simulator's ground
+//! truth. This is the strongest correctness statement in the repository:
+//! on a six-figure-event stream with duplicates, pipelined packing lines,
+//! bulk shelf reads, and exit traffic, every rule fires exactly as often as
+//! the physical world warranted.
+
+use std::collections::HashSet;
+
+use rfid_cep::events::Span;
+use rfid_cep::rules::RuleRuntime;
+use rfid_cep::simulator::{SimConfig, SupplyChain};
+use rfid_cep::store::Value;
+
+fn run(cfg: SimConfig, events: usize) -> (RuleRuntime, rfid_cep::simulator::Trace) {
+    let sim = SupplyChain::build(cfg);
+    let trace = sim.generate(events);
+    let mut rt = RuleRuntime::new(sim.catalog.clone());
+    rt.load(&sim.rule_set()).expect("canonical rule set");
+    rt.process_all(trace.observations.iter().copied());
+    (rt, trace)
+}
+
+#[test]
+fn containment_aggregation_matches_ground_truth_exactly() {
+    let (rt, trace) = run(SimConfig::default(), 30_000);
+    assert!(rt.errors().is_empty(), "{}", rt.errors()[0]);
+
+    let db = rt.db();
+    for truth in &trace.truth.containments {
+        let mut found = db
+            .contents_at(truth.case, truth.at + Span::from_millis(1))
+            .unwrap();
+        found.sort();
+        let mut want = truth.items.clone();
+        want.sort();
+        assert_eq!(found, want, "contents of case {}", truth.case);
+    }
+    // And nothing extra: total containment rows == total packed items.
+    let total_items: usize = trace.truth.containments.iter().map(|c| c.items.len()).sum();
+    assert_eq!(db.table("OBJECTCONTAINMENT").unwrap().len(), total_items);
+}
+
+#[test]
+fn alarms_match_ground_truth_exactly() {
+    let (rt, trace) = run(SimConfig::default(), 30_000);
+    let fired: HashSet<Value> = rt
+        .procedures()
+        .calls("send_alarm")
+        .map(|args| args[0].clone())
+        .collect();
+    let expected: HashSet<Value> =
+        trace.truth.alarms.iter().map(|(epc, _)| Value::Epc(*epc)).collect();
+    assert_eq!(fired, expected);
+}
+
+#[test]
+fn duplicate_flags_match_ground_truth_exactly() {
+    let (rt, trace) = run(SimConfig { duplicate_prob: 0.2, ..SimConfig::default() }, 30_000);
+    let fired = rt.procedures().calls("send_duplicate_msg").count();
+    assert_eq!(fired, trace.truth.duplicates.len());
+}
+
+#[test]
+fn infield_filtering_matches_ground_truth_exactly() {
+    let (rt, trace) = run(SimConfig::default(), 30_000);
+    let table = rt.db().table("OBSERVATION").unwrap();
+    assert_eq!(table.len(), trace.truth.infields.len());
+    // Each recorded row is a true first sighting: same (tag, time) set.
+    let expected: HashSet<(Value, Value)> = trace
+        .truth
+        .infields
+        .iter()
+        .map(|&(_, epc, at)| (Value::Epc(epc), Value::Time(at)))
+        .collect();
+    let got: HashSet<(Value, Value)> =
+        table.iter().map(|row| (row[1].clone(), row[2].clone())).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn location_changes_match_ground_truth_exactly() {
+    let (rt, trace) = run(SimConfig::default(), 30_000);
+    assert_eq!(
+        rt.db().table("OBJECTLOCATION").unwrap().len(),
+        trace.truth.location_changes.len() + trace.truth.sales.len(),
+        "one location row per portal crossing plus one `sold` row per sale"
+    );
+}
+
+#[test]
+fn sales_end_containment_and_move_items_to_sold() {
+    let (rt, trace) = run(SimConfig { sale_prob: 0.5, ..SimConfig::default() }, 30_000);
+    assert!(rt.errors().is_empty());
+    assert!(!trace.truth.sales.is_empty(), "the workload includes sales");
+
+    let db = rt.db();
+    for &(item, at) in &trace.truth.sales {
+        assert_eq!(
+            db.parent_at(item, at + Span::from_millis(1)).unwrap(),
+            None,
+            "sold item {item} still contained"
+        );
+        assert_eq!(
+            db.current_location(item).unwrap().as_deref(),
+            Some("sold"),
+            "sold item {item} not at `sold`"
+        );
+    }
+    // Unsold packed items keep their containment.
+    let sold: HashSet<_> = trace.truth.sales.iter().map(|&(i, _)| i).collect();
+    let unsold = trace
+        .truth
+        .containments
+        .iter()
+        .flat_map(|c| c.items.iter().map(move |&i| (i, c.case)))
+        .find(|(i, _)| !sold.contains(i));
+    if let Some((item, case)) = unsold {
+        assert_eq!(db.parent_at(item, trace.until).unwrap(), Some(case));
+    }
+}
+
+#[test]
+fn larger_stream_stays_exact_and_bounded() {
+    // 100k events: correctness must not degrade with scale, and pruning
+    // must keep buffers bounded.
+    let (rt, trace) = run(SimConfig::benchmark(), 100_000);
+    assert!(rt.errors().is_empty());
+
+    let total_items: usize = trace.truth.containments.iter().map(|c| c.items.len()).sum();
+    assert_eq!(rt.db().table("OBJECTCONTAINMENT").unwrap().len(), total_items);
+    assert_eq!(
+        rt.procedures().calls("send_alarm").count(),
+        trace.truth.alarms.len()
+    );
+    assert_eq!(
+        rt.procedures().calls("send_duplicate_msg").count(),
+        trace.truth.duplicates.len()
+    );
+
+    let stats = rt.engine().stats();
+    assert_eq!(stats.capacity_drops, 0, "no buffer ever hit the unbounded cap");
+    assert!(stats.sweeps > 0, "pruning ran");
+}
+
+#[test]
+fn detection_is_deterministic_across_runs() {
+    let (rt1, _) = run(SimConfig::default(), 10_000);
+    let (rt2, _) = run(SimConfig::default(), 10_000);
+    assert_eq!(rt1.engine().stats(), rt2.engine().stats());
+    assert_eq!(rt1.procedures().log.len(), rt2.procedures().log.len());
+}
