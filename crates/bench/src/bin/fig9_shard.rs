@@ -1,0 +1,115 @@
+//! Shard sweep: detection throughput vs. number of keyed shards, canonical
+//! rule set, fixed event count.
+//!
+//! The sharded pipeline partitions object-shardable rules across worker
+//! threads by `hash(object EPC)` and keeps the remaining rules on a residual
+//! shard that sees the full stream. This sweep measures end-to-end events/s
+//! at 1, 2, 4 and 8 keyed shards against the single-threaded engine, and
+//! writes the machine-readable series to `results/BENCH_shard.json`.
+
+use std::fmt::Write as _;
+
+use rceda::{EngineConfig, ShardConfig};
+use rfid_bench::{
+    bare_engine, print_table, sharded_engine_from_script, time_engine_pass,
+    time_sharded_pass, BenchWorkload, Measurement,
+};
+
+const EVENTS: usize = 150_000;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let workload =
+        BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let script = workload.sim.rule_set();
+    let trace = workload.trace(EVENTS);
+    let stream = &trace.observations;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Single-threaded baseline: same rules, same stream, no pipeline.
+    let mut baseline = bare_engine(&workload, EngineConfig::default());
+    let rules = baseline.rule_count();
+    let graph_nodes = baseline.graph().len();
+    let (base_ms, base_firings) = time_engine_pass(&mut baseline, stream);
+    eprintln!(
+        "  baseline (single-threaded): {base_ms:.1} ms, {base_firings} firings"
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let config = ShardConfig { shards, ..ShardConfig::default() };
+        let mut engine = sharded_engine_from_script(&workload, &script, config);
+        let (elapsed_ms, firings) = time_sharded_pass(&mut engine, stream);
+        assert_eq!(
+            firings, base_firings,
+            "sharded firing count diverged at {shards} shards"
+        );
+        rows.push(Measurement {
+            x: shards as u64,
+            events: stream.len(),
+            rules,
+            elapsed_ms,
+            firings,
+            graph_nodes,
+        });
+        eprintln!("  {shards} shard(s): {elapsed_ms:.1} ms");
+    }
+
+    print_table(
+        "Shard sweep — throughput vs. keyed shard count (canonical rules)",
+        "shards",
+        &rows,
+    );
+    println!("cores available: {cores}; baseline (unsharded): {:.0} ev/s", {
+        let base = Measurement {
+            x: 0,
+            events: stream.len(),
+            rules,
+            elapsed_ms: base_ms,
+            firings: base_firings,
+            graph_nodes,
+        };
+        base.throughput()
+    });
+
+    write_json(cores, base_ms, stream.len(), base_firings, &rows);
+}
+
+/// Hand-rolled JSON (no serde in the release path): one object per shard
+/// count, plus the unsharded baseline and the machine's core count.
+fn write_json(
+    cores: usize,
+    base_ms: f64,
+    events: usize,
+    firings: u64,
+    rows: &[Measurement],
+) {
+    let mut json = String::new();
+    let base_tput = events as f64 / (base_ms / 1000.0);
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"fig9_shard\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"events\": {events},");
+    let _ = writeln!(json, "  \"firings\": {firings},");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": {{ \"elapsed_ms\": {base_ms:.3}, \"events_per_sec\": {base_tput:.1} }},"
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1} }}{comma}",
+            m.x,
+            m.elapsed_ms,
+            m.throughput()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    eprintln!("  wrote results/BENCH_shard.json");
+}

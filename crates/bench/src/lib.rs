@@ -149,6 +149,43 @@ pub fn engine_from_script(
     engine
 }
 
+/// Builds a sharded engine from any rule script (no store, no actions —
+/// pure detection, comparable with [`engine_from_script`]).
+pub fn sharded_engine_from_script(
+    workload: &BenchWorkload,
+    script: &str,
+    config: rceda::ShardConfig,
+) -> rceda::ShardedEngine {
+    use rfid_rules::compile::{build_defines, compile_event, resolve_aliases};
+    use rfid_rules::parser::parse_script;
+
+    let parsed = parse_script(script).expect("script parses");
+    let defines = build_defines(&parsed.defines).expect("defines build");
+    let mut engine = rceda::ShardedEngine::new(workload.sim.catalog.clone(), config);
+    for rule in &parsed.rules {
+        let resolved = resolve_aliases(&rule.event, &defines).expect("aliases resolve");
+        let expr = compile_event(&resolved).expect("event compiles");
+        engine.add_rule(&rule.name, expr).expect("rule is valid");
+    }
+    engine
+}
+
+/// Times a full sharded pass over a stream (detection cost only). Returns
+/// elapsed ms and firings. The clock includes `finish()` so queued batches
+/// drain inside the measured window.
+pub fn time_sharded_pass(
+    engine: &mut rceda::ShardedEngine,
+    stream: &[Observation],
+) -> (f64, u64) {
+    let mut firings = 0u64;
+    let start = Instant::now();
+    for &obs in stream {
+        engine.process(obs);
+    }
+    engine.finish(&mut |_rule: RuleId, _inst: &rfid_events::Instance| firings += 1);
+    (start.elapsed().as_secs_f64() * 1000.0, firings)
+}
+
 /// Least-squares linear fit `y ≈ a·x + b`; returns `(a, b, r²)`. Used to
 /// verify the paper's "cost increases almost linearly" claim.
 pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {

@@ -81,6 +81,9 @@ pub struct Engine {
     rule_firings: Vec<u64>,
     dispatch: Dispatch,
     dispatch_dirty: bool,
+    /// Reused candidate buffer for leaf dispatch — `process` runs once per
+    /// observation, so this keeps the hot path allocation-free.
+    scratch: Vec<NodeId>,
     stats: EngineStats,
     config: EngineConfig,
 }
@@ -129,6 +132,7 @@ impl Engine {
             rule_firings: Vec::new(),
             dispatch: Dispatch::default(),
             dispatch_dirty: true,
+            scratch: Vec::new(),
             stats: EngineStats::default(),
             config,
         }
@@ -179,7 +183,8 @@ impl Engine {
         if self.dispatch_dirty {
             self.rebuild_dispatch();
         }
-        let mut matched: Vec<NodeId> = Vec::new();
+        let mut matched = std::mem::take(&mut self.scratch);
+        matched.clear();
         self.dispatch.candidates(&self.catalog, &obs, &mut matched);
         matched.retain(|&leaf| match &self.graph.node(leaf).kind {
             NodeKind::Primitive(p) => p.matches(&obs, &self.catalog),
@@ -189,8 +194,11 @@ impl Engine {
             self.stats.matched_events += 1;
             let inst = Arc::new(Instance::observation(obs));
             let work: Vec<(NodeId, Arc<Instance>)> =
-                matched.into_iter().map(|leaf| (leaf, inst.clone())).collect();
+                matched.iter().map(|&leaf| (leaf, inst.clone())).collect();
+            self.scratch = matched;
             self.run_work(work, sink);
+        } else {
+            self.scratch = matched;
         }
 
         if self.stats.events.is_multiple_of(self.config.sweep_every) {
@@ -414,18 +422,23 @@ impl Engine {
                     sink(rule, &inst);
                 }
             }
-            let parents = self.graph.node(node_id).parents.clone();
-            for parent in parents {
+            // Indexed walk instead of cloning the parent list: the graph is
+            // append-only and propagation never edits `parents`, so the
+            // indices stay valid across the &mut self calls below.
+            let parent_count = self.graph.node(node_id).parents.len();
+            for parent_idx in 0..parent_count {
+                let parent = self.graph.node(node_id).parents[parent_idx];
                 let pnode = self.graph.node(parent);
                 let children = &pnode.children;
                 let is_left = children[0] == node_id;
                 let is_right = children.len() > 1 && children[1] == node_id;
+                let symmetric = pnode.symmetric;
                 if is_left && is_right {
                     // Self-join (e.g. Rule 1's duplicate filter): match as the
                     // terminator against strictly older initiators, then
                     // buffer as an initiator for future arrivals.
                     self.self_join_arrival(parent, &inst, &mut work);
-                } else if pnode.symmetric {
+                } else if symmetric {
                     // Structurally identical children that did not merge
                     // (ablation A1): both deliver equivalent instances, so
                     // run the self-join protocol once, on the terminator

@@ -36,6 +36,15 @@ impl Extract {
         Extract::Child(child, Box::new(self))
     }
 
+    /// The observation attribute this path ultimately reads, however deep
+    /// the composite nesting.
+    pub fn terminal_attr(&self) -> Attr {
+        match self {
+            Extract::Obs(attr) => *attr,
+            Extract::Child(_, inner) => inner.terminal_attr(),
+        }
+    }
+
     /// Evaluates the path against an instance. `None` when the instance's
     /// shape does not match (e.g. an absence witness), which callers treat as
     /// "no key" — the instance then never joins.
@@ -111,6 +120,18 @@ impl JoinSpec {
     /// Extracts the right-side key. `None` if any path fails to resolve.
     pub fn right_key(&self, inst: &Instance) -> Option<Key> {
         extract_all(&self.right, inst)
+    }
+
+    /// Whether the correlation key constrains `attr` on *both* sides: some
+    /// aligned component reads `attr` from the left and right instances.
+    /// `keys_on(Attr::Object)` is the shardability criterion — two instances
+    /// can only join when they agree on the object EPC, so detection
+    /// partitions cleanly by object.
+    pub fn keys_on(&self, attr: Attr) -> bool {
+        self.left
+            .iter()
+            .zip(&self.right)
+            .any(|(l, r)| l.terminal_attr() == attr && r.terminal_attr() == attr)
     }
 }
 
@@ -223,6 +244,30 @@ mod tests {
         let c = obs(5, 8, 100);
         assert_eq!(spec.left_key(&a), spec.right_key(&b));
         assert_ne!(spec.left_key(&a), spec.right_key(&c));
+    }
+
+    #[test]
+    fn keys_on_requires_attr_on_both_sides() {
+        let both = |e: &EventExpr| exports_of(e, &[]);
+        let ro = EventExpr::observation().bind_reader("r").bind_object("o").build();
+        let r_only = EventExpr::observation().bind_reader("r").build();
+
+        let spec = JoinSpec::between(&both(&ro), &both(&ro));
+        assert!(spec.keys_on(Attr::Object));
+        assert!(spec.keys_on(Attr::Reader));
+
+        let spec = JoinSpec::between(&both(&ro), &both(&r_only));
+        assert!(!spec.keys_on(Attr::Object), "object bound on one side only");
+        assert!(spec.keys_on(Attr::Reader));
+
+        assert!(!JoinSpec::default().keys_on(Attr::Object), "trivial join keys on nothing");
+    }
+
+    #[test]
+    fn terminal_attr_pierces_nesting() {
+        let deep = Extract::Obs(Attr::Object).under(1).under(0);
+        assert_eq!(deep.terminal_attr(), Attr::Object);
+        assert_eq!(Extract::Obs(Attr::Reader).terminal_attr(), Attr::Reader);
     }
 
     #[test]

@@ -59,10 +59,12 @@ pub mod explain;
 pub mod graph;
 pub mod key;
 pub mod pseudo;
+pub mod shard;
 pub mod state;
 pub mod stats;
 
 pub use engine::{Engine, EngineConfig, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};
+pub use shard::{ShardConfig, ShardedEngine, Shardability};
 pub use stats::EngineStats;

@@ -1,0 +1,586 @@
+//! Key-sharded parallel detection: a scale-out layer over [`Engine`].
+//!
+//! The chronicle-context engine is inherently sequential — buffers consume
+//! instances in arrival order. But most RFID rules (Rule 1's duplicate
+//! filter, Rule 2's missing-reads detector, the asset-monitoring negations)
+//! correlate *every* stateful constituent on the object EPC. For such rules
+//! detection decomposes exactly: an occurrence only ever combines events
+//! carrying the same object, so routing observations by `hash(object) % N`
+//! to N independent engines preserves the paper's semantics bit-for-bit
+//! while processing shards in parallel.
+//!
+//! [`ShardedEngine`] implements this in three pieces:
+//!
+//! 1. **Compile-time shardability analysis** ([`analyze`]): a rule is
+//!    *object-shardable* iff its compiled graph contains no global-run
+//!    constructor (`SEQ+`/`TSEQ+` runs span arbitrary objects) and every
+//!    stateful binary plan (chronicle join, negation query, negation wait)
+//!    carries the object EPC in its correlation key on both sides
+//!    ([`crate::key::JoinSpec::keys_on`]). Stateless plans (`OR` forwarding,
+//!    leaf dispatch) never constrain sharding.
+//! 2. **Routing + batched ingestion**: observations are appended to a
+//!    per-shard batch and shipped over a bounded channel (backpressure) to
+//!    worker threads, each owning a plain single-threaded [`Engine`] loaded
+//!    with the shardable rules. Rules that fail the analysis run on one
+//!    *residual* shard that receives the full stream — the sharded engine
+//!    never rejects a rule, it just cannot parallelize that one. Per-shard
+//!    delivery stays timestamp-ordered because routing preserves the
+//!    stream's order within every shard.
+//! 3. **Barrier-based harvest**: firings accumulate inside workers and are
+//!    delivered to the caller's sink at [`ShardedEngine::advance_to`] /
+//!    [`ShardedEngine::finish`] barriers, merged across shards — in stable
+//!    `(t_end, shard, seq)` order when [`ShardConfig::ordered_output`] is
+//!    set — together with the merged [`EngineStats`]. `finish` drains every
+//!    worker's pseudo-event queue, so `NOT`/`TSEQ+` windows resolve exactly
+//!    as they do single-threaded.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rfid_events::{Catalog, EventExpr, Instance, Observation, Timestamp};
+
+use crate::engine::{Engine, EngineConfig, RuleId, Sink};
+use crate::error::InvalidRule;
+use crate::graph::{EventGraph, NodeKind, Plan};
+use crate::key::Attr;
+use crate::stats::EngineStats;
+
+/// Why a rule must run on the residual (full-stream) shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualReason {
+    /// The rule contains `SEQ+` or `TSEQ+`: aperiodic runs accumulate
+    /// elements regardless of object, so splitting the stream would split
+    /// the runs.
+    GlobalRun,
+    /// Some stateful join or negation does not carry the object EPC in its
+    /// correlation key; its chronicle buffers mix objects, so consumption
+    /// order depends on the full stream.
+    KeylessJoin,
+}
+
+/// Result of the compile-time shardability analysis for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shardability {
+    /// Every stateful constituent correlates on the object EPC: detection
+    /// partitions exactly by `hash(object) % N`.
+    Object,
+    /// The rule needs the full stream on a single engine.
+    Residual(ResidualReason),
+}
+
+impl Shardability {
+    /// Whether the rule can run on keyed shards.
+    pub fn is_object(self) -> bool {
+        matches!(self, Shardability::Object)
+    }
+}
+
+/// Analyzes one rule event for object-shardability by compiling it into a
+/// scratch graph and inspecting every node's plan. Errors are the same
+/// invalid-rule rejections [`Engine::add_rule`] would raise.
+pub fn analyze(event: &EventExpr) -> Result<Shardability, InvalidRule> {
+    let mut scratch = EventGraph::new();
+    scratch.add_event(event)?;
+    for node in scratch.nodes() {
+        if matches!(node.kind, NodeKind::SeqPlus | NodeKind::TSeqPlus { .. }) {
+            return Ok(Shardability::Residual(ResidualReason::GlobalRun));
+        }
+        let stateful = matches!(
+            node.plan,
+            Plan::TwoSided
+                | Plan::LeftNegationQuery
+                | Plan::LeftAperiodicQuery
+                | Plan::RightNegationWait
+                | Plan::AndNegation { .. }
+        );
+        if stateful && !node.join.keys_on(Attr::Object) {
+            return Ok(Shardability::Residual(ResidualReason::KeylessJoin));
+        }
+    }
+    Ok(Shardability::Object)
+}
+
+/// Tuning knobs of the sharded pipeline.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of keyed worker shards (clamped to at least 1). The residual
+    /// shard, when any rule needs it, is one additional worker.
+    pub shards: usize,
+    /// Observations per ingestion batch.
+    pub batch_size: usize,
+    /// Bounded channel depth per shard, in batches; a full queue blocks the
+    /// router (backpressure) instead of buffering without limit.
+    pub queue_depth: usize,
+    /// Deliver merged firings in stable `(t_end, shard, seq)` order at each
+    /// barrier. Off, firings arrive grouped by shard (cheaper, still
+    /// deterministic for a fixed shard count).
+    pub ordered_output: bool,
+    /// Configuration for each worker's inner engine.
+    pub engine: EngineConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        let shards =
+            std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1);
+        Self {
+            shards,
+            batch_size: 256,
+            queue_depth: 4,
+            ordered_output: true,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A rule firing shipped from a worker to the coordinator.
+struct Firing {
+    /// Global rule id (coordinator numbering).
+    rule: RuleId,
+    inst: Arc<Instance>,
+    t_end: Timestamp,
+    /// Worker-local emission sequence, for stable ordering.
+    seq: u64,
+}
+
+enum Cmd {
+    Batch(Vec<Observation>),
+    AdvanceTo(Timestamp),
+    Finish,
+}
+
+struct Reply {
+    firings: Vec<Firing>,
+    stats: EngineStats,
+}
+
+struct Worker {
+    cmd_tx: mpsc::SyncSender<Cmd>,
+    reply_rx: mpsc::Receiver<Reply>,
+    depth: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct RuleDef {
+    name: String,
+    event: EventExpr,
+    shardability: Shardability,
+}
+
+struct Runtime {
+    workers: Vec<Worker>,
+    /// Per-worker batch under construction.
+    pending: Vec<Vec<Observation>>,
+    /// Number of keyed workers (prefix of `workers`); the residual, if any,
+    /// is the last worker.
+    keyed: usize,
+    /// Index of the residual worker in `workers`.
+    residual: Option<usize>,
+}
+
+/// Parallel detection over keyed shards; see the module docs.
+///
+/// Unlike [`Engine::process`], [`ShardedEngine::process`] takes no sink:
+/// firings surface at the next barrier ([`ShardedEngine::advance_to`] or
+/// [`ShardedEngine::finish`]), since they happen asynchronously inside
+/// workers. Rules must all be added before the first observation.
+pub struct ShardedEngine {
+    catalog: Catalog,
+    config: ShardConfig,
+    rules: Vec<RuleDef>,
+    runtime: Option<Runtime>,
+    finished: bool,
+    /// Latest stats snapshot per worker (updated at barriers).
+    worker_stats: Vec<EngineStats>,
+    rule_firings: Vec<u64>,
+    batches: u64,
+    max_queue_depth: u64,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine over a deployment catalog.
+    pub fn new(catalog: Catalog, config: ShardConfig) -> Self {
+        Self {
+            catalog,
+            config,
+            rules: Vec::new(),
+            runtime: None,
+            finished: false,
+            worker_stats: Vec::new(),
+            rule_firings: Vec::new(),
+            batches: 0,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// Registers a rule, returning its id (coordinator numbering, used in
+    /// sink callbacks). The rule is validated and analyzed for
+    /// shardability immediately; workers compile it on spawn.
+    ///
+    /// # Panics
+    /// Panics if called after the first observation was processed — the
+    /// worker engines are already running.
+    pub fn add_rule(&mut self, name: &str, event: EventExpr) -> Result<RuleId, InvalidRule> {
+        assert!(self.runtime.is_none(), "add rules before processing observations");
+        let shardability = analyze(&event)?;
+        let id = RuleId(self.rules.len() as u32);
+        self.rules.push(RuleDef { name: name.to_owned(), event, shardability });
+        self.rule_firings.push(0);
+        Ok(id)
+    }
+
+    /// The shardability verdict for a rule.
+    pub fn shardability(&self, rule: RuleId) -> Shardability {
+        self.rules[rule.0 as usize].shardability
+    }
+
+    /// Name of a rule.
+    pub fn rule_name(&self, rule: RuleId) -> &str {
+        &self.rules[rule.0 as usize].name
+    }
+
+    /// Number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Firings so far per rule, as harvested at barriers.
+    pub fn firings_per_rule(&self) -> &[u64] {
+        &self.rule_firings
+    }
+
+    /// Number of keyed shards that will run (or are running).
+    pub fn keyed_shards(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// Whether any rule requires the residual full-stream shard.
+    pub fn has_residual(&self) -> bool {
+        self.rules.iter().any(|r| !r.shardability.is_object())
+    }
+
+    /// Counters merged across every shard at the last barrier, plus the
+    /// coordinator's batching counters. Per-engine counters sum, so an
+    /// observation delivered to both a keyed shard and the residual is
+    /// counted by each engine that processed it.
+    pub fn stats(&self) -> EngineStats {
+        let mut merged =
+            self.worker_stats.iter().fold(EngineStats::default(), |acc, s| acc.merge(*s));
+        merged.batches = self.batches;
+        merged.max_queue_depth = self.max_queue_depth;
+        merged
+    }
+
+    /// Routes one observation to its shard (and to the residual, if any).
+    /// Observations must arrive in non-decreasing timestamp order, exactly
+    /// as for [`Engine::process`].
+    ///
+    /// # Panics
+    /// Panics if the stream was already [`ShardedEngine::finish`]ed.
+    pub fn process(&mut self, obs: Observation) {
+        assert!(!self.finished, "stream already finished");
+        self.ensure_started();
+        let rt = self.runtime.as_mut().expect("started above");
+        if rt.keyed > 0 {
+            let shard = shard_of(&obs.object, rt.keyed);
+            rt.pending[shard].push(obs);
+            if rt.pending[shard].len() >= self.config.batch_size {
+                flush(rt, shard, &mut self.batches, &mut self.max_queue_depth);
+            }
+        }
+        if let Some(res) = rt.residual {
+            rt.pending[res].push(obs);
+            if rt.pending[res].len() >= self.config.batch_size {
+                flush(rt, res, &mut self.batches, &mut self.max_queue_depth);
+            }
+        }
+    }
+
+    /// Feeds a whole stream, then finishes it, delivering all firings.
+    pub fn process_all<I>(&mut self, stream: I, sink: &mut Sink<'_>)
+    where
+        I: IntoIterator<Item = Observation>,
+    {
+        for obs in stream {
+            self.process(obs);
+        }
+        self.finish(sink);
+    }
+
+    /// Epoch barrier: flushes partial batches, advances every worker's
+    /// clock to `now` (executing due pseudo events deterministically), and
+    /// delivers the firings accumulated since the previous barrier.
+    pub fn advance_to(&mut self, now: Timestamp, sink: &mut Sink<'_>) {
+        assert!(!self.finished, "stream already finished");
+        self.ensure_started();
+        let rt = self.runtime.as_mut().expect("started above");
+        for i in 0..rt.workers.len() {
+            flush(rt, i, &mut self.batches, &mut self.max_queue_depth);
+            rt.workers[i].cmd_tx.send(Cmd::AdvanceTo(now)).expect("worker alive");
+        }
+        self.harvest(sink);
+    }
+
+    /// Final barrier: flushes everything, drains every worker's pseudo
+    /// queue (windows extending past the last observation resolve, as in
+    /// [`Engine::finish`]), delivers the remaining firings, and joins the
+    /// worker threads. The engine cannot process further observations.
+    pub fn finish(&mut self, sink: &mut Sink<'_>) {
+        if self.finished {
+            return;
+        }
+        self.ensure_started();
+        let rt = self.runtime.as_mut().expect("started above");
+        for i in 0..rt.workers.len() {
+            flush(rt, i, &mut self.batches, &mut self.max_queue_depth);
+            rt.workers[i].cmd_tx.send(Cmd::Finish).expect("worker alive");
+        }
+        self.harvest(sink);
+        let mut rt = self.runtime.take().expect("started above");
+        for w in &mut rt.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        self.finished = true;
+    }
+
+    /// Receives one reply per worker and emits the merged firings.
+    fn harvest(&mut self, sink: &mut Sink<'_>) {
+        let rt = self.runtime.as_ref().expect("harvest only after start");
+        let mut merged: Vec<(usize, Firing)> = Vec::new();
+        for (idx, worker) in rt.workers.iter().enumerate() {
+            let reply = worker.reply_rx.recv().expect("worker replies at barrier");
+            self.worker_stats[idx] = reply.stats;
+            merged.extend(reply.firings.into_iter().map(|f| (idx, f)));
+        }
+        if self.config.ordered_output {
+            merged.sort_by_key(|(shard, f)| (f.t_end, *shard, f.seq));
+        }
+        for (_, f) in merged {
+            self.rule_firings[f.rule.0 as usize] += 1;
+            sink(f.rule, &f.inst);
+        }
+    }
+
+    /// Spawns the worker threads on first use.
+    fn ensure_started(&mut self) {
+        if self.runtime.is_some() {
+            return;
+        }
+        let shardable: Vec<usize> = (0..self.rules.len())
+            .filter(|&i| self.rules[i].shardability.is_object())
+            .collect();
+        let residual_rules: Vec<usize> = (0..self.rules.len())
+            .filter(|&i| !self.rules[i].shardability.is_object())
+            .collect();
+
+        let mut workers = Vec::new();
+        let keyed = if shardable.is_empty() { 0 } else { self.keyed_shards() };
+        for shard in 0..keyed {
+            workers.push(self.spawn_worker(&format!("shard-{shard}"), &shardable));
+        }
+        let residual = if residual_rules.is_empty() {
+            None
+        } else {
+            workers.push(self.spawn_worker("shard-residual", &residual_rules));
+            Some(workers.len() - 1)
+        };
+        let pending = workers.iter().map(|_| Vec::new()).collect();
+        self.worker_stats = vec![EngineStats::default(); workers.len()];
+        self.runtime = Some(Runtime { workers, pending, keyed, residual });
+    }
+
+    /// Builds one worker: an engine loaded with `rule_indices` (in global
+    /// order, so worker-local ids map back positionally) on its own thread.
+    fn spawn_worker(&self, name: &str, rule_indices: &[usize]) -> Worker {
+        let mut engine = Engine::new(self.catalog.clone(), self.config.engine.clone());
+        let mut map = Vec::with_capacity(rule_indices.len());
+        for &i in rule_indices {
+            let def = &self.rules[i];
+            engine
+                .add_rule(&def.name, def.event.clone())
+                .expect("rule validated by add_rule");
+            map.push(RuleId(i as u32));
+        }
+        let (cmd_tx, cmd_rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let worker_depth = depth.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || worker_loop(engine, map, cmd_rx, reply_tx, worker_depth))
+            .expect("spawn worker thread");
+        Worker { cmd_tx, reply_rx, depth, handle: Some(handle) }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Closing the command channels ends the worker loops; join so no
+        // detached thread outlives the coordinator.
+        if let Some(rt) = self.runtime.take() {
+            for worker in rt.workers {
+                let Worker { cmd_tx, reply_rx, handle, .. } = worker;
+                drop(cmd_tx);
+                drop(reply_rx);
+                if let Some(handle) = handle {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+/// Ships worker `idx`'s pending batch, tracking queue-depth high water.
+fn flush(rt: &mut Runtime, idx: usize, batches: &mut u64, max_depth: &mut u64) {
+    if rt.pending[idx].is_empty() {
+        return;
+    }
+    let batch = std::mem::take(&mut rt.pending[idx]);
+    let worker = &rt.workers[idx];
+    let depth = worker.depth.fetch_add(1, Ordering::AcqRel) as u64 + 1;
+    *max_depth = (*max_depth).max(depth);
+    *batches += 1;
+    worker.cmd_tx.send(Cmd::Batch(batch)).expect("worker alive");
+}
+
+/// Deterministic object routing. `DefaultHasher::new()` is keyed with
+/// constants, so shard assignment is stable across runs and platforms.
+fn shard_of(object: &rfid_epc::Epc, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    object.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// One worker: drives its engine over batches, accumulates firings (with
+/// global rule ids), and replies at barriers.
+fn worker_loop(
+    mut engine: Engine,
+    map: Vec<RuleId>,
+    cmd_rx: mpsc::Receiver<Cmd>,
+    reply_tx: mpsc::Sender<Reply>,
+    depth: Arc<AtomicUsize>,
+) {
+    let mut firings: Vec<Firing> = Vec::new();
+    let mut seq = 0u64;
+    while let Ok(cmd) = cmd_rx.recv() {
+        let mut sink = |rule: RuleId, inst: &Instance| {
+            seq += 1;
+            firings.push(Firing {
+                rule: map[rule.0 as usize],
+                inst: Arc::new(inst.clone()),
+                t_end: inst.t_end(),
+                seq,
+            });
+        };
+        match cmd {
+            Cmd::Batch(batch) => {
+                for obs in batch {
+                    engine.process(obs, &mut sink);
+                }
+                depth.fetch_sub(1, Ordering::AcqRel);
+            }
+            Cmd::AdvanceTo(t) => {
+                engine.advance_to(t, &mut sink);
+                drop(sink);
+                let reply = Reply { firings: std::mem::take(&mut firings), stats: engine.stats() };
+                if reply_tx.send(reply).is_err() {
+                    break; // coordinator gone
+                }
+            }
+            Cmd::Finish => {
+                engine.finish(&mut sink);
+                drop(sink);
+                let reply = Reply { firings: std::mem::take(&mut firings), stats: engine.stats() };
+                let _ = reply_tx.send(reply);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_events::Span;
+
+    fn obs_any() -> rfid_events::expr::ObservationBuilder {
+        EventExpr::observation()
+    }
+
+    #[test]
+    fn analysis_classifies_canonical_shapes() {
+        // Rule 1: duplicate filter, keyed on (reader, object) — shardable.
+        let dup = obs_any()
+            .bind_reader("r")
+            .bind_object("o")
+            .seq(obs_any().bind_reader("r").bind_object("o"))
+            .within(Span::from_secs(5));
+        assert_eq!(analyze(&dup).unwrap(), Shardability::Object);
+
+        // Rule 2 shape: NOT keyed on object — shardable.
+        let missing = obs_any()
+            .bind_object("o")
+            .not()
+            .seq(obs_any().bind_object("o"))
+            .within(Span::from_secs(30));
+        assert_eq!(analyze(&missing).unwrap(), Shardability::Object);
+
+        // Keyless SEQ: chronicle consumption is global — residual.
+        let keyless = EventExpr::observation_at("r0")
+            .seq(EventExpr::observation_at("r1"))
+            .within(Span::from_secs(10));
+        assert_eq!(
+            analyze(&keyless).unwrap(),
+            Shardability::Residual(ResidualReason::KeylessJoin)
+        );
+
+        // Reader-only key: still mixes objects — residual.
+        let reader_only = obs_any()
+            .bind_reader("r")
+            .seq(obs_any().bind_reader("r"))
+            .within(Span::from_secs(10));
+        assert_eq!(
+            analyze(&reader_only).unwrap(),
+            Shardability::Residual(ResidualReason::KeylessJoin)
+        );
+
+        // TSEQ+ runs are global — residual.
+        let run = EventExpr::observation_at("r0")
+            .tseq_plus(Span::ZERO, Span::from_secs(1))
+            .within(Span::from_secs(60));
+        assert_eq!(
+            analyze(&run).unwrap(),
+            Shardability::Residual(ResidualReason::GlobalRun)
+        );
+
+        // OR of primitives is stateless — shardable.
+        let ored = EventExpr::observation_at("r0")
+            .or(EventExpr::observation_at("r1"))
+            .within(Span::from_secs(5));
+        assert_eq!(analyze(&ored).unwrap(), Shardability::Object);
+    }
+
+    #[test]
+    fn analysis_propagates_invalid_rules() {
+        assert!(analyze(&EventExpr::observation_at("r0").build().not()).is_err());
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        use rfid_epc::Gid96;
+        for n in [1usize, 2, 7, 8] {
+            for serial in 0..64u64 {
+                let epc: rfid_epc::Epc = Gid96::new(1, 1, serial).unwrap().into();
+                let s = shard_of(&epc, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(&epc, n), "stable per object");
+            }
+        }
+    }
+}

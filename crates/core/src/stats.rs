@@ -19,13 +19,43 @@ pub struct EngineStats {
     pub capacity_drops: u64,
     /// Buffer sweep passes performed.
     pub sweeps: u64,
+    /// Observation batches shipped to workers. Only the sharded path
+    /// ([`crate::shard::ShardedEngine`]) batches; zero single-threaded.
+    pub batches: u64,
+    /// Deepest per-shard ingestion queue observed, in batches. Zero
+    /// single-threaded.
+    pub max_queue_depth: u64,
+}
+
+impl EngineStats {
+    /// Combines two counter sets: every throughput counter adds, while
+    /// [`EngineStats::max_queue_depth`] — a high-water mark, not a rate —
+    /// takes the maximum. Merging is associative and commutative with
+    /// [`EngineStats::default`] as identity, so per-shard stats can be
+    /// folded in any order.
+    #[must_use]
+    pub fn merge(self, other: EngineStats) -> EngineStats {
+        EngineStats {
+            events: self.events + other.events,
+            matched_events: self.matched_events + other.matched_events,
+            pseudo_scheduled: self.pseudo_scheduled + other.pseudo_scheduled,
+            pseudo_fired: self.pseudo_fired + other.pseudo_fired,
+            occurrences: self.occurrences + other.occurrences,
+            rule_firings: self.rule_firings + other.rule_firings,
+            capacity_drops: self.capacity_drops + other.capacity_drops,
+            sweeps: self.sweeps + other.sweeps,
+            batches: self.batches + other.batches,
+            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+        }
+    }
 }
 
 impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={}",
+            "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
+             batches={} qdepth={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -34,6 +64,46 @@ impl std::fmt::Display for EngineStats {
             self.rule_firings,
             self.capacity_drops,
             self.sweeps,
+            self.batches,
+            self.max_queue_depth,
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> EngineStats {
+        // Distinct values per field so a mis-mapped merge shows up.
+        EngineStats {
+            events: seed,
+            matched_events: seed + 1,
+            pseudo_scheduled: seed + 2,
+            pseudo_fired: seed + 3,
+            occurrences: seed + 4,
+            rule_firings: seed + 5,
+            capacity_drops: seed + 6,
+            sweeps: seed + 7,
+            batches: seed + 8,
+            max_queue_depth: seed / 10,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let (a, b, c) = (sample(10), sample(200), sample(3_000));
+        assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        assert_eq!(a.merge(b), b.merge(a), "and commutative");
+        assert_eq!(a.merge(EngineStats::default()), a, "default is the identity");
+        assert_eq!(EngineStats::default().merge(a), a);
+    }
+
+    #[test]
+    fn merge_sums_rates_and_maxes_depth() {
+        let merged = sample(10).merge(sample(200));
+        assert_eq!(merged.events, 210);
+        assert_eq!(merged.rule_firings, 220);
+        assert_eq!(merged.max_queue_depth, 20, "high-water mark takes the max, not the sum");
     }
 }

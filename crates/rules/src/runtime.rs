@@ -248,6 +248,37 @@ impl RuleRuntime {
         self.finish();
     }
 
+    /// Feeds a whole stream through the key-sharded parallel detection
+    /// pipeline ([`rceda::ShardedEngine`]) instead of this runtime's
+    /// single-threaded engine. The loaded rules are recompiled into the
+    /// sharded engine (object-shardable rules fan out over `shards` worker
+    /// threads; the rest run on a residual full-stream shard), and every
+    /// firing runs its condition and actions in the merged deterministic
+    /// `(t_end, shard, seq)` order at the end-of-stream barrier. Rules
+    /// disabled via `DROP RULE` are detected but not fired. Returns the
+    /// merged detection stats.
+    pub fn process_all_sharded<I: IntoIterator<Item = Observation>>(
+        &mut self,
+        stream: I,
+        shards: usize,
+    ) -> Result<rceda::EngineStats, RuntimeError> {
+        let config = rceda::ShardConfig { shards, ..rceda::ShardConfig::default() };
+        let mut sharded = rceda::ShardedEngine::new(self.catalog.clone(), config);
+        for (i, compiled) in self.rules.iter().enumerate() {
+            let expr = compile_event(&compiled.event)?;
+            let id = sharded.add_rule(&compiled.decl.name, expr)?;
+            debug_assert_eq!(id.0 as usize, i, "sharded ids mirror runtime ids");
+        }
+        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        sharded.process_all(stream, &mut |rule, inst| {
+            if !engine.rule_enabled(rule) {
+                return;
+            }
+            fire(rules, rule, inst, catalog, db, procs, errors);
+        });
+        Ok(sharded.stats())
+    }
+
     /// Resolves all pending windows (end of stream).
     pub fn finish(&mut self) {
         let Self { engine, catalog, db, procs, rules, errors, .. } = self;

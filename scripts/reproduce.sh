@@ -25,6 +25,7 @@ run ablation_merge     # Ablation A1: subgraph merging
 run ablation_partition # Ablation A2: keyed buffers
 run action_cost        # §5 methodology: detection vs detection+actions
 run mem_profile        # working set vs window
+run fig9_shard         # shard sweep: throughput vs. keyed shards (also writes results/BENCH_shard.json)
 
 echo
 echo "All tables written to $out/. Criterion microbenchmarks: cargo bench --workspace"

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion` 0.5 (see `shims/README.md`).
+//!
+//! A minimal wall-clock benchmark harness with criterion's registration
+//! surface: groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_with_setup`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs `sample_size` samples and
+//! reports the median (no statistical analysis, no HTML reports).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: best-effort stand-in for `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group's measurements.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmarked parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` directly, `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(black_box(out));
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` input each sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            drop(black_box(out));
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates measurements with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        let median = bencher.median();
+        self.criterion.report(&format!("{}/{id}", self.name), median, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        let median = bencher.median();
+        self.criterion.report(&format!("{}/{id}", self.name), median, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op for CLI-argument compatibility with real criterion mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (10 samples).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: 10 };
+        f(&mut bencher);
+        let median = bencher.median();
+        self.report(id, median, None);
+        self
+    }
+
+    fn report(&mut self, id: &str, median: Duration, throughput: Option<Throughput>) {
+        let time_ms = median.as_secs_f64() * 1e3;
+        match throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{id:<40} time: {time_ms:>10.3} ms   thrpt: {rate:>12.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                println!("{id:<40} time: {time_ms:>10.3} ms   thrpt: {rate:>10.2} MiB/s");
+            }
+            _ => println!("{id:<40} time: {time_ms:>10.3} ms"),
+        }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_with_setup(|| x, |v| {
+                runs += 1;
+                v * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bencher_iter_counts_samples() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("plain", |b| b.iter(|| count += 1));
+        assert_eq!(count, 10);
+    }
+}

@@ -1,0 +1,609 @@
+//! Offline stand-in for `proptest` 1.x (see `shims/README.md`).
+//!
+//! Deterministic randomized testing with the `proptest!` surface this
+//! workspace uses: range / tuple / [`strategy::Just`] / `any` / vec /
+//! regex-subset strategies, `prop_map` / `prop_flat_map` combinators,
+//! `prop_oneof!`, and `prop_assert*`. No shrinking: a failing case panics
+//! with the sampled inputs via the normal assertion message, and runs are
+//! reproducible because every test's RNG is seeded from its name.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG behind sampling.
+
+    /// Subset of proptest's `Config`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic xoshiro256** generator, seeded per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a), so every test has
+        /// its own reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut sm = h;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            Self { s }
+        }
+
+        /// The next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values for randomized tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let off = ((u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64()))
+                        % width) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = ((u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64()))
+                        % width) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuples {
+        ($(($($n:tt $S:ident),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuples! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy behind [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Acceptable element-count specifications for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod string {
+    //! A regex-subset string generator backing `impl Strategy for &str`.
+    //!
+    //! Supports the constructs the workspace's patterns use: `.`, character
+    //! classes `[a-z0-9_]` (ranges and literals), literal characters, and
+    //! the repetitions `{m,n}`, `{m}`, `*`, `+`, `?`.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// `.` — any printable character (plus occasional exotic ones, so
+        /// totality tests see non-ASCII input).
+        Dot,
+        /// `[...]` — inclusive ranges / literal alternatives.
+        Class(Vec<(char, char)>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut items = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unterminated character class");
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range start");
+                                let hi = chars.next().expect("range end");
+                                items.push((lo, hi));
+                            }
+                            _ => {
+                                if let Some(p) = prev.take() {
+                                    items.push((p, p));
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        items.push((p, p));
+                    }
+                    Atom::Class(items)
+                }
+                '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+                other => Atom::Lit(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repetition lower bound"),
+                            hi.trim().parse().expect("repetition upper bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    const EXOTIC: &[char] =
+        &['\t', '\n', '"', '\'', '\\', '\u{0}', '\u{7f}', 'é', 'λ', '中', '🦀', '\u{202e}'];
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Dot => {
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from(0x20 + rng.below(0x5f) as u8) // printable ASCII
+                }
+            }
+            Atom::Class(items) => {
+                let (lo, hi) = items[rng.below(items.len() as u64) as usize];
+                char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+                    .expect("class range stays in scalar values")
+            }
+            Atom::Lit(c) => *c,
+        }
+    }
+
+    /// Samples one string matching `pattern` (see module docs for the
+    /// supported subset).
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let span = (piece.max - piece.min) as u64 + 1;
+            let count = piece.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Everything the `proptest!` idiom needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (module-style access).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines randomized `#[test]` functions: each named argument is sampled
+/// from its strategy for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $p = $crate::strategy::Strategy::sample(&($s), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($s)),+];
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 0u8..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn tuples_and_maps(v in prop::collection::vec((0u32..4, 1u64..9), 0..12)) {
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!((1..9).contains(&b));
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_samples((digits, n) in (1u32..=4).prop_flat_map(|d| {
+            let max = 10u64.pow(d) - 1;
+            (Just(d), 0..=max)
+        })) {
+            prop_assert!(n <= 10u64.pow(digits) - 1);
+        }
+
+        #[test]
+        fn regex_subset_shapes(ident in "[a-z][a-z0-9_]{0,10}", any in ".{0,40}") {
+            prop_assert!(!ident.is_empty() && ident.len() <= 11);
+            prop_assert!(ident.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(any.chars().count() <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(13))]
+        #[test]
+        fn config_is_honored(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        use crate::strategy::Strategy;
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

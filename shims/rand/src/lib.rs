@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand` 0.8 (see `shims/README.md`).
+//!
+//! Implements the subset this workspace uses: a seedable deterministic
+//! generator ([`rngs::StdRng`], xoshiro256**), uniform [`Rng::gen_range`]
+//! over integer ranges, and [`Rng::gen_bool`]. Sequences differ from the
+//! real `rand` crate, but every consumer in the workspace only relies on
+//! determinism-given-seed, not on specific streams.
+
+#![forbid(unsafe_code)]
+
+/// Core RNG abstraction: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a range by an RNG.
+pub trait SampleRange<T> {
+    /// Samples one value. Panics on an empty range (as the real crate does).
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        // 53 uniform mantissa bits, exactly like rand's standard float path.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256** — fast, high-quality, deterministic. Stands in for
+    /// `rand::rngs::StdRng` (which makes no stream-stability guarantee
+    /// across versions anyway).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 of any seed
+            // cannot produce four zeros, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&v));
+            let w = rng.gen_range(0usize..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((3_000..7_000).contains(&hits), "p=0.5 wildly off: {hits}");
+    }
+}

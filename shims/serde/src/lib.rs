@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and identifier
+//! types but never invokes a serialization format in the offline build, so
+//! marker traits plus no-op derives are sufficient for every use site.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing: the workspace
+//! annotates types as serializable but never exercises a serialization
+//! format offline, so empty expansions keep every annotated type compiling
+//! without pulling in the real macro machinery.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

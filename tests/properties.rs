@@ -102,15 +102,28 @@ proptest! {
 
     /// Chronicle context: every observation participates in at most one
     /// occurrence of a given complex event, and pairs never interleave
-    /// backwards (oldest initiator first).
+    /// backwards (oldest initiator first). The stream may contain identical
+    /// observations (same reader, object, and instant), which are distinct
+    /// stream elements; consumption is therefore a multiset bound, not a
+    /// set-membership one.
     #[test]
     fn chronicle_consumes_each_instance_once(stream in stream_strategy()) {
+        let mut available = std::collections::HashMap::new();
+        for obs in &stream {
+            *available.entry(*obs).or_insert(0u32) += 1;
+        }
         let pairs = run_rule_pair(seq_rule(), &stream);
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::HashMap::new();
         let mut last_initiator = None;
         for (a, b) in &pairs {
-            prop_assert!(used.insert(*a), "initiator reused: {a}");
-            prop_assert!(used.insert(*b), "terminator reused: {b}");
+            for obs in [a, b] {
+                let n = used.entry(*obs).or_insert(0u32);
+                *n += 1;
+                prop_assert!(
+                    *n <= available.get(obs).copied().unwrap_or(0),
+                    "consumed more often than observed: {obs}"
+                );
+            }
             if let Some(prev) = last_initiator {
                 prop_assert!(a.at >= prev, "initiators must be consumed oldest-first");
             }
