@@ -73,13 +73,13 @@ impl TemporalCheck {
             TemporalCheck::MaxInterval(max) => inst.interval() <= max,
             TemporalCheck::GapBounds { lo, hi } => {
                 let children = inst.children();
-                let Some(first) = children.first() else { return false };
+                let Some(first) = children.first() else {
+                    return false;
+                };
                 let elements = first.children();
                 elements.windows(2).all(|w| {
                     let gap = w[1].t_end().signed_delta(w[0].t_end());
-                    gap >= 0
-                        && gap as u64 >= lo.as_millis()
-                        && gap as u64 <= hi.as_millis()
+                    gap >= 0 && gap as u64 >= lo.as_millis() && gap as u64 <= hi.as_millis()
                 })
             }
             TemporalCheck::DistBounds { lo, hi } => {
@@ -196,7 +196,10 @@ impl EcaEngine {
                 self.build(a, Some((idx, 0)));
                 self.build(b, Some((idx, 1)));
             }
-            EcaEvent::Aperiodic { element, terminator } => {
+            EcaEvent::Aperiodic {
+                element,
+                terminator,
+            } => {
                 self.build(element, Some((idx, 0)));
                 self.build(terminator, Some((idx, 1)));
             }
@@ -260,7 +263,9 @@ impl EcaEngine {
                 }
             }
         }
-        let Some((parent, side)) = self.nodes[idx].parent else { return };
+        let Some((parent, side)) = self.nodes[idx].parent else {
+            return;
+        };
         let emissions = self.arrive(parent, side, inst);
         for e in emissions {
             activations.push((parent, e));
@@ -286,7 +291,10 @@ impl EcaEngine {
                 // simply have been detected earlier.
                 let order_ok = |l: &Instance, r: &Instance| !is_seq || l.t_end() <= r.t_begin();
                 let make = |l: Arc<Instance>, r: Arc<Instance>| {
-                    Arc::new(Instance::composite(if is_seq { "SEQ" } else { "AND" }, vec![l, r]))
+                    Arc::new(Instance::composite(
+                        if is_seq { "SEQ" } else { "AND" },
+                        vec![l, r],
+                    ))
                 };
                 let mut out = Vec::new();
                 match self.context {
@@ -344,9 +352,7 @@ impl EcaEngine {
                         if partners.is_empty() {
                             own.push_back(inst);
                         } else {
-                            other.retain(|o| {
-                                !partners.iter().any(|p| Arc::ptr_eq(p, o))
-                            });
+                            other.retain(|o| !partners.iter().any(|p| Arc::ptr_eq(p, o)));
                             for o in partners {
                                 out.push(if own_is_left {
                                     make(inst.clone(), o)
@@ -449,8 +455,14 @@ mod tests {
         let rule = eca.add_rule(
             &event,
             vec![
-                TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
-                TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+                TemporalCheck::GapBounds {
+                    lo: Span::ZERO,
+                    hi: Span::from_secs(1),
+                },
+                TemporalCheck::DistBounds {
+                    lo: Span::from_secs(5),
+                    hi: Span::from_secs(10),
+                },
             ],
         );
         let _ = rule;
@@ -468,9 +480,15 @@ mod tests {
         ];
         eca.process_all(history, &mut |_, _| fired += 1);
 
-        assert_eq!(fired, 0, "type-level detection misses every valid occurrence");
+        assert_eq!(
+            fired, 0,
+            "type-level detection misses every valid occurrence"
+        );
         let stats = eca.stats();
-        assert_eq!(stats.assembled, 1, "one batch: all six items with the first case");
+        assert_eq!(
+            stats.assembled, 1,
+            "one batch: all six items with the first case"
+        );
         assert_eq!(stats.discarded, 1, "the 2s gap fails the post-hoc check");
     }
 
@@ -485,8 +503,14 @@ mod tests {
         eca.add_rule(
             &event,
             vec![
-                TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
-                TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+                TemporalCheck::GapBounds {
+                    lo: Span::ZERO,
+                    hi: Span::from_secs(1),
+                },
+                TemporalCheck::DistBounds {
+                    lo: Span::from_secs(5),
+                    hi: Span::from_secs(10),
+                },
             ],
         );
         let mut fired = 0;

@@ -8,9 +8,7 @@ use proptest::prelude::*;
 use rceda::{Engine, EngineConfig};
 use rfid_baseline::{EcaEngine, EcaEvent};
 use rfid_epc::{Epc, Gid96, ReaderId};
-use rfid_events::{
-    Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp,
-};
+use rfid_events::{Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp};
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();

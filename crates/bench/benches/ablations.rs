@@ -32,7 +32,10 @@ fn merge_ablation(c: &mut Criterion) {
                         engine_from_script(
                             &workload,
                             &script,
-                            EngineConfig { merge_subgraphs: merge, ..EngineConfig::default() },
+                            EngineConfig {
+                                merge_subgraphs: merge,
+                                ..EngineConfig::default()
+                            },
                         )
                     },
                     |mut engine| {
@@ -97,8 +100,13 @@ fn partition_ablation(c: &mut Criterion) {
 }
 
 fn engine_head_to_head(c: &mut Criterion) {
-    let cfg =
-        SimConfig { packing_lines: 8, shelves: 0, docks: 0, exits: 0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        packing_lines: 8,
+        shelves: 0,
+        docks: 0,
+        exits: 0,
+        ..SimConfig::default()
+    };
     let workload = BenchWorkload::with_config(cfg.clone());
     let trace = workload.trace(15_000);
 
@@ -163,5 +171,10 @@ fn engine_head_to_head(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, merge_ablation, partition_ablation, engine_head_to_head);
+criterion_group!(
+    benches,
+    merge_ablation,
+    partition_ablation,
+    engine_head_to_head
+);
 criterion_main!(benches);

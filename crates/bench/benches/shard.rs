@@ -16,29 +16,28 @@ fn shard_sweep(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trace.observations.len() as u64));
     for &shards in &[1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(shards),
-            &trace,
-            |b, trace| {
-                b.iter_with_setup(
-                    || {
-                        sharded_engine_from_script(
-                            &workload,
-                            &script,
-                            ShardConfig { shards, ..ShardConfig::default() },
-                        )
-                    },
-                    |mut engine| {
-                        let mut count = 0u64;
-                        for &obs in &trace.observations {
-                            engine.process(obs);
-                        }
-                        engine.finish(&mut |_, _| count += 1);
-                        count
-                    },
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &trace, |b, trace| {
+            b.iter_with_setup(
+                || {
+                    sharded_engine_from_script(
+                        &workload,
+                        &script,
+                        ShardConfig {
+                            shards,
+                            ..ShardConfig::default()
+                        },
+                    )
+                },
+                |mut engine| {
+                    let mut count = 0u64;
+                    for &obs in &trace.observations {
+                        engine.process(obs);
+                    }
+                    engine.finish(&mut |_, _| count += 1);
+                    count
+                },
+            );
+        });
     }
     group.finish();
 }

@@ -19,7 +19,10 @@ fn main() {
     for &n in &[50usize, 150, 300] {
         let script = workload.sim.rule_family(n);
         for merge in [true, false] {
-            let config = EngineConfig { merge_subgraphs: merge, ..EngineConfig::default() };
+            let config = EngineConfig {
+                merge_subgraphs: merge,
+                ..EngineConfig::default()
+            };
             let mut engine = engine_from_script(&workload, &script, config);
             let nodes = engine.graph().len();
             let hits = engine.graph().merged_hits();

@@ -31,7 +31,10 @@ fn main() {
         let mut times = [0.0f64; 2];
         let mut firings = [0u64; 2];
         for (i, partition) in [true, false].into_iter().enumerate() {
-            let config = EngineConfig { partition_buffers: partition, ..EngineConfig::default() };
+            let config = EngineConfig {
+                partition_buffers: partition,
+                ..EngineConfig::default()
+            };
             let mut engine = engine_from_script(&workload, script, config);
             let (ms, f) = time_engine_pass(&mut engine, &trace.observations);
             times[i] = ms;
@@ -44,7 +47,11 @@ fn main() {
                 population * 16,
                 times[i],
                 firings[i],
-                if i == 1 { format!("{:.1}x", times[1] / times[0].max(1e-9)) } else { String::new() },
+                if i == 1 {
+                    format!("{:.1}x", times[1] / times[0].max(1e-9))
+                } else {
+                    String::new()
+                },
             );
         }
     }

@@ -19,7 +19,13 @@ fn pattern(reader: &str) -> PrimitivePattern {
 }
 
 fn main() {
-    let cfg = SimConfig { packing_lines: 16, shelves: 0, docks: 0, exits: 0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        packing_lines: 16,
+        shelves: 0,
+        docks: 0,
+        exits: 0,
+        ..SimConfig::default()
+    };
     let workload = BenchWorkload::with_config(cfg.clone());
     let trace = workload.trace(60_000);
     let expected = trace.truth.containments.len() as u64;
@@ -68,7 +74,10 @@ fn main() {
     eca.process_all(trace.observations.clone(), &mut |_, _| eca_hits += 1);
     let eca_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-    println!("\n{:>12} {:>12} {:>14} {:>14} {:>10}", "engine", "time (ms)", "detections", "expected", "recall");
+    println!(
+        "\n{:>12} {:>12} {:>14} {:>14} {:>10}",
+        "engine", "time (ms)", "detections", "expected", "recall"
+    );
     println!(
         "{:>12} {rceda_ms:>12.1} {rceda_hits:>14} {expected:>14} {:>9.1}%",
         "RCEDA",
@@ -80,5 +89,8 @@ fn main() {
         100.0 * eca_hits as f64 / expected as f64
     );
     println!("\n(ECA batches are also discarded wholesale when one duplicate or gap");
-    println!(" violation taints them: {} discards)", eca.stats().discarded);
+    println!(
+        " violation taints them: {} discards)",
+        eca.stats().discarded
+    );
 }

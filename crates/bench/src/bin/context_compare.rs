@@ -8,9 +8,7 @@
 
 use rfid_baseline::{EcaEngine, EcaEvent};
 use rfid_epc::{Epc, Gid96, ReaderId};
-use rfid_events::{
-    Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp,
-};
+use rfid_events::{Catalog, EventExpr, Observation, ParameterContext, PrimitivePattern, Timestamp};
 
 fn pattern(reader: &str) -> PrimitivePattern {
     match EventExpr::observation_at(reader).build() {
@@ -26,7 +24,11 @@ fn epc(n: u64) -> Epc {
 /// Interleaved occurrences: initiators i1 i2 then terminators t1 t2, where
 /// the ground-truth pairing is (i1,t1), (i2,t2) — the order items and their
 /// cases come off two overlapping packing runs.
-fn overlapping_stream(pairs: usize, r1: ReaderId, r2: ReaderId) -> (Vec<Observation>, Vec<(u64, u64)>) {
+fn overlapping_stream(
+    pairs: usize,
+    r1: ReaderId,
+    r2: ReaderId,
+) -> (Vec<Observation>, Vec<(u64, u64)>) {
     let mut obs = Vec::new();
     let mut truth = Vec::new();
     let mut t = 0u64;
@@ -36,9 +38,21 @@ fn overlapping_stream(pairs: usize, r1: ReaderId, r2: ReaderId) -> (Vec<Observat
         serial += 2;
         let base = t;
         obs.push(Observation::new(r1, epc(a), Timestamp::from_millis(base)));
-        obs.push(Observation::new(r1, epc(b), Timestamp::from_millis(base + 100)));
-        obs.push(Observation::new(r2, epc(a + 10_000), Timestamp::from_millis(base + 200)));
-        obs.push(Observation::new(r2, epc(b + 10_000), Timestamp::from_millis(base + 300)));
+        obs.push(Observation::new(
+            r1,
+            epc(b),
+            Timestamp::from_millis(base + 100),
+        ));
+        obs.push(Observation::new(
+            r2,
+            epc(a + 10_000),
+            Timestamp::from_millis(base + 200),
+        ));
+        obs.push(Observation::new(
+            r2,
+            epc(b + 10_000),
+            Timestamp::from_millis(base + 300),
+        ));
         truth.push((base, base + 200));
         truth.push((base + 100, base + 300));
         t += 1_000;
@@ -53,7 +67,11 @@ fn main() {
     let (stream, truth) = overlapping_stream(10_000, r1, r2);
     let truth_set: std::collections::HashSet<(u64, u64)> = truth.iter().copied().collect();
 
-    println!("overlapping SEQ workload: {} events, {} true pairs", stream.len(), truth.len());
+    println!(
+        "overlapping SEQ workload: {} events, {} true pairs",
+        stream.len(),
+        truth.len()
+    );
     println!(
         "\n{:>14} {:>12} {:>10} {:>10} {:>10} {:>12}",
         "context", "detections", "correct", "wrong", "recall", "time (ms)"

@@ -45,18 +45,29 @@ fn main() {
     let mut engine = Engine::new(catalog.clone(), EngineConfig::default());
     let event = EventExpr::observation_at("r1")
         .tseq_plus(Span::ZERO, Span::from_secs(1))
-        .tseq(EventExpr::observation_at("r2"), Span::from_secs(5), Span::from_secs(10));
+        .tseq(
+            EventExpr::observation_at("r2"),
+            Span::from_secs(5),
+            Span::from_secs(10),
+        );
     engine.add_rule("fig4", event).unwrap();
 
     let mut rceda_hits = Vec::new();
     engine.process_all(history(r1, r2), &mut |_, inst| {
-        let times: Vec<u64> =
-            inst.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+        let times: Vec<u64> = inst
+            .observations()
+            .iter()
+            .map(|o| o.at.as_millis() / 1000)
+            .collect();
         rceda_hits.push(times);
     });
     println!("RCEDA detections ({}):", rceda_hits.len());
     for hit in &rceda_hits {
-        println!("  items@{:?} + case@{}", &hit[..hit.len() - 1], hit[hit.len() - 1]);
+        println!(
+            "  items@{:?} + case@{}",
+            &hit[..hit.len() - 1],
+            hit[hit.len() - 1]
+        );
     }
 
     // --- Type-level ECA ------------------------------------------------------
@@ -67,8 +78,14 @@ fn main() {
             terminator: Box::new(EcaEvent::Prim(pattern("r2"))),
         },
         vec![
-            TemporalCheck::GapBounds { lo: Span::ZERO, hi: Span::from_secs(1) },
-            TemporalCheck::DistBounds { lo: Span::from_secs(5), hi: Span::from_secs(10) },
+            TemporalCheck::GapBounds {
+                lo: Span::ZERO,
+                hi: Span::from_secs(1),
+            },
+            TemporalCheck::DistBounds {
+                lo: Span::from_secs(5),
+                hi: Span::from_secs(10),
+            },
         ],
     );
     let mut eca_hits = 0;

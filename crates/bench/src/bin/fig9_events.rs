@@ -11,8 +11,7 @@ use rfid_bench::{bare_engine, print_table, time_engine_pass, BenchWorkload, Meas
 fn main() {
     // Paper-scale deployment: the merged stream arrives at ≈1000 logical
     // events per second, matching §5's stated arrival rate.
-    let workload =
-        BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
     let sizes: Vec<usize> = (1..=10).map(|i| i * 25_000).collect();
     let mut rows = Vec::new();
     for &n in &sizes {

@@ -1,0 +1,119 @@
+//! Hot-path throughput gate: single-threaded events/s on the Fig. 9
+//! workload, measured over several fresh-engine passes.
+//!
+//! This is the benchmark the allocation-lean refactor (packed correlation
+//! keys, borrowed plans, pooled scratch buffers) is judged against. The
+//! pre-refactor engine — `Vec<KeyPart>` keys, cloned `Plan`s, per-arrival
+//! work vectors — measured 1 005 586.7 ev/s on this exact workload; that
+//! figure is pinned below and every run reports its speedup against it.
+//! `scripts/bench_gate.sh` reads the JSON this writes and fails the build
+//! on a >15% regression.
+
+use std::fmt::Write as _;
+
+use rceda::EngineConfig;
+use rfid_bench::{bare_engine, time_engine_pass, BenchWorkload};
+
+const EVENTS: usize = 150_000;
+const REPS: usize = 5;
+
+/// Single-threaded ev/s of the pre-refactor engine on this workload
+/// (commit prior to the packed-key refactor, same machine class, recorded
+/// in `results/BENCH_shard.json` at the time).
+const PRE_PR_BASELINE_EPS: f64 = 1_005_586.7;
+
+fn main() {
+    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let trace = workload.trace(EVENTS);
+    let stream = &trace.observations;
+
+    // Warm-up pass: fills the allocator's caches and faults in the trace so
+    // the measured passes see steady state. Each measured pass gets a fresh
+    // engine — the hash-consed instance catalog is append-only and would
+    // otherwise grow across replays, degrading lookups pass over pass.
+    let mut warm = bare_engine(&workload, EngineConfig::default());
+    let rules = warm.rule_count();
+    let (warm_ms, warm_firings) = time_engine_pass(&mut warm, stream);
+    eprintln!("  warm-up: {warm_ms:.1} ms, {warm_firings} firings");
+    drop(warm);
+
+    let mut passes = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let mut engine = bare_engine(&workload, EngineConfig::default());
+        let (elapsed_ms, firings) = time_engine_pass(&mut engine, stream);
+        assert_eq!(firings, warm_firings, "firing count changed across replays");
+        eprintln!("  pass {}: {elapsed_ms:.1} ms", rep + 1);
+        passes.push(elapsed_ms);
+    }
+
+    // Headline metric is the best pass: on a contended box interference only
+    // ever adds time, so min-of-N is the least-noise estimator of true cost
+    // (the median is still recorded in the JSON for context).
+    let best_ms = passes.iter().copied().fold(f64::INFINITY, f64::min);
+    let median_ms = {
+        let mut sorted = passes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        sorted[sorted.len() / 2]
+    };
+    let eps = stream.len() as f64 / (best_ms / 1000.0);
+    let speedup = eps / PRE_PR_BASELINE_EPS;
+
+    println!("Hot-path gate — single-threaded Fig. 9 workload");
+    println!(
+        "  events: {} | rules: {rules} | firings: {warm_firings}",
+        stream.len()
+    );
+    println!("  best of {REPS} passes: {best_ms:.1} ms ({eps:.0} ev/s)");
+    println!("  median: {median_ms:.1} ms");
+    println!("  vs. pre-refactor baseline {PRE_PR_BASELINE_EPS:.0} ev/s: {speedup:.2}x");
+
+    write_json(&Summary {
+        events: stream.len(),
+        rules,
+        firings: warm_firings,
+        passes,
+        best_ms,
+        median_ms,
+        eps,
+        speedup,
+    });
+}
+
+/// Everything one run measures, as written to `results/BENCH_hotpath.json`.
+struct Summary {
+    events: usize,
+    rules: usize,
+    firings: u64,
+    passes: Vec<f64>,
+    best_ms: f64,
+    median_ms: f64,
+    eps: f64,
+    speedup: f64,
+}
+
+/// Hand-rolled JSON (no serde in the release path), mirroring
+/// `fig9_shard`'s format.
+fn write_json(s: &Summary) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"fig9_hotpath\",");
+    let _ = writeln!(json, "  \"events\": {},", s.events);
+    let _ = writeln!(json, "  \"rules\": {},", s.rules);
+    let _ = writeln!(json, "  \"firings\": {},", s.firings);
+    let _ = writeln!(json, "  \"passes_ms\": [");
+    for (i, ms) in s.passes.iter().enumerate() {
+        let comma = if i + 1 < s.passes.len() { "," } else { "" };
+        let _ = writeln!(json, "    {ms:.3}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"best_ms\": {:.3},", s.best_ms);
+    let _ = writeln!(json, "  \"median_ms\": {:.3},", s.median_ms);
+    let _ = writeln!(json, "  \"events_per_sec\": {:.1},", s.eps);
+    let _ = writeln!(json, "  \"pre_pr_baseline_eps\": {PRE_PR_BASELINE_EPS:.1},");
+    let _ = writeln!(json, "  \"speedup_vs_baseline\": {:.3}", s.speedup);
+    let _ = writeln!(json, "}}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    eprintln!("  wrote results/BENCH_hotpath.json");
+}

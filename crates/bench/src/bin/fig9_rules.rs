@@ -6,14 +6,11 @@
 //! merging cannot trivially collapse them.
 
 use rceda::EngineConfig;
-use rfid_bench::{
-    engine_from_script, print_table, time_engine_pass, BenchWorkload, Measurement,
-};
+use rfid_bench::{engine_from_script, print_table, time_engine_pass, BenchWorkload, Measurement};
 
 fn main() {
     // Same paper-scale deployment as fig9_events (≈1000 logical ev/s).
-    let workload =
-        BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
     let trace = workload.trace(100_000);
     eprintln!(
         "stream: {} events, logical rate {:.0} ev/s",
@@ -46,5 +43,9 @@ fn main() {
         });
         eprintln!("  {n} rules done ({elapsed_ms:.1} ms, {graph_nodes} graph nodes)");
     }
-    print_table("Fig. 9 — processing time vs. number of rules", "rules", &rows);
+    print_table(
+        "Fig. 9 — processing time vs. number of rules",
+        "rules",
+        &rows,
+    );
 }

@@ -11,16 +11,15 @@ use std::fmt::Write as _;
 
 use rceda::{EngineConfig, ShardConfig};
 use rfid_bench::{
-    bare_engine, print_table, sharded_engine_from_script, time_engine_pass,
-    time_sharded_pass, BenchWorkload, Measurement,
+    bare_engine, print_table, sharded_engine_from_script, time_engine_pass, time_sharded_pass,
+    BenchWorkload, Measurement,
 };
 
 const EVENTS: usize = 150_000;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
-    let workload =
-        BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
     let script = workload.sim.rule_set();
     let trace = workload.trace(EVENTS);
     let stream = &trace.observations;
@@ -31,19 +30,22 @@ fn main() {
     let rules = baseline.rule_count();
     let graph_nodes = baseline.graph().len();
     let (base_ms, base_firings) = time_engine_pass(&mut baseline, stream);
-    eprintln!(
-        "  baseline (single-threaded): {base_ms:.1} ms, {base_firings} firings"
-    );
+    eprintln!("  baseline (single-threaded): {base_ms:.1} ms, {base_firings} firings");
 
     let mut rows = Vec::new();
+    let mut pipeline_stats = Vec::new();
     for &shards in &SHARD_COUNTS {
-        let config = ShardConfig { shards, ..ShardConfig::default() };
+        let config = ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        };
         let mut engine = sharded_engine_from_script(&workload, &script, config);
         let (elapsed_ms, firings) = time_sharded_pass(&mut engine, stream);
         assert_eq!(
             firings, base_firings,
             "sharded firing count diverged at {shards} shards"
         );
+        let stats = engine.stats();
         rows.push(Measurement {
             x: shards as u64,
             events: stream.len(),
@@ -52,7 +54,11 @@ fn main() {
             firings,
             graph_nodes,
         });
-        eprintln!("  {shards} shard(s): {elapsed_ms:.1} ms");
+        pipeline_stats.push(stats);
+        eprintln!(
+            "  {shards} shard(s): {elapsed_ms:.1} ms ({} batches, max queue depth {})",
+            stats.batches, stats.max_queue_depth
+        );
     }
 
     print_table(
@@ -60,29 +66,43 @@ fn main() {
         "shards",
         &rows,
     );
-    println!("cores available: {cores}; baseline (unsharded): {:.0} ev/s", {
-        let base = Measurement {
-            x: 0,
-            events: stream.len(),
-            rules,
-            elapsed_ms: base_ms,
-            firings: base_firings,
-            graph_nodes,
-        };
-        base.throughput()
-    });
+    println!(
+        "cores available: {cores}; baseline (unsharded): {:.0} ev/s",
+        {
+            let base = Measurement {
+                x: 0,
+                events: stream.len(),
+                rules,
+                elapsed_ms: base_ms,
+                firings: base_firings,
+                graph_nodes,
+            };
+            base.throughput()
+        }
+    );
 
-    write_json(cores, base_ms, stream.len(), base_firings, &rows);
+    write_json(
+        cores,
+        base_ms,
+        stream.len(),
+        base_firings,
+        &rows,
+        &pipeline_stats,
+    );
 }
 
 /// Hand-rolled JSON (no serde in the release path): one object per shard
-/// count, plus the unsharded baseline and the machine's core count.
+/// count, plus the unsharded baseline and the machine's core count. Each
+/// sweep row carries the pipeline's batching counters so regressions in
+/// ingestion overhead (too many tiny batches, queue pile-ups) are visible
+/// without rerunning under a profiler.
 fn write_json(
     cores: usize,
     base_ms: f64,
     events: usize,
     firings: u64,
     rows: &[Measurement],
+    pipeline_stats: &[rceda::EngineStats],
 ) {
     let mut json = String::new();
     let base_tput = events as f64 / (base_ms / 1000.0);
@@ -98,12 +118,16 @@ fn write_json(
     let _ = writeln!(json, "  \"sweep\": [");
     for (i, m) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let stats = pipeline_stats[i];
         let _ = writeln!(
             json,
-            "    {{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1} }}{comma}",
+            "    {{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1}, \
+             \"batches\": {}, \"max_queue_depth\": {} }}{comma}",
             m.x,
             m.elapsed_ms,
-            m.throughput()
+            m.throughput(),
+            stats.batches,
+            stats.max_queue_depth
         );
     }
     let _ = writeln!(json, "  ]");

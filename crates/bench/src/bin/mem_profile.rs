@@ -28,7 +28,10 @@ fn main() {
         trace.observations.len(),
         trace.until
     );
-    println!("\n{:>12} {:>16} {:>14} {:>12}", "window", "peak buffered", "final buffered", "firings");
+    println!(
+        "\n{:>12} {:>16} {:>14} {:>12}",
+        "window", "peak buffered", "final buffered", "firings"
+    );
     for window_secs in [5u64, 30, 120, 600] {
         let script = format!(
             "CREATE RULE dup, duplicate_detection \
@@ -55,5 +58,8 @@ fn main() {
             firings
         );
     }
-    println!("\npeak working set tracks the window, not the {}‑event stream", trace.observations.len());
+    println!(
+        "\npeak working set tracks the window, not the {}‑event stream",
+        trace.observations.len()
+    );
 }

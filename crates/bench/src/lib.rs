@@ -60,12 +60,16 @@ impl Default for BenchWorkload {
 impl BenchWorkload {
     /// The standard benchmark deployment.
     pub fn new() -> Self {
-        Self { sim: SupplyChain::build(SimConfig::benchmark()) }
+        Self {
+            sim: SupplyChain::build(SimConfig::benchmark()),
+        }
     }
 
     /// A deployment with a custom configuration.
     pub fn with_config(cfg: SimConfig) -> Self {
-        Self { sim: SupplyChain::build(cfg) }
+        Self {
+            sim: SupplyChain::build(cfg),
+        }
     }
 
     /// Generates a stream of approximately `n` events.
@@ -80,7 +84,8 @@ impl BenchWorkload {
             rfid_store::Database::rfid(),
             config,
         );
-        rt.load(&self.sim.rule_set()).expect("canonical rule set loads");
+        rt.load(&self.sim.rule_set())
+            .expect("canonical rule set loads");
         rt
     }
 
@@ -91,7 +96,8 @@ impl BenchWorkload {
             rfid_store::Database::rfid(),
             config,
         );
-        rt.load(&self.sim.rule_family(n)).expect("rule family loads");
+        rt.load(&self.sim.rule_family(n))
+            .expect("rule family loads");
         rt
     }
 }
@@ -99,10 +105,7 @@ impl BenchWorkload {
 /// Times a full engine-only pass over a stream (detection cost without
 /// store actions — §5 excludes action cost, so the bare engine is the
 /// comparable number). Returns elapsed ms and firings.
-pub fn time_engine_pass(
-    engine: &mut rceda::Engine,
-    stream: &[Observation],
-) -> (f64, u64) {
+pub fn time_engine_pass(engine: &mut rceda::Engine, stream: &[Observation]) -> (f64, u64) {
     let mut firings = 0u64;
     let mut sink = |_rule: RuleId, _inst: &rfid_events::Instance| firings += 1;
     let start = Instant::now();
@@ -173,10 +176,7 @@ pub fn sharded_engine_from_script(
 /// Times a full sharded pass over a stream (detection cost only). Returns
 /// elapsed ms and firings. The clock includes `finish()` so queued batches
 /// drain inside the measured window.
-pub fn time_sharded_pass(
-    engine: &mut rceda::ShardedEngine,
-    stream: &[Observation],
-) -> (f64, u64) {
+pub fn time_sharded_pass(engine: &mut rceda::ShardedEngine, stream: &[Observation]) -> (f64, u64) {
     let mut firings = 0u64;
     let start = Instant::now();
     for &obs in stream {
@@ -206,7 +206,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
-    let r2 = if ss_tot.abs() < f64::EPSILON { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot.abs() < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 
@@ -239,8 +243,7 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_a_line() {
-        let points: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
         let (a, b, r2) = linear_fit(&points);
         assert!((a - 3.0).abs() < 1e-9);
         assert!((b - 2.0).abs() < 1e-9);
@@ -261,7 +264,10 @@ mod tests {
         let mut engine = bare_engine(&w, EngineConfig::default());
         let (ms, firings) = time_engine_pass(&mut engine, &trace.observations);
         assert!(ms >= 0.0);
-        assert!(firings > 0, "the canonical rules fire on the canonical workload");
+        assert!(
+            firings > 0,
+            "the canonical rules fire on the canonical workload"
+        );
     }
 
     #[test]

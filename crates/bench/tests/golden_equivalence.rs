@@ -1,0 +1,114 @@
+//! Golden equivalence: the Fig. 9 workload's firing counts are pinned, and
+//! the refactored engine plus the sharded pipeline (1/2/8 shards) must all
+//! reproduce them exactly.
+//!
+//! The constants below were produced by the pre-refactor `Vec<KeyPart>`
+//! engine on this exact workload (paper-scale deployment, deterministic
+//! trace, 20 000 events). Any hot-path change that alters detection —
+//! packed-key collisions, plan-borrowing mistakes, shard routing drift —
+//! shows up here as a count mismatch, not as a silent perf-only diff.
+
+use std::collections::BTreeMap;
+
+use rceda::{EngineConfig, RuleId, ShardConfig};
+use rfid_bench::{engine_from_script, sharded_engine_from_script, BenchWorkload};
+use rfid_simulator::SimConfig;
+
+const EVENTS: usize = 20_000;
+
+/// Pinned per-rule firings of the five named rules on the golden workload.
+const GOLDEN_NAMED: [(&str, u64); 5] = [
+    ("asset_monitoring", 10),
+    ("duplicate_detection", 542),
+    ("infield_filtering", 11_320),
+    ("location_change", 2_062),
+    ("point_of_sale", 0),
+];
+
+/// Pinned total over the `containment_line_*` rules, and the overall total.
+const GOLDEN_PACK_TOTAL: u64 = 247;
+const GOLDEN_TOTAL: u64 = 14_181;
+
+fn engine_counts(workload: &BenchWorkload, script: &str) -> BTreeMap<String, u64> {
+    let mut engine = engine_from_script(workload, script, EngineConfig::default());
+    let trace = workload.trace(EVENTS);
+    let mut sink = |_rule: RuleId, _inst: &rfid_events::Instance| {};
+    for &obs in &trace.observations {
+        engine.process(obs, &mut sink);
+    }
+    engine.finish(&mut sink);
+    collect_counts(engine.rule_count(), engine.firings_per_rule(), |i| {
+        engine.rule_name(RuleId(i as u32)).to_owned()
+    })
+}
+
+fn sharded_counts(workload: &BenchWorkload, script: &str, shards: usize) -> BTreeMap<String, u64> {
+    let config = ShardConfig {
+        shards,
+        ..ShardConfig::default()
+    };
+    let mut engine = sharded_engine_from_script(workload, script, config);
+    let trace = workload.trace(EVENTS);
+    for &obs in &trace.observations {
+        engine.process(obs);
+    }
+    engine.finish(&mut |_rule, _inst| {});
+    collect_counts(engine.rule_count(), engine.firings_per_rule(), |i| {
+        engine.rule_name(RuleId(i as u32)).to_owned()
+    })
+}
+
+fn collect_counts(
+    rules: usize,
+    firings: &[u64],
+    name_of: impl Fn(usize) -> String,
+) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for (i, &fired) in firings.iter().enumerate().take(rules) {
+        if fired > 0 {
+            *counts.entry(name_of(i)).or_insert(0) += fired;
+        }
+    }
+    counts
+}
+
+fn assert_matches_golden(counts: &BTreeMap<String, u64>, label: &str) {
+    for (name, expected) in GOLDEN_NAMED {
+        assert_eq!(
+            counts.get(name).copied().unwrap_or(0),
+            expected,
+            "{label}: rule `{name}` diverged from the golden count"
+        );
+    }
+    let pack_total: u64 = counts
+        .iter()
+        .filter(|(n, _)| n.starts_with("containment_line_"))
+        .map(|(_, c)| c)
+        .sum();
+    assert_eq!(
+        pack_total, GOLDEN_PACK_TOTAL,
+        "{label}: containment rules diverged"
+    );
+    let total: u64 = counts.values().sum();
+    assert_eq!(total, GOLDEN_TOTAL, "{label}: total firings diverged");
+}
+
+#[test]
+fn fig9_workload_reproduces_golden_counts() {
+    let workload = BenchWorkload::with_config(SimConfig::paper_scale());
+    let script = workload.sim.rule_set();
+
+    let engine = engine_counts(&workload, &script);
+    assert_matches_golden(&engine, "single-threaded engine");
+
+    for shards in [1usize, 2, 8] {
+        let sharded = sharded_counts(&workload, &script, shards);
+        assert_matches_golden(&sharded, &format!("{shards}-shard pipeline"));
+        // Beyond the pinned aggregates: every individual rule (all 500+ of
+        // them) must agree with the single-threaded engine exactly.
+        assert_eq!(
+            sharded, engine,
+            "per-rule firing counts diverged between engine and {shards}-shard pipeline"
+        );
+    }
+}

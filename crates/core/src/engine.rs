@@ -18,6 +18,13 @@
 //!
 //! Detection runs under the chronicle parameter context: FIFO buffers,
 //! oldest-compatible matching, and consumption on use.
+//!
+//! Internally the engine is split in two (DESIGN.md §10): the compiled
+//! [`EventGraph`] is immutable once rules are registered, while all mutable
+//! detection state lives in [`Runtime`]. Propagation borrows nodes (plans,
+//! join specs, windows) straight out of the graph for the duration of an
+//! arrival while mutating runtime state — no per-arrival plan or kind
+//! clones — and the per-event work queue is a buffer reused across events.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -26,7 +33,7 @@ use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Sp
 
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
-use crate::key::Key;
+use crate::key::{extract_all, Key};
 use crate::pseudo::{PseudoAction, PseudoEvent, PseudoQueue};
 use crate::state::{dead_before, Entry, NodeState, WaitEntry};
 use crate::stats::EngineStats;
@@ -70,10 +77,9 @@ pub type Sink<'s> = dyn FnMut(RuleId, &Instance) + 's;
 pub struct Engine {
     graph: EventGraph,
     catalog: Catalog,
-    states: Vec<NodeState>,
-    pseudo: PseudoQueue,
-    clock: Timestamp,
-    seq: u64,
+    /// All mutable detection state; hot-path methods live here and borrow
+    /// the graph immutably alongside.
+    rt: Runtime,
     rules_at: HashMap<NodeId, Vec<RuleId>>,
     rule_names: Vec<String>,
     rule_roots: Vec<NodeId>,
@@ -81,11 +87,26 @@ pub struct Engine {
     rule_firings: Vec<u64>,
     dispatch: Dispatch,
     dispatch_dirty: bool,
-    /// Reused candidate buffer for leaf dispatch — `process` runs once per
-    /// observation, so this keeps the hot path allocation-free.
-    scratch: Vec<NodeId>,
-    stats: EngineStats,
     config: EngineConfig,
+}
+
+/// The mutable half of the engine: per-node state, the pseudo-event queue,
+/// the clock, and reusable hot-path buffers. Methods that run once per
+/// arrival take `&EventGraph` explicitly, so the borrow checker sees graph
+/// reads and state writes as disjoint — the reason `arrival` can match on a
+/// node's plan by reference instead of cloning it.
+struct Runtime {
+    states: Vec<NodeState>,
+    pseudo: PseudoQueue,
+    clock: Timestamp,
+    seq: u64,
+    stats: EngineStats,
+    /// Reused candidate buffer for leaf dispatch.
+    scratch: Vec<NodeId>,
+    /// Reused propagation queue: occurrences waiting to activate parents.
+    /// Fully drained by `run_work` before `process` returns, so its capacity
+    /// (not its contents) carries over between events.
+    work: Vec<(NodeId, Arc<Instance>)>,
 }
 
 /// Leaf dispatch index: maps an observation to candidate primitive nodes
@@ -116,15 +137,23 @@ impl Engine {
     /// and object types in the catalog *before* building the engine — leaf
     /// dispatch resolves names against it.
     pub fn new(catalog: Catalog, config: EngineConfig) -> Self {
-        let graph =
-            if config.merge_subgraphs { EventGraph::new() } else { EventGraph::without_merging() };
+        let graph = if config.merge_subgraphs {
+            EventGraph::new()
+        } else {
+            EventGraph::without_merging()
+        };
         Self {
             graph,
             catalog,
-            states: Vec::new(),
-            pseudo: PseudoQueue::new(),
-            clock: Timestamp::ZERO,
-            seq: 0,
+            rt: Runtime {
+                states: Vec::new(),
+                pseudo: PseudoQueue::new(),
+                clock: Timestamp::ZERO,
+                seq: 0,
+                stats: EngineStats::default(),
+                scratch: Vec::new(),
+                work: Vec::new(),
+            },
             rules_at: HashMap::new(),
             rule_names: Vec::new(),
             rule_roots: Vec::new(),
@@ -132,8 +161,6 @@ impl Engine {
             rule_firings: Vec::new(),
             dispatch: Dispatch::default(),
             dispatch_dirty: true,
-            scratch: Vec::new(),
-            stats: EngineStats::default(),
             config,
         }
     }
@@ -158,12 +185,12 @@ impl Engine {
     fn sync_states(&mut self) {
         for idx in 0..self.graph.len() {
             let id = NodeId(idx as u32);
-            if idx >= self.states.len() {
-                self.states.push(initial_state(self.graph.node(id)));
+            if idx >= self.rt.states.len() {
+                self.rt.states.push(initial_state(self.graph.node(id)));
             }
             // A new rule may have registered additional keyed histories on an
             // existing negation node.
-            if let NodeState::Negation(neg) = &mut self.states[idx] {
+            if let NodeState::Negation(neg) = &mut self.rt.states[idx] {
                 neg.ensure_specs(self.graph.hist_specs(id).len().max(1));
             }
         }
@@ -173,35 +200,35 @@ impl Engine {
     /// timestamp order (the middleware's stream order); due pseudo events
     /// are executed first.
     pub fn process(&mut self, obs: Observation, sink: &mut Sink<'_>) {
-        debug_assert!(obs.at >= self.clock, "observations must be time-ordered");
-        while let Some(ev) = self.pseudo.pop_due(obs.at) {
+        debug_assert!(obs.at >= self.rt.clock, "observations must be time-ordered");
+        while let Some(ev) = self.rt.pseudo.pop_due(obs.at) {
             self.fire_pseudo(ev, sink);
         }
-        self.clock = self.clock.max(obs.at);
-        self.stats.events += 1;
+        self.rt.clock = self.rt.clock.max(obs.at);
+        self.rt.stats.events += 1;
 
         if self.dispatch_dirty {
             self.rebuild_dispatch();
         }
-        let mut matched = std::mem::take(&mut self.scratch);
-        matched.clear();
-        self.dispatch.candidates(&self.catalog, &obs, &mut matched);
-        matched.retain(|&leaf| match &self.graph.node(leaf).kind {
-            NodeKind::Primitive(p) => p.matches(&obs, &self.catalog),
-            _ => false,
-        });
-        if !matched.is_empty() {
-            self.stats.matched_events += 1;
+        self.rt.scratch.clear();
+        self.dispatch
+            .candidates(&self.catalog, &obs, &mut self.rt.scratch);
+        let (graph, catalog) = (&self.graph, &self.catalog);
+        self.rt
+            .scratch
+            .retain(|&leaf| match &graph.node(leaf).kind {
+                NodeKind::Primitive(p) => p.matches(&obs, catalog),
+                _ => false,
+            });
+        if !self.rt.scratch.is_empty() {
+            self.rt.stats.matched_events += 1;
             let inst = Arc::new(Instance::observation(obs));
-            let work: Vec<(NodeId, Arc<Instance>)> =
-                matched.iter().map(|&leaf| (leaf, inst.clone())).collect();
-            self.scratch = matched;
-            self.run_work(work, sink);
-        } else {
-            self.scratch = matched;
+            let Runtime { scratch, work, .. } = &mut self.rt;
+            work.extend(scratch.iter().map(|&leaf| (leaf, inst.clone())));
+            self.run_work(sink);
         }
 
-        if self.stats.events.is_multiple_of(self.config.sweep_every) {
+        if self.rt.stats.events.is_multiple_of(self.config.sweep_every) {
             self.sweep();
         }
     }
@@ -221,8 +248,8 @@ impl Engine {
     /// Drains every pending pseudo event (end of stream): negation windows
     /// and open `TSEQ+` runs resolve as if time advanced past them.
     pub fn finish(&mut self, sink: &mut Sink<'_>) {
-        while let Some(ev) = self.pseudo.pop_any() {
-            self.clock = self.clock.max(ev.exec);
+        while let Some(ev) = self.rt.pseudo.pop_any() {
+            self.rt.clock = self.rt.clock.max(ev.exec);
             self.fire_pseudo(ev, sink);
         }
     }
@@ -230,19 +257,26 @@ impl Engine {
     /// Advances the clock to `now`, executing due pseudo events, without
     /// feeding an observation (heartbeat for quiet streams).
     pub fn advance_to(&mut self, now: Timestamp, sink: &mut Sink<'_>) {
-        while let Some(ev) = self.pseudo.pop_due(now) {
+        while let Some(ev) = self.rt.pseudo.pop_due(now) {
             self.fire_pseudo(ev, sink);
         }
-        self.clock = self.clock.max(now);
+        self.rt.clock = self.rt.clock.max(now);
     }
 
-    /// Counters, including buffered-capacity drops.
+    /// Counters, including buffered-capacity drops and the negation-history
+    /// key gauge.
     pub fn stats(&self) -> EngineStats {
-        let mut s = self.stats;
-        s.pseudo_scheduled = self.pseudo.scheduled;
-        for state in &self.states {
-            if let NodeState::Join { left, right } = state {
-                s.capacity_drops += left.dropped + right.dropped;
+        let mut s = self.rt.stats;
+        s.pseudo_scheduled = self.rt.pseudo.scheduled;
+        for state in &self.rt.states {
+            match state {
+                NodeState::Join { left, right } => {
+                    s.capacity_drops += left.dropped + right.dropped;
+                }
+                NodeState::Negation(neg) => {
+                    s.retained_keys += neg.key_count() as u64;
+                }
+                _ => {}
             }
         }
         s
@@ -257,7 +291,8 @@ impl Engine {
     /// aperiodic stores, open runs, and waits — the engine's working-set
     /// gauge (memory diagnostics; sweeping should keep it bounded).
     pub fn buffered_instances(&self) -> usize {
-        self.states
+        self.rt
+            .states
             .iter()
             .map(|s| match s {
                 NodeState::Stateless => 0,
@@ -308,14 +343,14 @@ impl Engine {
     /// rules. After `reset()` the engine behaves as if freshly built, so
     /// benchmark iterations and replays skip recompilation.
     pub fn reset(&mut self) {
-        for idx in 0..self.states.len() {
-            self.states[idx] = initial_state(self.graph.node(NodeId(idx as u32)));
+        for idx in 0..self.rt.states.len() {
+            self.rt.states[idx] = initial_state(self.graph.node(NodeId(idx as u32)));
         }
         self.sync_states(); // restore negation history spec slots
-        self.pseudo = PseudoQueue::new();
-        self.clock = Timestamp::ZERO;
-        self.seq = 0;
-        self.stats = EngineStats::default();
+        self.rt.pseudo = PseudoQueue::new();
+        self.rt.clock = Timestamp::ZERO;
+        self.rt.seq = 0;
+        self.rt.stats = EngineStats::default();
         for f in &mut self.rule_firings {
             *f = 0;
         }
@@ -328,13 +363,15 @@ impl Engine {
 
     /// The engine clock (timestamp of the last consumed event).
     pub fn clock(&self) -> Timestamp {
-        self.clock
+        self.rt.clock
     }
 
     fn rebuild_dispatch(&mut self) {
         self.dispatch = Dispatch::default();
         for &leaf in self.graph.primitives() {
-            let NodeKind::Primitive(p) = &self.graph.node(leaf).kind else { continue };
+            let NodeKind::Primitive(p) = &self.graph.node(leaf).kind else {
+                continue;
+            };
             match &p.reader {
                 rfid_events::ReaderSel::Named(name) => {
                     // A name missing from the catalog can never match.
@@ -343,7 +380,11 @@ impl Engine {
                     }
                 }
                 rfid_events::ReaderSel::Group(g) => {
-                    self.dispatch.by_group.entry(g.to_string()).or_default().push(leaf);
+                    self.dispatch
+                        .by_group
+                        .entry(g.to_string())
+                        .or_default()
+                        .push(leaf);
                 }
                 rfid_events::ReaderSel::Any => self.dispatch.any.push(leaf),
             }
@@ -352,11 +393,11 @@ impl Engine {
     }
 
     fn fire_pseudo(&mut self, ev: PseudoEvent, sink: &mut Sink<'_>) {
-        self.stats.pseudo_fired += 1;
-        self.clock = self.clock.max(ev.exec);
+        self.rt.stats.pseudo_fired += 1;
+        self.rt.clock = self.rt.clock.max(ev.exec);
         match ev.action {
             PseudoAction::CloseRun { node, generation } => {
-                let run = match &mut self.states[node.idx()] {
+                let run = match &mut self.rt.states[node.idx()] {
                     NodeState::TimedRun(run) if run.generation == generation => {
                         std::mem::take(&mut run.open)
                     }
@@ -364,30 +405,26 @@ impl Engine {
                 };
                 if !run.is_empty() {
                     let inst = Arc::new(Instance::composite("TSEQ+", run));
-                    self.run_work(vec![(node, inst)], sink);
+                    self.rt.work.push((node, inst));
+                    self.run_work(sink);
                 }
             }
             PseudoAction::ResolveWait { node, anchor } => {
-                let entry = match &mut self.states[node.idx()] {
+                let entry = match &mut self.rt.states[node.idx()] {
                     NodeState::Wait(w) => w.waiting.remove(&anchor),
                     _ => None,
                 };
                 let Some(entry) = entry else { return };
-                let (spec, not_side, not_child, kind_name) = {
-                    let n = self.graph.node(node);
-                    let not_side = match &n.plan {
-                        Plan::AndNegation { not_side } => *not_side,
-                        Plan::RightNegationWait => 1,
-                        other => unreachable!("ResolveWait on plan {other:?}"),
-                    };
-                    (
-                        n.hist_spec.expect("wait plan always has a history spec").0 as usize,
-                        not_side,
-                        n.children[not_side as usize],
-                        n.kind.name(),
-                    )
+                let n = self.graph.node(node);
+                let not_side = match n.plan {
+                    Plan::AndNegation { not_side } => not_side,
+                    Plan::RightNegationWait => 1,
+                    other => unreachable!("ResolveWait on plan {other:?}"),
                 };
-                let occurred = match &self.states[not_child.idx()] {
+                let spec = n.hist_spec.expect("wait plan always has a history spec").0 as usize;
+                let not_child = n.children[not_side as usize];
+                let kind_name = n.kind.name();
+                let occurred = match &self.rt.states[not_child.idx()] {
                     NodeState::Negation(neg) => {
                         neg.occurred(spec, &entry.key, entry.from, entry.to, false)
                     }
@@ -401,150 +438,204 @@ impl Engine {
                         vec![entry.inst, absence]
                     };
                     let inst = Arc::new(Instance::composite(kind_name, children));
-                    self.run_work(vec![(node, inst)], sink);
+                    self.rt.work.push((node, inst));
+                    self.run_work(sink);
                 }
             }
         }
     }
 
-    /// The ACTIVATE_PARENT_NODE loop: pops node occurrences and propagates
-    /// each to the node's rules and parents.
-    fn run_work(&mut self, mut work: Vec<(NodeId, Arc<Instance>)>, sink: &mut Sink<'_>) {
-        while let Some((node_id, inst)) = work.pop() {
-            self.stats.occurrences += 1;
-            if let Some(rules) = self.rules_at.get(&node_id) {
+    /// The ACTIVATE_PARENT_NODE loop: drains `rt.work`, propagating each
+    /// occurrence to the node's rules and parents. Arrival handlers push
+    /// further occurrences onto the same queue.
+    fn run_work(&mut self, sink: &mut Sink<'_>) {
+        let Self {
+            graph,
+            rt,
+            rules_at,
+            rule_enabled,
+            rule_firings,
+            config,
+            ..
+        } = self;
+        while let Some((node_id, inst)) = rt.work.pop() {
+            rt.stats.occurrences += 1;
+            if let Some(rules) = rules_at.get(&node_id) {
                 for &rule in rules {
-                    if !self.rule_enabled[rule.0 as usize] {
+                    if !rule_enabled[rule.0 as usize] {
                         continue;
                     }
-                    self.stats.rule_firings += 1;
-                    self.rule_firings[rule.0 as usize] += 1;
+                    rt.stats.rule_firings += 1;
+                    rule_firings[rule.0 as usize] += 1;
                     sink(rule, &inst);
                 }
             }
-            // Indexed walk instead of cloning the parent list: the graph is
-            // append-only and propagation never edits `parents`, so the
-            // indices stay valid across the &mut self calls below.
-            let parent_count = self.graph.node(node_id).parents.len();
-            for parent_idx in 0..parent_count {
-                let parent = self.graph.node(node_id).parents[parent_idx];
-                let pnode = self.graph.node(parent);
+            for &parent in &graph.node(node_id).parents {
+                let pnode = graph.node(parent);
                 let children = &pnode.children;
                 let is_left = children[0] == node_id;
                 let is_right = children.len() > 1 && children[1] == node_id;
-                let symmetric = pnode.symmetric;
                 if is_left && is_right {
                     // Self-join (e.g. Rule 1's duplicate filter): match as the
                     // terminator against strictly older initiators, then
                     // buffer as an initiator for future arrivals.
-                    self.self_join_arrival(parent, &inst, &mut work);
-                } else if symmetric {
+                    rt.self_join_arrival(graph, config, pnode, &inst);
+                } else if pnode.symmetric {
                     // Structurally identical children that did not merge
                     // (ablation A1): both deliver equivalent instances, so
                     // run the self-join protocol once, on the terminator
                     // side, and drop the initiator-side duplicate delivery.
                     if is_right {
-                        self.self_join_arrival(parent, &inst, &mut work);
+                        rt.self_join_arrival(graph, config, pnode, &inst);
                     }
                 } else {
                     if is_left {
-                        self.arrival(parent, 0, &inst, &mut work);
+                        rt.arrival(graph, config, pnode, 0, &inst);
                     }
                     if is_right {
-                        self.arrival(parent, 1, &inst, &mut work);
+                        rt.arrival(graph, config, pnode, 1, &inst);
                     }
                 }
             }
         }
     }
 
+    /// Global buffer sweep: prune joins, histories, and element stores by
+    /// their horizons.
+    fn sweep(&mut self) {
+        self.rt.stats.sweeps += 1;
+        let lag = self.graph.max_lag();
+        for idx in 0..self.rt.states.len() {
+            let node = self.graph.node(NodeId(idx as u32));
+            let horizon = node.horizon;
+            let retention = node.retention;
+            match &mut self.rt.states[idx] {
+                NodeState::Join { left, right } => {
+                    let dead = dead_before(self.rt.clock, horizon, lag);
+                    left.prune(dead);
+                    right.prune(dead);
+                }
+                NodeState::Negation(neg) => {
+                    neg.prune(dead_before(self.rt.clock, retention, lag));
+                }
+                NodeState::Aperiodic(ap) => {
+                    ap.prune(dead_before(self.rt.clock, retention, lag));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Runtime {
     /// Arrival at a binary node whose two children are the same node: the
     /// instance first tries to terminate an older initiator, then becomes an
     /// initiator itself. This yields the chained pairing Rule 1 needs
     /// ((e1,e2), (e2,e3), …) without ever pairing an instance with itself.
     fn self_join_arrival(
         &mut self,
-        parent: NodeId,
+        graph: &EventGraph,
+        config: &EngineConfig,
+        node: &Node,
         inst: &Arc<Instance>,
-        work: &mut Vec<(NodeId, Arc<Instance>)>,
     ) {
-        let node = self.graph.node(parent);
         debug_assert_eq!(node.plan, Plan::TwoSided, "self-join is always two-sided");
         let join = &node.join;
-        let key = if join.is_trivial() { Some(Key::new()) } else { join.right_key(inst) };
+        let key = if join.is_trivial() {
+            Some(Key::EMPTY)
+        } else {
+            join.right_key(inst)
+        };
         let Some(key) = key else { return };
-        let kind = node.kind.clone();
+        let kind = &node.kind;
         let within = node.within;
-        let horizon = node.horizon;
-        let dead = dead_before(self.clock, horizon, self.graph.max_lag());
-        let cap = if horizon == Span::MAX { self.config.unbounded_cap } else { usize::MAX };
-        let keyed = self.config.partition_buffers;
-        let bucket = if keyed { key.clone() } else { Key::new() };
+        let dead = dead_before(self.clock, node.horizon, graph.max_lag());
+        let cap = if node.horizon == Span::MAX {
+            config.unbounded_cap
+        } else {
+            usize::MAX
+        };
+        let keyed = config.partition_buffers;
+        let bucket = if keyed { &key } else { &Key::EMPTY };
 
-        let (lbuf, _) = self.states[parent.idx()].join_mut();
-        let matched = lbuf.take_oldest_match(&bucket, dead, |e| {
+        let (lbuf, _) = self.states[node.id.idx()].join_mut();
+        let matched = lbuf.take_oldest_match(bucket, dead, |e| {
             if Arc::ptr_eq(&e.inst, inst) {
                 return false;
             }
             if !keyed && !join.is_trivial() && join.left_key(&e.inst).as_ref() != Some(&key) {
                 return false;
             }
-            pair_ok(&kind, within, &e.inst, inst)
+            pair_ok(kind, within, &e.inst, inst)
         });
         if let Some(e) = matched {
             let out = Arc::new(Instance::composite(kind.name(), vec![e.inst, inst.clone()]));
-            work.push((parent, out));
+            self.work.push((node.id, out));
         }
         self.seq += 1;
         let seq = self.seq;
-        let (lbuf, _) = self.states[parent.idx()].join_mut();
-        lbuf.push(bucket, Entry { inst: inst.clone(), seq }, cap);
+        let bucket = bucket.clone();
+        let (lbuf, _) = self.states[node.id.idx()].join_mut();
+        lbuf.push(
+            bucket,
+            Entry {
+                inst: inst.clone(),
+                seq,
+            },
+            cap,
+        );
     }
 
-    /// Handles an instance arriving at `parent` from its `side`-th child.
-    /// Emissions are pushed onto `work`.
+    /// Handles an instance arriving at `node` from its `side`-th child.
+    /// Emissions are pushed onto the reusable work queue.
     #[allow(clippy::too_many_lines)]
     fn arrival(
         &mut self,
-        parent: NodeId,
+        graph: &EventGraph,
+        config: &EngineConfig,
+        node: &Node,
         side: u8,
         inst: &Arc<Instance>,
-        work: &mut Vec<(NodeId, Arc<Instance>)>,
     ) {
-        let plan = self.graph.node(parent).plan.clone();
-        match plan {
+        let parent = node.id;
+        match node.plan {
             Plan::Leaf => unreachable!("leaves have no children"),
             Plan::Forward => {
-                let node = self.graph.node(parent);
                 if inst.interval() <= node.within {
                     let wrapped = Arc::new(Instance::composite("OR", vec![inst.clone()]));
-                    work.push((parent, wrapped));
+                    self.work.push((parent, wrapped));
                 }
             }
             Plan::TwoSided => {
-                let node = self.graph.node(parent);
                 let join = &node.join;
                 let key = if join.is_trivial() {
-                    Some(Key::new())
+                    Some(Key::EMPTY)
                 } else if side == 0 {
                     join.left_key(inst)
                 } else {
                     join.right_key(inst)
                 };
                 let Some(key) = key else { return };
-                let kind = node.kind.clone();
+                let kind = &node.kind;
                 let within = node.within;
                 let horizon = node.horizon;
-                let dead = dead_before(self.clock, horizon, self.graph.max_lag());
-                let cap =
-                    if horizon == Span::MAX { self.config.unbounded_cap } else { usize::MAX };
+                let dead = dead_before(self.clock, horizon, graph.max_lag());
+                let cap = if horizon == Span::MAX {
+                    config.unbounded_cap
+                } else {
+                    usize::MAX
+                };
                 // Ablation A2: with partitioning off, everything shares one
                 // FIFO and key equality moves into the scan predicate.
-                let keyed = self.config.partition_buffers;
-                let bucket = if keyed { key.clone() } else { Key::new() };
+                let keyed = config.partition_buffers;
+                let bucket = if keyed { &key } else { &Key::EMPTY };
                 let (lbuf, rbuf) = self.states[parent.idx()].join_mut();
-                let (own, other) = if side == 0 { (lbuf, rbuf) } else { (rbuf, lbuf) };
-                let matched = other.take_oldest_match(&bucket, dead, |e| {
+                let (own, other) = if side == 0 {
+                    (lbuf, rbuf)
+                } else {
+                    (rbuf, lbuf)
+                };
+                let matched = other.take_oldest_match(bucket, dead, |e| {
                     // One physical event can never be both constituents of
                     // an occurrence (same-pattern children deliver the same
                     // Arc to both sides).
@@ -562,9 +653,9 @@ impl Engine {
                         }
                     }
                     if side == 0 {
-                        pair_ok(&kind, within, inst, &e.inst)
+                        pair_ok(kind, within, inst, &e.inst)
                     } else {
-                        pair_ok(&kind, within, &e.inst, inst)
+                        pair_ok(kind, within, &e.inst, inst)
                     }
                 });
                 match matched {
@@ -572,26 +663,29 @@ impl Engine {
                         // Retire every buffered copy of both constituents:
                         // with unmerged same-pattern children an instance
                         // can sit in both side buffers.
-                        own.remove_ptr_eq(&bucket, &e.inst);
-                        own.remove_ptr_eq(&bucket, inst);
-                        other.remove_ptr_eq(&bucket, inst);
+                        own.remove_ptr_eq(bucket, &e.inst);
+                        own.remove_ptr_eq(bucket, inst);
+                        other.remove_ptr_eq(bucket, inst);
                         let children = if side == 0 {
                             vec![inst.clone(), e.inst]
                         } else {
                             vec![e.inst, inst.clone()]
                         };
                         let out = Arc::new(Instance::composite(kind.name(), children));
-                        work.push((parent, out));
+                        self.work.push((parent, out));
                     }
                     None => {
                         self.seq += 1;
-                        own.push(bucket, Entry { inst: inst.clone(), seq: self.seq }, cap);
+                        let entry = Entry {
+                            inst: inst.clone(),
+                            seq: self.seq,
+                        };
+                        own.push(bucket.clone(), entry, cap);
                     }
                 }
             }
             Plan::LeftNegationQuery => {
                 debug_assert_eq!(side, 1, "negated initiator never delivers");
-                let node = self.graph.node(parent);
                 let (from, to, exclusive) = match node.kind {
                     NodeKind::Seq => {
                         let from = if node.within == Span::MAX {
@@ -608,7 +702,9 @@ impl Engine {
                     }
                     ref other => unreachable!("LeftNegationQuery on {other:?}"),
                 };
-                let Some(key) = negation_query_key(node, 1, inst) else { return };
+                let Some(key) = negation_query_key(node, 1, inst) else {
+                    return;
+                };
                 let spec = node.hist_spec.expect("query plan has a spec").0 as usize;
                 let not_child = node.children[0];
                 let kind_name = node.kind.name();
@@ -618,14 +714,12 @@ impl Engine {
                 };
                 if !occurred {
                     let absence = Arc::new(Instance::absence(from, to));
-                    let out =
-                        Arc::new(Instance::composite(kind_name, vec![absence, inst.clone()]));
-                    work.push((parent, out));
+                    let out = Arc::new(Instance::composite(kind_name, vec![absence, inst.clone()]));
+                    self.work.push((parent, out));
                 }
             }
             Plan::LeftAperiodicQuery => {
                 debug_assert_eq!(side, 1);
-                let node = self.graph.node(parent);
                 let from = if node.within == Span::MAX {
                     Timestamp::ZERO
                 } else {
@@ -658,7 +752,7 @@ impl Engine {
                 let run = Arc::new(Instance::composite("SEQ+", elements));
                 let out = Arc::new(Instance::composite(kind_name, vec![run, inst.clone()]));
                 if out.interval() <= within {
-                    work.push((parent, out));
+                    self.work.push((parent, out));
                 }
             }
             Plan::RightNegationWait => {
@@ -667,43 +761,34 @@ impl Engine {
                 // ends; otherwise an initiator whose pattern overlaps the
                 // negated pattern would block itself.
                 let epsilon = Span::from_millis(1);
-                let (from, to) = {
-                    let node = self.graph.node(parent);
-                    match node.kind {
-                        NodeKind::Seq => {
-                            (inst.t_end() + epsilon, inst.t_begin() + node.within)
-                        }
-                        NodeKind::TSeq { min_dist, max_dist } => (
-                            inst.t_end() + min_dist.max(epsilon),
-                            inst.t_end() + max_dist,
-                        ),
-                        ref other => unreachable!("RightNegationWait on {other:?}"),
-                    }
+                let (from, to) = match node.kind {
+                    NodeKind::Seq => (inst.t_end() + epsilon, inst.t_begin() + node.within),
+                    NodeKind::TSeq { min_dist, max_dist } => (
+                        inst.t_end() + min_dist.max(epsilon),
+                        inst.t_end() + max_dist,
+                    ),
+                    ref other => unreachable!("RightNegationWait on {other:?}"),
                 };
-                self.wait_on_negation(parent, 1, inst, from, to, work);
+                self.wait_on_negation(node, 1, inst, from, to);
             }
             Plan::AndNegation { not_side } => {
                 debug_assert_eq!(side, 1 - not_side, "arrivals come from the push side");
-                let (from, to) = {
-                    let bound = self.graph.node(parent).within;
-                    (inst.t_end().saturating_sub(bound), inst.t_begin() + bound)
-                };
-                self.wait_on_negation(parent, not_side, inst, from, to, work);
+                let bound = node.within;
+                let (from, to) = (inst.t_end().saturating_sub(bound), inst.t_begin() + bound);
+                self.wait_on_negation(node, not_side, inst, from, to);
             }
             Plan::NegationRecorder => {
-                let specs = self.graph.hist_specs(parent);
+                let specs = graph.hist_specs(parent);
                 let NodeState::Negation(neg) = &mut self.states[parent.idx()] else {
                     unreachable!("negation state");
                 };
                 neg.ensure_specs(specs.len().max(1));
                 if specs.is_empty() {
                     // No parent correlates: record under the empty key.
-                    neg.record(0, Key::new(), inst.t_end());
+                    neg.record(0, Key::EMPTY, inst.t_end());
                 } else {
                     for (i, spec) in specs.iter().enumerate() {
-                        let key: Option<Key> =
-                            spec.extracts.iter().map(|x| x.eval(inst)).collect();
-                        if let Some(key) = key {
+                        if let Some(key) = extract_all(&spec.extracts, inst) {
                             neg.record(i, key, inst.t_end());
                         }
                     }
@@ -716,13 +801,10 @@ impl Engine {
                 ap.record(inst.clone());
             }
             Plan::TimedAperiodic => {
-                let (min_gap, max_gap, within) = {
-                    let node = self.graph.node(parent);
-                    let NodeKind::TSeqPlus { min_gap, max_gap } = node.kind else {
-                        unreachable!("TimedAperiodic on non-TSEQ+ node");
-                    };
-                    (min_gap, max_gap, node.within)
+                let NodeKind::TSeqPlus { min_gap, max_gap } = node.kind else {
+                    unreachable!("TimedAperiodic on non-TSEQ+ node");
                 };
+                let within = node.within;
                 let NodeState::TimedRun(run) = &mut self.states[parent.idx()] else {
                     unreachable!("timed-run state");
                 };
@@ -757,11 +839,14 @@ impl Engine {
                 self.pseudo.schedule(PseudoEvent {
                     exec: inst.t_end() + max_gap,
                     seq: self.seq,
-                    action: PseudoAction::CloseRun { node: parent, generation },
+                    action: PseudoAction::CloseRun {
+                        node: parent,
+                        generation,
+                    },
                 });
                 if let Some(run) = closed {
                     let out = Arc::new(Instance::composite("TSEQ+", run));
-                    work.push((parent, out));
+                    self.work.push((parent, out));
                 }
             }
         }
@@ -772,23 +857,18 @@ impl Engine {
     /// anchor the instance and schedule a pseudo event at its close.
     fn wait_on_negation(
         &mut self,
-        parent: NodeId,
+        node: &Node,
         not_side: u8,
         inst: &Arc<Instance>,
         from: Timestamp,
         to: Timestamp,
-        work: &mut Vec<(NodeId, Arc<Instance>)>,
     ) {
-        let (key, spec, not_child, kind_name) = {
-            let node = self.graph.node(parent);
-            let Some(key) = negation_query_key(node, 1 - not_side, inst) else { return };
-            (
-                key,
-                node.hist_spec.expect("wait plan has a spec").0 as usize,
-                node.children[not_side as usize],
-                node.kind.name(),
-            )
+        let Some(key) = negation_query_key(node, 1 - not_side, inst) else {
+            return;
         };
+        let spec = node.hist_spec.expect("wait plan has a spec").0 as usize;
+        let not_child = node.children[not_side as usize];
+        let kind_name = node.kind.name();
 
         let past_end = self.clock.min(to);
         if from <= past_end {
@@ -808,46 +888,32 @@ impl Engine {
             } else {
                 vec![inst.clone(), absence]
             };
-            work.push((parent, Arc::new(Instance::composite(kind_name, children))));
+            self.work
+                .push((node.id, Arc::new(Instance::composite(kind_name, children))));
             return;
         }
         self.seq += 1;
         let anchor = self.seq;
-        let NodeState::Wait(w) = &mut self.states[parent.idx()] else {
+        let NodeState::Wait(w) = &mut self.states[node.id.idx()] else {
             unreachable!("wait state");
         };
-        w.waiting.insert(anchor, WaitEntry { inst: inst.clone(), key, from, to });
+        w.waiting.insert(
+            anchor,
+            WaitEntry {
+                inst: inst.clone(),
+                key,
+                from,
+                to,
+            },
+        );
         self.pseudo.schedule(PseudoEvent {
             exec: to,
             seq: anchor,
-            action: PseudoAction::ResolveWait { node: parent, anchor },
+            action: PseudoAction::ResolveWait {
+                node: node.id,
+                anchor,
+            },
         });
-    }
-
-    /// Global buffer sweep: prune joins, histories, and element stores by
-    /// their horizons.
-    fn sweep(&mut self) {
-        self.stats.sweeps += 1;
-        let lag = self.graph.max_lag();
-        for idx in 0..self.states.len() {
-            let node = self.graph.node(NodeId(idx as u32));
-            let horizon = node.horizon;
-            let retention = node.retention;
-            match &mut self.states[idx] {
-                NodeState::Join { left, right } => {
-                    let dead = dead_before(self.clock, horizon, lag);
-                    left.prune(dead);
-                    right.prune(dead);
-                }
-                NodeState::Negation(neg) => {
-                    neg.prune(dead_before(self.clock, retention, lag));
-                }
-                NodeState::Aperiodic(ap) => {
-                    ap.prune(dead_before(self.clock, retention, lag));
-                }
-                _ => {}
-            }
-        }
     }
 }
 
@@ -855,7 +921,7 @@ impl Engine {
 /// instance via the node's join spec.
 fn negation_query_key(node: &Node, push_side: u8, inst: &Instance) -> Option<Key> {
     if node.join.is_trivial() {
-        return Some(Key::new());
+        return Some(Key::EMPTY);
     }
     if push_side == 0 {
         node.join.left_key(inst)
@@ -889,9 +955,10 @@ fn initial_state(node: &Node) -> NodeState {
         Plan::Leaf | Plan::Forward | Plan::LeftNegationQuery | Plan::LeftAperiodicQuery => {
             NodeState::Stateless
         }
-        Plan::TwoSided => {
-            NodeState::Join { left: Default::default(), right: Default::default() }
-        }
+        Plan::TwoSided => NodeState::Join {
+            left: Default::default(),
+            right: Default::default(),
+        },
         Plan::RightNegationWait | Plan::AndNegation { .. } => NodeState::Wait(Default::default()),
         Plan::NegationRecorder => NodeState::Negation(Default::default()),
         Plan::AperiodicRecorder => NodeState::Aperiodic(Default::default()),

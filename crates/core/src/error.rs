@@ -82,10 +82,9 @@ impl fmt::Display for InvalidRule {
                 "invalid rule: variable `{var}` in `{event}` correlates across an \
                  aperiodic sequence, which the engine does not support"
             ),
-            Self::NonPushOrBranch { event } => write!(
-                f,
-                "invalid rule: OR branch in `{event}` is not spontaneous"
-            ),
+            Self::NonPushOrBranch { event } => {
+                write!(f, "invalid rule: OR branch in `{event}` is not spontaneous")
+            }
         }
     }
 }

@@ -27,8 +27,7 @@ impl EventGraph {
                 DetectionMode::Pull => "pull",
                 DetectionMode::Mixed => "mixed",
             };
-            let children: Vec<String> =
-                node.children.iter().map(|c| c.0.to_string()).collect();
+            let children: Vec<String> = node.children.iter().map(|c| c.0.to_string()).collect();
             let detail = match &node.kind {
                 NodeKind::Primitive(p) => format!("{p}"),
                 NodeKind::TSeq { min_dist, max_dist } => format!("dist ∈ [{min_dist}, {max_dist}]"),
@@ -55,7 +54,9 @@ impl EventGraph {
     /// nodes with temporal annotations, edges from constituents to the
     /// events they construct, pull/mixed nodes visually distinguished.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph event_graph {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
+        let mut out = String::from(
+            "digraph event_graph {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n",
+        );
         for node in self.nodes() {
             let (shape, style) = match node.mode {
                 DetectionMode::Push => ("ellipse", "solid"),
@@ -146,7 +147,11 @@ mod tests {
     fn describe_lists_every_node() {
         let g = sample_graph();
         let text = g.describe();
-        assert_eq!(text.lines().count(), g.len() + 1, "header + one line per node");
+        assert_eq!(
+            text.lines().count(),
+            g.len() + 1,
+            "header + one line per node"
+        );
         assert!(text.contains("TSEQ+"));
         assert!(text.contains("mixed"));
         assert!(text.contains("pull"));

@@ -98,8 +98,10 @@ pub enum DetectionMode {
     Mixed,
 }
 
-/// How the runtime drives a composite node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// How the runtime drives a composite node. Every variant is a couple of
+/// bytes, so the engine copies plans out of nodes (`Copy`) instead of
+/// borrowing them across state mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Plan {
     /// Leaf node; the engine's dispatch index feeds it.
     Leaf,
@@ -206,12 +208,18 @@ type AllVars = std::collections::BTreeSet<rfid_events::Var>;
 impl EventGraph {
     /// An empty graph with common-subgraph merging enabled.
     pub fn new() -> Self {
-        Self { merging_enabled: true, ..Self::default() }
+        Self {
+            merging_enabled: true,
+            ..Self::default()
+        }
     }
 
     /// An empty graph that never merges common subgraphs (ablation A1).
     pub fn without_merging() -> Self {
-        Self { merging_enabled: false, ..Self::default() }
+        Self {
+            merging_enabled: false,
+            ..Self::default()
+        }
     }
 
     /// Compiles a rule's event expression, returning its root node.
@@ -319,7 +327,9 @@ impl EventGraph {
                 let (cb, _, vb) = self.compile(b, inherited)?;
                 for c in [ca, cb] {
                     if self.node(c).mode != DetectionMode::Push {
-                        return Err(InvalidRule::NonPushOrBranch { event: expr.to_string() });
+                        return Err(InvalidRule::NonPushOrBranch {
+                            event: expr.to_string(),
+                        });
                     }
                 }
                 let vars: AllVars = va.union(&vb).cloned().collect();
@@ -393,7 +403,11 @@ impl EventGraph {
                 self.link(id);
                 (id, Exports::new(), vars)
             }
-            EventExpr::TSeqPlus { inner, min_gap, max_gap } => {
+            EventExpr::TSeqPlus {
+                inner,
+                min_gap,
+                max_gap,
+            } => {
                 let (cx, _, vars) = self.compile(inner, inherited)?;
                 if self.node(cx).mode == DetectionMode::Pull {
                     return Err(InvalidRule::NonSpontaneousOverNonPush {
@@ -403,7 +417,10 @@ impl EventGraph {
                 }
                 let id = self.push_node(Node {
                     id: NodeId(0),
-                    kind: NodeKind::TSeqPlus { min_gap: *min_gap, max_gap: *max_gap },
+                    kind: NodeKind::TSeqPlus {
+                        min_gap: *min_gap,
+                        max_gap: *max_gap,
+                    },
                     children: vec![cx],
                     parents: vec![],
                     within: inherited,
@@ -419,14 +436,26 @@ impl EventGraph {
                 self.link(id);
                 // Closed runs are delivered by a pseudo event up to max_gap
                 // after their last element.
-                self.max_lag = if self.max_lag >= *max_gap { self.max_lag } else { *max_gap };
+                self.max_lag = if self.max_lag >= *max_gap {
+                    self.max_lag
+                } else {
+                    *max_gap
+                };
                 (id, Exports::new(), vars)
             }
             EventExpr::And(a, b) => self.compile_binary(expr, NodeKind::And, a, b, inherited)?,
             EventExpr::Seq(a, b) => self.compile_binary(expr, NodeKind::Seq, a, b, inherited)?,
-            EventExpr::TSeq { first, second, min_dist, max_dist } => self.compile_binary(
+            EventExpr::TSeq {
+                first,
+                second,
+                min_dist,
+                max_dist,
+            } => self.compile_binary(
                 expr,
-                NodeKind::TSeq { min_dist: *min_dist, max_dist: *max_dist },
+                NodeKind::TSeq {
+                    min_dist: *min_dist,
+                    max_dist: *max_dist,
+                },
                 first,
                 second,
                 inherited,
@@ -496,17 +525,23 @@ impl EventGraph {
 
         let (plan, mode) = match (ma, mb) {
             (DetectionMode::Pull, DetectionMode::Pull) => {
-                return Err(InvalidRule::NoPushSide { event: expr.to_string() })
+                return Err(InvalidRule::NoPushSide {
+                    event: expr.to_string(),
+                })
             }
             (DetectionMode::Pull, _) if not_a && is_and => {
                 if neg_bound == Span::MAX {
-                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                    return Err(InvalidRule::UnboundedNegation {
+                        event: expr.to_string(),
+                    });
                 }
                 (Plan::AndNegation { not_side: 0 }, DetectionMode::Mixed)
             }
             (_, DetectionMode::Pull) if not_b && is_and => {
                 if neg_bound == Span::MAX {
-                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                    return Err(InvalidRule::UnboundedNegation {
+                        event: expr.to_string(),
+                    });
                 }
                 (Plan::AndNegation { not_side: 1 }, DetectionMode::Mixed)
             }
@@ -514,9 +549,7 @@ impl EventGraph {
                 // SEQ(¬A; B): answered entirely from the past at B's arrival.
                 (Plan::LeftNegationQuery, mb)
             }
-            (DetectionMode::Pull, _) if seqplus_a && !is_and => {
-                (Plan::LeftAperiodicQuery, mb)
-            }
+            (DetectionMode::Pull, _) if seqplus_a && !is_and => (Plan::LeftAperiodicQuery, mb),
             (DetectionMode::Pull, _) if seqplus_a => {
                 // AND over SEQ+ has no terminator to scope the run.
                 return Err(InvalidRule::PullModeRoot {
@@ -526,7 +559,9 @@ impl EventGraph {
             }
             (_, DetectionMode::Pull) if not_b => {
                 if neg_bound == Span::MAX {
-                    return Err(InvalidRule::UnboundedNegation { event: expr.to_string() });
+                    return Err(InvalidRule::UnboundedNegation {
+                        event: expr.to_string(),
+                    });
                 }
                 (Plan::RightNegationWait, DetectionMode::Mixed)
             }
@@ -538,7 +573,9 @@ impl EventGraph {
                 });
             }
             (DetectionMode::Pull, _) | (_, DetectionMode::Pull) => {
-                return Err(InvalidRule::NoPushSide { event: expr.to_string() })
+                return Err(InvalidRule::NoPushSide {
+                    event: expr.to_string(),
+                })
             }
             (DetectionMode::Push, DetectionMode::Push) => (Plan::TwoSided, DetectionMode::Push),
             _ => (Plan::TwoSided, DetectionMode::Mixed),
@@ -582,8 +619,11 @@ impl EventGraph {
         };
         if let Some(side) = query_side {
             let child = node.children[side as usize];
-            let extracts =
-                if side == 0 { node.join.left.clone() } else { node.join.right.clone() };
+            let extracts = if side == 0 {
+                node.join.left.clone()
+            } else {
+                node.join.right.clone()
+            };
             let spec = HistSpec { extracts };
             let specs = self.hist_specs.entry(child).or_default();
             let spec_id = match specs.iter().position(|s| *s == spec) {
@@ -692,7 +732,10 @@ mod tests {
     #[test]
     fn inner_within_keeps_minimum() {
         let mut g = EventGraph::new();
-        let e = p("r1").within(Span::from_secs(5)).and(p("r2")).within(Span::from_secs(30));
+        let e = p("r1")
+            .within(Span::from_secs(5))
+            .and(p("r2"))
+            .within(Span::from_secs(30));
         let root = g.add_event(&e).unwrap();
         let and = g.node(root);
         assert_eq!(and.within, Span::from_secs(30));
@@ -719,8 +762,12 @@ mod tests {
     #[test]
     fn merging_respects_within_difference() {
         let mut g = EventGraph::new();
-        let a = g.add_event(&p("r1").seq(p("r2")).within(Span::from_secs(5))).unwrap();
-        let b = g.add_event(&p("r1").seq(p("r2")).within(Span::from_secs(9))).unwrap();
+        let a = g
+            .add_event(&p("r1").seq(p("r2")).within(Span::from_secs(5)))
+            .unwrap();
+        let b = g
+            .add_event(&p("r1").seq(p("r2")).within(Span::from_secs(9)))
+            .unwrap();
         assert_ne!(a, b, "different effective windows must not merge");
     }
 

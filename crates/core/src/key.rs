@@ -6,8 +6,28 @@
 //! binary node; at runtime each side's buffer is partitioned by the
 //! [`Key`] the spec extracts, so matching is a hash lookup instead of a scan
 //! over every buffered instance (ablation A2 measures the difference).
+//!
+//! # Packed representation
+//!
+//! A key is extracted once per event per stateful node, so its construction
+//! is on the engine's hot path. Rather than a `Vec<KeyPart>` (one heap
+//! allocation per extraction, another per clone, and a SipHash walk per map
+//! probe), [`Key`] packs its parts into three inline `u64` words — a
+//! `ReaderId` contributes 4 payload bytes, an `Epc` 12 (its 96-bit word) —
+//! together with a shape descriptor (part count + per-part kind bits) and a
+//! precomputed 64-bit hash. Construction, cloning, and equality are then
+//! allocation-free value operations, and the key maps ([`KeyMap`]) consume
+//! the precomputed hash through a pass-through hasher instead of re-hashing.
+//!
+//! Keys wider than 24 payload bytes (more than two object parts, or
+//! pathological many-variable joins) spill to a shared `Arc<[KeyPart]>`.
+//! Inline and spilled keys can never alias: whether a part sequence fits
+//! inline is a function of its shape alone, so equal part sequences always
+//! take the same representation. See `DESIGN.md` §10.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use rfid_epc::{Epc, ReaderId};
 use rfid_events::{EventExpr, Instance, InstanceKind, Var};
@@ -73,10 +93,312 @@ pub enum KeyPart {
     Object(Epc),
 }
 
+/// Payload bytes a key can hold inline: three words of packed parts.
+const INLINE_BYTES: usize = 24;
+/// Parts a key can describe inline (shape kind bits).
+const INLINE_PARTS: usize = 6;
+
+/// The splitmix64 finalizer: a fast, well-distributed 64-bit mixer. Also
+/// used by the shard router, so one multiply chain serves both key maps and
+/// shard routing.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a packed shape + payload words.
+#[inline]
+fn hash_inline(shape: u16, words: &[u64; 3]) -> u64 {
+    let mut h = mix64(u64::from(shape) ^ 0x9E37_79B9_7F4A_7C15);
+    for &w in words {
+        h = mix64(h ^ w);
+    }
+    h
+}
+
+/// Hashes a spilled part sequence (same scheme, unbounded width).
+fn hash_spilled(parts: &[KeyPart]) -> u64 {
+    let mut h = mix64(parts.len() as u64 ^ 0xD1B5_4A32_D192_ED03);
+    for part in parts {
+        match part {
+            KeyPart::Reader(r) => {
+                h = mix64(h ^ u64::from(r.0));
+            }
+            KeyPart::Object(o) => {
+                let raw = o.raw();
+                h = mix64(h ^ (raw as u64));
+                h = mix64(h ^ ((raw >> 64) as u64) ^ 1);
+            }
+        }
+    }
+    h
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// `shape` encodes the part count (bits 8..=11) and, for part `i`, its
+    /// kind in bit `i` (0 = reader, 1 = object). `words` hold the packed
+    /// payload bytes, little-endian, in part order.
+    Inline { shape: u16, words: [u64; 3] },
+    /// Overflow for part sequences wider than [`INLINE_BYTES`]; shared so
+    /// cloning stays cheap.
+    Spilled(Arc<[KeyPart]>),
+}
+
 /// A correlation key: the tuple of shared-variable values, in sorted
-/// variable-name order. The empty key means "uncorrelated" — every instance
-/// lands in one partition.
-pub type Key = Vec<KeyPart>;
+/// variable-name order, packed inline (see the module docs). The empty key
+/// means "uncorrelated" — every instance lands in one partition.
+#[derive(Debug, Clone)]
+pub struct Key {
+    /// Precomputed hash over the representation; [`KeyMap`] consumes it
+    /// directly through [`KeyHasher`].
+    hash: u64,
+    repr: Repr,
+}
+
+impl Key {
+    /// The empty (uncorrelated) key.
+    pub const EMPTY: Key = Key {
+        // hash_inline(0, &[0; 3]) precomputed; asserted in tests.
+        hash: 0x1957_a760_4e21_5178,
+        repr: Repr::Inline {
+            shape: 0,
+            words: [0; 3],
+        },
+    };
+
+    /// The empty key (`const`-friendly alias kept for call-site symmetry
+    /// with the old `Vec`-based `Key::new()`).
+    pub fn new() -> Self {
+        Key::EMPTY
+    }
+
+    /// Builds a key from a part slice (tests, diagnostics; the hot path
+    /// streams parts through [`KeyBuilder`] instead).
+    pub fn from_parts(parts: &[KeyPart]) -> Self {
+        let mut b = KeyBuilder::new();
+        for &p in parts {
+            b.push(p);
+        }
+        b.finish()
+    }
+
+    /// The precomputed hash.
+    #[inline]
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { shape, .. } => (usize::from(*shape) >> 8) & 0xF,
+            Repr::Spilled(parts) => parts.len(),
+        }
+    }
+
+    /// Whether this is the empty (uncorrelated) key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the parts back out (tests, diagnostics — not on the hot
+    /// path). Round-trips exactly with [`Key::from_parts`].
+    pub fn parts(&self) -> Vec<KeyPart> {
+        match &self.repr {
+            Repr::Spilled(parts) => parts.to_vec(),
+            Repr::Inline { shape, words } => {
+                let count = (usize::from(*shape) >> 8) & 0xF;
+                let mut bytes = [0u8; INLINE_BYTES];
+                for (i, w) in words.iter().enumerate() {
+                    bytes[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+                }
+                let mut out = Vec::with_capacity(count);
+                let mut at = 0usize;
+                for i in 0..count {
+                    if shape & (1 << i) == 0 {
+                        let v = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+                        out.push(KeyPart::Reader(ReaderId(v)));
+                        at += 4;
+                    } else {
+                        let mut raw = [0u8; 16];
+                        raw[..12].copy_from_slice(&bytes[at..at + 12]);
+                        out.push(KeyPart::Object(Epc::from_raw(u128::from_le_bytes(raw))));
+                        at += 12;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Default for Key {
+    fn default() -> Self {
+        Key::EMPTY
+    }
+}
+
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // The hash is a pure function of the representation, so comparing it
+        // first is a cheap reject; the representation settles collisions.
+        self.hash == other.hash && self.repr == other.repr
+    }
+}
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl FromIterator<KeyPart> for Key {
+    fn from_iter<I: IntoIterator<Item = KeyPart>>(iter: I) -> Self {
+        let mut b = KeyBuilder::new();
+        for p in iter {
+            b.push(p);
+        }
+        b.finish()
+    }
+}
+
+/// Streaming key constructor: push parts, then [`KeyBuilder::finish`].
+/// Allocation-free while the key fits inline.
+#[derive(Debug)]
+pub struct KeyBuilder {
+    bytes: [u8; INLINE_BYTES],
+    used: usize,
+    shape: u16,
+    count: usize,
+    spill: Option<Vec<KeyPart>>,
+}
+
+impl KeyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self {
+            bytes: [0; INLINE_BYTES],
+            used: 0,
+            shape: 0,
+            count: 0,
+            spill: None,
+        }
+    }
+
+    /// Appends one part.
+    pub fn push(&mut self, part: KeyPart) {
+        if let Some(spill) = &mut self.spill {
+            spill.push(part);
+            return;
+        }
+        let need = match part {
+            KeyPart::Reader(_) => 4,
+            KeyPart::Object(_) => 12,
+        };
+        if self.count == INLINE_PARTS || self.used + need > INLINE_BYTES {
+            // Re-materialize what is already packed and spill from here on.
+            let mut parts = self.drain_inline();
+            parts.push(part);
+            self.spill = Some(parts);
+            return;
+        }
+        match part {
+            KeyPart::Reader(r) => {
+                self.bytes[self.used..self.used + 4].copy_from_slice(&r.0.to_le_bytes());
+            }
+            KeyPart::Object(o) => {
+                self.bytes[self.used..self.used + 12].copy_from_slice(&o.raw().to_le_bytes()[..12]);
+                self.shape |= 1 << self.count;
+            }
+        }
+        self.used += need;
+        self.count += 1;
+    }
+
+    fn drain_inline(&mut self) -> Vec<KeyPart> {
+        let snapshot = Key {
+            hash: 0,
+            repr: Repr::Inline {
+                shape: self.packed_shape(),
+                words: self.words(),
+            },
+        };
+        snapshot.parts()
+    }
+
+    fn packed_shape(&self) -> u16 {
+        self.shape | ((self.count as u16) << 8)
+    }
+
+    fn words(&self) -> [u64; 3] {
+        let mut words = [0u64; 3];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(self.bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        words
+    }
+
+    /// Finalizes the key, computing its hash.
+    pub fn finish(self) -> Key {
+        match self.spill {
+            Some(parts) => {
+                let hash = hash_spilled(&parts);
+                Key {
+                    hash,
+                    repr: Repr::Spilled(parts.into()),
+                }
+            }
+            None => {
+                let shape = self.packed_shape();
+                let words = self.words();
+                Key {
+                    hash: hash_inline(shape, &words),
+                    repr: Repr::Inline { shape, words },
+                }
+            }
+        }
+    }
+}
+
+impl Default for KeyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pass-through hasher consuming [`Key`]'s precomputed hash: `finish()`
+/// returns exactly the `u64` written. Only valid for keys of this module
+/// (anything else would silently truncate), hence not exported as a general
+/// hasher.
+#[derive(Debug, Default, Clone)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("KeyHasher only accepts precomputed u64 key hashes");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A hash map keyed by [`Key`], probing with the precomputed hash instead of
+/// re-hashing (SipHash) on every lookup.
+pub type KeyMap<V> = HashMap<Key, V, BuildHasherDefault<KeyHasher>>;
 
 /// The variables a node's instances can provide, with how to extract each.
 pub type Exports = BTreeMap<Var, Extract>;
@@ -135,8 +457,13 @@ impl JoinSpec {
     }
 }
 
-fn extract_all(paths: &[Extract], inst: &Instance) -> Option<Key> {
-    paths.iter().map(|p| p.eval(inst)).collect()
+/// Packs every extraction into a key without intermediate collection.
+pub(crate) fn extract_all(paths: &[Extract], inst: &Instance) -> Option<Key> {
+    let mut b = KeyBuilder::new();
+    for p in paths {
+        b.push(p.eval(inst)?);
+    }
+    Some(b.finish())
 }
 
 /// Computes the exports of an expression node from its children's exports,
@@ -176,7 +503,10 @@ pub fn exports_of(expr: &EventExpr, child_exports: &[&Exports]) -> Exports {
         EventExpr::Within { .. } => {
             // WITHIN is a constraint, not a node; the builder never asks for
             // its exports directly.
-            child_exports.first().map(|e| (*e).clone()).unwrap_or_default()
+            child_exports
+                .first()
+                .map(|e| (*e).clone())
+                .unwrap_or_default()
         }
         EventExpr::Or(..)
         | EventExpr::Not(..)
@@ -203,7 +533,10 @@ mod tests {
     #[test]
     fn extract_from_primitive() {
         let inst = obs(3, 77, 0);
-        assert_eq!(Extract::Obs(Attr::Reader).eval(&inst), Some(KeyPart::Reader(ReaderId(3))));
+        assert_eq!(
+            Extract::Obs(Attr::Reader).eval(&inst),
+            Some(KeyPart::Reader(ReaderId(3)))
+        );
         let KeyPart::Object(epc) = Extract::Obs(Attr::Object).eval(&inst).unwrap() else {
             panic!("expected object part");
         };
@@ -212,8 +545,7 @@ mod tests {
 
     #[test]
     fn extract_descends_children() {
-        let comp =
-            Instance::composite("SEQ", vec![Arc::new(obs(1, 1, 0)), Arc::new(obs(2, 2, 5))]);
+        let comp = Instance::composite("SEQ", vec![Arc::new(obs(1, 1, 0)), Arc::new(obs(2, 2, 5))]);
         let path = Extract::Obs(Attr::Reader).under(1);
         assert_eq!(path.eval(&comp), Some(KeyPart::Reader(ReaderId(2))));
     }
@@ -230,7 +562,10 @@ mod tests {
     fn join_spec_aligns_shared_vars() {
         // Two primitives both binding r and o (Rule 1's shape).
         let pattern = |_: ()| {
-            let e = EventExpr::observation().bind_reader("r").bind_object("o").build();
+            let e = EventExpr::observation()
+                .bind_reader("r")
+                .bind_object("o")
+                .build();
             exports_of(&e, &[])
         };
         let left = pattern(());
@@ -249,7 +584,10 @@ mod tests {
     #[test]
     fn keys_on_requires_attr_on_both_sides() {
         let both = |e: &EventExpr| exports_of(e, &[]);
-        let ro = EventExpr::observation().bind_reader("r").bind_object("o").build();
+        let ro = EventExpr::observation()
+            .bind_reader("r")
+            .bind_object("o")
+            .build();
         let r_only = EventExpr::observation().bind_reader("r").build();
 
         let spec = JoinSpec::between(&both(&ro), &both(&ro));
@@ -260,7 +598,10 @@ mod tests {
         assert!(!spec.keys_on(Attr::Object), "object bound on one side only");
         assert!(spec.keys_on(Attr::Reader));
 
-        assert!(!JoinSpec::default().keys_on(Attr::Object), "trivial join keys on nothing");
+        assert!(
+            !JoinSpec::default().keys_on(Attr::Object),
+            "trivial join keys on nothing"
+        );
     }
 
     #[test]
@@ -303,7 +644,92 @@ mod tests {
             inner.clone().seq_plus(),
             inner.clone().or(EventExpr::observation().build()),
         ] {
-            assert!(exports_of(&e, &[&ie, &ie]).is_empty(), "{e} should export nothing");
+            assert!(
+                exports_of(&e, &[&ie, &ie]).is_empty(),
+                "{e} should export nothing"
+            );
         }
+    }
+
+    // --- packed representation ---
+
+    fn epc(serial: u64) -> Epc {
+        Gid96::new(1, 1, serial).unwrap().into()
+    }
+
+    #[test]
+    fn empty_key_constant_matches_builder() {
+        assert_eq!(Key::EMPTY, KeyBuilder::new().finish());
+        assert_eq!(
+            Key::EMPTY.precomputed_hash(),
+            KeyBuilder::new().finish().precomputed_hash(),
+            "the const-precomputed hash must equal the computed one"
+        );
+        assert!(Key::EMPTY.is_empty());
+        assert_eq!(Key::EMPTY.parts(), Vec::new());
+    }
+
+    #[test]
+    fn parts_round_trip_inline() {
+        let seqs: Vec<Vec<KeyPart>> = vec![
+            vec![],
+            vec![KeyPart::Reader(ReaderId(7))],
+            vec![KeyPart::Object(epc(9))],
+            vec![KeyPart::Reader(ReaderId(1)), KeyPart::Object(epc(2))],
+            vec![KeyPart::Object(epc(3)), KeyPart::Reader(ReaderId(4))],
+            vec![KeyPart::Object(epc(3)), KeyPart::Object(epc(4))],
+            vec![KeyPart::Reader(ReaderId(u32::MAX)); 6],
+        ];
+        for parts in seqs {
+            let key = Key::from_parts(&parts);
+            assert_eq!(key.parts(), parts, "inline round trip");
+            assert_eq!(key.len(), parts.len());
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_spilled() {
+        // Three objects (36 payload bytes) exceed the 24-byte inline budget.
+        let parts = vec![
+            KeyPart::Object(epc(1)),
+            KeyPart::Object(epc(2)),
+            KeyPart::Object(epc(3)),
+        ];
+        let key = Key::from_parts(&parts);
+        assert_eq!(key.parts(), parts, "spilled round trip");
+        // Seven readers exceed the 6-part shape budget.
+        let many = vec![KeyPart::Reader(ReaderId(5)); 7];
+        assert_eq!(Key::from_parts(&many).parts(), many);
+    }
+
+    #[test]
+    fn equality_matches_part_equality() {
+        let a = [KeyPart::Reader(ReaderId(1)), KeyPart::Object(epc(2))];
+        let b = [KeyPart::Reader(ReaderId(1)), KeyPart::Object(epc(2))];
+        let c = [KeyPart::Object(epc(2)), KeyPart::Reader(ReaderId(1))];
+        assert_eq!(Key::from_parts(&a), Key::from_parts(&b));
+        assert_ne!(Key::from_parts(&a), Key::from_parts(&c), "order matters");
+        assert_ne!(Key::from_parts(&a), Key::EMPTY);
+    }
+
+    #[test]
+    fn kind_is_part_of_identity() {
+        // A reader and an object with identical low payload bytes must not
+        // collide: the shape kind bits separate them.
+        let r = Key::from_parts(&[KeyPart::Reader(ReaderId(42))]);
+        let o = Key::from_parts(&[KeyPart::Object(Epc::from_raw(42))]);
+        assert_ne!(r, o);
+    }
+
+    #[test]
+    fn key_map_uses_precomputed_hash() {
+        let mut map: KeyMap<u32> = KeyMap::default();
+        let k1 = Key::from_parts(&[KeyPart::Object(epc(1))]);
+        let k2 = Key::from_parts(&[KeyPart::Object(epc(2))]);
+        map.insert(k1.clone(), 10);
+        map.insert(Key::EMPTY, 20);
+        assert_eq!(map.get(&k1), Some(&10));
+        assert_eq!(map.get(&Key::EMPTY), Some(&20));
+        assert_eq!(map.get(&k2), None);
     }
 }

@@ -66,5 +66,5 @@ pub mod stats;
 pub use engine::{Engine, EngineConfig, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};
-pub use shard::{ShardConfig, ShardedEngine, Shardability};
+pub use shard::{ShardConfig, Shardability, ShardedEngine};
 pub use stats::EngineStats;

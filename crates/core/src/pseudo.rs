@@ -106,7 +106,10 @@ mod tests {
         PseudoEvent {
             exec: Timestamp::from_millis(exec_ms),
             seq,
-            action: PseudoAction::CloseRun { node: NodeId(0), generation: 0 },
+            action: PseudoAction::CloseRun {
+                node: NodeId(0),
+                generation: 0,
+            },
         }
     }
 

@@ -34,8 +34,6 @@
 //!    worker's pseudo-event queue, so `NOT`/`TSEQ+` windows resolve exactly
 //!    as they do single-threaded.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -46,7 +44,7 @@ use rfid_events::{Catalog, EventExpr, Instance, Observation, Timestamp};
 use crate::engine::{Engine, EngineConfig, RuleId, Sink};
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, NodeKind, Plan};
-use crate::key::Attr;
+use crate::key::{mix64, Attr};
 use crate::stats::EngineStats;
 
 /// Why a rule must run on the residual (full-stream) shard.
@@ -125,11 +123,12 @@ pub struct ShardConfig {
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        let shards =
-            std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1);
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
         Self {
             shards,
-            batch_size: 256,
+            batch_size: 1024,
             queue_depth: 4,
             ordered_output: true,
             engine: EngineConfig::default(),
@@ -161,6 +160,10 @@ struct Reply {
 struct Worker {
     cmd_tx: mpsc::SyncSender<Cmd>,
     reply_rx: mpsc::Receiver<Reply>,
+    /// Emptied batch buffers coming back from the worker, so steady-state
+    /// ingestion reuses allocations instead of growing a fresh `Vec` per
+    /// batch.
+    recycle_rx: mpsc::Receiver<Vec<Observation>>,
     depth: Arc<AtomicUsize>,
     handle: Option<JoinHandle<()>>,
 }
@@ -225,10 +228,17 @@ impl ShardedEngine {
     /// Panics if called after the first observation was processed — the
     /// worker engines are already running.
     pub fn add_rule(&mut self, name: &str, event: EventExpr) -> Result<RuleId, InvalidRule> {
-        assert!(self.runtime.is_none(), "add rules before processing observations");
+        assert!(
+            self.runtime.is_none(),
+            "add rules before processing observations"
+        );
         let shardability = analyze(&event)?;
         let id = RuleId(self.rules.len() as u32);
-        self.rules.push(RuleDef { name: name.to_owned(), event, shardability });
+        self.rules.push(RuleDef {
+            name: name.to_owned(),
+            event,
+            shardability,
+        });
         self.rule_firings.push(0);
         Ok(id)
     }
@@ -268,8 +278,10 @@ impl ShardedEngine {
     /// observation delivered to both a keyed shard and the residual is
     /// counted by each engine that processed it.
     pub fn stats(&self) -> EngineStats {
-        let mut merged =
-            self.worker_stats.iter().fold(EngineStats::default(), |acc, s| acc.merge(*s));
+        let mut merged = self
+            .worker_stats
+            .iter()
+            .fold(EngineStats::default(), |acc, s| acc.merge(*s));
         merged.batches = self.batches;
         merged.max_queue_depth = self.max_queue_depth;
         merged
@@ -285,17 +297,30 @@ impl ShardedEngine {
         assert!(!self.finished, "stream already finished");
         self.ensure_started();
         let rt = self.runtime.as_mut().expect("started above");
+        let batch_size = self.config.batch_size;
         if rt.keyed > 0 {
             let shard = shard_of(&obs.object, rt.keyed);
             rt.pending[shard].push(obs);
-            if rt.pending[shard].len() >= self.config.batch_size {
-                flush(rt, shard, &mut self.batches, &mut self.max_queue_depth);
+            if rt.pending[shard].len() >= batch_size {
+                flush(
+                    rt,
+                    shard,
+                    batch_size,
+                    &mut self.batches,
+                    &mut self.max_queue_depth,
+                );
             }
         }
         if let Some(res) = rt.residual {
             rt.pending[res].push(obs);
-            if rt.pending[res].len() >= self.config.batch_size {
-                flush(rt, res, &mut self.batches, &mut self.max_queue_depth);
+            if rt.pending[res].len() >= batch_size {
+                flush(
+                    rt,
+                    res,
+                    batch_size,
+                    &mut self.batches,
+                    &mut self.max_queue_depth,
+                );
             }
         }
     }
@@ -319,8 +344,17 @@ impl ShardedEngine {
         self.ensure_started();
         let rt = self.runtime.as_mut().expect("started above");
         for i in 0..rt.workers.len() {
-            flush(rt, i, &mut self.batches, &mut self.max_queue_depth);
-            rt.workers[i].cmd_tx.send(Cmd::AdvanceTo(now)).expect("worker alive");
+            flush(
+                rt,
+                i,
+                self.config.batch_size,
+                &mut self.batches,
+                &mut self.max_queue_depth,
+            );
+            rt.workers[i]
+                .cmd_tx
+                .send(Cmd::AdvanceTo(now))
+                .expect("worker alive");
         }
         self.harvest(sink);
     }
@@ -336,8 +370,17 @@ impl ShardedEngine {
         self.ensure_started();
         let rt = self.runtime.as_mut().expect("started above");
         for i in 0..rt.workers.len() {
-            flush(rt, i, &mut self.batches, &mut self.max_queue_depth);
-            rt.workers[i].cmd_tx.send(Cmd::Finish).expect("worker alive");
+            flush(
+                rt,
+                i,
+                self.config.batch_size,
+                &mut self.batches,
+                &mut self.max_queue_depth,
+            );
+            rt.workers[i]
+                .cmd_tx
+                .send(Cmd::Finish)
+                .expect("worker alive");
         }
         self.harvest(sink);
         let mut rt = self.runtime.take().expect("started above");
@@ -380,19 +423,40 @@ impl ShardedEngine {
             .collect();
 
         let mut workers = Vec::new();
-        let keyed = if shardable.is_empty() { 0 } else { self.keyed_shards() };
-        for shard in 0..keyed {
-            workers.push(self.spawn_worker(&format!("shard-{shard}"), &shardable));
-        }
-        let residual = if residual_rules.is_empty() {
-            None
+        let (keyed, residual);
+        if self.keyed_shards() == 1 && !shardable.is_empty() && !residual_rules.is_empty() {
+            // A single keyed shard receives the full stream anyway, so a
+            // separate residual worker would only process every observation
+            // a second time. Fold all rules into the one worker: same
+            // semantics, half the work.
+            let all: Vec<usize> = (0..self.rules.len()).collect();
+            workers.push(self.spawn_worker("shard-0", &all));
+            keyed = 1;
+            residual = None;
         } else {
-            workers.push(self.spawn_worker("shard-residual", &residual_rules));
-            Some(workers.len() - 1)
-        };
+            keyed = if shardable.is_empty() {
+                0
+            } else {
+                self.keyed_shards()
+            };
+            for shard in 0..keyed {
+                workers.push(self.spawn_worker(&format!("shard-{shard}"), &shardable));
+            }
+            residual = if residual_rules.is_empty() {
+                None
+            } else {
+                workers.push(self.spawn_worker("shard-residual", &residual_rules));
+                Some(workers.len() - 1)
+            };
+        }
         let pending = workers.iter().map(|_| Vec::new()).collect();
         self.worker_stats = vec![EngineStats::default(); workers.len()];
-        self.runtime = Some(Runtime { workers, pending, keyed, residual });
+        self.runtime = Some(Runtime {
+            workers,
+            pending,
+            keyed,
+            residual,
+        });
     }
 
     /// Builds one worker: an engine loaded with `rule_indices` (in global
@@ -409,13 +473,20 @@ impl ShardedEngine {
         }
         let (cmd_tx, cmd_rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
         let (reply_tx, reply_rx) = mpsc::channel();
+        let (recycle_tx, recycle_rx) = mpsc::channel();
         let depth = Arc::new(AtomicUsize::new(0));
         let worker_depth = depth.clone();
         let handle = std::thread::Builder::new()
             .name(name.to_owned())
-            .spawn(move || worker_loop(engine, map, cmd_rx, reply_tx, worker_depth))
+            .spawn(move || worker_loop(engine, map, cmd_rx, reply_tx, recycle_tx, worker_depth))
             .expect("spawn worker thread");
-        Worker { cmd_tx, reply_rx, depth, handle: Some(handle) }
+        Worker {
+            cmd_tx,
+            reply_rx,
+            recycle_rx,
+            depth,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -425,7 +496,12 @@ impl Drop for ShardedEngine {
         // detached thread outlives the coordinator.
         if let Some(rt) = self.runtime.take() {
             for worker in rt.workers {
-                let Worker { cmd_tx, reply_rx, handle, .. } = worker;
+                let Worker {
+                    cmd_tx,
+                    reply_rx,
+                    handle,
+                    ..
+                } = worker;
                 drop(cmd_tx);
                 drop(reply_rx);
                 if let Some(handle) = handle {
@@ -436,67 +512,104 @@ impl Drop for ShardedEngine {
     }
 }
 
-/// Ships worker `idx`'s pending batch, tracking queue-depth high water.
-fn flush(rt: &mut Runtime, idx: usize, batches: &mut u64, max_depth: &mut u64) {
+/// Ships worker `idx`'s pending batch, tracking queue-depth high water. The
+/// replacement batch buffer comes from the worker's recycle channel when one
+/// is already back, so the router allocates only while the pipeline ramps
+/// up.
+fn flush(rt: &mut Runtime, idx: usize, batch_size: usize, batches: &mut u64, max_depth: &mut u64) {
     if rt.pending[idx].is_empty() {
         return;
     }
-    let batch = std::mem::take(&mut rt.pending[idx]);
     let worker = &rt.workers[idx];
+    let replacement = worker
+        .recycle_rx
+        .try_recv()
+        .unwrap_or_else(|_| Vec::with_capacity(batch_size));
+    let batch = std::mem::replace(&mut rt.pending[idx], replacement);
     let depth = worker.depth.fetch_add(1, Ordering::AcqRel) as u64 + 1;
     *max_depth = (*max_depth).max(depth);
     *batches += 1;
     worker.cmd_tx.send(Cmd::Batch(batch)).expect("worker alive");
 }
 
-/// Deterministic object routing. `DefaultHasher::new()` is keyed with
-/// constants, so shard assignment is stable across runs and platforms.
+/// Deterministic object routing: one splitmix64 fold of the packed 96-bit
+/// EPC word — the same mixer the engine's correlation keys hash with, and
+/// much cheaper than streaming the EPC through SipHash per observation.
+/// Pure arithmetic, so shard assignment is stable across runs and
+/// platforms.
 fn shard_of(object: &rfid_epc::Epc, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    object.hash(&mut h);
-    (h.finish() % shards as u64) as usize
+    let raw = object.raw();
+    let h = mix64(raw as u64 ^ mix64((raw >> 64) as u64));
+    (h % shards as u64) as usize
+}
+
+/// Appends one firing, tagging it with the global rule id and the
+/// worker-local emission sequence.
+fn push_firing(
+    map: &[RuleId],
+    seq: &mut u64,
+    firings: &mut Vec<Firing>,
+    rule: RuleId,
+    inst: &Instance,
+) {
+    *seq += 1;
+    firings.push(Firing {
+        rule: map[rule.0 as usize],
+        inst: Arc::new(inst.clone()),
+        t_end: inst.t_end(),
+        seq: *seq,
+    });
 }
 
 /// One worker: drives its engine over batches, accumulates firings (with
-/// global rule ids), and replies at barriers.
+/// global rule ids), replies at barriers, and returns emptied batch buffers
+/// for reuse.
 fn worker_loop(
     mut engine: Engine,
     map: Vec<RuleId>,
     cmd_rx: mpsc::Receiver<Cmd>,
     reply_tx: mpsc::Sender<Reply>,
+    recycle_tx: mpsc::Sender<Vec<Observation>>,
     depth: Arc<AtomicUsize>,
 ) {
     let mut firings: Vec<Firing> = Vec::new();
     let mut seq = 0u64;
     while let Ok(cmd) = cmd_rx.recv() {
-        let mut sink = |rule: RuleId, inst: &Instance| {
-            seq += 1;
-            firings.push(Firing {
-                rule: map[rule.0 as usize],
-                inst: Arc::new(inst.clone()),
-                t_end: inst.t_end(),
-                seq,
-            });
-        };
         match cmd {
-            Cmd::Batch(batch) => {
-                for obs in batch {
+            Cmd::Batch(mut batch) => {
+                let mut sink = |rule: RuleId, inst: &Instance| {
+                    push_firing(&map, &mut seq, &mut firings, rule, inst);
+                };
+                for obs in batch.drain(..) {
                     engine.process(obs, &mut sink);
                 }
                 depth.fetch_sub(1, Ordering::AcqRel);
+                // Hand the emptied buffer back; if the router is gone the
+                // buffer just drops.
+                let _ = recycle_tx.send(batch);
             }
             Cmd::AdvanceTo(t) => {
+                let mut sink = |rule: RuleId, inst: &Instance| {
+                    push_firing(&map, &mut seq, &mut firings, rule, inst);
+                };
                 engine.advance_to(t, &mut sink);
-                drop(sink);
-                let reply = Reply { firings: std::mem::take(&mut firings), stats: engine.stats() };
+                let reply = Reply {
+                    firings: std::mem::take(&mut firings),
+                    stats: engine.stats(),
+                };
                 if reply_tx.send(reply).is_err() {
                     break; // coordinator gone
                 }
             }
             Cmd::Finish => {
+                let mut sink = |rule: RuleId, inst: &Instance| {
+                    push_firing(&map, &mut seq, &mut firings, rule, inst);
+                };
                 engine.finish(&mut sink);
-                drop(sink);
-                let reply = Reply { firings: std::mem::take(&mut firings), stats: engine.stats() };
+                let reply = Reply {
+                    firings: std::mem::take(&mut firings),
+                    stats: engine.stats(),
+                };
                 let _ = reply_tx.send(reply);
                 break;
             }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use rfid_events::{Instance, Span, Timestamp};
 
-use crate::key::Key;
+use crate::key::{Key, KeyMap};
 
 /// A buffered instance with its admission sequence number (FIFO tie-break
 /// and wait anchor).
@@ -31,7 +31,7 @@ pub struct Entry {
 /// group* while making lookup O(1) in the number of keys.
 #[derive(Debug, Default)]
 pub struct KeyedBuffer {
-    queues: HashMap<Key, VecDeque<Entry>>,
+    queues: KeyMap<VecDeque<Entry>>,
     len: usize,
     /// Instances evicted by the unbounded-buffer cap (reported in stats).
     pub dropped: u64,
@@ -126,14 +126,19 @@ struct KeyHist {
 /// [`crate::graph::HistSpec`].
 #[derive(Debug, Default)]
 pub struct NegationState {
-    histories: Vec<HashMap<Key, KeyHist>>,
+    histories: Vec<KeyMap<KeyHist>>,
+    /// Earliest occurrence among fully dropped keys (evidence that the
+    /// retention invariant holds; never consulted to answer queries).
+    dropped_earliest: Option<Timestamp>,
+    /// Keys removed from the histories by [`NegationState::prune`].
+    dropped_keys: u64,
 }
 
 impl NegationState {
     /// Makes room for `n` registered history specs.
     pub fn ensure_specs(&mut self, n: usize) {
         while self.histories.len() < n {
-            self.histories.push(HashMap::new());
+            self.histories.push(KeyMap::default());
         }
     }
 
@@ -167,13 +172,25 @@ impl NegationState {
         exclusive_end: bool,
     ) -> bool {
         let Some(hist) = self.histories.get(spec).and_then(|h| h.get(key)) else {
+            // A dropped key cannot be the subject of an epoch-anchored query:
+            // those only arise under unbounded windows (retention = MAX, so
+            // nothing is ever dropped) or before the clock passes the
+            // retention horizon (so nothing has been dropped yet).
+            debug_assert!(
+                from > Timestamp::ZERO || self.dropped_keys == 0,
+                "unbounded negation query after key drops — retention invariant violated"
+            );
             return false;
         };
         if let Some(earliest) = hist.earliest {
             // Fast path for "never occurred before" queries anchored at the
             // epoch; also correct when pruning removed old entries.
             if from == Timestamp::ZERO {
-                return if exclusive_end { earliest < to } else { earliest <= to };
+                return if exclusive_end {
+                    earliest < to
+                } else {
+                    earliest <= to
+                };
             }
             if earliest > to || (exclusive_end && earliest == to) {
                 return false;
@@ -187,11 +204,30 @@ impl NegationState {
         }
     }
 
-    /// Drops recorded occurrences older than `dead_before`; the per-key
-    /// `earliest` marker is kept so unbounded queries stay exact.
+    /// Drops recorded occurrences older than `dead_before`, and removes
+    /// whole key entries once they hold nothing a future query can reach:
+    /// an empty deque with `earliest < dead_before`. Without the removal a
+    /// stream over millions of distinct EPCs grows the histories map
+    /// forever.
+    ///
+    /// Removing keys is exact for epoch-anchored ("never occurred") queries
+    /// because those only exist where nothing is ever dropped: an unbounded
+    /// parent window forces the node's retention to `Span::MAX`, which makes
+    /// `dead_before` zero here; and a window that merely *saturates* at the
+    /// epoch early in the stream implies the clock has not yet passed the
+    /// retention horizon, so no drop has happened yet (the clock is
+    /// monotone, so drops strictly follow all saturated queries). The
+    /// aggregate `dropped_earliest`/`dropped_keys` record what was removed
+    /// so the invariant is checkable (`debug_assert` in
+    /// [`NegationState::occurred`]).
     pub fn prune(&mut self, dead_before: Timestamp) {
+        if dead_before == Timestamp::ZERO {
+            return;
+        }
+        let mut dropped_earliest = self.dropped_earliest;
+        let mut dropped_keys = self.dropped_keys;
         for map in &mut self.histories {
-            for hist in map.values_mut() {
+            map.retain(|_, hist| {
                 while let Some(&front) = hist.times.front() {
                     if front < dead_before {
                         hist.times.pop_front();
@@ -199,13 +235,36 @@ impl NegationState {
                         break;
                     }
                 }
-            }
+                if !hist.times.is_empty() {
+                    return true;
+                }
+                match hist.earliest {
+                    Some(e) if e < dead_before => {
+                        dropped_earliest = Some(dropped_earliest.map_or(e, |d| d.min(e)));
+                        dropped_keys += 1;
+                        false
+                    }
+                    _ => true,
+                }
+            });
         }
+        self.dropped_earliest = dropped_earliest;
+        self.dropped_keys = dropped_keys;
     }
 
     /// Total retained occurrence records (diagnostics).
     pub fn recorded(&self) -> usize {
-        self.histories.iter().flat_map(|m| m.values()).map(|h| h.times.len()).sum()
+        self.histories
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|h| h.times.len())
+            .sum()
+    }
+
+    /// Distinct correlation keys currently held across all history specs
+    /// (the quantity [`NegationState::prune`] bounds; reported in stats).
+    pub fn key_count(&self) -> usize {
+        self.histories.iter().map(|m| m.len()).sum()
     }
 }
 
@@ -348,20 +407,25 @@ mod tests {
     }
 
     fn entry(ms: u64, seq: u64) -> Entry {
-        Entry { inst: inst(ms), seq }
+        Entry {
+            inst: inst(ms),
+            seq,
+        }
     }
 
     #[test]
     fn keyed_buffer_fifo_and_match() {
         let mut buf = KeyedBuffer::default();
-        let key: Key = vec![];
+        let key = Key::EMPTY;
         buf.push(key.clone(), entry(100, 1), usize::MAX);
         buf.push(key.clone(), entry(200, 2), usize::MAX);
         buf.push(key.clone(), entry(300, 3), usize::MAX);
         assert_eq!(buf.len(), 3);
 
         // Oldest matching wins (chronicle).
-        let got = buf.take_oldest_match(&key, Timestamp::ZERO, |e| e.seq >= 2).unwrap();
+        let got = buf
+            .take_oldest_match(&key, Timestamp::ZERO, |e| e.seq >= 2)
+            .unwrap();
         assert_eq!(got.seq, 2);
         assert_eq!(buf.len(), 2);
 
@@ -376,22 +440,23 @@ mod tests {
     #[test]
     fn keyed_buffer_cap_evicts_oldest() {
         let mut buf = KeyedBuffer::default();
-        let key: Key = vec![];
+        let key = Key::EMPTY;
         for i in 0..5 {
             buf.push(key.clone(), entry(i * 100, i), 3);
         }
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.dropped, 2);
-        let got = buf.take_oldest_match(&key, Timestamp::ZERO, |_| true).unwrap();
+        let got = buf
+            .take_oldest_match(&key, Timestamp::ZERO, |_| true)
+            .unwrap();
         assert_eq!(got.seq, 2, "entries 0 and 1 were evicted");
     }
 
     #[test]
     fn keyed_buffer_prune_across_keys() {
         let mut buf = KeyedBuffer::default();
-        buf.push(vec![], entry(100, 1), usize::MAX);
-        let other_key: Key =
-            vec![crate::key::KeyPart::Reader(ReaderId(7))];
+        buf.push(Key::EMPTY, entry(100, 1), usize::MAX);
+        let other_key = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(7))]);
         buf.push(other_key, entry(900, 2), usize::MAX);
         buf.prune(Timestamp::from_millis(500));
         assert_eq!(buf.len(), 1);
@@ -401,11 +466,17 @@ mod tests {
     fn negation_history_windows() {
         let mut neg = NegationState::default();
         neg.ensure_specs(1);
-        neg.record(0, vec![], Timestamp::from_secs(2));
-        neg.record(0, vec![], Timestamp::from_secs(8));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(2));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(8));
 
         let occ = |from: u64, to: u64, excl: bool| {
-            neg.occurred(0, &vec![], Timestamp::from_secs(from), Timestamp::from_secs(to), excl)
+            neg.occurred(
+                0,
+                &Key::EMPTY,
+                Timestamp::from_secs(from),
+                Timestamp::from_secs(to),
+                excl,
+            )
         };
         assert!(occ(0, 10, false));
         assert!(occ(3, 8, false));
@@ -419,21 +490,77 @@ mod tests {
     fn negation_earliest_survives_pruning() {
         let mut neg = NegationState::default();
         neg.ensure_specs(1);
-        neg.record(0, vec![], Timestamp::from_secs(1));
-        neg.record(0, vec![], Timestamp::from_secs(100));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(1));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(100));
         neg.prune(Timestamp::from_secs(50));
         assert_eq!(neg.recorded(), 1);
+        assert_eq!(neg.key_count(), 1, "key still holds a live record");
         // "Did it ever occur before t=10?" still answerable exactly.
-        assert!(neg.occurred(0, &vec![], Timestamp::ZERO, Timestamp::from_secs(10), true));
-        assert!(!neg.occurred(0, &vec![], Timestamp::ZERO, Timestamp::from_secs(1), true));
+        assert!(neg.occurred(
+            0,
+            &Key::EMPTY,
+            Timestamp::ZERO,
+            Timestamp::from_secs(10),
+            true
+        ));
+        assert!(!neg.occurred(
+            0,
+            &Key::EMPTY,
+            Timestamp::ZERO,
+            Timestamp::from_secs(1),
+            true
+        ));
+    }
+
+    #[test]
+    fn negation_prune_drops_drained_keys() {
+        let mut neg = NegationState::default();
+        neg.ensure_specs(1);
+        // A million-distinct-EPC stream in miniature: each key occurs once.
+        let keys: Vec<Key> = (0..4)
+            .map(|i| Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(i))]))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            neg.record(0, k.clone(), Timestamp::from_secs(i as u64));
+        }
+        assert_eq!(neg.key_count(), 4);
+
+        // Keys 0 and 1 are fully behind the horizon: entry and `earliest`
+        // both stale, so the whole entry goes.
+        neg.prune(Timestamp::from_secs(2));
+        assert_eq!(neg.key_count(), 2, "drained keys are dropped");
+        assert_eq!(neg.recorded(), 2);
+
+        // Bounded-window queries over the dropped range stay exact: nothing
+        // occurred for key 0 in any window a live clock can still ask about.
+        assert!(!neg.occurred(
+            0,
+            &keys[0],
+            Timestamp::from_secs(2),
+            Timestamp::from_secs(10),
+            false
+        ));
+        // Live keys are untouched.
+        assert!(neg.occurred(
+            0,
+            &keys[3],
+            Timestamp::from_secs(2),
+            Timestamp::from_secs(10),
+            false
+        ));
+
+        // A zero horizon is a no-op, not a mass drop.
+        let before = neg.key_count();
+        neg.prune(Timestamp::ZERO);
+        assert_eq!(neg.key_count(), before);
     }
 
     #[test]
     fn negation_keys_are_independent() {
         let mut neg = NegationState::default();
         neg.ensure_specs(1);
-        let k1: Key = vec![crate::key::KeyPart::Reader(ReaderId(1))];
-        let k2: Key = vec![crate::key::KeyPart::Reader(ReaderId(2))];
+        let k1 = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(1))]);
+        let k2 = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(2))]);
         neg.record(0, k1.clone(), Timestamp::from_secs(5));
         assert!(neg.occurred(0, &k1, Timestamp::ZERO, Timestamp::from_secs(10), false));
         assert!(!neg.occurred(0, &k2, Timestamp::ZERO, Timestamp::from_secs(10), false));
@@ -443,9 +570,15 @@ mod tests {
     fn negation_out_of_order_record_stays_sorted() {
         let mut neg = NegationState::default();
         neg.ensure_specs(1);
-        neg.record(0, vec![], Timestamp::from_secs(10));
-        neg.record(0, vec![], Timestamp::from_secs(4)); // lagged delivery
-        assert!(neg.occurred(0, &vec![], Timestamp::from_secs(3), Timestamp::from_secs(5), false));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(10));
+        neg.record(0, Key::EMPTY, Timestamp::from_secs(4)); // lagged delivery
+        assert!(neg.occurred(
+            0,
+            &Key::EMPTY,
+            Timestamp::from_secs(3),
+            Timestamp::from_secs(5),
+            false
+        ));
     }
 
     #[test]
@@ -464,7 +597,11 @@ mod tests {
     #[test]
     fn dead_before_clamps() {
         assert_eq!(
-            dead_before(Timestamp::from_secs(100), Span::from_secs(10), Span::from_secs(2)),
+            dead_before(
+                Timestamp::from_secs(100),
+                Span::from_secs(10),
+                Span::from_secs(2)
+            ),
             Timestamp::from_secs(88)
         );
         assert_eq!(

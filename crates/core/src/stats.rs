@@ -25,6 +25,11 @@ pub struct EngineStats {
     /// Deepest per-shard ingestion queue observed, in batches. Zero
     /// single-threaded.
     pub max_queue_depth: u64,
+    /// Correlation keys currently retained in negation histories — the
+    /// working set [`crate::state::NegationState::prune`] bounds. A gauge,
+    /// snapshotted by `Engine::stats`; merging sums per-shard gauges into a
+    /// pipeline-wide total.
+    pub retained_keys: u64,
 }
 
 impl EngineStats {
@@ -46,6 +51,7 @@ impl EngineStats {
             sweeps: self.sweeps + other.sweeps,
             batches: self.batches + other.batches,
             max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+            retained_keys: self.retained_keys + other.retained_keys,
         }
     }
 }
@@ -55,7 +61,7 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
-             batches={} qdepth={}",
+             batches={} qdepth={} negkeys={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -66,6 +72,7 @@ impl std::fmt::Display for EngineStats {
             self.sweeps,
             self.batches,
             self.max_queue_depth,
+            self.retained_keys,
         )
     }
 }
@@ -87,6 +94,7 @@ mod tests {
             sweeps: seed + 7,
             batches: seed + 8,
             max_queue_depth: seed / 10,
+            retained_keys: seed + 9,
         }
     }
 
@@ -95,7 +103,11 @@ mod tests {
         let (a, b, c) = (sample(10), sample(200), sample(3_000));
         assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
         assert_eq!(a.merge(b), b.merge(a), "and commutative");
-        assert_eq!(a.merge(EngineStats::default()), a, "default is the identity");
+        assert_eq!(
+            a.merge(EngineStats::default()),
+            a,
+            "default is the identity"
+        );
         assert_eq!(EngineStats::default().merge(a), a);
     }
 
@@ -104,6 +116,9 @@ mod tests {
         let merged = sample(10).merge(sample(200));
         assert_eq!(merged.events, 210);
         assert_eq!(merged.rule_firings, 220);
-        assert_eq!(merged.max_queue_depth, 20, "high-water mark takes the max, not the sum");
+        assert_eq!(
+            merged.max_queue_depth, 20,
+            "high-water mark takes the max, not the sum"
+        );
     }
 }

@@ -25,13 +25,20 @@ impl Fixture {
     fn new(n_readers: u32) -> Self {
         let mut catalog = rfid_events::Catalog::new();
         let readers = (1..=n_readers)
-            .map(|i| catalog.readers.register(&format!("r{i}"), &format!("r{i}"), "loc"))
+            .map(|i| {
+                catalog
+                    .readers
+                    .register(&format!("r{i}"), &format!("r{i}"), "loc")
+            })
             .collect();
         catalog.types.map_class_of(obj(10, 0), "laptop");
         catalog.types.map_class_of(obj(20, 0), "superuser");
         catalog.types.map_class_of(obj(30, 0), "item");
         catalog.types.map_class_of(obj(40, 0), "case");
-        Self { engine: Engine::new(catalog, EngineConfig::default()), readers }
+        Self {
+            engine: Engine::new(catalog, EngineConfig::default()),
+            readers,
+        }
     }
 
     fn rule(&mut self, name: &str, e: EventExpr) -> RuleId {
@@ -52,8 +59,9 @@ impl Fixture {
                 )
             })
             .collect();
-        self.engine
-            .process_all(stream, &mut |rule, inst| out.push((rule, Arc::new(inst.clone()))));
+        self.engine.process_all(stream, &mut |rule, inst| {
+            out.push((rule, Arc::new(inst.clone())))
+        });
         out
     }
 }
@@ -108,9 +116,11 @@ fn fig8_negative_occurrence_within_future_window_blocks() {
 #[test]
 fn fig4_chronicle_detection() {
     let mut fx = Fixture::new(2);
-    let e = at("r1")
-        .tseq_plus(Span::ZERO, Span::from_secs(1))
-        .tseq(at("r2"), Span::from_secs(5), Span::from_secs(10));
+    let e = at("r1").tseq_plus(Span::ZERO, Span::from_secs(1)).tseq(
+        at("r2"),
+        Span::from_secs(5),
+        Span::from_secs(10),
+    );
     let rule = fx.rule("fig4", e);
 
     let item = |s| obj(30, s);
@@ -130,13 +140,21 @@ fn fig4_chronicle_detection() {
     assert_eq!(fired[0].0, rule);
 
     // First: run {1,2,3} with the case at 12 (dist = 12-3 = 9 ∈ [5,10]).
-    let first: Vec<u64> =
-        fired[0].1.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+    let first: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis() / 1000)
+        .collect();
     assert_eq!(first, vec![1, 2, 3, 12]);
 
     // Second: run {5,6,7} with the case at 15 (dist = 15-7 = 8 ∈ [5,10]).
-    let second: Vec<u64> =
-        fired[1].1.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+    let second: Vec<u64> = fired[1]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis() / 1000)
+        .collect();
     assert_eq!(second, vec![5, 6, 7, 15]);
 }
 
@@ -145,18 +163,23 @@ fn fig4_type_level_matching_would_be_wrong() {
     // The same history but with the case read too early for the second run:
     // no instance may span the >1s gap (the paper's §4.1 argument).
     let mut fx = Fixture::new(2);
-    let e = at("r1")
-        .tseq_plus(Span::ZERO, Span::from_secs(1))
-        .tseq(at("r2"), Span::from_secs(5), Span::from_secs(10));
+    let e = at("r1").tseq_plus(Span::ZERO, Span::from_secs(1)).tseq(
+        at("r2"),
+        Span::from_secs(5),
+        Span::from_secs(10),
+    );
     fx.rule("fig4b", e);
 
     let fired = fx.run(&[
         (1, obj(30, 1), 1.0),
         (1, obj(30, 2), 2.0),
-        (1, obj(30, 3), 5.0), // gap 3s: run {1,2} closed, {5} opened
+        (1, obj(30, 3), 5.0),  // gap 3s: run {1,2} closed, {5} opened
         (2, obj(40, 1), 20.0), // too far from both runs
     ]);
-    assert!(fired.is_empty(), "no run within distance bounds of the case");
+    assert!(
+        fired.is_empty(),
+        "no run within distance bounds of the case"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -175,10 +198,10 @@ fn rule1_duplicate_detection_correlates_reader_and_object() {
 
     let fired = fx.run(&[
         (1, obj(30, 1), 0.0),
-        (1, obj(30, 2), 1.0), // different object: not a duplicate of #1
-        (2, obj(30, 1), 2.0), // different reader: not a duplicate of #1
-        (1, obj(30, 1), 3.0), // duplicate of #1 (same r, same o, 3s apart)
-        (1, obj(30, 1), 9.5), // 6.5s after previous: outside the window
+        (1, obj(30, 2), 1.0),  // different object: not a duplicate of #1
+        (2, obj(30, 1), 2.0),  // different reader: not a duplicate of #1
+        (1, obj(30, 1), 3.0),  // duplicate of #1 (same r, same o, 3s apart)
+        (1, obj(30, 1), 9.5),  // 6.5s after previous: outside the window
         (1, obj(30, 1), 12.0), // duplicate of the 9.5s read
     ]);
 
@@ -249,8 +272,10 @@ fn rule2_infield_fires_only_on_first_sighting() {
 
     assert_eq!(fired.len(), 2, "one infield per tag");
     assert_eq!(fired[0].0, rule);
-    let firsts: Vec<u64> =
-        fired.iter().map(|(_, i)| i.observations()[0].at.as_millis() / 1000).collect();
+    let firsts: Vec<u64> = fired
+        .iter()
+        .map(|(_, i)| i.observations()[0].at.as_millis() / 1000)
+        .collect();
     assert_eq!(firsts, vec![0, 25]);
 }
 
@@ -272,8 +297,10 @@ fn rule2_infield_refires_after_absence() {
         (1, obj(30, 1), 10.0),
         (1, obj(30, 1), 50.0), // 40s gap: re-appearance
     ]);
-    let firsts: Vec<u64> =
-        fired.iter().map(|(_, i)| i.observations()[0].at.as_millis() / 1000).collect();
+    let firsts: Vec<u64> = fired
+        .iter()
+        .map(|(_, i)| i.observations()[0].at.as_millis() / 1000)
+        .collect();
     assert_eq!(firsts, vec![0, 50]);
 }
 
@@ -288,7 +315,12 @@ fn outfield_fires_when_tag_disappears() {
     let e = EventExpr::observation()
         .bind_reader("r")
         .bind_object("o")
-        .seq(EventExpr::observation().bind_reader("r").bind_object("o").not())
+        .seq(
+            EventExpr::observation()
+                .bind_reader("r")
+                .bind_object("o")
+                .not(),
+        )
         .within(Span::from_secs(30));
     let rule = fx.rule("outfield", e);
 
@@ -305,8 +337,10 @@ fn outfield_fires_when_tag_disappears() {
     // unseen, so it produces an outfield too (at finish).
     assert_eq!(fired.len(), 2);
     assert_eq!(fired[0].0, rule);
-    let leavers: Vec<u64> =
-        fired.iter().map(|(_, i)| i.observations()[0].at.as_millis() / 1000).collect();
+    let leavers: Vec<u64> = fired
+        .iter()
+        .map(|(_, i)| i.observations()[0].at.as_millis() / 1000)
+        .collect();
     assert_eq!(leavers, vec![20, 100]);
 }
 
@@ -399,10 +433,18 @@ fn and_is_order_insensitive() {
 fn seq_requires_order() {
     let mut fx = Fixture::new(2);
     fx.rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(100)));
-    let fired = fx.run(&[(2, obj(40, 1), 0.0), (1, obj(30, 1), 1.0), (2, obj(40, 2), 2.0)]);
+    let fired = fx.run(&[
+        (2, obj(40, 1), 0.0),
+        (1, obj(30, 1), 1.0),
+        (2, obj(40, 2), 2.0),
+    ]);
     assert_eq!(fired.len(), 1, "only r1@1 ; r2@2 is ordered");
-    let times: Vec<u64> =
-        fired[0].1.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+    let times: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis() / 1000)
+        .collect();
     assert_eq!(times, vec![1, 2]);
 }
 
@@ -421,8 +463,12 @@ fn tseq_enforces_distance_bounds() {
         (2, obj(40, 3), 35.0), // dist 15 > 10: too far
     ]);
     assert_eq!(fired.len(), 1);
-    let times: Vec<u64> =
-        fired[0].1.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+    let times: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis() / 1000)
+        .collect();
     assert_eq!(times, vec![0, 7]);
 }
 
@@ -440,8 +486,12 @@ fn tseq_skips_expired_initiator_for_a_valid_one() {
         (2, obj(40, 1), 12.0), // 12s from #1 (too far), 2s from #2 (ok)
     ]);
     assert_eq!(fired.len(), 1);
-    let times: Vec<u64> =
-        fired[0].1.observations().iter().map(|o| o.at.as_millis() / 1000).collect();
+    let times: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis() / 1000)
+        .collect();
     assert_eq!(times, vec![10, 12]);
 }
 
@@ -452,7 +502,10 @@ fn tseq_skips_expired_initiator_for_a_valid_one() {
 #[test]
 fn seqplus_collects_all_occurrences_before_terminator() {
     let mut fx = Fixture::new(2);
-    let e = at("r1").seq_plus().seq(at("r2")).within(Span::from_secs(60));
+    let e = at("r1")
+        .seq_plus()
+        .seq(at("r2"))
+        .within(Span::from_secs(60));
     fx.rule("batch", e);
 
     let fired = fx.run(&[
@@ -473,7 +526,10 @@ fn seqplus_collects_all_occurrences_before_terminator() {
 #[test]
 fn seqplus_with_no_occurrences_does_not_fire() {
     let mut fx = Fixture::new(2);
-    let e = at("r1").seq_plus().seq(at("r2")).within(Span::from_secs(60));
+    let e = at("r1")
+        .seq_plus()
+        .seq(at("r2"))
+        .within(Span::from_secs(60));
     fx.rule("batch", e);
     let fired = fx.run(&[(2, obj(40, 1), 20.0)]);
     assert!(fired.is_empty());
@@ -515,9 +571,17 @@ fn tseqplus_sub_min_gap_discards_run() {
         (1, obj(30, 3), 0.8), // gap 700ms: extends run {2}
     ]);
     assert_eq!(fired.len(), 1);
-    let times: Vec<u64> =
-        fired[0].1.observations().iter().map(|o| o.at.as_millis()).collect();
-    assert_eq!(times, vec![100, 800], "the pre-violation element was discarded");
+    let times: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis())
+        .collect();
+    assert_eq!(
+        times,
+        vec![100, 800],
+        "the pre-violation element was discarded"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -588,7 +652,11 @@ fn overlapping_sequences_pair_chronologically() {
             (o[0].at.as_millis() / 1000, o[1].at.as_millis() / 1000)
         })
         .collect();
-    assert_eq!(pairs, vec![(0, 2), (1, 3)], "oldest initiator ↔ oldest terminator");
+    assert_eq!(
+        pairs,
+        vec![(0, 2), (1, 3)],
+        "oldest initiator ↔ oldest terminator"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -601,7 +669,10 @@ fn merged_subgraph_feeds_both_rules() {
     let shared = at("r1").seq(at("r2")).within(Span::from_secs(50));
     let r_a = fx.rule("a", shared.clone());
     let r_b = fx.rule("b", shared.seq(at("r3")).within(Span::from_secs(50)));
-    assert!(fx.engine.graph().merged_hits() > 0, "the SEQ subgraph merged");
+    assert!(
+        fx.engine.graph().merged_hits() > 0,
+        "the SEQ subgraph merged"
+    );
 
     let fired = fx.run(&[
         (1, obj(30, 1), 0.0),
@@ -631,14 +702,22 @@ fn group_patterns_match_any_group_member() {
 
     let mut fired = Vec::new();
     let t = Timestamp::from_secs(1);
-    engine.process(Observation::new(a, obj(30, 1), t), &mut |r, _| fired.push(r));
-    engine.process(Observation::new(b, obj(30, 2), t + Span::from_secs(1)), &mut |r, _| {
+    engine.process(Observation::new(a, obj(30, 1), t), &mut |r, _| {
         fired.push(r)
     });
-    engine.process(Observation::new(c, obj(30, 3), t + Span::from_secs(2)), &mut |r, _| {
-        fired.push(r)
-    });
-    assert_eq!(fired, vec![rule, rule], "both g1 readers, not the exit reader");
+    engine.process(
+        Observation::new(b, obj(30, 2), t + Span::from_secs(1)),
+        &mut |r, _| fired.push(r),
+    );
+    engine.process(
+        Observation::new(c, obj(30, 3), t + Span::from_secs(2)),
+        &mut |r, _| fired.push(r),
+    );
+    assert_eq!(
+        fired,
+        vec![rule, rule],
+        "both g1 readers, not the exit reader"
+    );
 }
 
 // ---------------------------------------------------------------------------

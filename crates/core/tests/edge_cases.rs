@@ -11,7 +11,8 @@ use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
 fn catalog(n: u32) -> Catalog {
     let mut c = Catalog::new();
     for i in 1..=n {
-        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+        c.readers
+            .register(&format!("r{i}"), &format!("r{i}"), "loc");
     }
     c
 }
@@ -21,7 +22,11 @@ fn epc(n: u64) -> Epc {
 }
 
 fn obs(reader: u32, serial: u64, ms: u64) -> Observation {
-    Observation::new(ReaderId(reader - 1), epc(serial), Timestamp::from_millis(ms))
+    Observation::new(
+        ReaderId(reader - 1),
+        epc(serial),
+        Timestamp::from_millis(ms),
+    )
 }
 
 fn at(reader: &str) -> rfid_events::expr::ObservationBuilder {
@@ -40,9 +45,11 @@ fn collect(engine: &mut Engine, stream: Vec<Observation>) -> Vec<(RuleId, Arc<In
 #[test]
 fn terminator_before_run_closure_still_pairs() {
     let mut engine = Engine::new(catalog(2), EngineConfig::default());
-    let event = at("r1")
-        .tseq_plus(Span::ZERO, Span::from_secs(10))
-        .tseq(at("r2"), Span::ZERO, Span::from_secs(20));
+    let event = at("r1").tseq_plus(Span::ZERO, Span::from_secs(10)).tseq(
+        at("r2"),
+        Span::ZERO,
+        Span::from_secs(20),
+    );
     engine.add_rule("lagged", event).unwrap();
 
     let fired = collect(
@@ -53,7 +60,12 @@ fn terminator_before_run_closure_still_pairs() {
         ],
     );
     assert_eq!(fired.len(), 1);
-    let times: Vec<u64> = fired[0].1.observations().iter().map(|o| o.at.as_millis()).collect();
+    let times: Vec<u64> = fired[0]
+        .1
+        .observations()
+        .iter()
+        .map(|o| o.at.as_millis())
+        .collect();
     assert_eq!(times, vec![0, 1_000]);
 }
 
@@ -84,7 +96,9 @@ fn unbounded_negation_initiator_uses_first_seen() {
 fn negation_over_composite_event() {
     let mut engine = Engine::new(catalog(3), EngineConfig::default());
     let ab = at("r1").seq(at("r2")).within(Span::from_secs(5));
-    let event = EventExpr::Not(Box::new(ab)).seq(at("r3")).within(Span::from_secs(30));
+    let event = EventExpr::Not(Box::new(ab))
+        .seq(at("r3"))
+        .within(Span::from_secs(30));
     engine.add_rule("no-ab-then-c", event).unwrap();
 
     // A then B (a full AB occurrence) then C: blocked.
@@ -97,7 +111,9 @@ fn negation_over_composite_event() {
     // A alone (no B): the AB event never occurred, so C fires.
     let mut engine2 = Engine::new(catalog(3), EngineConfig::default());
     let ab = at("r1").seq(at("r2")).within(Span::from_secs(5));
-    let event = EventExpr::Not(Box::new(ab)).seq(at("r3")).within(Span::from_secs(30));
+    let event = EventExpr::Not(Box::new(ab))
+        .seq(at("r3"))
+        .within(Span::from_secs(30));
     engine2.add_rule("no-ab-then-c", event).unwrap();
     let fired = collect(&mut engine2, vec![obs(1, 1, 0), obs(3, 3, 10_000)]);
     assert_eq!(fired.len(), 1);
@@ -119,7 +135,11 @@ fn and_of_run_and_primitive() {
         vec![obs(1, 1, 0), obs(1, 2, 500), obs(2, 9, 30_000)],
     );
     assert_eq!(fired.len(), 1);
-    assert_eq!(fired[0].1.observations().len(), 3, "two run elements + the primitive");
+    assert_eq!(
+        fired[0].1.observations().len(),
+        3,
+        "two run elements + the primitive"
+    );
 }
 
 /// Rules can be added mid-stream; they see only subsequent events.
@@ -141,9 +161,14 @@ fn dynamic_rule_addition() {
 /// without limit (plain SEQ with no WITHIN).
 #[test]
 fn unbounded_seq_is_capped() {
-    let config = EngineConfig { unbounded_cap: 16, ..EngineConfig::default() };
+    let config = EngineConfig {
+        unbounded_cap: 16,
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::new(catalog(2), config);
-    engine.add_rule("unbounded", at("r1").seq(at("r2"))).unwrap();
+    engine
+        .add_rule("unbounded", at("r1").seq(at("r2")))
+        .unwrap();
 
     let stream: Vec<Observation> = (0..100).map(|i| obs(1, i, i * 10)).collect();
     let _ = collect(&mut engine, stream);
@@ -155,7 +180,10 @@ fn unbounded_seq_is_capped() {
 /// traffic is unchanged.
 #[test]
 fn sweeping_does_not_disturb_detection() {
-    let config = EngineConfig { sweep_every: 64, ..EngineConfig::default() };
+    let config = EngineConfig {
+        sweep_every: 64,
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::new(catalog(2), config);
     engine
         .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(2)))
@@ -251,7 +279,10 @@ fn reset_clears_state_keeps_rules() {
         .unwrap();
 
     let mut fired = 0u32;
-    engine.process_all(vec![obs(1, 1, 0), obs(2, 2, 2_000)], &mut |_, _: &Instance| fired += 1);
+    engine.process_all(
+        vec![obs(1, 1, 0), obs(2, 2, 2_000)],
+        &mut |_, _: &Instance| fired += 1,
+    );
     assert_eq!(fired, 1);
     assert_eq!(engine.firings_per_rule(), &[1]);
 
@@ -263,7 +294,10 @@ fn reset_clears_state_keeps_rules() {
     // A second pass starting at t=0 again (which would violate monotonic
     // time without the reset) detects identically.
     let mut fired = 0u32;
-    engine.process_all(vec![obs(1, 3, 0), obs(2, 4, 2_000)], &mut |_, _: &Instance| fired += 1);
+    engine.process_all(
+        vec![obs(1, 3, 0), obs(2, 4, 2_000)],
+        &mut |_, _: &Instance| fired += 1,
+    );
     assert_eq!(fired, 1);
     assert_eq!(engine.firings_per_rule(), &[1]);
 }
@@ -273,7 +307,9 @@ fn reset_clears_state_keeps_rules() {
 #[test]
 fn unknown_reader_pattern_is_inert() {
     let mut engine = Engine::new(catalog(1), EngineConfig::default());
-    engine.add_rule("ghost", EventExpr::observation_at("ghost-reader").build()).unwrap();
+    engine
+        .add_rule("ghost", EventExpr::observation_at("ghost-reader").build())
+        .unwrap();
     let fired = collect(&mut engine, vec![obs(1, 1, 0)]);
     assert!(fired.is_empty());
 }
@@ -295,7 +331,7 @@ fn deeply_nested_rule() {
         &mut engine,
         vec![
             obs(1, 1, 0),
-            obs(2, 2, 1_000), // run of two (via OR)
+            obs(2, 2, 1_000),  // run of two (via OR)
             obs(3, 3, 20_000), // r3 with no r4 within 3s
         ],
     );
@@ -308,7 +344,10 @@ fn deeply_nested_rule() {
 /// not to the stream length.
 #[test]
 fn working_set_is_bounded_by_the_window() {
-    let config = EngineConfig { sweep_every: 128, ..EngineConfig::default() };
+    let config = EngineConfig {
+        sweep_every: 128,
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::new(catalog(2), config);
     engine
         .add_rule("seq", at("r1").seq(at("r2")).within(Span::from_secs(2)))
@@ -335,7 +374,10 @@ fn working_set_is_bounded_by_the_window() {
 fn stats_are_coherent() {
     let mut engine = Engine::new(catalog(2), EngineConfig::default());
     engine
-        .add_rule("asset", at("r1").and(at("r2").not()).within(Span::from_secs(5)))
+        .add_rule(
+            "asset",
+            at("r1").and(at("r2").not()).within(Span::from_secs(5)),
+        )
         .unwrap();
     let fired = collect(&mut engine, vec![obs(1, 1, 0), obs(1, 2, 60_000)]);
     let stats = engine.stats();

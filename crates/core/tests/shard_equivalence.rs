@@ -4,7 +4,7 @@
 //! the residual shard and rules that resolve through pseudo events.
 
 use rceda::engine::{Engine, EngineConfig, RuleId};
-use rceda::shard::{ResidualReason, ShardConfig, ShardedEngine, Shardability};
+use rceda::shard::{ResidualReason, ShardConfig, Shardability, ShardedEngine};
 use rfid_events::{EventExpr, Instance, Observation, Span, Timestamp};
 use rfid_simulator::{SimConfig, SupplyChain};
 
@@ -24,7 +24,11 @@ fn rules() -> Vec<(&'static str, EventExpr, Shardability)> {
         .within(Span::from_secs(2));
     let and_neg = EventExpr::observation_in_group("pos")
         .bind_object("o")
-        .and(EventExpr::observation_in_group("exits").bind_object("o").not())
+        .and(
+            EventExpr::observation_in_group("exits")
+                .bind_object("o")
+                .not(),
+        )
         .within(Span::from_secs(3));
     let keyless = EventExpr::observation_in_group("docks")
         .seq(EventExpr::observation_in_group("pos"))
@@ -36,8 +40,16 @@ fn rules() -> Vec<(&'static str, EventExpr, Shardability)> {
         ("dup", dup, Shardability::Object),
         ("missing", missing, Shardability::Object),
         ("and-neg", and_neg, Shardability::Object),
-        ("keyless", keyless, Shardability::Residual(ResidualReason::KeylessJoin)),
-        ("run", run, Shardability::Residual(ResidualReason::GlobalRun)),
+        (
+            "keyless",
+            keyless,
+            Shardability::Residual(ResidualReason::KeylessJoin),
+        ),
+        (
+            "run",
+            run,
+            Shardability::Residual(ResidualReason::GlobalRun),
+        ),
     ]
 }
 
@@ -103,7 +115,10 @@ fn sharded_matches_single_threaded_for_all_shard_counts() {
 
         let stats = engine.stats();
         assert!(stats.batches > 0, "sharded path must batch");
-        assert!(stats.max_queue_depth >= 1, "queue depth high-water must register");
+        assert!(
+            stats.max_queue_depth >= 1,
+            "queue depth high-water must register"
+        );
         let harvested: u64 = engine.firings_per_rule().iter().sum();
         assert_eq!(harvested as usize, expected.len());
     }
@@ -140,8 +155,7 @@ fn ordered_output_is_deterministic_and_barriers_preserve_semantics() {
     let run_once = || {
         let mut engine = sharded(&sim, 2, 32);
         let mut got = Vec::new();
-        let mut sink =
-            |rule: RuleId, inst: &Instance| got.push(fingerprint(rule, inst));
+        let mut sink = |rule: RuleId, inst: &Instance| got.push(fingerprint(rule, inst));
         for &obs in &stream[..mid] {
             engine.process(obs);
         }
@@ -161,20 +175,29 @@ fn ordered_output_is_deterministic_and_barriers_preserve_semantics() {
 
     let mut sorted = a;
     sorted.sort();
-    assert_eq!(sorted, expected, "barriers must not change the firing multiset");
+    assert_eq!(
+        sorted, expected,
+        "barriers must not change the firing multiset"
+    );
 }
 
 #[test]
 fn all_rules_shardable_skips_residual() {
     let (sim, stream) = trace(1_000);
-    let config = ShardConfig { shards: 3, batch_size: 16, ..ShardConfig::default() };
+    let config = ShardConfig {
+        shards: 3,
+        batch_size: 16,
+        ..ShardConfig::default()
+    };
     let mut engine = ShardedEngine::new(sim.catalog.clone(), config);
     let (name, event, _) = rules().remove(0);
     engine.add_rule(name, event).expect("valid rule");
     assert!(!engine.has_residual());
 
     let mut single = Engine::new(sim.catalog.clone(), EngineConfig::default());
-    single.add_rule(name, rules().remove(0).1).expect("valid rule");
+    single
+        .add_rule(name, rules().remove(0).1)
+        .expect("valid rule");
     let mut expected = Vec::new();
     let mut sink = |rule: RuleId, inst: &Instance| expected.push(fingerprint(rule, inst));
     for &obs in &stream {
@@ -189,4 +212,31 @@ fn all_rules_shardable_skips_residual() {
     });
     got.sort();
     assert_eq!(got, expected);
+}
+
+#[test]
+fn single_shard_folds_residual_into_one_worker() {
+    // With one keyed shard the worker sees the full stream anyway, so the
+    // pipeline folds the residual rules into it instead of running a second
+    // full-stream engine. Observable: each observation is processed exactly
+    // once (the two-worker layout would count every event twice), while the
+    // firings still match the reference exactly.
+    let (sim, stream) = trace(2_000);
+    let expected = reference_firings(&sim, &stream);
+
+    let mut engine = sharded(&sim, 1, 64);
+    assert!(engine.has_residual(), "mixed rule set needs a residual");
+    let mut got = Vec::new();
+    engine.process_all(stream.iter().copied(), &mut |rule, inst: &Instance| {
+        got.push(fingerprint(rule, inst));
+    });
+    got.sort();
+    assert_eq!(got, expected, "folded single shard diverged");
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.events,
+        stream.len() as u64,
+        "folded layout must process the stream once, not once per worker"
+    );
 }

@@ -11,7 +11,8 @@ use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
 fn catalog(n: u32) -> Catalog {
     let mut c = Catalog::new();
     for i in 1..=n {
-        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+        c.readers
+            .register(&format!("r{i}"), &format!("r{i}"), "loc");
     }
     c
 }
@@ -56,9 +57,9 @@ fn negation_node_with_two_key_specs() {
     let mut fired: Vec<(RuleId, Epc)> = Vec::new();
     engine.process_all(
         vec![
-            obs(1, 1, 0.0),  // r1 sees object 1
-            obs(2, 2, 5.0),  // r2 sees object 2: keyed fires (no r1 of obj 2);
-                             // unkeyed blocked (an r1 of something at t=0)
+            obs(1, 1, 0.0), // r1 sees object 1
+            obs(2, 2, 5.0), // r2 sees object 2: keyed fires (no r1 of obj 2);
+            // unkeyed blocked (an r1 of something at t=0)
             obs(2, 1, 6.0),  // r2 sees object 1: keyed blocked; unkeyed blocked
             obs(2, 3, 20.0), // both fire (nothing from r1 in [10,20])
         ],
@@ -67,10 +68,16 @@ fn negation_node_with_two_key_specs() {
         },
     );
 
-    let a_hits: Vec<Epc> =
-        fired.iter().filter(|(r, _)| *r == rule_a).map(|(_, o)| *o).collect();
-    let b_hits: Vec<Epc> =
-        fired.iter().filter(|(r, _)| *r == rule_b).map(|(_, o)| *o).collect();
+    let a_hits: Vec<Epc> = fired
+        .iter()
+        .filter(|(r, _)| *r == rule_a)
+        .map(|(_, o)| *o)
+        .collect();
+    let b_hits: Vec<Epc> = fired
+        .iter()
+        .filter(|(r, _)| *r == rule_b)
+        .map(|(_, o)| *o)
+        .collect();
     assert_eq!(a_hits, vec![epc(2), epc(3)]);
     assert_eq!(b_hits, vec![epc(3)]);
 }
@@ -86,7 +93,10 @@ fn shared_run_feeds_two_parents_independently() {
     let far = run().tseq(at("r3"), Span::from_secs(8), Span::from_secs(20));
     let rule_near = engine.add_rule("near", near).unwrap();
     let rule_far = engine.add_rule("far", far).unwrap();
-    assert!(engine.graph().merged_hits() > 0, "the TSEQ+ subgraph merged");
+    assert!(
+        engine.graph().merged_hits() > 0,
+        "the TSEQ+ subgraph merged"
+    );
 
     let mut fired = Vec::new();
     engine.process_all(
@@ -99,8 +109,14 @@ fn shared_run_feeds_two_parents_independently() {
         &mut |r, inst: &Instance| fired.push((r, inst.observations().len())),
     );
 
-    assert!(fired.contains(&(rule_near, 3)), "near rule got run + its case: {fired:?}");
-    assert!(fired.contains(&(rule_far, 3)), "far rule got run + its case: {fired:?}");
+    assert!(
+        fired.contains(&(rule_near, 3)),
+        "near rule got run + its case: {fired:?}"
+    );
+    assert!(
+        fired.contains(&(rule_far, 3)),
+        "far rule got run + its case: {fired:?}"
+    );
 }
 
 /// Same structure under different WITHIN constraints must NOT merge, and
@@ -132,7 +148,10 @@ fn or_under_within_filters_long_branch_instances() {
     // Branch 1: a SEQ that can stretch; branch 2: a primitive.
     // The inner SEQ's within is the propagated 5s, so a 10s-spread pair
     // never forms; the primitive branch always passes.
-    let event = at("r1").seq(at("r2")).or(at("r3")).within(Span::from_secs(5));
+    let event = at("r1")
+        .seq(at("r2"))
+        .or(at("r3"))
+        .within(Span::from_secs(5));
     engine.add_rule("or", event).unwrap();
 
     let mut fired = 0u32;
@@ -188,11 +207,21 @@ fn reorderer_feeds_engine_correctly() {
         .unwrap();
 
     // r2's feed runs 300 ms ahead of r1's — raw interleaving is disordered.
-    let raw = vec![obs(2, 10, 1.3), obs(1, 1, 1.0), obs(2, 11, 2.3), obs(1, 2, 2.0)];
+    let raw = vec![
+        obs(2, 10, 1.3),
+        obs(1, 1, 1.0),
+        obs(2, 11, 2.3),
+        obs(1, 2, 2.0),
+    ];
     let mut reorderer = rfid_events::Reorderer::new(Span::from_millis(500));
     let mut fired = Vec::new();
     let mut sink = |_: RuleId, inst: &Instance| {
-        fired.push(inst.observations().iter().map(|o| o.at.as_millis()).collect::<Vec<_>>())
+        fired.push(
+            inst.observations()
+                .iter()
+                .map(|o| o.at.as_millis())
+                .collect::<Vec<_>>(),
+        )
     };
     for o in raw {
         if let Ok(batch) = reorderer.offer(o) {
@@ -214,7 +243,10 @@ fn reorderer_feeds_engine_correctly() {
 fn absence_slot_positions_are_stable() {
     let mut engine = Engine::new(catalog(2), EngineConfig::default());
     engine
-        .add_rule("and-neg", at("r1").and(at("r2").not()).within(Span::from_secs(2)))
+        .add_rule(
+            "and-neg",
+            at("r1").and(at("r2").not()).within(Span::from_secs(2)),
+        )
         .unwrap();
     let mut shapes = Vec::new();
     engine.process_all(vec![obs(1, 1, 0.0)], &mut |_, inst: &Instance| {
@@ -225,7 +257,10 @@ fn absence_slot_positions_are_stable() {
 
     let mut engine = Engine::new(catalog(2), EngineConfig::default());
     engine
-        .add_rule("neg-seq", at("r1").not().seq(at("r2")).within(Span::from_secs(2)))
+        .add_rule(
+            "neg-seq",
+            at("r1").not().seq(at("r2")).within(Span::from_secs(2)),
+        )
         .unwrap();
     let mut shapes = Vec::new();
     engine.process_all(vec![obs(2, 1, 0.0)], &mut |_, inst: &Instance| {

@@ -59,7 +59,11 @@ pub struct DedupFilter {
 impl DedupFilter {
     /// Creates a dedup filter with the given suppression window.
     pub fn new(window: Span) -> Self {
-        Self { window, last_pass: HashMap::new(), dropped: 0 }
+        Self {
+            window,
+            last_pass: HashMap::new(),
+            dropped: 0,
+        }
     }
 }
 
@@ -102,7 +106,12 @@ impl GlitchFilter {
     /// times is a configuration bug).
     pub fn new(k: u32, window: Span) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        Self { k, window, sightings: HashMap::new(), dropped: 0 }
+        Self {
+            k,
+            window,
+            sightings: HashMap::new(),
+            dropped: 0,
+        }
     }
 }
 
@@ -143,7 +152,11 @@ pub struct RateLimiter {
 impl RateLimiter {
     /// Creates a rate limiter with the given minimum spacing.
     pub fn new(period: Span) -> Self {
-        Self { period, last: HashMap::new(), dropped: 0 }
+        Self {
+            period,
+            last: HashMap::new(),
+            dropped: 0,
+        }
     }
 }
 
@@ -238,11 +251,22 @@ mod tests {
     fn dedup_drops_bursts_keeps_revisits() {
         let mut f = DedupFilter::new(Span::from_secs(5));
         assert_eq!(f.offer(obs(0, 1, 0)).len(), 1);
-        assert!(f.offer(obs(0, 1, 1_000)).is_empty(), "burst re-read dropped");
+        assert!(
+            f.offer(obs(0, 1, 1_000)).is_empty(),
+            "burst re-read dropped"
+        );
         assert!(f.offer(obs(0, 1, 4_999)).is_empty());
         assert_eq!(f.offer(obs(0, 1, 5_000)).len(), 1, "window elapsed");
-        assert_eq!(f.offer(obs(1, 1, 5_100)).len(), 1, "different reader is independent");
-        assert_eq!(f.offer(obs(0, 2, 5_100)).len(), 1, "different tag is independent");
+        assert_eq!(
+            f.offer(obs(1, 1, 5_100)).len(),
+            1,
+            "different reader is independent"
+        );
+        assert_eq!(
+            f.offer(obs(0, 2, 5_100)).len(),
+            1,
+            "different tag is independent"
+        );
         assert_eq!(f.dropped(), 2);
     }
 
@@ -251,10 +275,17 @@ mod tests {
         let mut f = GlitchFilter::new(3, Span::from_secs(2));
         assert!(f.offer(obs(0, 1, 0)).is_empty(), "single decode is a ghost");
         assert!(f.offer(obs(0, 1, 500)).is_empty());
-        assert_eq!(f.offer(obs(0, 1, 900)).len(), 1, "third sighting corroborates");
+        assert_eq!(
+            f.offer(obs(0, 1, 900)).len(),
+            1,
+            "third sighting corroborates"
+        );
         // Sightings outside the window do not count.
         assert!(f.offer(obs(0, 2, 10_000)).is_empty());
-        assert!(f.offer(obs(0, 2, 13_000)).is_empty(), "first sighting aged out");
+        assert!(
+            f.offer(obs(0, 2, 13_000)).is_empty(),
+            "first sighting aged out"
+        );
         assert!(f.offer(obs(0, 2, 14_000)).is_empty(), "only two in window");
         assert_eq!(f.offer(obs(0, 2, 14_500)).len(), 1);
     }
@@ -302,7 +333,10 @@ mod tests {
     fn pipeline_flush_carries_through() {
         let mut p = Pipeline::new().then(DedupFilter::new(Span::from_secs(1)));
         assert_eq!(p.offer(obs(0, 1, 0)).len(), 1);
-        assert!(p.flush().is_empty(), "stateless-release filters hold nothing");
+        assert!(
+            p.flush().is_empty(),
+            "stateless-release filters hold nothing"
+        );
     }
 
     #[test]

@@ -46,10 +46,19 @@ impl BitWriter {
 
     /// Appends `width` bits of `value`. Fails if `value >= 2^width` or the
     /// word would exceed 96 bits.
-    pub fn put(&mut self, field: &'static str, value: u64, width: u32) -> Result<(), FieldOverflow> {
+    pub fn put(
+        &mut self,
+        field: &'static str,
+        value: u64,
+        width: u32,
+    ) -> Result<(), FieldOverflow> {
         debug_assert!(width <= 64, "field wider than 64 bits");
         if width < 64 && value >= (1u64 << width) {
-            return Err(FieldOverflow { field, width, value });
+            return Err(FieldOverflow {
+                field,
+                width,
+                value,
+            });
         }
         assert!(
             self.cursor + width <= EPC_BITS,
@@ -85,10 +94,17 @@ impl BitReader {
     /// Reads the next `width` bits as an unsigned integer.
     pub fn take(&mut self, width: u32) -> u64 {
         debug_assert!(width <= 64);
-        assert!(self.cursor + width <= EPC_BITS, "read past end of 96-bit word");
+        assert!(
+            self.cursor + width <= EPC_BITS,
+            "read past end of 96-bit word"
+        );
         self.cursor += width;
         let shifted = self.word >> (EPC_BITS - self.cursor);
-        let mask = if width == 64 { u64::MAX as u128 } else { (1u128 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << width) - 1
+        };
         (shifted & mask) as u64
     }
 }
@@ -103,7 +119,9 @@ pub fn from_hex(s: &str) -> Option<u128> {
     if s.len() != 24 {
         return None;
     }
-    u128::from_str_radix(s, 16).ok().filter(|w| w >> EPC_BITS == 0)
+    u128::from_str_radix(s, 16)
+        .ok()
+        .filter(|w| w >> EPC_BITS == 0)
 }
 
 #[cfg(test)]

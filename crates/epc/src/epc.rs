@@ -44,7 +44,10 @@ pub struct EpcParseError {
 
 impl EpcParseError {
     fn new(text: &str, reason: impl Into<String>) -> Self {
-        Self { text: text.to_owned(), reason: reason.into() }
+        Self {
+            text: text.to_owned(),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -219,7 +222,10 @@ mod tests {
         assert_eq!(sscc.class(), EpcClass::Sscc96);
         assert_eq!(grai.class(), EpcClass::Grai96);
         assert_eq!(gid.class(), EpcClass::Gid96);
-        assert_eq!(Epc::from_raw(0xFFu128 << 88).class(), EpcClass::Unknown(0xFF));
+        assert_eq!(
+            Epc::from_raw(0xFFu128 << 88).class(),
+            EpcClass::Unknown(0xFF)
+        );
     }
 
     #[test]

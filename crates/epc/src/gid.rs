@@ -50,14 +50,24 @@ impl From<FieldOverflow> for GidError {
 impl Gid96 {
     /// Builds a GID-96, validating field widths.
     pub fn new(manager: u64, class: u64, serial: u64) -> Result<Self, GidError> {
-        for (field, value, width) in
-            [("manager", manager, 28u32), ("class", class, 24), ("serial", serial, 36)]
-        {
+        for (field, value, width) in [
+            ("manager", manager, 28u32),
+            ("class", class, 24),
+            ("serial", serial, 36),
+        ] {
             if value >= (1u64 << width) {
-                return Err(GidError::Overflow(FieldOverflow { field, width, value }));
+                return Err(GidError::Overflow(FieldOverflow {
+                    field,
+                    width,
+                    value,
+                }));
             }
         }
-        Ok(Self { manager, class, serial })
+        Ok(Self {
+            manager,
+            class,
+            serial,
+        })
     }
 
     /// Encodes into the 96-bit binary form.
@@ -77,7 +87,11 @@ impl Gid96 {
         if header != HEADER {
             return Err(GidError::WrongHeader(header));
         }
-        Ok(Self { manager: r.take(28), class: r.take(24), serial: r.take(36) })
+        Ok(Self {
+            manager: r.take(28),
+            class: r.take(24),
+            serial: r.take(36),
+        })
     }
 
     /// Pure-identity URI body: `Manager.Class.Serial`.
@@ -100,10 +114,18 @@ impl Gid96 {
         };
         let parse = |field: &'static str, text: &str| {
             text.parse::<u64>().map_err(|_| {
-                GidError::Overflow(FieldOverflow { field, width: 0, value: 0 })
+                GidError::Overflow(FieldOverflow {
+                    field,
+                    width: 0,
+                    value: 0,
+                })
             })
         };
-        Self::new(parse("manager", m)?, parse("class", c)?, parse("serial", s)?)
+        Self::new(
+            parse("manager", m)?,
+            parse("class", c)?,
+            parse("serial", s)?,
+        )
     }
 }
 

@@ -96,7 +96,13 @@ impl Grai96 {
                 value: filter as u64,
             }));
         }
-        Ok(Self { filter, company_prefix, company_digits, asset_type, serial })
+        Ok(Self {
+            filter,
+            company_prefix,
+            company_digits,
+            asset_type,
+            serial,
+        })
     }
 
     fn row_for(company_digits: u32) -> Result<&'static PartitionRow, GraiError> {
@@ -110,9 +116,12 @@ impl Grai96 {
         let mut w = BitWriter::new();
         w.put("header", HEADER, 8).expect("constant fits");
         w.put("filter", self.filter as u64, 3).expect("validated");
-        w.put("partition", row.partition as u64, 3).expect("table value fits");
-        w.put("company_prefix", self.company_prefix, row.company_bits).expect("validated");
-        w.put("asset_type", self.asset_type, row.other_bits).expect("validated");
+        w.put("partition", row.partition as u64, 3)
+            .expect("table value fits");
+        w.put("company_prefix", self.company_prefix, row.company_bits)
+            .expect("validated");
+        w.put("asset_type", self.asset_type, row.other_bits)
+            .expect("validated");
         w.put("serial", self.serial, 38).expect("validated");
         w.finish()
     }
@@ -130,7 +139,13 @@ impl Grai96 {
         let company_prefix = r.take(row.company_bits);
         let asset_type = r.take(row.other_bits);
         let serial = r.take(38);
-        Self::new(filter, company_prefix, row.company_digits, asset_type, serial)
+        Self::new(
+            filter,
+            company_prefix,
+            row.company_digits,
+            asset_type,
+            serial,
+        )
     }
 
     /// Pure-identity URI body: `CompanyPrefix.AssetType.Serial`.
@@ -159,7 +174,9 @@ impl Grai96 {
             _ => return Err(GraiError::BadCompanyDigits(0)),
         };
         let company_digits = c.len() as u32;
-        let company = c.parse().map_err(|_| GraiError::BadCompanyDigits(company_digits))?;
+        let company = c
+            .parse()
+            .map_err(|_| GraiError::BadCompanyDigits(company_digits))?;
         let row = Self::row_for(company_digits)?;
         let asset_type = if row.other_digits == 0 && a.is_empty() {
             0
@@ -171,10 +188,15 @@ impl Grai96 {
                     value: 0,
                 }));
             }
-            a.parse().map_err(|_| GraiError::BadPartition(row.partition))?
+            a.parse()
+                .map_err(|_| GraiError::BadPartition(row.partition))?
         };
         let serial = s.parse().map_err(|_| {
-            GraiError::Overflow(FieldOverflow { field: "serial", width: 38, value: 0 })
+            GraiError::Overflow(FieldOverflow {
+                field: "serial",
+                width: 38,
+                value: 0,
+            })
         })?;
         Self::new(0, company, company_digits, asset_type, serial)
     }

@@ -24,35 +24,161 @@ pub struct PartitionRow {
 
 /// SGTIN-96 partition table (TDS 1.x Table: SGTIN).
 pub const SGTIN: [PartitionRow; 7] = [
-    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 4, other_digits: 1 },
-    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 7, other_digits: 2 },
-    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 10, other_digits: 3 },
-    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 14, other_digits: 4 },
-    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 17, other_digits: 5 },
-    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 20, other_digits: 6 },
-    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 24, other_digits: 7 },
+    PartitionRow {
+        partition: 0,
+        company_bits: 40,
+        company_digits: 12,
+        other_bits: 4,
+        other_digits: 1,
+    },
+    PartitionRow {
+        partition: 1,
+        company_bits: 37,
+        company_digits: 11,
+        other_bits: 7,
+        other_digits: 2,
+    },
+    PartitionRow {
+        partition: 2,
+        company_bits: 34,
+        company_digits: 10,
+        other_bits: 10,
+        other_digits: 3,
+    },
+    PartitionRow {
+        partition: 3,
+        company_bits: 30,
+        company_digits: 9,
+        other_bits: 14,
+        other_digits: 4,
+    },
+    PartitionRow {
+        partition: 4,
+        company_bits: 27,
+        company_digits: 8,
+        other_bits: 17,
+        other_digits: 5,
+    },
+    PartitionRow {
+        partition: 5,
+        company_bits: 24,
+        company_digits: 7,
+        other_bits: 20,
+        other_digits: 6,
+    },
+    PartitionRow {
+        partition: 6,
+        company_bits: 20,
+        company_digits: 6,
+        other_bits: 24,
+        other_digits: 7,
+    },
 ];
 
 /// SSCC-96 partition table (second field is the serial reference).
 pub const SSCC: [PartitionRow; 7] = [
-    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 18, other_digits: 5 },
-    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 21, other_digits: 6 },
-    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 24, other_digits: 7 },
-    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 28, other_digits: 8 },
-    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 31, other_digits: 9 },
-    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 34, other_digits: 10 },
-    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 38, other_digits: 11 },
+    PartitionRow {
+        partition: 0,
+        company_bits: 40,
+        company_digits: 12,
+        other_bits: 18,
+        other_digits: 5,
+    },
+    PartitionRow {
+        partition: 1,
+        company_bits: 37,
+        company_digits: 11,
+        other_bits: 21,
+        other_digits: 6,
+    },
+    PartitionRow {
+        partition: 2,
+        company_bits: 34,
+        company_digits: 10,
+        other_bits: 24,
+        other_digits: 7,
+    },
+    PartitionRow {
+        partition: 3,
+        company_bits: 30,
+        company_digits: 9,
+        other_bits: 28,
+        other_digits: 8,
+    },
+    PartitionRow {
+        partition: 4,
+        company_bits: 27,
+        company_digits: 8,
+        other_bits: 31,
+        other_digits: 9,
+    },
+    PartitionRow {
+        partition: 5,
+        company_bits: 24,
+        company_digits: 7,
+        other_bits: 34,
+        other_digits: 10,
+    },
+    PartitionRow {
+        partition: 6,
+        company_bits: 20,
+        company_digits: 6,
+        other_bits: 38,
+        other_digits: 11,
+    },
 ];
 
 /// GRAI-96 partition table (second field is the asset type).
 pub const GRAI: [PartitionRow; 7] = [
-    PartitionRow { partition: 0, company_bits: 40, company_digits: 12, other_bits: 4, other_digits: 0 },
-    PartitionRow { partition: 1, company_bits: 37, company_digits: 11, other_bits: 7, other_digits: 1 },
-    PartitionRow { partition: 2, company_bits: 34, company_digits: 10, other_bits: 10, other_digits: 2 },
-    PartitionRow { partition: 3, company_bits: 30, company_digits: 9, other_bits: 14, other_digits: 3 },
-    PartitionRow { partition: 4, company_bits: 27, company_digits: 8, other_bits: 17, other_digits: 4 },
-    PartitionRow { partition: 5, company_bits: 24, company_digits: 7, other_bits: 20, other_digits: 5 },
-    PartitionRow { partition: 6, company_bits: 20, company_digits: 6, other_bits: 24, other_digits: 6 },
+    PartitionRow {
+        partition: 0,
+        company_bits: 40,
+        company_digits: 12,
+        other_bits: 4,
+        other_digits: 0,
+    },
+    PartitionRow {
+        partition: 1,
+        company_bits: 37,
+        company_digits: 11,
+        other_bits: 7,
+        other_digits: 1,
+    },
+    PartitionRow {
+        partition: 2,
+        company_bits: 34,
+        company_digits: 10,
+        other_bits: 10,
+        other_digits: 2,
+    },
+    PartitionRow {
+        partition: 3,
+        company_bits: 30,
+        company_digits: 9,
+        other_bits: 14,
+        other_digits: 3,
+    },
+    PartitionRow {
+        partition: 4,
+        company_bits: 27,
+        company_digits: 8,
+        other_bits: 17,
+        other_digits: 4,
+    },
+    PartitionRow {
+        partition: 5,
+        company_bits: 24,
+        company_digits: 7,
+        other_bits: 20,
+        other_digits: 5,
+    },
+    PartitionRow {
+        partition: 6,
+        company_bits: 20,
+        company_digits: 6,
+        other_bits: 24,
+        other_digits: 6,
+    },
 ];
 
 /// Looks up a partition row by the stored 3-bit partition value.
@@ -82,18 +208,48 @@ mod tests {
     fn tables_are_bit_consistent() {
         // Every SGTIN row splits 44 bits between company and item reference.
         for row in &SGTIN {
-            assert_eq!(row.company_bits + row.other_bits, 44, "SGTIN p{}", row.partition);
-            assert_eq!(row.company_digits + row.other_digits, 13, "SGTIN p{}", row.partition);
+            assert_eq!(
+                row.company_bits + row.other_bits,
+                44,
+                "SGTIN p{}",
+                row.partition
+            );
+            assert_eq!(
+                row.company_digits + row.other_digits,
+                13,
+                "SGTIN p{}",
+                row.partition
+            );
         }
         // Every SSCC row splits 58 bits between company and serial reference.
         for row in &SSCC {
-            assert_eq!(row.company_bits + row.other_bits, 58, "SSCC p{}", row.partition);
-            assert_eq!(row.company_digits + row.other_digits, 17, "SSCC p{}", row.partition);
+            assert_eq!(
+                row.company_bits + row.other_bits,
+                58,
+                "SSCC p{}",
+                row.partition
+            );
+            assert_eq!(
+                row.company_digits + row.other_digits,
+                17,
+                "SSCC p{}",
+                row.partition
+            );
         }
         // Every GRAI row splits 44 bits between company and asset type.
         for row in &GRAI {
-            assert_eq!(row.company_bits + row.other_bits, 44, "GRAI p{}", row.partition);
-            assert_eq!(row.company_digits + row.other_digits, 12, "GRAI p{}", row.partition);
+            assert_eq!(
+                row.company_bits + row.other_bits,
+                44,
+                "GRAI p{}",
+                row.partition
+            );
+            assert_eq!(
+                row.company_digits + row.other_digits,
+                12,
+                "GRAI p{}",
+                row.partition
+            );
         }
     }
 

@@ -65,7 +65,12 @@ impl ReaderRegistry {
         let location: Arc<str> = Arc::from(location);
         self.by_name.insert(name.clone(), id);
         self.groups.entry(group.clone()).or_default().push(id);
-        self.defs.push(ReaderDef { id, name, group, location });
+        self.defs.push(ReaderDef {
+            id,
+            name,
+            group,
+            location,
+        });
         id
     }
 
@@ -134,7 +139,11 @@ mod tests {
 
         assert_eq!(reg.id_of("r1"), Some(r1));
         assert_eq!(reg.group_of(r1), Some("g1"));
-        assert_eq!(reg.group_of(r3), Some("r3"), "default group is the reader itself");
+        assert_eq!(
+            reg.group_of(r3),
+            Some("r3"),
+            "default group is the reader itself"
+        );
         assert_eq!(reg.members("g1"), &[r1, r2]);
         assert_eq!(reg.location_of(r2), Some("dock-b"));
         assert_eq!(reg.len(), 3);

@@ -86,7 +86,13 @@ impl Sgtin96 {
                 value: filter as u64,
             }));
         }
-        Ok(Self { filter, company_prefix, company_digits, item_reference, serial })
+        Ok(Self {
+            filter,
+            company_prefix,
+            company_digits,
+            item_reference,
+            serial,
+        })
     }
 
     fn row_for(company_digits: u32) -> Result<&'static PartitionRow, SgtinError> {
@@ -100,9 +106,12 @@ impl Sgtin96 {
         let mut w = BitWriter::new();
         w.put("header", HEADER, 8).expect("constant fits");
         w.put("filter", self.filter as u64, 3).expect("validated");
-        w.put("partition", row.partition as u64, 3).expect("table value fits");
-        w.put("company_prefix", self.company_prefix, row.company_bits).expect("validated");
-        w.put("item_reference", self.item_reference, row.other_bits).expect("validated");
+        w.put("partition", row.partition as u64, 3)
+            .expect("table value fits");
+        w.put("company_prefix", self.company_prefix, row.company_bits)
+            .expect("validated");
+        w.put("item_reference", self.item_reference, row.other_bits)
+            .expect("validated");
         w.put("serial", self.serial, 38).expect("validated");
         w.finish()
     }
@@ -120,7 +129,13 @@ impl Sgtin96 {
         let company_prefix = r.take(row.company_bits);
         let item_reference = r.take(row.other_bits);
         let serial = r.take(38);
-        Self::new(filter, company_prefix, row.company_digits, item_reference, serial)
+        Self::new(
+            filter,
+            company_prefix,
+            row.company_digits,
+            item_reference,
+            serial,
+        )
     }
 
     /// Pure-identity URI body: `CompanyPrefix.ItemReference.Serial`, with the
@@ -145,7 +160,9 @@ impl Sgtin96 {
             _ => return Err(SgtinError::BadCompanyDigits(0)),
         };
         let company_digits = c.len() as u32;
-        let company = c.parse().map_err(|_| SgtinError::BadCompanyDigits(company_digits))?;
+        let company = c
+            .parse()
+            .map_err(|_| SgtinError::BadCompanyDigits(company_digits))?;
         let row = Self::row_for(company_digits)?;
         if i.len() as u32 != row.other_digits {
             return Err(SgtinError::Overflow(FieldOverflow {
@@ -154,9 +171,15 @@ impl Sgtin96 {
                 value: 0,
             }));
         }
-        let item = i.parse().map_err(|_| SgtinError::BadPartition(row.partition))?;
+        let item = i
+            .parse()
+            .map_err(|_| SgtinError::BadPartition(row.partition))?;
         let serial = s.parse().map_err(|_| {
-            SgtinError::Overflow(FieldOverflow { field: "serial", width: 38, value: 0 })
+            SgtinError::Overflow(FieldOverflow {
+                field: "serial",
+                width: 38,
+                value: 0,
+            })
         })?;
         // URI carries no filter; default to 1 (point-of-sale item).
         Self::new(1, company, company_digits, item, serial)
@@ -165,7 +188,11 @@ impl Sgtin96 {
 
 fn check_decimal(field: &'static str, value: u64, digits: u32) -> Result<(), SgtinError> {
     if value > partition::max_decimal(digits) {
-        return Err(SgtinError::Overflow(FieldOverflow { field, width: digits, value }));
+        return Err(SgtinError::Overflow(FieldOverflow {
+            field,
+            width: digits,
+            value,
+        }));
     }
     Ok(())
 }
@@ -232,7 +259,10 @@ mod tests {
     #[test]
     fn decode_rejects_wrong_header() {
         let word = sample().encode() & !(0xFFu128 << 88) | (0x31u128 << 88);
-        assert!(matches!(Sgtin96::decode(word), Err(SgtinError::WrongHeader(0x31))));
+        assert!(matches!(
+            Sgtin96::decode(word),
+            Err(SgtinError::WrongHeader(0x31))
+        ));
     }
 
     #[test]
@@ -244,7 +274,10 @@ mod tests {
         w.put("p", 7, 3).unwrap();
         w.put("rest", 0, 44).unwrap();
         w.put("serial", 0, 38).unwrap();
-        assert!(matches!(Sgtin96::decode(w.finish()), Err(SgtinError::BadPartition(7))));
+        assert!(matches!(
+            Sgtin96::decode(w.finish()),
+            Err(SgtinError::BadPartition(7))
+        ));
     }
 
     #[test]

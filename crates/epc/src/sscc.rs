@@ -89,7 +89,12 @@ impl Sscc96 {
                 value: filter as u64,
             }));
         }
-        Ok(Self { filter, company_prefix, company_digits, serial_reference })
+        Ok(Self {
+            filter,
+            company_prefix,
+            company_digits,
+            serial_reference,
+        })
     }
 
     fn row_for(company_digits: u32) -> Result<&'static PartitionRow, SsccError> {
@@ -103,9 +108,12 @@ impl Sscc96 {
         let mut w = BitWriter::new();
         w.put("header", HEADER, 8).expect("constant fits");
         w.put("filter", self.filter as u64, 3).expect("validated");
-        w.put("partition", row.partition as u64, 3).expect("table value fits");
-        w.put("company_prefix", self.company_prefix, row.company_bits).expect("validated");
-        w.put("serial_reference", self.serial_reference, row.other_bits).expect("validated");
+        w.put("partition", row.partition as u64, 3)
+            .expect("table value fits");
+        w.put("company_prefix", self.company_prefix, row.company_bits)
+            .expect("validated");
+        w.put("serial_reference", self.serial_reference, row.other_bits)
+            .expect("validated");
         w.put("reserved", 0, 24).expect("zero fits");
         w.finish()
     }
@@ -145,7 +153,9 @@ impl Sscc96 {
     pub fn parse_uri_body(body: &str) -> Result<Self, SsccError> {
         let (c, s) = body.split_once('.').ok_or(SsccError::BadCompanyDigits(0))?;
         let company_digits = c.len() as u32;
-        let company = c.parse().map_err(|_| SsccError::BadCompanyDigits(company_digits))?;
+        let company = c
+            .parse()
+            .map_err(|_| SsccError::BadCompanyDigits(company_digits))?;
         let row = Self::row_for(company_digits)?;
         if s.len() as u32 != row.other_digits {
             return Err(SsccError::Overflow(FieldOverflow {
@@ -154,7 +164,9 @@ impl Sscc96 {
                 value: 0,
             }));
         }
-        let serial = s.parse().map_err(|_| SsccError::BadPartition(row.partition))?;
+        let serial = s
+            .parse()
+            .map_err(|_| SsccError::BadPartition(row.partition))?;
         Self::new(2, company, company_digits, serial)
     }
 }
@@ -189,7 +201,10 @@ mod tests {
     #[test]
     fn reserved_bits_checked() {
         let word = sample().encode() | 1;
-        assert!(matches!(Sscc96::decode(word), Err(SsccError::ReservedNonZero(1))));
+        assert!(matches!(
+            Sscc96::decode(word),
+            Err(SsccError::ReservedNonZero(1))
+        ));
     }
 
     #[test]
@@ -201,6 +216,9 @@ mod tests {
     #[test]
     fn rejects_wrong_header() {
         let word = (0x30u128) << 88;
-        assert!(matches!(Sscc96::decode(word), Err(SsccError::WrongHeader(0x30))));
+        assert!(matches!(
+            Sscc96::decode(word),
+            Err(SsccError::WrongHeader(0x30))
+        ));
     }
 }

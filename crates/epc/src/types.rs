@@ -86,14 +86,17 @@ impl ClassKey {
                 company: v.company_prefix,
                 item_reference: v.item_reference,
             }),
-            EpcClass::Sscc96 => epc.as_sscc().map(|v| ClassKey::Sscc { company: v.company_prefix }),
+            EpcClass::Sscc96 => epc.as_sscc().map(|v| ClassKey::Sscc {
+                company: v.company_prefix,
+            }),
             EpcClass::Grai96 => epc.as_grai().map(|v| ClassKey::Grai {
                 company: v.company_prefix,
                 asset_type: v.asset_type,
             }),
-            EpcClass::Gid96 => {
-                epc.as_gid().map(|v| ClassKey::Gid { manager: v.manager, class: v.class })
-            }
+            EpcClass::Gid96 => epc.as_gid().map(|v| ClassKey::Gid {
+                manager: v.manager,
+                class: v.class,
+            }),
             EpcClass::Unknown(_) => None,
         }
     }

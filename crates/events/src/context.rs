@@ -49,7 +49,10 @@ impl ParameterContext {
     /// Whether instances are consumed on use (at most one occurrence per
     /// instance). True only for chronicle and cumulative.
     pub fn consumes_instances(self) -> bool {
-        matches!(self, ParameterContext::Chronicle | ParameterContext::Cumulative)
+        matches!(
+            self,
+            ParameterContext::Chronicle | ParameterContext::Cumulative
+        )
     }
 }
 
@@ -72,8 +75,10 @@ mod tests {
 
     #[test]
     fn all_lists_every_context_once() {
-        let mut names: Vec<String> =
-            ParameterContext::ALL.iter().map(|c| c.to_string()).collect();
+        let mut names: Vec<String> = ParameterContext::ALL
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 5);

@@ -96,7 +96,12 @@ pub struct PrimitivePattern {
 impl PrimitivePattern {
     /// A pattern accepting every observation.
     pub fn any() -> Self {
-        Self { reader: ReaderSel::Any, object: ObjectSel::Any, reader_var: None, object_var: None }
+        Self {
+            reader: ReaderSel::Any,
+            object: ObjectSel::Any,
+            reader_var: None,
+            object_var: None,
+        }
     }
 
     /// Whether an observation satisfies the reader and object predicates.
@@ -260,7 +265,12 @@ macro_rules! forward_combinators {
         }
 
         /// `TSEQ(self; other, min_dist, max_dist)`.
-        pub fn tseq(self, other: impl Into<EventExpr>, min_dist: Span, max_dist: Span) -> EventExpr {
+        pub fn tseq(
+            self,
+            other: impl Into<EventExpr>,
+            min_dist: Span,
+            max_dist: Span,
+        ) -> EventExpr {
             assert!(min_dist <= max_dist, "TSEQ bounds reversed");
             EventExpr::TSeq {
                 first: Box::new(self.into()),
@@ -278,12 +288,19 @@ macro_rules! forward_combinators {
         /// `TSEQ+(self, min_gap, max_gap)`.
         pub fn tseq_plus(self, min_gap: Span, max_gap: Span) -> EventExpr {
             assert!(min_gap <= max_gap, "TSEQ+ bounds reversed");
-            EventExpr::TSeqPlus { inner: Box::new(self.into()), min_gap, max_gap }
+            EventExpr::TSeqPlus {
+                inner: Box::new(self.into()),
+                min_gap,
+                max_gap,
+            }
         }
 
         /// `WITHIN(self, window)`.
         pub fn within(self, window: Span) -> EventExpr {
-            EventExpr::Within { inner: Box::new(self.into()), window }
+            EventExpr::Within {
+                inner: Box::new(self.into()),
+                window,
+            }
         }
     };
 }
@@ -368,7 +385,9 @@ impl EventExpr {
             }
             EventExpr::TSeq { first, second, .. } => 1 + first.depth().max(second.depth()),
             EventExpr::Not(x) | EventExpr::SeqPlus(x) => 1 + x.depth(),
-            EventExpr::TSeqPlus { inner, .. } | EventExpr::Within { inner, .. } => 1 + inner.depth(),
+            EventExpr::TSeqPlus { inner, .. } | EventExpr::Within { inner, .. } => {
+                1 + inner.depth()
+            }
         }
     }
 
@@ -397,11 +416,20 @@ impl fmt::Display for EventExpr {
             EventExpr::And(a, b) => write!(f, "({a} ∧ {b})"),
             EventExpr::Not(x) => write!(f, "¬{x}"),
             EventExpr::Seq(a, b) => write!(f, "({a} ; {b})"),
-            EventExpr::TSeq { first, second, min_dist, max_dist } => {
+            EventExpr::TSeq {
+                first,
+                second,
+                min_dist,
+                max_dist,
+            } => {
                 write!(f, "TSEQ({first}; {second}, {min_dist}, {max_dist})")
             }
             EventExpr::SeqPlus(x) => write!(f, "SEQ+({x})"),
-            EventExpr::TSeqPlus { inner, min_gap, max_gap } => {
+            EventExpr::TSeqPlus {
+                inner,
+                min_gap,
+                max_gap,
+            } => {
                 write!(f, "TSEQ+({inner}, {min_gap}, {max_gap})")
             }
             EventExpr::Within { inner, window } => write!(f, "WITHIN({inner}, {window})"),
@@ -412,16 +440,17 @@ impl fmt::Display for EventExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::Timestamp;
     use rfid_epc::Gid96;
     use rfid_epc::ReaderId;
-    use crate::time::Timestamp;
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         cat.readers.register("r1", "g1", "dock-a");
         cat.readers.register("r2", "g1", "dock-b");
         cat.readers.register("r4", "exit", "exit");
-        cat.types.map_class_of(Gid96::new(9, 1, 0).unwrap().into(), "laptop");
+        cat.types
+            .map_class_of(Gid96::new(9, 1, 0).unwrap().into(), "laptop");
         cat
     }
 
@@ -453,9 +482,18 @@ mod tests {
             EventExpr::Primitive(p) => p,
             _ => unreachable!(),
         };
-        assert!(p.matches(&Observation::new(ReaderId(0), laptop(1), Timestamp::ZERO), &cat));
-        assert!(p.matches(&Observation::new(ReaderId(1), laptop(1), Timestamp::ZERO), &cat));
-        assert!(!p.matches(&Observation::new(ReaderId(2), laptop(1), Timestamp::ZERO), &cat));
+        assert!(p.matches(
+            &Observation::new(ReaderId(0), laptop(1), Timestamp::ZERO),
+            &cat
+        ));
+        assert!(p.matches(
+            &Observation::new(ReaderId(1), laptop(1), Timestamp::ZERO),
+            &cat
+        ));
+        assert!(!p.matches(
+            &Observation::new(ReaderId(2), laptop(1), Timestamp::ZERO),
+            &cat
+        ));
     }
 
     #[test]
@@ -465,8 +503,14 @@ mod tests {
             EventExpr::Primitive(p) => p,
             _ => unreachable!(),
         };
-        assert!(p.matches(&Observation::new(ReaderId(0), laptop(7), Timestamp::ZERO), &cat));
-        assert!(!p.matches(&Observation::new(ReaderId(0), pallet(7), Timestamp::ZERO), &cat));
+        assert!(p.matches(
+            &Observation::new(ReaderId(0), laptop(7), Timestamp::ZERO),
+            &cat
+        ));
+        assert!(!p.matches(
+            &Observation::new(ReaderId(0), pallet(7), Timestamp::ZERO),
+            &cat
+        ));
     }
 
     #[test]
@@ -476,8 +520,14 @@ mod tests {
             EventExpr::Primitive(p) => p,
             _ => unreachable!(),
         };
-        assert!(p.matches(&Observation::new(ReaderId(0), laptop(42), Timestamp::ZERO), &cat));
-        assert!(!p.matches(&Observation::new(ReaderId(0), laptop(43), Timestamp::ZERO), &cat));
+        assert!(p.matches(
+            &Observation::new(ReaderId(0), laptop(42), Timestamp::ZERO),
+            &cat
+        ));
+        assert!(!p.matches(
+            &Observation::new(ReaderId(0), laptop(43), Timestamp::ZERO),
+            &cat
+        ));
     }
 
     #[test]
@@ -559,7 +609,10 @@ mod tests {
 
     #[test]
     fn variables_bind() {
-        let e = EventExpr::observation().bind_reader("r").bind_object("o").build();
+        let e = EventExpr::observation()
+            .bind_reader("r")
+            .bind_object("o")
+            .build();
         match e {
             EventExpr::Primitive(p) => {
                 assert_eq!(p.reader_var.unwrap().name(), "r");

@@ -47,7 +47,11 @@ pub struct Instance {
 impl Instance {
     /// Wraps a primitive observation: instantaneous, `t_begin = t_end = t`.
     pub fn observation(obs: Observation) -> Self {
-        Self { t_begin: obs.at, t_end: obs.at, kind: InstanceKind::Observation(obs) }
+        Self {
+            t_begin: obs.at,
+            t_end: obs.at,
+            kind: InstanceKind::Observation(obs),
+        }
     }
 
     /// Builds a composite occurrence over `children`, spanning from the
@@ -57,16 +61,27 @@ impl Instance {
     /// Panics if `children` is empty — a composite occurrence must have
     /// constituents; an empty detection is an engine bug.
     pub fn composite(op: &'static str, children: Vec<Arc<Instance>>) -> Self {
-        assert!(!children.is_empty(), "composite instance with no constituents");
+        assert!(
+            !children.is_empty(),
+            "composite instance with no constituents"
+        );
         let t_begin = children.iter().map(|c| c.t_begin).min().expect("non-empty");
         let t_end = children.iter().map(|c| c.t_end).max().expect("non-empty");
-        Self { t_begin, t_end, kind: InstanceKind::Composite { op, children } }
+        Self {
+            t_begin,
+            t_end,
+            kind: InstanceKind::Composite { op, children },
+        }
     }
 
     /// Witnesses non-occurrence over `[from, to]`.
     pub fn absence(from: Timestamp, to: Timestamp) -> Self {
         assert!(from <= to, "absence window reversed");
-        Self { t_begin: from, t_end: to, kind: InstanceKind::Absence }
+        Self {
+            t_begin: from,
+            t_end: to,
+            kind: InstanceKind::Absence,
+        }
     }
 
     /// `t_begin(e)` — the starting time.
@@ -153,7 +168,13 @@ impl fmt::Display for Instance {
         match &self.kind {
             InstanceKind::Observation(obs) => write!(f, "{obs}"),
             InstanceKind::Composite { op, children } => {
-                write!(f, "{op}[{}..{}]({} constituents)", self.t_begin, self.t_end, children.len())
+                write!(
+                    f,
+                    "{op}[{}..{}]({} constituents)",
+                    self.t_begin,
+                    self.t_end,
+                    children.len()
+                )
             }
             InstanceKind::Absence => write!(f, "absence[{}..{}]", self.t_begin, self.t_end),
         }
@@ -185,7 +206,11 @@ mod tests {
     fn composite_spans_children() {
         let e = Instance::composite(
             "SEQ",
-            vec![Arc::new(obs_at(1000)), Arc::new(obs_at(3000)), Arc::new(obs_at(2000))],
+            vec![
+                Arc::new(obs_at(1000)),
+                Arc::new(obs_at(3000)),
+                Arc::new(obs_at(2000)),
+            ],
         );
         assert_eq!(e.t_begin(), Timestamp::from_secs(1));
         assert_eq!(e.t_end(), Timestamp::from_secs(3));
@@ -197,7 +222,11 @@ mod tests {
     fn nested_observation_traversal_preserves_order() {
         let inner = Instance::composite("SEQ+", vec![Arc::new(obs_at(100)), Arc::new(obs_at(200))]);
         let outer = Instance::composite("SEQ", vec![Arc::new(inner), Arc::new(obs_at(900))]);
-        let times: Vec<u64> = outer.observations().iter().map(|o| o.at.as_millis()).collect();
+        let times: Vec<u64> = outer
+            .observations()
+            .iter()
+            .map(|o| o.at.as_millis())
+            .collect();
         assert_eq!(times, vec![100, 200, 900]);
     }
 

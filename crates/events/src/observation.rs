@@ -30,7 +30,11 @@ impl Observation {
 
 impl std::fmt::Display for Observation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "observation({}, {}, {})", self.reader, self.object, self.at)
+        write!(
+            f,
+            "observation({}, {}, {})",
+            self.reader, self.object, self.at
+        )
     }
 }
 

@@ -26,7 +26,10 @@ use crate::time::{Span, Timestamp};
 pub fn merge_sorted(feeds: Vec<Vec<Observation>>) -> Vec<Observation> {
     let mut heap: BinaryHeap<Reverse<(Observation, usize, usize)>> = BinaryHeap::new();
     for (feed_idx, feed) in feeds.iter().enumerate() {
-        debug_assert!(feed.windows(2).all(|w| w[0] <= w[1]), "feed {feed_idx} unsorted");
+        debug_assert!(
+            feed.windows(2).all(|w| w[0] <= w[1]),
+            "feed {feed_idx} unsorted"
+        );
         if let Some(&first) = feed.first() {
             heap.push(Reverse((first, feed_idx, 0)));
         }
@@ -109,8 +112,7 @@ impl Reorderer {
             out.push(obs);
         }
         if let Some(&last) = out.last() {
-            self.released_through =
-                Some(self.released_through.map_or(last.at, |t| t.max(last.at)));
+            self.released_through = Some(self.released_through.map_or(last.at, |t| t.max(last.at)));
         }
         out
     }

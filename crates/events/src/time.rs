@@ -177,7 +177,11 @@ pub struct SpanParseError(String);
 
 impl fmt::Display for SpanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot parse span `{}` (expected e.g. `5sec`, `0.1 sec`, `10 min`)", self.0)
+        write!(
+            f,
+            "cannot parse span `{}` (expected e.g. `5sec`, `0.1 sec`, `10 min`)",
+            self.0
+        )
     }
 }
 
@@ -223,7 +227,10 @@ mod tests {
         assert_eq!(t + Span::from_secs(5), Timestamp::from_secs(15));
         assert_eq!(Timestamp::from_secs(15) - t, Span::from_secs(5));
         assert_eq!(t.saturating_sub(Span::from_secs(20)), Timestamp::ZERO);
-        assert_eq!(Timestamp::MAX.saturating_add(Span::from_secs(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Span::from_secs(1)),
+            Timestamp::MAX
+        );
         assert_eq!(t.signed_delta(Timestamp::from_secs(12)), -2000);
     }
 
@@ -262,7 +269,10 @@ mod tests {
 
     #[test]
     fn span_min() {
-        assert_eq!(Span::from_secs(5).min(Span::from_secs(3)), Span::from_secs(3));
+        assert_eq!(
+            Span::from_secs(5).min(Span::from_secs(3)),
+            Span::from_secs(3)
+        );
         assert_eq!(Span::MAX.min(Span::from_secs(3)), Span::from_secs(3));
     }
 

@@ -72,7 +72,11 @@ pub fn execute(
             }
             Ok(())
         }
-        ActionAst::Update { table, sets, wheres } => {
+        ActionAst::Update {
+            table,
+            sets,
+            wheres,
+        } => {
             let assignments = sets
                 .iter()
                 .map(|(col, v)| Ok((col.clone(), eval(v, bindings, None, inst, catalog)?)))
@@ -183,7 +187,9 @@ fn var_reader_name(
     bindings: &Bindings,
     row: Option<&HashMap<String, Value>>,
 ) -> Result<String, ActionError> {
-    let value = bindings.get(v, row).ok_or_else(|| ActionError::UnboundVar(v.to_owned()))?;
+    let value = bindings
+        .get(v, row)
+        .ok_or_else(|| ActionError::UnboundVar(v.to_owned()))?;
     value
         .as_str()
         .map(str::to_owned)

@@ -63,7 +63,13 @@ impl std::error::Error for BindError {}
 /// Binds the variables of `ast` against the detected `inst`.
 pub fn bind(ast: &EventAst, inst: &Instance, catalog: &Catalog) -> Result<Bindings, BindError> {
     let mut out = Bindings::default();
-    bind_into(ast, inst, catalog, &mut out.scalar, &mut Some(&mut out.bulk))?;
+    bind_into(
+        ast,
+        inst,
+        catalog,
+        &mut out.scalar,
+        &mut Some(&mut out.bulk),
+    )?;
     Ok(out)
 }
 
@@ -78,7 +84,12 @@ fn bind_into(
 ) -> Result<(), BindError> {
     match ast {
         EventAst::Alias(name) => Err(BindError(format!("unresolved alias `{name}`"))),
-        EventAst::Observation { reader, object, time, .. } => {
+        EventAst::Observation {
+            reader,
+            object,
+            time,
+            ..
+        } => {
             let InstanceKind::Observation(obs) = inst.kind() else {
                 return Err(BindError(format!(
                     "pattern expected an observation, instance is {inst}"
@@ -132,7 +143,9 @@ fn bind_into(
         }
         EventAst::SeqPlus(inner) | EventAst::TSeqPlus { inner, .. } => {
             let Some(bulk) = bulk.as_deref_mut() else {
-                return Err(BindError("nested aperiodic sequences are not supported".into()));
+                return Err(BindError(
+                    "nested aperiodic sequences are not supported".into(),
+                ));
             };
             let InstanceKind::Composite { children, .. } = inst.kind() else {
                 return Err(BindError(format!(
@@ -158,7 +171,9 @@ fn bind_binary(
     bulk: &mut Option<&mut Vec<HashMap<String, Value>>>,
 ) -> Result<(), BindError> {
     let InstanceKind::Composite { children, .. } = inst.kind() else {
-        return Err(BindError(format!("binary pattern expected a composite, instance is {inst}")));
+        return Err(BindError(format!(
+            "binary pattern expected a composite, instance is {inst}"
+        )));
     };
     if children.len() != 2 {
         return Err(BindError(format!(
@@ -173,7 +188,9 @@ fn bind_binary(
 fn sole_child<'a>(inst: &'a Instance, op: &str) -> Result<&'a Instance, BindError> {
     match inst.kind() {
         InstanceKind::Composite { children, .. } if children.len() == 1 => Ok(&children[0]),
-        _ => Err(BindError(format!("{op} expected a single-child composite, got {inst}"))),
+        _ => Err(BindError(format!(
+            "{op} expected a single-child composite, got {inst}"
+        ))),
     }
 }
 
@@ -233,27 +250,38 @@ mod tests {
         assert_eq!(b.scalar["o2"], Value::Epc(epc(100)));
         assert_eq!(b.bulk.len(), 3);
         let items: Vec<&Value> = b.bulk.iter().map(|r| &r["o1"]).collect();
-        assert_eq!(items, vec![&Value::Epc(epc(1)), &Value::Epc(epc(2)), &Value::Epc(epc(3))]);
+        assert_eq!(
+            items,
+            vec![
+                &Value::Epc(epc(1)),
+                &Value::Epc(epc(2)),
+                &Value::Epc(epc(3))
+            ]
+        );
         // get() falls back to the first bulk row.
         assert_eq!(b.get("o1", None), Some(&Value::Epc(epc(1))));
     }
 
     #[test]
     fn negation_binds_nothing() {
-        let ast =
-            parse_event("NOT observation(r, o, t1); observation(r, o, t2)").unwrap();
+        let ast = parse_event("NOT observation(r, o, t1); observation(r, o, t2)").unwrap();
         let absence = Arc::new(Instance::absence(Timestamp::ZERO, Timestamp::from_secs(1)));
         let inst = Instance::composite("SEQ", vec![absence, obs_inst(0, 7, 2)]);
         let b = bind(&ast, &inst, &catalog()).unwrap();
-        assert_eq!(b.scalar["o"], Value::Epc(epc(7)), "bound from the positive side");
+        assert_eq!(
+            b.scalar["o"],
+            Value::Epc(epc(7)),
+            "bound from the positive side"
+        );
         assert!(!b.scalar.contains_key("t1"));
     }
 
     #[test]
     fn or_binds_matching_branch() {
-        let ast =
-            parse_event("observation('r1', a, t) OR SEQ(observation('r1', b, t1); observation('r2', c, t2))")
-                .unwrap();
+        let ast = parse_event(
+            "observation('r1', a, t) OR SEQ(observation('r1', b, t1); observation('r2', c, t2))",
+        )
+        .unwrap();
         // Right-branch instance: the OR wraps a SEQ composite.
         let seq = Instance::composite("SEQ", vec![obs_inst(0, 1, 1), obs_inst(1, 2, 2)]);
         let inst = Instance::composite("OR", vec![Arc::new(seq)]);

@@ -39,10 +39,15 @@ impl fmt::Display for CompileError {
             Self::UnknownAlias(n) => write!(f, "unknown event alias `{n}`"),
             Self::CyclicAlias(n) => write!(f, "cyclic event alias `{n}`"),
             Self::PredVarMismatch { var } => {
-                write!(f, "predicate names variable `{var}` the pattern does not bind")
+                write!(
+                    f,
+                    "predicate names variable `{var}` the pattern does not bind"
+                )
             }
             Self::BadEpc(s) => write!(f, "`{s}` is not a valid EPC"),
-            Self::TimeMustBeVar => f.write_str("the time position of observation() must be a variable"),
+            Self::TimeMustBeVar => {
+                f.write_str("the time position of observation() must be a variable")
+            }
         }
     }
 }
@@ -68,8 +73,9 @@ fn resolve_inner(
             if stack.iter().any(|n| n == name) {
                 return Err(CompileError::CyclicAlias(name.clone()));
             }
-            let body =
-                defines.get(name).ok_or_else(|| CompileError::UnknownAlias(name.clone()))?;
+            let body = defines
+                .get(name)
+                .ok_or_else(|| CompileError::UnknownAlias(name.clone()))?;
             stack.push(name.clone());
             let resolved = resolve_inner(body, defines, stack)?;
             stack.pop();
@@ -89,14 +95,23 @@ fn resolve_inner(
             Box::new(resolve_inner(a, defines, stack)?),
             Box::new(resolve_inner(b, defines, stack)?),
         ),
-        EventAst::TSeq { first, second, min_dist, max_dist } => EventAst::TSeq {
+        EventAst::TSeq {
+            first,
+            second,
+            min_dist,
+            max_dist,
+        } => EventAst::TSeq {
             first: Box::new(resolve_inner(first, defines, stack)?),
             second: Box::new(resolve_inner(second, defines, stack)?),
             min_dist: *min_dist,
             max_dist: *max_dist,
         },
         EventAst::SeqPlus(x) => EventAst::SeqPlus(Box::new(resolve_inner(x, defines, stack)?)),
-        EventAst::TSeqPlus { inner, min_gap, max_gap } => EventAst::TSeqPlus {
+        EventAst::TSeqPlus {
+            inner,
+            min_gap,
+            max_gap,
+        } => EventAst::TSeqPlus {
             inner: Box::new(resolve_inner(inner, defines, stack)?),
             min_gap: *min_gap,
             max_gap: *max_gap,
@@ -123,7 +138,12 @@ pub fn build_defines(defines: &[Define]) -> Result<HashMap<String, EventAst>, Co
 pub fn compile_event(ast: &EventAst) -> Result<EventExpr, CompileError> {
     Ok(match ast {
         EventAst::Alias(name) => return Err(CompileError::UnknownAlias(name.clone())),
-        EventAst::Observation { reader, object, time, preds } => {
+        EventAst::Observation {
+            reader,
+            object,
+            time,
+            preds,
+        } => {
             if matches!(time, Term::Literal(_)) {
                 return Err(CompileError::TimeMustBeVar);
             }
@@ -139,21 +159,31 @@ pub fn compile_event(ast: &EventAst) -> Result<EventExpr, CompileError> {
         EventAst::Seq(a, b) => {
             EventExpr::Seq(Box::new(compile_event(a)?), Box::new(compile_event(b)?))
         }
-        EventAst::TSeq { first, second, min_dist, max_dist } => EventExpr::TSeq {
+        EventAst::TSeq {
+            first,
+            second,
+            min_dist,
+            max_dist,
+        } => EventExpr::TSeq {
             first: Box::new(compile_event(first)?),
             second: Box::new(compile_event(second)?),
             min_dist: *min_dist,
             max_dist: *max_dist,
         },
         EventAst::SeqPlus(x) => EventExpr::SeqPlus(Box::new(compile_event(x)?)),
-        EventAst::TSeqPlus { inner, min_gap, max_gap } => EventExpr::TSeqPlus {
+        EventAst::TSeqPlus {
+            inner,
+            min_gap,
+            max_gap,
+        } => EventExpr::TSeqPlus {
             inner: Box::new(compile_event(inner)?),
             min_gap: *min_gap,
             max_gap: *max_gap,
         },
-        EventAst::Within { inner, window } => {
-            EventExpr::Within { inner: Box::new(compile_event(inner)?), window: *window }
-        }
+        EventAst::Within { inner, window } => EventExpr::Within {
+            inner: Box::new(compile_event(inner)?),
+            window: *window,
+        },
     })
 }
 
@@ -235,7 +265,9 @@ mod tests {
     fn group_predicate_selects_group() {
         let ast = parse_event("observation(r, o, t), group(r) = 'g1'").unwrap();
         let expr = compile_event(&ast).unwrap();
-        let rfid_events::EventExpr::Primitive(p) = expr else { panic!() };
+        let rfid_events::EventExpr::Primitive(p) = expr else {
+            panic!()
+        };
         assert_eq!(p.reader, ReaderSel::Group(std::sync::Arc::from("g1")));
         assert_eq!(p.reader_var.unwrap().name(), "r");
     }
@@ -284,8 +316,7 @@ mod tests {
         assert!(compile_event(&resolved).is_ok());
 
         // Self-reference: A defined in terms of A fails at build time.
-        let bad = parse_script("DEFINE A = SEQ+(A) CREATE RULE x, y ON A IF true DO f()")
-            .unwrap();
+        let bad = parse_script("DEFINE A = SEQ+(A) CREATE RULE x, y ON A IF true DO f()").unwrap();
         assert!(matches!(
             build_defines(&bad.defines),
             Err(CompileError::UnknownAlias(_) | CompileError::CyclicAlias(_))

@@ -24,12 +24,10 @@ pub fn eval_cond(
         CondAst::True => true,
         CondAst::False => false,
         CondAst::And(a, b) => {
-            eval_cond(a, bindings, inst, catalog, db)
-                && eval_cond(b, bindings, inst, catalog, db)
+            eval_cond(a, bindings, inst, catalog, db) && eval_cond(b, bindings, inst, catalog, db)
         }
         CondAst::Or(a, b) => {
-            eval_cond(a, bindings, inst, catalog, db)
-                || eval_cond(b, bindings, inst, catalog, db)
+            eval_cond(a, bindings, inst, catalog, db) || eval_cond(b, bindings, inst, catalog, db)
         }
         CondAst::Not(x) => !eval_cond(x, bindings, inst, catalog, db),
         CondAst::Compare { lhs, op, rhs } => {
@@ -44,8 +42,7 @@ pub fn eval_cond(
         CondAst::Exists { table, wheres } => {
             // SQL-style unknown-as-false: a missing table or an unbound
             // variable makes the predicate false, never an error.
-            let Ok(filter) = crate::actions::build_filter(wheres, bindings, inst, catalog)
-            else {
+            let Ok(filter) = crate::actions::build_filter(wheres, bindings, inst, catalog) else {
                 return false;
             };
             db.table(table)

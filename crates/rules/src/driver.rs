@@ -57,13 +57,17 @@ impl StreamHandle {
     /// Panics if the runtime thread has died (a poisoned pipeline should
     /// fail loudly, not drop data silently).
     pub fn send(&self, obs: Observation) {
-        self.tx.send(Command::Obs(obs)).expect("runtime thread is alive");
+        self.tx
+            .send(Command::Obs(obs))
+            .expect("runtime thread is alive");
     }
 
     /// Advances the runtime clock without an observation, resolving due
     /// pseudo events (heartbeat for quiet streams).
     pub fn advance_to(&self, now: Timestamp) {
-        self.tx.send(Command::AdvanceTo(now)).expect("runtime thread is alive");
+        self.tx
+            .send(Command::AdvanceTo(now))
+            .expect("runtime thread is alive");
     }
 
     /// Runs a closure against the live runtime, after every observation
@@ -108,7 +112,8 @@ mod tests {
         catalog.types.map_class_of(epc(10, 0), "laptop");
         catalog.types.map_class_of(epc(20, 0), "superuser");
         let mut rt = RuleRuntime::new(catalog);
-        rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+        rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+            .unwrap();
         rt
     }
 
@@ -130,7 +135,7 @@ mod tests {
         let r4 = rt.engine().catalog().reader("r4").unwrap();
         let handle = rt.spawn(8);
         handle.send(Observation::new(r4, epc(10, 1), Timestamp::from_secs(0)));
-        let events = handle.with_runtime(|rt| rt.engine().stats().events);
+        let events = handle.with_runtime(|rt| rt.stats().events);
         assert_eq!(events, 1, "query ordered after the send");
         handle.stop();
     }

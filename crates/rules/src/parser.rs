@@ -10,8 +10,8 @@ use std::fmt;
 use rfid_events::Span;
 
 use crate::ast::{
-    ActionAst, CompareOp, CondAst, CondTerm, Define, EventAst, PatternPred, RuleDecl, Script,
-    Term, ValueExpr, WhereCond,
+    ActionAst, CompareOp, CondAst, CondTerm, Define, EventAst, PatternPred, RuleDecl, Script, Term,
+    ValueExpr, WhereCond,
 };
 use crate::token::{lex, LexError, Token};
 
@@ -26,7 +26,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>, near: Option<&Token>) -> Self {
-        Self { message: message.into(), near: near.map(|t| t.to_string()) }
+        Self {
+            message: message.into(),
+            near: near.map(|t| t.to_string()),
+        }
     }
 }
 
@@ -43,7 +46,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(value: LexError) -> Self {
-        Self { message: value.to_string(), near: None }
+        Self {
+            message: value.to_string(),
+            near: None,
+        }
     }
 }
 
@@ -174,7 +180,10 @@ impl Parser {
         match self.next() {
             Some(Token::Duration(d)) => Ok(d),
             Some(Token::Int(0)) => Ok(Span::ZERO),
-            other => Err(ParseError::new("expected duration (e.g. `5 sec`)", other.as_ref())),
+            other => Err(ParseError::new(
+                "expected duration (e.g. `5 sec`)",
+                other.as_ref(),
+            )),
         }
     }
 
@@ -207,7 +216,13 @@ impl Parser {
             }
             actions.push(self.parse_action()?);
         }
-        Ok(RuleDecl { id, name, event, condition, actions })
+        Ok(RuleDecl {
+            id,
+            name,
+            event,
+            condition,
+            actions,
+        })
     }
 
     // -- events -------------------------------------------------------------
@@ -265,7 +280,10 @@ impl Parser {
             self.expect(&Token::Comma)?;
             let window = self.expect_duration()?;
             self.expect(&Token::RParen)?;
-            return Ok(EventAst::Within { inner: Box::new(inner), window });
+            return Ok(EventAst::Within {
+                inner: Box::new(inner),
+                window,
+            });
         }
         if self.peek_kw("TSEQ") {
             self.pos += 1;
@@ -277,7 +295,11 @@ impl Parser {
                 self.expect(&Token::Comma)?;
                 let max_gap = self.expect_duration()?;
                 self.expect(&Token::RParen)?;
-                return Ok(EventAst::TSeqPlus { inner: Box::new(inner), min_gap, max_gap });
+                return Ok(EventAst::TSeqPlus {
+                    inner: Box::new(inner),
+                    min_gap,
+                    max_gap,
+                });
             }
             self.expect(&Token::LParen)?;
             let first = self.parse_event(false)?;
@@ -334,11 +356,19 @@ impl Parser {
             let time = self.parse_term()?;
             self.expect(&Token::RParen)?;
             let preds = self.parse_pattern_preds()?;
-            return Ok(EventAst::Observation { reader, object, time, preds });
+            return Ok(EventAst::Observation {
+                reader,
+                object,
+                time,
+                preds,
+            });
         }
         match self.next() {
             Some(Token::Ident(name)) => Ok(EventAst::Alias(name)),
-            other => Err(ParseError::new("expected an event expression", other.as_ref())),
+            other => Err(ParseError::new(
+                "expected an event expression",
+                other.as_ref(),
+            )),
         }
     }
 
@@ -346,7 +376,10 @@ impl Parser {
         match self.next() {
             Some(Token::Str(s)) => Ok(Term::Literal(s)),
             Some(Token::Ident(s)) => Ok(Term::Var(s)),
-            other => Err(ParseError::new("expected a literal or variable", other.as_ref())),
+            other => Err(ParseError::new(
+                "expected a literal or variable",
+                other.as_ref(),
+            )),
         }
     }
 
@@ -507,7 +540,11 @@ impl Parser {
                 }
             }
             let wheres = self.parse_where_clause()?;
-            return Ok(ActionAst::Update { table, sets, wheres });
+            return Ok(ActionAst::Update {
+                table,
+                sets,
+                wheres,
+            });
         }
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
@@ -518,16 +555,15 @@ impl Parser {
         // Procedure call.
         let name = self.expect_ident()?;
         let mut args = Vec::new();
-        if self.eat(&Token::LParen)
-            && !self.eat(&Token::RParen) {
-                loop {
-                    args.push(self.parse_value_expr()?);
-                    if self.eat(&Token::RParen) {
-                        break;
-                    }
-                    self.expect(&Token::Comma)?;
+        if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.parse_value_expr()?);
+                if self.eat(&Token::RParen) {
+                    break;
                 }
+                self.expect(&Token::Comma)?;
             }
+        }
         Ok(ActionAst::Call { name, args })
     }
 
@@ -597,7 +633,10 @@ impl Parser {
                     Ok(ValueExpr::Var(name))
                 }
             }
-            other => Err(ParseError::new("expected a value expression", other.as_ref())),
+            other => Err(ParseError::new(
+                "expected a value expression",
+                other.as_ref(),
+            )),
         }
     }
 }
@@ -638,10 +677,16 @@ mod tests {
         )
         .unwrap();
         let rule = &script.rules[0];
-        let EventAst::Within { inner, .. } = &rule.event else { panic!() };
-        let EventAst::Seq(first, _) = &**inner else { panic!("expected SEQ") };
+        let EventAst::Within { inner, .. } = &rule.event else {
+            panic!()
+        };
+        let EventAst::Seq(first, _) = &**inner else {
+            panic!("expected SEQ")
+        };
         assert!(matches!(**first, EventAst::Not(_)));
-        let ActionAst::Insert { table, values } = &rule.actions[0] else { panic!() };
+        let ActionAst::Insert { table, values } = &rule.actions[0] else {
+            panic!()
+        };
         assert_eq!(table, "OBSERVATION");
         assert_eq!(values.len(), 3);
     }
@@ -658,11 +703,15 @@ mod tests {
         .unwrap();
         let rule = &script.rules[0];
         assert_eq!(rule.actions.len(), 2);
-        let ActionAst::Update { sets, wheres, .. } = &rule.actions[0] else { panic!() };
+        let ActionAst::Update { sets, wheres, .. } = &rule.actions[0] else {
+            panic!()
+        };
         assert_eq!(sets.len(), 1);
         assert_eq!(wheres.len(), 2);
         assert_eq!(wheres[1].value, ValueExpr::Uc);
-        let ActionAst::Insert { values, .. } = &rule.actions[1] else { panic!() };
+        let ActionAst::Insert { values, .. } = &rule.actions[1] else {
+            panic!()
+        };
         assert_eq!(values[1], ValueExpr::LocationOf("r".into()));
     }
 
@@ -680,7 +729,13 @@ mod tests {
         assert_eq!(script.defines.len(), 2);
         assert_eq!(script.defines[0].name, "E1");
         let rule = &script.rules[0];
-        let EventAst::TSeq { first, second, min_dist, max_dist } = &rule.event else {
+        let EventAst::TSeq {
+            first,
+            second,
+            min_dist,
+            max_dist,
+        } = &rule.event
+        else {
             panic!()
         };
         assert_eq!(*min_dist, Span::from_secs(10));
@@ -702,19 +757,33 @@ mod tests {
         )
         .unwrap();
         let d = &script.defines[0];
-        let EventAst::Observation { reader, preds, .. } = &d.event else { panic!() };
+        let EventAst::Observation { reader, preds, .. } = &d.event else {
+            panic!()
+        };
         assert_eq!(*reader, Term::Literal("r4".into()));
-        assert_eq!(preds, &[PatternPred::Type { var: "o4".into(), ty: "laptop".into() }]);
+        assert_eq!(
+            preds,
+            &[PatternPred::Type {
+                var: "o4".into(),
+                ty: "laptop".into()
+            }]
+        );
         let rule = &script.rules[0];
-        let EventAst::Within { inner, .. } = &rule.event else { panic!() };
-        let EventAst::And(_, rhs) = &**inner else { panic!() };
+        let EventAst::Within { inner, .. } = &rule.event else {
+            panic!()
+        };
+        let EventAst::And(_, rhs) = &**inner else {
+            panic!()
+        };
         assert!(matches!(**rhs, EventAst::Not(_)));
     }
 
     #[test]
     fn unicode_operators_parse() {
         let ev = parse_event("WITHIN(E1 ∧ ¬E2, 5 sec)").unwrap();
-        let EventAst::Within { inner, .. } = ev else { panic!() };
+        let EventAst::Within { inner, .. } = ev else {
+            panic!()
+        };
         assert!(matches!(*inner, EventAst::And(..)));
     }
 
@@ -722,15 +791,21 @@ mod tests {
     fn precedence_or_looser_than_and_looser_than_seq() {
         let ev = parse_event("a OR b AND c ; d").unwrap();
         // a OR (b AND (c ; d))
-        let EventAst::Or(_, rhs) = ev else { panic!("OR at top") };
-        let EventAst::And(_, rhs) = *rhs else { panic!("AND under OR") };
+        let EventAst::Or(_, rhs) = ev else {
+            panic!("OR at top")
+        };
+        let EventAst::And(_, rhs) = *rhs else {
+            panic!("AND under OR")
+        };
         assert!(matches!(*rhs, EventAst::Seq(..)));
     }
 
     #[test]
     fn group_predicate_parses() {
         let ev = parse_event("observation(r, o, t), group(r) = 'g1', type(o) = 'case'").unwrap();
-        let EventAst::Observation { preds, .. } = ev else { panic!() };
+        let EventAst::Observation { preds, .. } = ev else {
+            panic!()
+        };
         assert_eq!(preds.len(), 2);
     }
 
@@ -751,13 +826,18 @@ mod tests {
         let err = parse_script("CREATE RULE r1 duplicate").unwrap_err();
         assert!(err.to_string().contains("`,`"), "{err}");
         assert!(parse_script("BOGUS").is_err());
-        assert!(parse_event("TSEQ(a; b, 5 sec)").is_err(), "missing second bound");
+        assert!(
+            parse_event("TSEQ(a; b, 5 sec)").is_err(),
+            "missing second bound"
+        );
     }
 
     #[test]
     fn zero_literal_accepted_as_duration() {
         let ev = parse_event("TSEQ+(a, 0, 1 sec)").unwrap();
-        let EventAst::TSeqPlus { min_gap, .. } = ev else { panic!() };
+        let EventAst::TSeqPlus { min_gap, .. } = ev else {
+            panic!()
+        };
         assert_eq!(min_gap, Span::ZERO);
     }
 }

@@ -114,7 +114,10 @@ impl Procedures {
 
     /// Calls logged for one procedure name.
     pub fn calls<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a [Value]> + 'a {
-        self.log.iter().filter(move |(n, _)| n == name).map(|(_, a)| a.as_slice())
+        self.log
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, a)| a.as_slice())
     }
 }
 
@@ -234,7 +237,15 @@ impl RuleRuntime {
     /// Feeds one observation; any rule firings run their conditions and
     /// actions immediately.
     pub fn process(&mut self, obs: Observation) {
-        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        let Self {
+            engine,
+            catalog,
+            db,
+            procs,
+            rules,
+            errors,
+            ..
+        } = self;
         engine.process(obs, &mut |rule, inst| {
             fire(rules, rule, inst, catalog, db, procs, errors);
         });
@@ -262,14 +273,36 @@ impl RuleRuntime {
         stream: I,
         shards: usize,
     ) -> Result<rceda::EngineStats, RuntimeError> {
-        let config = rceda::ShardConfig { shards, ..rceda::ShardConfig::default() };
+        let config = rceda::ShardConfig {
+            shards,
+            ..rceda::ShardConfig::default()
+        };
+        self.process_all_sharded_config(stream, config)
+    }
+
+    /// [`Runtime::process_all_sharded`] with full control over the pipeline
+    /// configuration (ingestion batch size, queue depth, output ordering),
+    /// for callers tuning the shard pipeline rather than taking defaults.
+    pub fn process_all_sharded_config<I: IntoIterator<Item = Observation>>(
+        &mut self,
+        stream: I,
+        config: rceda::ShardConfig,
+    ) -> Result<rceda::EngineStats, RuntimeError> {
         let mut sharded = rceda::ShardedEngine::new(self.catalog.clone(), config);
         for (i, compiled) in self.rules.iter().enumerate() {
             let expr = compile_event(&compiled.event)?;
             let id = sharded.add_rule(&compiled.decl.name, expr)?;
             debug_assert_eq!(id.0 as usize, i, "sharded ids mirror runtime ids");
         }
-        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        let Self {
+            engine,
+            catalog,
+            db,
+            procs,
+            rules,
+            errors,
+            ..
+        } = self;
         sharded.process_all(stream, &mut |rule, inst| {
             if !engine.rule_enabled(rule) {
                 return;
@@ -281,7 +314,15 @@ impl RuleRuntime {
 
     /// Resolves all pending windows (end of stream).
     pub fn finish(&mut self) {
-        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        let Self {
+            engine,
+            catalog,
+            db,
+            procs,
+            rules,
+            errors,
+            ..
+        } = self;
         engine.finish(&mut |rule, inst| {
             fire(rules, rule, inst, catalog, db, procs, errors);
         });
@@ -289,7 +330,15 @@ impl RuleRuntime {
 
     /// Advances the clock without an observation (heartbeat).
     pub fn advance_to(&mut self, now: Timestamp) {
-        let Self { engine, catalog, db, procs, rules, errors, .. } = self;
+        let Self {
+            engine,
+            catalog,
+            db,
+            procs,
+            rules,
+            errors,
+            ..
+        } = self;
         engine.advance_to(now, &mut |rule, inst| {
             fire(rules, rule, inst, catalog, db, procs, errors);
         });
@@ -310,9 +359,17 @@ impl RuleRuntime {
         &self.procs
     }
 
-    /// The underlying engine (stats, graph inspection).
+    /// The underlying engine (graph inspection).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Detection counters of the single-threaded engine, including the
+    /// negation-history working set ([`rceda::EngineStats::retained_keys`]).
+    /// Sharded passes report their own merged stats from
+    /// [`Runtime::process_all_sharded`] instead.
+    pub fn stats(&self) -> rceda::EngineStats {
+        self.engine.stats()
     }
 
     /// Errors collected from firings (bad bindings, failed actions). Rule
@@ -373,12 +430,18 @@ impl RuleRuntime {
         path: impl Into<std::path::PathBuf>,
     ) -> Result<Self, rfid_store::WalError> {
         let durable = rfid_store::DurableDatabase::open(path)?;
-        Ok(Self::with_parts(catalog, durable.db().clone(), EngineConfig::default()))
+        Ok(Self::with_parts(
+            catalog,
+            durable.db().clone(),
+            EngineConfig::default(),
+        ))
     }
 
     /// Declared id/name of a rule.
     pub fn rule_decl(&self, id: RuleId) -> Option<(&str, &str)> {
-        self.rules.get(id.0 as usize).map(|r| (r.decl.id.as_str(), r.decl.name.as_str()))
+        self.rules
+            .get(id.0 as usize)
+            .map(|r| (r.decl.id.as_str(), r.decl.name.as_str()))
     }
 }
 
@@ -392,7 +455,9 @@ fn fire(
     procs: &mut Procedures,
     errors: &mut Vec<RuntimeError>,
 ) {
-    let Some(compiled) = rules.get(rule.0 as usize) else { return };
+    let Some(compiled) = rules.get(rule.0 as usize) else {
+        return;
+    };
     let bindings = match bind(&compiled.event, inst, catalog) {
         Ok(b) => b,
         Err(e) => {

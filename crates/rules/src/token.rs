@@ -93,8 +93,9 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-const DURATION_UNITS: &[&str] =
-    &["ms", "msec", "s", "sec", "secs", "second", "seconds", "m", "min", "mins", "h", "hr"];
+const DURATION_UNITS: &[&str] = &[
+    "ms", "msec", "s", "sec", "secs", "second", "seconds", "m", "min", "mins", "h", "hr",
+];
 
 /// Tokenizes a script.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
@@ -121,7 +122,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 } else {
-                    return Err(LexError { line, message: "stray `-`".into() });
+                    return Err(LexError {
+                        line,
+                        message: "stray `-`".into(),
+                    });
                 }
             }
             '(' => push_simple(&mut out, &mut chars, Token::LParen),
@@ -139,7 +143,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     out.push(Token::Ne);
                 } else {
-                    return Err(LexError { line, message: "expected `!=`".into() });
+                    return Err(LexError {
+                        line,
+                        message: "expected `!=`".into(),
+                    });
                 }
             }
             '<' => {
@@ -173,7 +180,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     match chars.next() {
                         Some(c) if c == quote => break,
                         Some('\n') | None => {
-                            return Err(LexError { line, message: "unterminated string".into() })
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string".into(),
+                            })
                         }
                         Some(c) => s.push(c),
                     }
@@ -238,7 +248,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Ident(s));
             }
             other => {
-                return Err(LexError { line, message: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -297,7 +310,10 @@ mod tests {
     #[test]
     fn lexes_strings_both_quotes() {
         let toks = lex(r#"'r1' "laptop""#).unwrap();
-        assert_eq!(toks, vec![Token::Str("r1".into()), Token::Str("laptop".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Str("r1".into()), Token::Str("laptop".into())]
+        );
     }
 
     #[test]
@@ -314,7 +330,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = lex("a -- the rest is noise ∅∅\nb").unwrap();
-        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

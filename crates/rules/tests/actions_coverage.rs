@@ -20,7 +20,11 @@ fn runtime() -> RuleRuntime {
 fn feed(rt: &mut RuleRuntime, events: &[(u64, u64)]) {
     let r1 = rt.engine().catalog().reader("r1").unwrap();
     for &(serial, secs) in events {
-        rt.process(Observation::new(r1, epc(serial), Timestamp::from_secs(secs)));
+        rt.process(Observation::new(
+            r1,
+            epc(serial),
+            Timestamp::from_secs(secs),
+        ));
     }
     rt.finish();
 }
@@ -76,14 +80,22 @@ fn update_with_multiple_sets_and_range_where() {
         .select(&Filter::on(Cond::eq("loc_id", "migrated")))
         .unwrap();
     assert_eq!(migrated.len(), 1, "only the t=0 row started before t=50");
-    assert_eq!(migrated[0][2], Value::Time(Timestamp::from_secs(50)), "now() applied");
+    assert_eq!(
+        migrated[0][2],
+        Value::Time(Timestamp::from_secs(50)),
+        "now() applied"
+    );
 }
 
 #[test]
 fn where_with_ne_operator() {
     let mut rt = runtime();
-    rt.db_mut().record_location(epc(1), "keep", Timestamp::from_secs(0)).unwrap();
-    rt.db_mut().record_location(epc(2), "zap", Timestamp::from_secs(0)).unwrap();
+    rt.db_mut()
+        .record_location(epc(1), "keep", Timestamp::from_secs(0))
+        .unwrap();
+    rt.db_mut()
+        .record_location(epc(2), "zap", Timestamp::from_secs(0))
+        .unwrap();
     rt.load(
         "CREATE RULE sweep, demo ON observation(r, o, t) IF true \
          DO DELETE FROM OBJECTLOCATION WHERE loc_id != 'keep'",
@@ -137,10 +149,8 @@ fn action_on_missing_table_is_reported_not_fatal() {
 #[test]
 fn unbound_variable_in_action_is_reported() {
     let mut rt = runtime();
-    rt.load(
-        "CREATE RULE ub, demo ON observation(r, o, t) IF true DO p(ghost_var)",
-    )
-    .unwrap();
+    rt.load("CREATE RULE ub, demo ON observation(r, o, t) IF true DO p(ghost_var)")
+        .unwrap();
     feed(&mut rt, &[(1, 1)]);
     assert_eq!(rt.errors().len(), 1);
     assert!(rt.errors()[0].to_string().contains("ghost_var"));
@@ -149,10 +159,8 @@ fn unbound_variable_in_action_is_reported() {
 #[test]
 fn unicode_strings_flow_through() {
     let mut rt = runtime();
-    rt.load(
-        "CREATE RULE u, demo ON observation(r, o, t) IF true DO note('ärgerlich — 警告')",
-    )
-    .unwrap();
+    rt.load("CREATE RULE u, demo ON observation(r, o, t) IF true DO note('ärgerlich — 警告')")
+        .unwrap();
     feed(&mut rt, &[(1, 1)]);
     assert_eq!(
         rt.procedures().calls("note").next().unwrap()[0],

@@ -20,7 +20,9 @@ impl Deployment {
         let mut catalog = Catalog::new();
         let readers = vec![
             catalog.readers.register("r1", "packing", "packing-line"),
-            catalog.readers.register("r2", "packing", "packing-line-case"),
+            catalog
+                .readers
+                .register("r2", "packing", "packing-line-case"),
             catalog.readers.register("r3", "dock", "dock-door"),
             catalog.readers.register("r4", "exit", "building-exit"),
         ];
@@ -28,7 +30,10 @@ impl Deployment {
         catalog.types.map_class_of(epc(20, 0), "superuser");
         catalog.types.map_class_of(epc(30, 0), "item");
         catalog.types.map_class_of(epc(40, 0), "case");
-        Self { rt: RuleRuntime::new(catalog), readers }
+        Self {
+            rt: RuleRuntime::new(catalog),
+            readers,
+        }
     }
 
     fn feed(&mut self, events: &[(usize, Epc, f64)]) {
@@ -49,7 +54,8 @@ impl Deployment {
 #[test]
 fn rule1_duplicate_messages() {
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::duplicate_detection("r1", Span::from_secs(5))).unwrap();
+    d.rt.load(&stdlib::duplicate_detection("r1", Span::from_secs(5)))
+        .unwrap();
 
     d.feed(&[
         (1, epc(30, 1), 0.0),
@@ -62,14 +68,23 @@ fn rule1_duplicate_messages() {
     assert_eq!(dups.len(), 1);
     assert_eq!(dups[0][0], Value::str("r1"));
     assert_eq!(dups[0][1], Value::Epc(epc(30, 1)));
-    assert_eq!(dups[0][2], Value::Time(Timestamp::ZERO), "the earlier event is flagged");
-    assert!(d.rt.errors().is_empty(), "{:?}", d.rt.errors().first().map(|e| e.to_string()));
+    assert_eq!(
+        dups[0][2],
+        Value::Time(Timestamp::ZERO),
+        "the earlier event is flagged"
+    );
+    assert!(
+        d.rt.errors().is_empty(),
+        "{:?}",
+        d.rt.errors().first().map(|e| e.to_string())
+    );
 }
 
 #[test]
 fn rule2_infield_inserts_first_sightings_only() {
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30))).unwrap();
+    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30)))
+        .unwrap();
 
     d.feed(&[
         (3, epc(30, 1), 0.0),
@@ -80,23 +95,33 @@ fn rule2_infield_inserts_first_sightings_only() {
 
     let table = d.rt.db().table("OBSERVATION").unwrap();
     assert_eq!(table.len(), 2, "one row per distinct tag");
-    let rows = table.select(&Filter::on(Cond::eq("object_epc", epc(30, 1)))).unwrap();
+    let rows = table
+        .select(&Filter::on(Cond::eq("object_epc", epc(30, 1))))
+        .unwrap();
     assert_eq!(rows[0][2], Value::Time(Timestamp::ZERO));
 }
 
 #[test]
 fn rule3_location_history_builds_up() {
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::location_change("r3a", "packing")).unwrap();
+    d.rt.load(&stdlib::location_change("r3a", "packing"))
+        .unwrap();
     d.rt.load(&stdlib::location_change("r3b", "dock")).unwrap();
 
     let item = epc(30, 7);
     d.feed(&[(1, item, 0.0), (3, item, 100.0)]);
 
     let db = d.rt.db();
-    assert_eq!(db.location_at(item, Timestamp::from_secs(50)).unwrap().as_deref(),
-               Some("packing-line"));
-    assert_eq!(db.current_location(item).unwrap().as_deref(), Some("dock-door"));
+    assert_eq!(
+        db.location_at(item, Timestamp::from_secs(50))
+            .unwrap()
+            .as_deref(),
+        Some("packing-line")
+    );
+    assert_eq!(
+        db.current_location(item).unwrap().as_deref(),
+        Some("dock-door")
+    );
     let history = db.location_history(item).unwrap();
     assert_eq!(history.len(), 2);
     assert_eq!(history[0].period.to, Some(Timestamp::from_secs(100)));
@@ -128,14 +153,18 @@ fn rule4_bulk_containment() {
     let mut contents = db.contents_at(case, Timestamp::from_secs(60)).unwrap();
     contents.sort();
     assert_eq!(contents, vec![epc(30, 1), epc(30, 2), epc(30, 3)]);
-    assert_eq!(db.parent_at(epc(30, 2), Timestamp::from_secs(60)).unwrap(), Some(case));
+    assert_eq!(
+        db.parent_at(epc(30, 2), Timestamp::from_secs(60)).unwrap(),
+        Some(case)
+    );
     assert!(d.rt.errors().is_empty());
 }
 
 #[test]
 fn rule5_alarm_only_without_badge() {
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+        .unwrap();
 
     d.feed(&[
         (4, epc(10, 1), 0.0),  // laptop
@@ -153,8 +182,10 @@ fn full_rule_set_runs_together() {
     // All five rules loaded at once over one mixed stream — the Fig. 2
     // pipeline, with subgraph sharing in the engine underneath.
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::duplicate_detection("r1", Span::from_secs(5))).unwrap();
-    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30))).unwrap();
+    d.rt.load(&stdlib::duplicate_detection("r1", Span::from_secs(5)))
+        .unwrap();
+    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30)))
+        .unwrap();
     d.rt.load(&stdlib::location_change("r3", "dock")).unwrap();
     d.rt.load(&stdlib::containment(
         "r4",
@@ -166,7 +197,8 @@ fn full_rule_set_runs_together() {
         Span::from_secs(20),
     ))
     .unwrap();
-    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+        .unwrap();
 
     let case = epc(40, 1);
     d.feed(&[
@@ -179,7 +211,10 @@ fn full_rule_set_runs_together() {
 
     assert!(d.rt.errors().is_empty(), "{}", d.rt.errors()[0]);
     assert_eq!(
-        d.rt.db().contents_at(case, Timestamp::from_secs(99)).unwrap().len(),
+        d.rt.db()
+            .contents_at(case, Timestamp::from_secs(99))
+            .unwrap()
+            .len(),
         2,
         "containment aggregated"
     );
@@ -188,7 +223,11 @@ fn full_rule_set_runs_together() {
         Some("dock-door"),
         "location transformed"
     );
-    assert_eq!(d.rt.procedures().calls("send_alarm").count(), 1, "alarm raised");
+    assert_eq!(
+        d.rt.procedures().calls("send_alarm").count(),
+        1,
+        "alarm raised"
+    );
 }
 
 #[test]
@@ -209,17 +248,17 @@ fn conditions_gate_actions() {
 #[test]
 fn invalid_rule_is_rejected_at_load() {
     let mut d = Deployment::new();
-    let err = d
-        .rt
-        .load("CREATE RULE bad, never ON NOT observation(r, o, t) IF true DO f()")
-        .unwrap_err();
+    let err =
+        d.rt.load("CREATE RULE bad, never ON NOT observation(r, o, t) IF true DO f()")
+            .unwrap_err();
     assert!(err.to_string().contains("invalid rule"), "{err}");
 }
 
 #[test]
 fn registered_handlers_run() {
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    d.rt.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+        .unwrap();
     let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let c2 = count.clone();
     d.rt.register_procedure("send_alarm", move |_args| {
@@ -235,7 +274,8 @@ fn retrospective_replay_asks_new_questions_of_old_data() {
     // asks "which objects were first seen on a shelf?" via a new rule over
     // the recorded history.
     let mut d = Deployment::new();
-    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30))).unwrap();
+    d.rt.load(&stdlib::infield_filtering("r2", Span::from_secs(30)))
+        .unwrap();
     d.feed(&[
         (3, epc(10, 1), 0.0), // a laptop on the dock reader
         (3, epc(30, 1), 5.0),
@@ -243,9 +283,8 @@ fn retrospective_replay_asks_new_questions_of_old_data() {
     ]);
     assert_eq!(d.rt.db().table("OBSERVATION").unwrap().len(), 2);
 
-    let (analysis, skipped) = d
-        .rt
-        .replay_observations_with(
+    let (analysis, skipped) =
+        d.rt.replay_observations_with(
             "CREATE RULE q, laptops_seen ON observation(r, o, t) \
              IF type(o) = 'laptop' DO found_laptop(o, t)",
         )
@@ -259,8 +298,8 @@ fn retrospective_replay_asks_new_questions_of_old_data() {
 
 #[test]
 fn persist_and_restore_round_trips_the_store() {
-    let path = std::env::temp_dir()
-        .join(format!("rfid-runtime-persist-{}.wal", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("rfid-runtime-persist-{}.wal", std::process::id()));
     let mut d = Deployment::new();
     d.rt.load(&stdlib::location_change("r3", "dock")).unwrap();
     d.feed(&[(3, epc(30, 7), 10.0)]);
@@ -278,7 +317,11 @@ fn persist_and_restore_round_trips_the_store() {
     };
     let restored = RuleRuntime::with_restored(catalog, &path).unwrap();
     assert_eq!(
-        restored.db().current_location(epc(30, 7)).unwrap().as_deref(),
+        restored
+            .db()
+            .current_location(epc(30, 7))
+            .unwrap()
+            .as_deref(),
         Some("dock-door"),
         "location history survived the restart"
     );
@@ -288,7 +331,9 @@ fn persist_and_restore_round_trips_the_store() {
 #[test]
 fn rule_decl_lookup() {
     let mut d = Deployment::new();
-    let ids = d.rt.load(&stdlib::duplicate_detection("rd", Span::from_secs(5))).unwrap();
+    let ids =
+        d.rt.load(&stdlib::duplicate_detection("rd", Span::from_secs(5)))
+            .unwrap();
     let (id, name) = d.rt.rule_decl(ids[0]).unwrap();
     assert_eq!(id, "rd");
     assert_eq!(name, "duplicate_detection");
@@ -300,9 +345,12 @@ fn sharded_runtime_matches_single_threaded() {
     // and the procedure log in the same state (up to firing order) as the
     // single-threaded runtime.
     let load = |d: &mut Deployment| {
-        d.rt.load(&stdlib::duplicate_detection("R1", Span::from_secs(5))).unwrap();
-        d.rt.load(&stdlib::infield_filtering("R2", Span::from_secs(2))).unwrap();
-        d.rt.load(&stdlib::outfield_filtering("R3", Span::from_secs(2))).unwrap();
+        d.rt.load(&stdlib::duplicate_detection("R1", Span::from_secs(5)))
+            .unwrap();
+        d.rt.load(&stdlib::infield_filtering("R2", Span::from_secs(2)))
+            .unwrap();
+        d.rt.load(&stdlib::outfield_filtering("R3", Span::from_secs(2)))
+            .unwrap();
     };
     // Seven objects cycling through the packing reader; every visit is a
     // double read, so all three rules fire repeatedly.
@@ -336,23 +384,32 @@ fn sharded_runtime_matches_single_threaded() {
 
     let log_fp = |d: &Deployment| {
         let mut v: Vec<String> =
-            d.rt.procedures().log.iter().map(|e| format!("{e:?}")).collect();
+            d.rt.procedures()
+                .log
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect();
         v.sort();
         v
     };
-    assert!(!log_fp(&single).is_empty(), "workload must invoke procedures");
+    assert!(
+        !log_fp(&single).is_empty(),
+        "workload must invoke procedures"
+    );
     assert_eq!(log_fp(&single), log_fp(&shard));
 
     let rows_fp = |d: &Deployment| {
-        let mut v: Vec<String> = d
-            .rt
-            .db()
-            .table("OBSERVATION")
-            .map(|t| t.iter().map(|r| format!("{r:?}")).collect())
-            .unwrap_or_default();
+        let mut v: Vec<String> =
+            d.rt.db()
+                .table("OBSERVATION")
+                .map(|t| t.iter().map(|r| format!("{r:?}")).collect())
+                .unwrap_or_default();
         v.sort();
         v
     };
-    assert!(!rows_fp(&single).is_empty(), "infield filtering must record rows");
+    assert!(
+        !rows_fp(&single).is_empty(),
+        "infield filtering must record rows"
+    );
     assert_eq!(rows_fp(&single), rows_fp(&shard));
 }

@@ -80,7 +80,9 @@ fn exists_condition_gates_on_store_state() {
     let r1 = rt.engine().catalog().reader("r1").unwrap();
     let known = epc(1, 1);
     let unknown = epc(1, 2);
-    rt.db_mut().record_location(known, "warehouse", Timestamp::ZERO).unwrap();
+    rt.db_mut()
+        .record_location(known, "warehouse", Timestamp::ZERO)
+        .unwrap();
 
     rt.process(Observation::new(r1, unknown, Timestamp::from_secs(1)));
     rt.process(Observation::new(r1, known, Timestamp::from_secs(2)));
@@ -122,7 +124,8 @@ fn exists_sees_rows_written_by_earlier_rules() {
 #[test]
 fn duplicate_rule_ids_are_rejected() {
     let mut rt = RuleRuntime::new(catalog());
-    rt.load("CREATE RULE r1, first ON observation(r, o, t) IF true DO a()").unwrap();
+    rt.load("CREATE RULE r1, first ON observation(r, o, t) IF true DO a()")
+        .unwrap();
     // Same id again, later load: rejected.
     let err = rt
         .load("CREATE RULE r1, second ON observation(r, o, t) IF true DO b()")
@@ -137,13 +140,18 @@ fn duplicate_rule_ids_are_rejected() {
         )
         .unwrap_err();
     assert!(err.to_string().contains("r9"), "{err}");
-    assert_eq!(rt.engine().rule_count(), before, "batch rejected before any rule loaded");
+    assert_eq!(
+        rt.engine().rule_count(),
+        before,
+        "batch rejected before any rule loaded"
+    );
 }
 
 #[test]
 fn drop_rule_disables_by_declared_id() {
     let mut rt = RuleRuntime::new(catalog());
-    rt.load("CREATE RULE r1, watcher ON observation(r, o, t) IF true DO seen(o)").unwrap();
+    rt.load("CREATE RULE r1, watcher ON observation(r, o, t) IF true DO seen(o)")
+        .unwrap();
     let reader = rt.engine().catalog().reader("r1").unwrap();
 
     rt.process(Observation::new(reader, epc(1, 1), Timestamp::from_secs(1)));
@@ -151,7 +159,11 @@ fn drop_rule_disables_by_declared_id() {
 
     rt.load("DROP RULE r1").unwrap();
     rt.process(Observation::new(reader, epc(1, 2), Timestamp::from_secs(2)));
-    assert_eq!(rt.procedures().calls("seen").count(), 1, "dropped rule stays silent");
+    assert_eq!(
+        rt.procedures().calls("seen").count(),
+        1,
+        "dropped rule stays silent"
+    );
 
     // Re-enable through the API.
     let was = rt.set_rule_enabled_by_id("r1", true).unwrap();
@@ -178,5 +190,8 @@ fn exists_on_missing_table_is_false_not_an_error() {
     rt.process(Observation::new(r1, epc(1, 1), Timestamp::from_secs(1)));
     rt.finish();
     assert_eq!(rt.procedures().calls("never").count(), 0);
-    assert!(rt.errors().is_empty(), "unknown table in EXISTS is just false");
+    assert!(
+        rt.errors().is_empty(),
+        "unknown table in EXISTS is just false"
+    );
 }

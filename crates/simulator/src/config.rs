@@ -122,11 +122,23 @@ impl SimConfig {
         }
         for (lo, hi, what) in [
             (self.sale_delay_ms.0, self.sale_delay_ms.1, "sale_delay_ms"),
-            (self.items_per_case.0 as u64, self.items_per_case.1 as u64, "items_per_case"),
+            (
+                self.items_per_case.0 as u64,
+                self.items_per_case.1 as u64,
+                "items_per_case",
+            ),
             (self.item_gap_ms.0, self.item_gap_ms.1, "item_gap_ms"),
             (self.case_dist_ms.0, self.case_dist_ms.1, "case_dist_ms"),
-            (self.cycle_pause_ms.0, self.cycle_pause_ms.1, "cycle_pause_ms"),
-            (self.duplicate_gap_ms.0, self.duplicate_gap_ms.1, "duplicate_gap_ms"),
+            (
+                self.cycle_pause_ms.0,
+                self.cycle_pause_ms.1,
+                "cycle_pause_ms",
+            ),
+            (
+                self.duplicate_gap_ms.0,
+                self.duplicate_gap_ms.1,
+                "duplicate_gap_ms",
+            ),
         ] {
             if lo > hi {
                 return Err(format!("{what}: reversed range ({lo} > {hi})"));
@@ -159,16 +171,24 @@ mod tests {
 
     #[test]
     fn validation_catches_run_closure_hazard() {
-        let cfg = SimConfig { cycle_pause_ms: (500, 900), ..SimConfig::default() };
+        let cfg = SimConfig {
+            cycle_pause_ms: (500, 900),
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().unwrap_err().contains("TSEQ+ runs close"));
     }
 
     #[test]
     fn validation_catches_reversed_ranges_and_bad_probs() {
-        let cfg = SimConfig { item_gap_ms: (1000, 100), ..SimConfig::default() };
+        let cfg = SimConfig {
+            item_gap_ms: (1000, 100),
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = SimConfig { duplicate_prob: 1.5, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duplicate_prob: 1.5,
+            ..SimConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
-
 }

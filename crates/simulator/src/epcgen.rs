@@ -40,9 +40,15 @@ impl EpcAllocator {
     /// Next trade item (SGTIN-96).
     pub fn item(&mut self) -> Epc {
         self.items += 1;
-        Sgtin96::new(1, COMPANY_PREFIX, COMPANY_DIGITS, ITEM_REFERENCE, self.items)
-            .expect("serial space is 38 bits")
-            .into()
+        Sgtin96::new(
+            1,
+            COMPANY_PREFIX,
+            COMPANY_DIGITS,
+            ITEM_REFERENCE,
+            self.items,
+        )
+        .expect("serial space is 38 bits")
+        .into()
     }
 
     /// Next case/pallet (SSCC-96).
@@ -56,15 +62,25 @@ impl EpcAllocator {
     /// Next laptop (GRAI-96).
     pub fn laptop(&mut self) -> Epc {
         self.laptops += 1;
-        Grai96::new(0, COMPANY_PREFIX, COMPANY_DIGITS, LAPTOP_ASSET_TYPE, self.laptops)
-            .expect("serial space is 38 bits")
-            .into()
+        Grai96::new(
+            0,
+            COMPANY_PREFIX,
+            COMPANY_DIGITS,
+            LAPTOP_ASSET_TYPE,
+            self.laptops,
+        )
+        .expect("serial space is 38 bits")
+        .into()
     }
 
     /// Next badge (GID-96); `superuser` selects the authorized class.
     pub fn badge(&mut self, superuser: bool) -> Epc {
         self.badges += 1;
-        let class = if superuser { SUPERUSER_CLASS } else { EMPLOYEE_CLASS };
+        let class = if superuser {
+            SUPERUSER_CLASS
+        } else {
+            EMPLOYEE_CLASS
+        };
         Gid96::new(BADGE_MANAGER, class, self.badges)
             .expect("serial space is 36 bits")
             .into()
@@ -80,7 +96,12 @@ impl EpcAllocator {
                     .into(),
                 "item",
             ),
-            (Sscc96::new(2, COMPANY_PREFIX, COMPANY_DIGITS, 0).expect("valid").into(), "case"),
+            (
+                Sscc96::new(2, COMPANY_PREFIX, COMPANY_DIGITS, 0)
+                    .expect("valid")
+                    .into(),
+                "case",
+            ),
             (
                 Grai96::new(0, COMPANY_PREFIX, COMPANY_DIGITS, LAPTOP_ASSET_TYPE, 0)
                     .expect("valid")
@@ -88,7 +109,9 @@ impl EpcAllocator {
                 "laptop",
             ),
             (
-                Gid96::new(BADGE_MANAGER, SUPERUSER_CLASS, 0).expect("valid").into(),
+                Gid96::new(BADGE_MANAGER, SUPERUSER_CLASS, 0)
+                    .expect("valid")
+                    .into(),
                 "superuser",
             ),
         ]

@@ -85,7 +85,10 @@ pub fn packing_line(
     let mut t = Timestamp::from_millis(sample(rng, cfg.cycle_pause_ms));
     let mut prev_case_at: Option<Timestamp> = None;
     loop {
-        let n_items = sample(rng, (cfg.items_per_case.0 as u64, cfg.items_per_case.1 as u64));
+        let n_items = sample(
+            rng,
+            (cfg.items_per_case.0 as u64, cfg.items_per_case.1 as u64),
+        );
         let mut items = Vec::with_capacity(n_items as usize);
         for i in 0..n_items {
             if i > 0 {
@@ -109,7 +112,10 @@ pub fn packing_line(
                 dist_lo = dist_lo.max(needed);
             }
         }
-        debug_assert!(dist_lo <= cfg.case_dist_ms.1, "case ordering floor exceeds max dist");
+        debug_assert!(
+            dist_lo <= cfg.case_dist_ms.1,
+            "case ordering floor exceeds max dist"
+        );
         let case_at =
             t + rfid_events::Span::from_millis(sample(rng, (dist_lo, cfg.case_dist_ms.1)));
         if case_at > until {
@@ -118,7 +124,11 @@ pub fn packing_line(
         }
         let case = alloc.case();
         obs.push(Observation::new(case_reader, case, case_at));
-        truth.containments.push(ContainmentTruth { case, items, at: case_at });
+        truth.containments.push(ContainmentTruth {
+            case,
+            items,
+            at: case_at,
+        });
         prev_case_at = Some(case_at);
         // Pipelined: the next run follows the last *item*, not the case.
         t += rfid_events::Span::from_millis(sample(rng, cfg.cycle_pause_ms));
@@ -152,8 +162,7 @@ pub fn smart_shelf(
                 truth.infields.push((reader, tag, t));
             }
             if rng.gen_bool(cfg.duplicate_prob) {
-                let dup_at =
-                    t + rfid_events::Span::from_millis(sample(rng, cfg.duplicate_gap_ms));
+                let dup_at = t + rfid_events::Span::from_millis(sample(rng, cfg.duplicate_gap_ms));
                 if dup_at <= until {
                     obs.push(Observation::new(reader, tag, dup_at));
                     truth.duplicates.push((reader, tag, dup_at));
@@ -209,7 +218,10 @@ pub fn building_exit(
     let mut obs = Vec::new();
     let mut truth = GroundTruth::default();
     let min_gap = cfg.exit_window_ms * 2 + 2_000;
-    let gap = (min_gap.max(cfg.exit_mean_gap_ms / 2), min_gap.max(cfg.exit_mean_gap_ms * 3 / 2));
+    let gap = (
+        min_gap.max(cfg.exit_mean_gap_ms / 2),
+        min_gap.max(cfg.exit_mean_gap_ms * 3 / 2),
+    );
     let mut t = Timestamp::from_millis(sample(rng, gap));
     while t <= until {
         let laptop = alloc.laptop();
@@ -217,7 +229,10 @@ pub fn building_exit(
         if rng.gen_bool(cfg.unauthorized_fraction) {
             truth.alarms.push((laptop, t));
         } else {
-            let badge_delay = sample(rng, (500, cfg.exit_window_ms.saturating_sub(1_000).max(501)));
+            let badge_delay = sample(
+                rng,
+                (500, cfg.exit_window_ms.saturating_sub(1_000).max(501)),
+            );
             let badge_at = t + rfid_events::Span::from_millis(badge_delay);
             obs.push(Observation::new(reader, alloc.badge(true), badge_at));
         }
@@ -257,27 +272,34 @@ mod tests {
             assert!(c.items.len() <= cfg.items_per_case.1);
         }
         // Conveyor gaps within bounds inside a run.
-        let conveyor: Vec<&Observation> =
-            obs.iter().filter(|o| o.reader == ReaderId(0)).collect();
+        let conveyor: Vec<&Observation> = obs.iter().filter(|o| o.reader == ReaderId(0)).collect();
         let mut run_start = 0;
         for truth_c in &truth.containments {
             let run = &conveyor[run_start..run_start + truth_c.items.len()];
             for w in run.windows(2) {
                 let gap = w[1].at.as_millis() - w[0].at.as_millis();
-                assert!(gap >= cfg.item_gap_ms.0 && gap <= cfg.item_gap_ms.1, "gap {gap}");
+                assert!(
+                    gap >= cfg.item_gap_ms.0 && gap <= cfg.item_gap_ms.1,
+                    "gap {gap}"
+                );
             }
             let dist = truth_c.at.as_millis() - run.last().unwrap().at.as_millis();
-            assert!(dist >= cfg.case_dist_ms.0 && dist <= cfg.case_dist_ms.1, "dist {dist}");
+            assert!(
+                dist >= cfg.case_dist_ms.0 && dist <= cfg.case_dist_ms.1,
+                "dist {dist}"
+            );
             run_start += truth_c.items.len();
         }
     }
 
     #[test]
     fn shelf_truth_counts_first_reads() {
-        let cfg = SimConfig { duplicate_prob: 0.2, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duplicate_prob: 0.2,
+            ..SimConfig::default()
+        };
         let mut alloc = EpcAllocator::new();
-        let (obs, truth) =
-            smart_shelf(&cfg, &mut rng(2), &mut alloc, ReaderId(5), until(300));
+        let (obs, truth) = smart_shelf(&cfg, &mut rng(2), &mut alloc, ReaderId(5), until(300));
         assert!(truth.infields.len() >= cfg.shelf_population);
         assert!(!truth.duplicates.is_empty());
         assert!(!obs.is_empty());
@@ -296,10 +318,13 @@ mod tests {
 
     #[test]
     fn exit_alarm_fraction_is_roughly_configured() {
-        let cfg = SimConfig { unauthorized_fraction: 0.5, exit_mean_gap_ms: 1, ..SimConfig::default() };
+        let cfg = SimConfig {
+            unauthorized_fraction: 0.5,
+            exit_mean_gap_ms: 1,
+            ..SimConfig::default()
+        };
         let mut alloc = EpcAllocator::new();
-        let (obs, truth) =
-            building_exit(&cfg, &mut rng(3), &mut alloc, ReaderId(9), until(10_000));
+        let (obs, truth) = building_exit(&cfg, &mut rng(3), &mut alloc, ReaderId(9), until(10_000));
         let laptops = obs
             .iter()
             .filter(|o| o.object.class() == rfid_epc::EpcClass::Grai96)
@@ -324,8 +349,7 @@ mod tests {
     fn dock_truth_matches_observations() {
         let cfg = SimConfig::default();
         let mut alloc = EpcAllocator::new();
-        let (obs, truth) =
-            dock_portal(&cfg, &mut rng(4), &mut alloc, ReaderId(3), until(120));
+        let (obs, truth) = dock_portal(&cfg, &mut rng(4), &mut alloc, ReaderId(3), until(120));
         assert_eq!(obs.len(), truth.location_changes.len());
     }
 }

@@ -56,7 +56,8 @@ impl SupplyChain {
     /// # Panics
     /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
     pub fn build(cfg: SimConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid simulator config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid simulator config: {e}"));
         let mut catalog = Catalog::new();
         let conveyors = (0..cfg.packing_lines)
             .map(|i| {
@@ -78,22 +79,45 @@ impl SupplyChain {
             .collect();
         let shelves = (0..cfg.shelves)
             .map(|i| {
-                catalog.readers.register(&format!("shelf{i}"), "shelves", &format!("shelf-{i}"))
+                catalog
+                    .readers
+                    .register(&format!("shelf{i}"), "shelves", &format!("shelf-{i}"))
             })
             .collect();
         let docks = (0..cfg.docks)
-            .map(|i| catalog.readers.register(&format!("dock{i}"), "docks", &format!("dock-{i}")))
+            .map(|i| {
+                catalog
+                    .readers
+                    .register(&format!("dock{i}"), "docks", &format!("dock-{i}"))
+            })
             .collect();
         let exits = (0..cfg.exits)
-            .map(|i| catalog.readers.register(&format!("exit{i}"), "exits", &format!("exit-{i}")))
+            .map(|i| {
+                catalog
+                    .readers
+                    .register(&format!("exit{i}"), "exits", &format!("exit-{i}"))
+            })
             .collect();
         let pos = (0..cfg.pos_registers)
-            .map(|i| catalog.readers.register(&format!("pos{i}"), "pos", &format!("register-{i}")))
+            .map(|i| {
+                catalog
+                    .readers
+                    .register(&format!("pos{i}"), "pos", &format!("register-{i}"))
+            })
             .collect();
         for (sample, ty) in EpcAllocator::class_samples() {
             catalog.types.map_class_of(sample, ty);
         }
-        Self { cfg, catalog, conveyors, case_readers, shelves, docks, exits, pos }
+        Self {
+            cfg,
+            catalog,
+            conveyors,
+            case_readers,
+            shelves,
+            docks,
+            exits,
+            pos,
+        }
     }
 
     /// The configuration.
@@ -109,12 +133,23 @@ impl SupplyChain {
         let mut proc_idx = 0u64;
         let rng_for = |idx: &mut u64| {
             *idx += 1;
-            StdRng::seed_from_u64(self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(*idx))
+            StdRng::seed_from_u64(
+                self.cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(*idx),
+            )
         };
         for (i, &conveyor) in self.conveyors.iter().enumerate() {
             let mut rng = rng_for(&mut proc_idx);
-            let (obs, t) =
-                packing_line(&self.cfg, &mut rng, &mut alloc, conveyor, self.case_readers[i], until);
+            let (obs, t) = packing_line(
+                &self.cfg,
+                &mut rng,
+                &mut alloc,
+                conveyor,
+                self.case_readers[i],
+                until,
+            );
             all.extend(obs);
             truth.merge(t);
         }
@@ -163,7 +198,11 @@ impl SupplyChain {
             }
         }
         all.sort();
-        Trace { observations: all, truth, until }
+        Trace {
+            observations: all,
+            truth,
+            until,
+        }
     }
 
     /// Generates approximately `target_events` observations (within a few
@@ -187,11 +226,10 @@ impl SupplyChain {
         let c = &self.cfg;
         let avg = |r: (u64, u64)| (r.0 + r.1) as f64 / 2.0;
         let items = (c.items_per_case.0 + c.items_per_case.1) as f64 / 2.0;
-        let cycle =
-            items * avg(c.item_gap_ms) + avg(c.case_dist_ms) + avg(c.cycle_pause_ms);
+        let cycle = items * avg(c.item_gap_ms) + avg(c.case_dist_ms) + avg(c.cycle_pause_ms);
         let line_rate = (items + 1.0) / cycle;
-        let shelf_rate = c.shelf_population as f64 * (1.0 + c.duplicate_prob)
-            / c.shelf_period_ms as f64;
+        let shelf_rate =
+            c.shelf_population as f64 * (1.0 + c.duplicate_prob) / c.shelf_period_ms as f64;
         let dock_rate = 1.0 / c.dock_mean_gap_ms as f64;
         let exit_gap = (c.exit_window_ms * 2 + 2_000).max(c.exit_mean_gap_ms) as f64;
         let exit_rate = (2.0 - c.unauthorized_fraction) / exit_gap;
@@ -338,10 +376,12 @@ mod tests {
 
     #[test]
     fn seeds_change_the_stream() {
-        let a = SupplyChain::build(SimConfig::default())
-            .generate_until(Timestamp::from_secs(60));
-        let b = SupplyChain::build(SimConfig { seed: 43, ..SimConfig::default() })
-            .generate_until(Timestamp::from_secs(60));
+        let a = SupplyChain::build(SimConfig::default()).generate_until(Timestamp::from_secs(60));
+        let b = SupplyChain::build(SimConfig {
+            seed: 43,
+            ..SimConfig::default()
+        })
+        .generate_until(Timestamp::from_secs(60));
         assert_ne!(a.observations, b.observations);
     }
 

@@ -62,10 +62,22 @@ impl Database {
                 ("tend", ColumnType::Time),
             ]),
         );
-        db.table_mut("OBSERVATION").unwrap().create_index("object_epc").unwrap();
-        db.table_mut("OBJECTLOCATION").unwrap().create_index("object_epc").unwrap();
-        db.table_mut("OBJECTCONTAINMENT").unwrap().create_index("object_epc").unwrap();
-        db.table_mut("OBJECTCONTAINMENT").unwrap().create_index("parent_epc").unwrap();
+        db.table_mut("OBSERVATION")
+            .unwrap()
+            .create_index("object_epc")
+            .unwrap();
+        db.table_mut("OBJECTLOCATION")
+            .unwrap()
+            .create_index("object_epc")
+            .unwrap();
+        db.table_mut("OBJECTCONTAINMENT")
+            .unwrap()
+            .create_index("object_epc")
+            .unwrap();
+        db.table_mut("OBJECTCONTAINMENT")
+            .unwrap()
+            .create_index("parent_epc")
+            .unwrap();
         db
     }
 
@@ -87,7 +99,8 @@ impl Database {
 
     /// A table by name, or an error naming it (for action execution).
     pub fn require(&self, name: &str) -> Result<&Table, TableError> {
-        self.table(name).ok_or_else(|| TableError::NoSuchColumn(format!("table {name}")))
+        self.table(name)
+            .ok_or_else(|| TableError::NoSuchColumn(format!("table {name}")))
     }
 
     /// A mutable table by name, or an error naming it.

@@ -54,7 +54,9 @@ impl Schema {
         for (name, _) in columns {
             assert!(seen.insert(*name), "duplicate column `{name}`");
         }
-        Self { columns: columns.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect() }
+        Self {
+            columns: columns.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect(),
+        }
     }
 
     /// Number of columns.
@@ -79,11 +81,17 @@ impl Schema {
 
     fn check_row(&self, row: &Row) -> Result<(), TableError> {
         if row.len() != self.arity() {
-            return Err(TableError::Arity { expected: self.arity(), got: row.len() });
+            return Err(TableError::Arity {
+                expected: self.arity(),
+                got: row.len(),
+            });
         }
         for ((name, ty), v) in self.columns.iter().zip(row) {
             if !ty.accepts(v) {
-                return Err(TableError::Type { column: name.clone(), value: v.clone() });
+                return Err(TableError::Type {
+                    column: name.clone(),
+                    value: v.clone(),
+                });
             }
         }
         Ok(())
@@ -124,7 +132,11 @@ pub struct Cond {
 impl Cond {
     /// Builds a condition.
     pub fn new(column: &str, op: CondOp, value: impl Into<Value>) -> Self {
-        Self { column: column.to_owned(), op, value: value.into() }
+        Self {
+            column: column.to_owned(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Shorthand for equality.
@@ -210,7 +222,13 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new(), live: Vec::new(), live_count: 0, indexes: HashMap::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            indexes: HashMap::new(),
+        }
     }
 
     /// The schema.
@@ -278,9 +296,9 @@ impl Table {
             .find(|(col, op, _)| *op == CondOp::Eq && self.indexes.contains_key(col));
         let check = |id: usize| -> bool {
             self.live[id]
-                && resolved.iter().all(|(col, op, value)| {
-                    cond_holds(&self.rows[id][*col], *op, value)
-                })
+                && resolved
+                    .iter()
+                    .all(|(col, op, value)| cond_holds(&self.rows[id][*col], *op, value))
         };
         let ids = match driver {
             Some((col, _, value)) => {
@@ -294,7 +312,11 @@ impl Table {
 
     /// Returns clones of the rows matching a filter.
     pub fn select(&self, filter: &Filter) -> Result<Vec<Row>, TableError> {
-        Ok(self.matching_ids(filter)?.into_iter().map(|id| self.rows[id].clone()).collect())
+        Ok(self
+            .matching_ids(filter)?
+            .into_iter()
+            .map(|id| self.rows[id].clone())
+            .collect())
     }
 
     /// Number of rows matching a filter.
@@ -316,7 +338,10 @@ impl Table {
                 .col(column)
                 .ok_or_else(|| TableError::NoSuchColumn(column.clone()))?;
             if !self.schema.columns[col].1.accepts(value) {
-                return Err(TableError::Type { column: column.clone(), value: value.clone() });
+                return Err(TableError::Type {
+                    column: column.clone(),
+                    value: value.clone(),
+                });
             }
             sets.push((col, value));
         }
@@ -347,7 +372,11 @@ impl Table {
 
     /// Iterates live rows in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter().zip(&self.live).filter(|(_, &l)| l).map(|(r, _)| r)
+        self.rows
+            .iter()
+            .zip(&self.live)
+            .filter(|(_, &l)| l)
+            .map(|(r, _)| r)
     }
 }
 
@@ -404,7 +433,9 @@ mod tests {
         t.insert(row(1, "truck", 10, None)).unwrap();
         t.insert(row(2, "warehouse", 5, None)).unwrap();
 
-        let rows = t.select(&Filter::on(Cond::eq("object_epc", epc(1)))).unwrap();
+        let rows = t
+            .select(&Filter::on(Cond::eq("object_epc", epc(1))))
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(t.len(), 3);
     }
@@ -416,13 +447,11 @@ mod tests {
         t.insert(row(1, "truck", 10, None)).unwrap();
 
         let open = t
-            .select(
-                &Filter::on(Cond::eq("object_epc", epc(1))).and(Cond::new(
-                    "tend",
-                    CondOp::Eq,
-                    Value::Uc,
-                )),
-            )
+            .select(&Filter::on(Cond::eq("object_epc", epc(1))).and(Cond::new(
+                "tend",
+                CondOp::Eq,
+                Value::Uc,
+            )))
             .unwrap();
         assert_eq!(open.len(), 1);
         assert_eq!(open[0][1], Value::str("truck"));
@@ -434,13 +463,18 @@ mod tests {
         t.insert(row(1, "warehouse", 0, None)).unwrap();
         let n = t
             .update(
-                &Filter::on(Cond::eq("object_epc", epc(1)))
-                    .and(Cond::new("tend", CondOp::Eq, Value::Uc)),
+                &Filter::on(Cond::eq("object_epc", epc(1))).and(Cond::new(
+                    "tend",
+                    CondOp::Eq,
+                    Value::Uc,
+                )),
                 &[("tend".to_owned(), Value::Time(Timestamp::from_secs(7)))],
             )
             .unwrap();
         assert_eq!(n, 1);
-        let rows = t.select(&Filter::on(Cond::eq("object_epc", epc(1)))).unwrap();
+        let rows = t
+            .select(&Filter::on(Cond::eq("object_epc", epc(1))))
+            .unwrap();
         assert_eq!(rows[0][3], Value::Time(Timestamp::from_secs(7)));
     }
 
@@ -449,10 +483,15 @@ mod tests {
         let mut t = location_table();
         t.insert(row(1, "a", 0, None)).unwrap();
         t.insert(row(2, "b", 0, None)).unwrap();
-        let n = t.delete(&Filter::on(Cond::eq("object_epc", epc(1)))).unwrap();
+        let n = t
+            .delete(&Filter::on(Cond::eq("object_epc", epc(1))))
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(t.len(), 1);
-        assert!(t.select(&Filter::on(Cond::eq("object_epc", epc(1)))).unwrap().is_empty());
+        assert!(t
+            .select(&Filter::on(Cond::eq("object_epc", epc(1))))
+            .unwrap()
+            .is_empty());
         assert_eq!(t.iter().count(), 1);
     }
 
@@ -478,7 +517,10 @@ mod tests {
         let mut t = location_table();
         assert!(matches!(
             t.insert(vec![Value::Int(1)]),
-            Err(TableError::Arity { expected: 4, got: 1 })
+            Err(TableError::Arity {
+                expected: 4,
+                got: 1
+            })
         ));
         assert!(matches!(
             t.insert(vec![Value::Int(1), Value::str("x"), Value::Uc, Value::Uc]),

@@ -57,7 +57,11 @@ impl ContainmentTree {
 
     /// Depth of the tree (a leaf has depth 0).
     pub fn depth(&self) -> usize {
-        self.children.iter().map(|c| 1 + c.depth()).max().unwrap_or(0)
+        self.children
+            .iter()
+            .map(|c| 1 + c.depth())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -90,7 +94,12 @@ impl Database {
             )),
             &[("tend".to_owned(), Value::Time(t))],
         )?;
-        table.insert(vec![Value::Epc(object), Value::str(location), Value::Time(t), Value::Uc])
+        table.insert(vec![
+            Value::Epc(object),
+            Value::str(location),
+            Value::Time(t),
+            Value::Uc,
+        ])
     }
 
     /// Rule 4: records that each of `children` entered `parent` at `t`,
@@ -111,7 +120,12 @@ impl Database {
                 )),
                 &[("tend".to_owned(), Value::Time(t))],
             )?;
-            table.insert(vec![Value::Epc(child), Value::Epc(parent), Value::Time(t), Value::Uc])?;
+            table.insert(vec![
+                Value::Epc(child),
+                Value::Epc(parent),
+                Value::Time(t),
+                Value::Uc,
+            ])?;
         }
         Ok(())
     }
@@ -147,7 +161,10 @@ impl Database {
                 Value::Uc,
             )),
         )?;
-        Ok(rows.into_iter().next().and_then(|r| r[1].as_str().map(str::to_owned)))
+        Ok(rows
+            .into_iter()
+            .next()
+            .and_then(|r| r[1].as_str().map(str::to_owned)))
     }
 
     /// Every location the object has held, in insertion (chronological)
@@ -269,7 +286,10 @@ impl Database {
             }
         }
         children.sort_by_key(|c| c.object);
-        Ok(ContainmentTree { object: node, children })
+        Ok(ContainmentTree {
+            object: node,
+            children,
+        })
     }
 
     /// Total time `object` spent at `location` up to `now` (open periods
@@ -345,14 +365,30 @@ mod tests {
         db.record_location(epc(1), "truck", ts(100)).unwrap();
         db.record_location(epc(1), "store", ts(200)).unwrap();
 
-        assert_eq!(db.location_at(epc(1), ts(50)).unwrap().as_deref(), Some("warehouse"));
-        assert_eq!(db.location_at(epc(1), ts(100)).unwrap().as_deref(), Some("truck"));
-        assert_eq!(db.location_at(epc(1), ts(500)).unwrap().as_deref(), Some("store"));
-        assert_eq!(db.current_location(epc(1)).unwrap().as_deref(), Some("store"));
+        assert_eq!(
+            db.location_at(epc(1), ts(50)).unwrap().as_deref(),
+            Some("warehouse")
+        );
+        assert_eq!(
+            db.location_at(epc(1), ts(100)).unwrap().as_deref(),
+            Some("truck")
+        );
+        assert_eq!(
+            db.location_at(epc(1), ts(500)).unwrap().as_deref(),
+            Some("store")
+        );
+        assert_eq!(
+            db.current_location(epc(1)).unwrap().as_deref(),
+            Some("store")
+        );
 
         let history = db.location_history(epc(1)).unwrap();
         assert_eq!(history.len(), 3);
-        assert_eq!(history[0].period.to, Some(ts(100)), "old row closed at move time");
+        assert_eq!(
+            history[0].period.to,
+            Some(ts(100)),
+            "old row closed at move time"
+        );
         assert_eq!(history[2].period.to, None, "latest row open (UC)");
     }
 
@@ -403,9 +439,11 @@ mod tests {
     fn transitive_contents() {
         let mut db = Database::rfid();
         let (pallet, case1, case2) = (epc(200), epc(100), epc(101));
-        db.record_containment(case1, &[epc(1), epc(2)], ts(10)).unwrap();
+        db.record_containment(case1, &[epc(1), epc(2)], ts(10))
+            .unwrap();
         db.record_containment(case2, &[epc(3)], ts(10)).unwrap();
-        db.record_containment(pallet, &[case1, case2], ts(20)).unwrap();
+        db.record_containment(pallet, &[case1, case2], ts(20))
+            .unwrap();
 
         let mut all = db.contents_recursive(pallet, ts(30)).unwrap();
         all.sort();
@@ -446,7 +484,10 @@ mod tests {
         db.record_location(epc(2), "truck", ts(10)).unwrap();
         assert!(db.were_colocated(epc(1), epc(2), ts(5)).unwrap());
         assert!(!db.were_colocated(epc(1), epc(2), ts(15)).unwrap());
-        assert!(!db.were_colocated(epc(1), epc(9), ts(5)).unwrap(), "unknown object");
+        assert!(
+            !db.were_colocated(epc(1), epc(9), ts(5)).unwrap(),
+            "unknown object"
+        );
     }
 
     #[test]
@@ -464,24 +505,32 @@ mod tests {
         let early = db.dwell_time(epc(1), "dock", ts(5)).unwrap();
         assert_eq!(early, rfid_events::Span::from_secs(5));
         // Unknown object/location: zero.
-        assert_eq!(db.dwell_time(epc(9), "dock", ts(50)).unwrap(), rfid_events::Span::ZERO);
+        assert_eq!(
+            db.dwell_time(epc(9), "dock", ts(50)).unwrap(),
+            rfid_events::Span::ZERO
+        );
     }
 
     #[test]
     fn containment_tree_renders_nesting() {
         let mut db = Database::rfid();
         let (pallet, case1, case2) = (epc(200), epc(100), epc(101));
-        db.record_containment(case1, &[epc(1), epc(2)], ts(10)).unwrap();
+        db.record_containment(case1, &[epc(1), epc(2)], ts(10))
+            .unwrap();
         db.record_containment(case2, &[epc(3)], ts(10)).unwrap();
-        db.record_containment(pallet, &[case1, case2], ts(20)).unwrap();
+        db.record_containment(pallet, &[case1, case2], ts(20))
+            .unwrap();
 
         let tree = db.containment_tree(pallet, ts(30)).unwrap();
         assert_eq!(tree.object, pallet);
         assert_eq!(tree.size(), 5, "two cases + three items");
         assert_eq!(tree.depth(), 2);
         assert_eq!(tree.children.len(), 2);
-        let case1_node =
-            tree.children.iter().find(|c| c.object == case1).expect("case1 present");
+        let case1_node = tree
+            .children
+            .iter()
+            .find(|c| c.object == case1)
+            .expect("case1 present");
         assert_eq!(case1_node.children.len(), 2);
 
         // Before the pallet packing, the tree under the pallet is empty.
@@ -492,12 +541,18 @@ mod tests {
 
     #[test]
     fn period_covers_semantics() {
-        let closed = Period { from: ts(10), to: Some(ts(20)) };
+        let closed = Period {
+            from: ts(10),
+            to: Some(ts(20)),
+        };
         assert!(!closed.covers(ts(9)));
         assert!(closed.covers(ts(10)));
         assert!(closed.covers(ts(19)));
         assert!(!closed.covers(ts(20)), "end is exclusive");
-        let open = Period { from: ts(10), to: None };
+        let open = Period {
+            from: ts(10),
+            to: None,
+        };
         assert!(open.covers(ts(1_000_000)));
     }
 }

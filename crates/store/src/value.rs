@@ -137,10 +137,16 @@ mod tests {
     #[test]
     fn same_type_ordering() {
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::str("a").compare(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").compare(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         let e1: Epc = Gid96::new(1, 1, 1).unwrap().into();
         let e2: Epc = Gid96::new(1, 1, 2).unwrap().into();
-        assert_eq!(Value::Epc(e1).compare(&Value::Epc(e2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Epc(e1).compare(&Value::Epc(e2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -77,9 +77,17 @@ impl DurableDatabase {
     /// log), seeded with `base`'s schemas and rows.
     pub fn create(path: impl Into<PathBuf>, base: Database) -> Result<Self, WalError> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
-        let mut this =
-            Self { db: Database::new(), path, writer: BufWriter::new(file), records: 0 };
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut this = Self {
+            db: Database::new(),
+            path,
+            writer: BufWriter::new(file),
+            records: 0,
+        };
         let mut names: Vec<String> = base.table_names().map(str::to_owned).collect();
         names.sort();
         for name in names {
@@ -136,9 +144,10 @@ impl DurableDatabase {
                             break; // torn tail: drop it
                         }
                         return Err(match e {
-                            WalError::Corrupt { reason, .. } => {
-                                WalError::Corrupt { line: line_no, reason }
-                            }
+                            WalError::Corrupt { reason, .. } => WalError::Corrupt {
+                                line: line_no,
+                                reason,
+                            },
                             other => other,
                         });
                     }
@@ -150,7 +159,12 @@ impl DurableDatabase {
         file.set_len(valid_bytes)?;
         let mut file = OpenOptions::new().append(true).open(&path)?;
         file.flush()?;
-        Ok(Self { db, path, writer: BufWriter::new(file), records })
+        Ok(Self {
+            db,
+            path,
+            writer: BufWriter::new(file),
+            records,
+        })
     }
 
     /// Read access to the underlying database (all query APIs).
@@ -202,8 +216,11 @@ impl DurableDatabase {
         self.sync()?;
         let tmp = self.path.with_extension("wal.tmp");
         {
-            let file =
-                OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+            let file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
             let mut w = BufWriter::new(file);
             let mut names: Vec<String> = self.db.table_names().map(str::to_owned).collect();
             names.sort();
@@ -294,7 +311,9 @@ fn decode_value(s: &str) -> Result<Value, String> {
     if s == "NULL" {
         return Ok(Value::Null);
     }
-    let (tag, body) = s.split_once(':').ok_or_else(|| format!("bad value `{s}`"))?;
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad value `{s}`"))?;
     Ok(match tag {
         "E" => Value::Epc(Epc::from_hex(body).map_err(|e| e.to_string())?),
         "S" => Value::Str(unesc(body)?),
@@ -383,7 +402,10 @@ fn encode_create(name: &str, schema: &Schema) -> String {
 }
 
 fn corrupt(reason: impl Into<String>) -> WalError {
-    WalError::Corrupt { line: 0, reason: reason.into() }
+    WalError::Corrupt {
+        line: 0,
+        reason: reason.into(),
+    }
 }
 
 fn apply_record(db: &mut Database, line: &str) -> Result<(), WalError> {
@@ -391,8 +413,8 @@ fn apply_record(db: &mut Database, line: &str) -> Result<(), WalError> {
     let kind = parts.next().ok_or_else(|| corrupt("empty record"))?;
     match kind {
         "C" => {
-            let name = unesc(parts.next().ok_or_else(|| corrupt("missing table"))?)
-                .map_err(corrupt)?;
+            let name =
+                unesc(parts.next().ok_or_else(|| corrupt("missing table"))?).map_err(corrupt)?;
             let cols_text = parts.next().ok_or_else(|| corrupt("missing columns"))?;
             let mut cols: Vec<(String, ColumnType)> = Vec::new();
             for col in cols_text.split(',').filter(|c| !c.is_empty()) {
@@ -416,15 +438,15 @@ fn apply_record(db: &mut Database, line: &str) -> Result<(), WalError> {
             Ok(())
         }
         "I" => {
-            let table = unesc(parts.next().ok_or_else(|| corrupt("missing table"))?)
-                .map_err(corrupt)?;
+            let table =
+                unesc(parts.next().ok_or_else(|| corrupt("missing table"))?).map_err(corrupt)?;
             let row: Result<Row, String> = parts.map(decode_value).collect();
             db.require_mut(&table)?.insert(row.map_err(corrupt)?)?;
             Ok(())
         }
         "U" => {
-            let table = unesc(parts.next().ok_or_else(|| corrupt("missing table"))?)
-                .map_err(corrupt)?;
+            let table =
+                unesc(parts.next().ok_or_else(|| corrupt("missing table"))?).map_err(corrupt)?;
             let n_sets: usize = parts
                 .next()
                 .ok_or_else(|| corrupt("missing set count"))?
@@ -443,8 +465,8 @@ fn apply_record(db: &mut Database, line: &str) -> Result<(), WalError> {
             Ok(())
         }
         "D" => {
-            let table = unesc(parts.next().ok_or_else(|| corrupt("missing table"))?)
-                .map_err(corrupt)?;
+            let table =
+                unesc(parts.next().ok_or_else(|| corrupt("missing table"))?).map_err(corrupt)?;
             let filter = decode_filter(&mut parts)?;
             db.require_mut(&table)?.delete(&filter)?;
             Ok(())
@@ -463,8 +485,8 @@ fn decode_filter<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<Filter
     for _ in 0..n {
         let column =
             unesc(parts.next().ok_or_else(|| corrupt("missing cond column"))?).map_err(corrupt)?;
-        let op = decode_op(parts.next().ok_or_else(|| corrupt("missing cond op"))?)
-            .map_err(corrupt)?;
+        let op =
+            decode_op(parts.next().ok_or_else(|| corrupt("missing cond op"))?).map_err(corrupt)?;
         let value = decode_value(parts.next().ok_or_else(|| corrupt("missing cond value"))?)
             .map_err(corrupt)?;
         filter = filter.and(Cond { column, op, value });
@@ -496,7 +518,12 @@ mod tests {
             let mut d = DurableDatabase::create(&path, Database::rfid()).unwrap();
             d.insert(
                 "OBJECTLOCATION",
-                vec![Value::Epc(epc(1)), Value::str("dock"), Value::Time(ts(0)), Value::Uc],
+                vec![
+                    Value::Epc(epc(1)),
+                    Value::str("dock"),
+                    Value::Time(ts(0)),
+                    Value::Uc,
+                ],
             )
             .unwrap();
             d.update(
@@ -507,7 +534,12 @@ mod tests {
             .unwrap();
             d.insert(
                 "OBJECTLOCATION",
-                vec![Value::Epc(epc(1)), Value::str("truck"), Value::Time(ts(9)), Value::Uc],
+                vec![
+                    Value::Epc(epc(1)),
+                    Value::str("truck"),
+                    Value::Time(ts(9)),
+                    Value::Uc,
+                ],
             )
             .unwrap();
             d.sync().unwrap();
@@ -515,8 +547,14 @@ mod tests {
 
         let recovered = DurableDatabase::open(&path).unwrap();
         let db = recovered.db();
-        assert_eq!(db.current_location(epc(1)).unwrap().as_deref(), Some("truck"));
-        assert_eq!(db.location_at(epc(1), ts(5)).unwrap().as_deref(), Some("dock"));
+        assert_eq!(
+            db.current_location(epc(1)).unwrap().as_deref(),
+            Some("truck")
+        );
+        assert_eq!(
+            db.location_at(epc(1), ts(5)).unwrap().as_deref(),
+            Some("dock")
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -578,7 +616,12 @@ mod tests {
         // Many superseded updates…
         d.insert(
             "OBJECTLOCATION",
-            vec![Value::Epc(epc(1)), Value::str("a"), Value::Time(ts(0)), Value::Uc],
+            vec![
+                Value::Epc(epc(1)),
+                Value::str("a"),
+                Value::Time(ts(0)),
+                Value::Uc,
+            ],
         )
         .unwrap();
         for i in 0..50u64 {

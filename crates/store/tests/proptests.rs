@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rfid_epc::{Epc, Gid96};
-use rfid_store::{Cond, CondOp, Database, Filter, Value};
 use rfid_events::Timestamp;
+use rfid_store::{Cond, CondOp, Database, Filter, Value};
 
 fn epc(n: u64) -> Epc {
     Gid96::new(1, 1, n).unwrap().into()

@@ -26,7 +26,9 @@ fn main() {
     catalog.types.map_class_of(superuser(0), "superuser");
 
     let mut runtime = RuleRuntime::new(catalog);
-    runtime.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    runtime
+        .load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+        .unwrap();
     runtime.register_procedure("send_alarm", |args| {
         println!("  🔔 ALARM: {} taken out at {}", args[0], args[1]);
     });
@@ -53,7 +55,11 @@ fn main() {
             }
             Some(b) => {
                 // Badge before the laptop.
-                runtime.process(Observation::new(exit, b, t.saturating_sub(Span::from_secs(3))));
+                runtime.process(Observation::new(
+                    exit,
+                    b,
+                    t.saturating_sub(Span::from_secs(3)),
+                ));
                 runtime.process(Observation::new(exit, asset, t));
             }
             None => runtime.process(Observation::new(exit, asset, t)),

@@ -14,7 +14,10 @@ fn main() {
     let laptop = Grai96::new(0, 614_141, 7, 11, 77).unwrap();
     let badge = Gid96::new(9_001, 7, 12).unwrap();
 
-    println!("{:<10} {:<28} pure-identity URI", "scheme", "hex (on the tag)");
+    println!(
+        "{:<10} {:<28} pure-identity URI",
+        "scheme", "hex (on the tag)"
+    );
     for (name, epc) in [
         ("SGTIN-96", Epc::from(item)),
         ("SSCC-96", Epc::from(case)),
@@ -48,6 +51,9 @@ fn main() {
         types.type_of(another_serial).map(|t| t.name().to_owned())
     );
     assert!(types.is_type(another_serial, "beverage-crate"));
-    assert!(types.is_type(Epc::from(Grai96::new(0, 614_141, 7, 11, 1).unwrap()), "laptop"));
+    assert!(types.is_type(
+        Epc::from(Grai96::new(0, 614_141, 7, 11, 1).unwrap()),
+        "laptop"
+    ));
     println!("\nall round-trips verified ✓");
 }

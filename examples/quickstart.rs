@@ -45,20 +45,33 @@ fn main() {
     // Example 2 of the paper: WITHIN(laptop ∧ ¬superuser, 5 sec).
     let event = EventExpr::observation_at("dock1")
         .with_type("laptop")
-        .and(EventExpr::observation_at("dock1").with_type("superuser").not())
+        .and(
+            EventExpr::observation_at("dock1")
+                .with_type("superuser")
+                .not(),
+        )
         .within(Span::from_secs(5));
     println!("event algebra  : {event}");
 
     let mut engine = Engine::new(catalog, EngineConfig::default());
-    let rule = engine.add_rule("asset-monitoring", event).expect("valid rule");
+    let rule = engine
+        .add_rule("asset-monitoring", event)
+        .expect("valid rule");
 
     let mut alarms = Vec::new();
-    engine.process(Observation::new(dock, laptop, Timestamp::from_secs(60)), &mut |r, inst| {
-        alarms.push((r, inst.observations()[0].object));
-    });
+    engine.process(
+        Observation::new(dock, laptop, Timestamp::from_secs(60)),
+        &mut |r, inst| {
+            alarms.push((r, inst.observations()[0].object));
+        },
+    );
     engine.finish(&mut |r, inst| alarms.push((r, inst.observations()[0].object)));
 
-    println!("engine         : {} alarm(s) for rule {:?}", alarms.len(), rule);
+    println!(
+        "engine         : {} alarm(s) for rule {:?}",
+        alarms.len(),
+        rule
+    );
     assert_eq!(alarms.len(), 1, "no badge followed the laptop");
     println!("engine stats   : {}", engine.stats());
 }

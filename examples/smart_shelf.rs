@@ -17,13 +17,21 @@ fn product(serial: u64) -> Epc {
 
 fn main() {
     let mut catalog = Catalog::new();
-    let shelf = catalog.readers.register("shelf1", "shelves", "aisle-3-shelf-1");
+    let shelf = catalog
+        .readers
+        .register("shelf1", "shelves", "aisle-3-shelf-1");
     catalog.types.map_class_of(product(0), "product");
 
     let mut runtime = RuleRuntime::new(catalog);
-    runtime.load(&stdlib::duplicate_detection("r1", Span::from_secs(5))).unwrap();
-    runtime.load(&stdlib::infield_filtering("r2", Span::from_secs(30))).unwrap();
-    runtime.load(&stdlib::outfield_filtering("r2b", Span::from_secs(30))).unwrap();
+    runtime
+        .load(&stdlib::duplicate_detection("r1", Span::from_secs(5)))
+        .unwrap();
+    runtime
+        .load(&stdlib::infield_filtering("r2", Span::from_secs(30)))
+        .unwrap();
+    runtime
+        .load(&stdlib::outfield_filtering("r2b", Span::from_secs(30)))
+        .unwrap();
     runtime.register_procedure("send_outfield_msg", |args| {
         println!("  ← outfield: {} last seen at {}", args[1], args[2]);
     });
@@ -39,14 +47,25 @@ fn main() {
         (90, vec![1, 3, 4]),
     ] {
         for serial in present {
-            stream.push(Observation::new(shelf, product(serial), Timestamp::from_secs(tick)));
+            stream.push(Observation::new(
+                shelf,
+                product(serial),
+                Timestamp::from_secs(tick),
+            ));
         }
     }
     // The glitch: product 1 re-read 800 ms after the t=30 bulk read.
-    stream.push(Observation::new(shelf, product(1), Timestamp::from_millis(30_800)));
+    stream.push(Observation::new(
+        shelf,
+        product(1),
+        Timestamp::from_millis(30_800),
+    ));
     stream.sort();
 
-    println!("feeding {} raw reads (12 bulk + 1 duplicate)…\n", stream.len());
+    println!(
+        "feeding {} raw reads (12 bulk + 1 duplicate)…\n",
+        stream.len()
+    );
     runtime.process_all(stream);
 
     // Infield events landed in the OBSERVATION table.
@@ -55,7 +74,11 @@ fn main() {
     for row in infields.iter() {
         println!("  → infield: {} at {}", row[1], row[2]);
     }
-    assert_eq!(infields.len(), 4, "products 1, 2, 3 at t=0 and product 4 at t=60");
+    assert_eq!(
+        infields.len(),
+        4,
+        "products 1, 2, 3 at t=0 and product 4 at t=60"
+    );
 
     let dups = runtime.procedures().calls("send_duplicate_msg").count();
     println!("duplicates suppressed: {dups}");

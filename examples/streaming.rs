@@ -26,7 +26,9 @@ fn main() {
     catalog.types.map_class_of(badge(0), "superuser");
 
     let mut runtime = RuleRuntime::new(catalog);
-    runtime.load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5))).unwrap();
+    runtime
+        .load(&stdlib::asset_monitoring("r5", "r4", Span::from_secs(5)))
+        .unwrap();
     runtime.register_procedure("send_alarm", |args| {
         println!("  🔔 ALARM for {}", args[0]);
     });
@@ -78,6 +80,10 @@ fn main() {
 
     let runtime = handle.stop();
     assert_eq!(runtime.procedures().calls("send_alarm").count(), 1);
-    assert_eq!(filters.dropped_per_stage(), vec![1], "the duplicate was dropped at the edge");
+    assert_eq!(
+        filters.dropped_per_stage(),
+        vec![1],
+        "the duplicate was dropped at the edge"
+    );
     println!("stream closed cleanly; exactly the 09:05 laptop alarmed.");
 }

@@ -12,7 +12,13 @@ use rfid_cep::rules::RuleRuntime;
 use rfid_cep::simulator::{SimConfig, SupplyChain};
 
 fn main() {
-    let cfg = SimConfig { packing_lines: 4, shelves: 4, docks: 2, exits: 1, ..SimConfig::default() };
+    let cfg = SimConfig {
+        packing_lines: 4,
+        shelves: 4,
+        docks: 2,
+        exits: 1,
+        ..SimConfig::default()
+    };
     let sim = SupplyChain::build(cfg);
     let trace = sim.generate(20_000);
     println!(
@@ -25,26 +31,42 @@ fn main() {
     );
 
     let mut runtime = RuleRuntime::new(sim.catalog.clone());
-    runtime.load(&sim.rule_set()).expect("canonical rule set loads");
+    runtime
+        .load(&sim.rule_set())
+        .expect("canonical rule set loads");
     let t0 = std::time::Instant::now();
     runtime.process_all(trace.observations.iter().copied());
-    println!("processed in {:.1} ms\n", t0.elapsed().as_secs_f64() * 1000.0);
+    println!(
+        "processed in {:.1} ms\n",
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
 
     // --- What the rules built in the store ---------------------------------
     let db = runtime.db();
     let containments = db.table("OBJECTCONTAINMENT").unwrap().len();
     let locations = db.table("OBJECTLOCATION").unwrap().len();
     let observations = db.table("OBSERVATION").unwrap().len();
-    println!("store: {containments} containment rows, {locations} location rows, \
-              {observations} filtered observations");
+    println!(
+        "store: {containments} containment rows, {locations} location rows, \
+              {observations} filtered observations"
+    );
 
     // Spot-check one expected aggregation against the store.
     let expected = &trace.truth.containments[trace.truth.containments.len() / 2];
-    let mut found = db.contents_at(expected.case, expected.at + rfid_cep::events::Span::from_secs(1)).unwrap();
+    let mut found = db
+        .contents_at(
+            expected.case,
+            expected.at + rfid_cep::events::Span::from_secs(1),
+        )
+        .unwrap();
     found.sort();
     let mut want = expected.items.clone();
     want.sort();
-    assert_eq!(found, want, "store matches ground truth for case {}", expected.case);
+    assert_eq!(
+        found, want,
+        "store matches ground truth for case {}",
+        expected.case
+    );
     println!(
         "case {} holds its {} items exactly as the conveyor packed them ✓",
         expected.case,
@@ -85,10 +107,7 @@ fn main() {
         let history = db.location_history(obj).unwrap();
         println!("\nlocation history of {obj}:");
         for fact in history {
-            let to = fact
-                .period
-                .to
-                .map_or("UC".to_owned(), |t| t.to_string());
+            let to = fact.period.to.map_or("UC".to_owned(), |t| t.to_string());
             println!("  {} from {} to {to}", fact.location, fact.period.from);
         }
     }

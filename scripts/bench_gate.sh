@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Throughput regression gate: re-runs the single-threaded hot-path benchmark
+# and fails if events/s fell more than 15% below the committed reference in
+# results/BENCH_hotpath.json. Pass a different tolerance (percent) as $1.
+#
+# On pass, the refreshed JSON is kept (the reference tracks the current
+# tree); on fail, the prior reference is restored so reruns still compare
+# against the good numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${1:-15}"
+reference=results/BENCH_hotpath.json
+
+if [[ ! -f "$reference" ]]; then
+    echo "bench_gate.sh: no committed $reference; run fig9_hotpath first" >&2
+    exit 1
+fi
+
+parse_eps() {
+    awk -F': ' '/"events_per_sec"/ { gsub(/,/, "", $2); print $2 }' "$1"
+}
+
+ref_eps=$(parse_eps "$reference")
+if [[ -z "$ref_eps" ]]; then
+    echo "bench_gate.sh: could not parse events_per_sec from $reference" >&2
+    exit 1
+fi
+
+saved=$(mktemp)
+cp "$reference" "$saved"
+trap 'rm -f "$saved"' EXIT
+
+echo "== bench gate: hot-path throughput (reference ${ref_eps} ev/s, -${tolerance}% floor) =="
+cargo run -q --release -p rfid-bench --bin fig9_hotpath >/dev/null
+
+new_eps=$(parse_eps "$reference")
+
+if ! awk -v ref="$ref_eps" -v new="$new_eps" -v tol="$tolerance" 'BEGIN {
+    floor = ref * (1 - tol / 100)
+    printf "  reference: %.0f ev/s | measured: %.0f ev/s | floor: %.0f ev/s\n", ref, new, floor
+    if (new < floor) {
+        printf "bench_gate.sh: FAIL — throughput regressed more than %s%%\n", tol
+        exit 1
+    }
+    printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
+}'; then
+    cp "$saved" "$reference"
+    exit 1
+fi

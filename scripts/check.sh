@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide static gate: formatting, lints, and the fast test suite.
+# Run before every push; scripts/reproduce.sh runs it first so benchmark
+# numbers are never produced from a tree that fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt (check) =="
+cargo fmt --all -- --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (root package) =="
+cargo test -q
+
+echo "check.sh: all gates passed"

@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 out=results
 mkdir -p "$out"
 
+# Static gate first: never produce benchmark numbers from a tree that fails
+# fmt/clippy/tests.
+scripts/check.sh
+
 echo "== building (release) =="
 cargo build --release -p rfid-bench
 
@@ -26,6 +30,10 @@ run ablation_partition # Ablation A2: keyed buffers
 run action_cost        # §5 methodology: detection vs detection+actions
 run mem_profile        # working set vs window
 run fig9_shard         # shard sweep: throughput vs. keyed shards (also writes results/BENCH_shard.json)
+run fig9_hotpath       # single-threaded hot-path gate (also writes results/BENCH_hotpath.json)
+
+# Throughput regression gate against the reference just written.
+scripts/bench_gate.sh
 
 echo
 echo "All tables written to $out/. Criterion microbenchmarks: cargo bench --workspace"

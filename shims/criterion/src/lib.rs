@@ -34,12 +34,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered from the benchmarked parameter.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 
     /// An id with a function name and a parameter.
     pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
-        Self { id: format!("{function_name}/{parameter}") }
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -117,10 +121,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         let median = bencher.median();
-        self.criterion.report(&format!("{}/{id}", self.name), median, self.throughput);
+        self.criterion
+            .report(&format!("{}/{id}", self.name), median, self.throughput);
         self
     }
 
@@ -134,10 +142,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher, input);
         let median = bencher.median();
-        self.criterion.report(&format!("{}/{id}", self.name), median, self.throughput);
+        self.criterion
+            .report(&format!("{}/{id}", self.name), median, self.throughput);
         self
     }
 
@@ -170,7 +182,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: 10 };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
         f(&mut bencher);
         let median = bencher.median();
         self.report(id, median, None);
@@ -226,10 +241,13 @@ mod tests {
         group.throughput(Throughput::Elements(100));
         let mut runs = 0u32;
         group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
-            b.iter_with_setup(|| x, |v| {
-                runs += 1;
-                v * 2
-            });
+            b.iter_with_setup(
+                || x,
+                |v| {
+                    runs += 1;
+                    v * 2
+                },
+            );
         });
         group.finish();
         assert_eq!(runs, 3);

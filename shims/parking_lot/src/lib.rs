@@ -28,14 +28,18 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
+        self.0
+            .into_inner()
+            .unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
+        self.0
+            .lock()
+            .unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
     }
 
     /// Attempts to acquire the lock without blocking.
@@ -45,7 +49,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
+        self.0
+            .get_mut()
+            .unwrap_or_else(|e| panic!("poisoned mutex: {e}"))
     }
 }
 
@@ -61,19 +67,25 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
+        self.0
+            .into_inner()
+            .unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
+        self.0
+            .read()
+            .unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
+        self.0
+            .write()
+            .unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
     }
 
     /// Attempts shared read access without blocking.
@@ -88,7 +100,9 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
+        self.0
+            .get_mut()
+            .unwrap_or_else(|e| panic!("poisoned rwlock: {e}"))
     }
 }
 

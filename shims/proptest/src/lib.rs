@@ -162,7 +162,10 @@ pub mod strategy {
     impl<T> Union<T> {
         /// A union over `options`; must be non-empty.
         pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one strategy"
+            );
             Self { options }
         }
     }
@@ -311,13 +314,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -338,7 +347,10 @@ pub mod collection {
 
     /// Generates vectors of `element` samples.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -441,8 +453,9 @@ pub mod string {
         pieces
     }
 
-    const EXOTIC: &[char] =
-        &['\t', '\n', '"', '\'', '\\', '\u{0}', '\u{7f}', 'é', 'λ', '中', '🦀', '\u{202e}'];
+    const EXOTIC: &[char] = &[
+        '\t', '\n', '"', '\'', '\\', '\u{0}', '\u{7f}', 'é', 'λ', '中', '🦀', '\u{202e}',
+    ];
 
     fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
         match atom {
@@ -576,7 +589,7 @@ mod tests {
             let max = 10u64.pow(d) - 1;
             (Just(d), 0..=max)
         })) {
-            prop_assert!(n <= 10u64.pow(digits) - 1);
+            prop_assert!(n < 10u64.pow(digits));
         }
 
         #[test]

@@ -45,7 +45,9 @@ fn main() {
 
 /// Tiny `--key value` argument scanner.
 fn opt(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn flag(args: &[String], key: &str) -> bool {
@@ -53,14 +55,21 @@ fn flag(args: &[String], key: &str) -> bool {
 }
 
 fn simulate(args: &[String]) -> Result<(), String> {
-    let events: usize =
-        opt(args, "--events").unwrap_or_else(|| "20000".into()).parse().map_err(|_| "--events must be a number")?;
-    let seed: u64 =
-        opt(args, "--seed").unwrap_or_else(|| "42".into()).parse().map_err(|_| "--seed must be a number")?;
+    let events: usize = opt(args, "--events")
+        .unwrap_or_else(|| "20000".into())
+        .parse()
+        .map_err(|_| "--events must be a number")?;
+    let seed: u64 = opt(args, "--seed")
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .map_err(|_| "--seed must be a number")?;
     let out_dir = PathBuf::from(opt(args, "--out-dir").unwrap_or_else(|| ".".into()));
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
-    let sim = SupplyChain::build(SimConfig { seed, ..SimConfig::default() });
+    let sim = SupplyChain::build(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
     let trace = sim.generate(events);
 
     // trace.csv
@@ -72,7 +81,12 @@ fn simulate(args: &[String]) -> Result<(), String> {
             .def(obs.reader)
             .map(|d| d.name.to_string())
             .unwrap_or_else(|| obs.reader.to_string());
-        out.push_str(&format!("{},{},{}\n", obs.at.as_millis(), name, obs.object.to_uri()));
+        out.push_str(&format!(
+            "{},{},{}\n",
+            obs.at.as_millis(),
+            name,
+            obs.object.to_uri()
+        ));
     }
     write_file(&out_dir.join("trace.csv"), &out)?;
 
@@ -122,7 +136,8 @@ fn simulate(args: &[String]) -> Result<(), String> {
 fn run(args: &[String]) -> Result<(), String> {
     let script_path = opt(args, "--script").ok_or("--script <file> required")?;
     let trace_path = opt(args, "--trace").ok_or("--trace <file> required")?;
-    let script = std::fs::read_to_string(&script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let script =
+        std::fs::read_to_string(&script_path).map_err(|e| format!("{script_path}: {e}"))?;
     let catalog = load_catalog(args)?;
     let stream = load_trace(&trace_path, &catalog)?;
 
@@ -135,7 +150,10 @@ fn run(args: &[String]) -> Result<(), String> {
     rt.process_all(stream);
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
 
-    println!("processed {n} events in {elapsed:.1} ms ({:.0} ev/s)", n as f64 / (elapsed / 1000.0));
+    println!(
+        "processed {n} events in {elapsed:.1} ms ({:.0} ev/s)",
+        n as f64 / (elapsed / 1000.0)
+    );
     println!("engine: {}", rt.engine().stats());
     let mut tables: Vec<String> = rt.db().table_names().map(str::to_owned).collect();
     tables.sort();
@@ -162,7 +180,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn inspect(args: &[String]) -> Result<(), String> {
     let script_path = opt(args, "--script").ok_or("--script <file> required")?;
-    let script = std::fs::read_to_string(&script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let script =
+        std::fs::read_to_string(&script_path).map_err(|e| format!("{script_path}: {e}"))?;
     let catalog = load_catalog(args).unwrap_or_default();
 
     let parsed = parse_script(&script).map_err(|e| e.to_string())?;
@@ -171,7 +190,9 @@ fn inspect(args: &[String]) -> Result<(), String> {
     for rule in &parsed.rules {
         let resolved = resolve_aliases(&rule.event, &defines).map_err(|e| e.to_string())?;
         let expr = compile_event(&resolved).map_err(|e| e.to_string())?;
-        engine.add_rule(&rule.name, expr).map_err(|e| e.to_string())?;
+        engine
+            .add_rule(&rule.name, expr)
+            .map_err(|e| e.to_string())?;
     }
     if flag(args, "--dot") {
         print!("{}", engine.graph().to_dot());
@@ -195,7 +216,9 @@ fn load_catalog(args: &[String]) -> Result<Catalog, String> {
             if cols.len() != 3 {
                 return Err(format!("{path}:{line_no}: expected name,group,location"));
             }
-            catalog.readers.register(cols[0].trim(), cols[1].trim(), cols[2].trim());
+            catalog
+                .readers
+                .register(cols[0].trim(), cols[1].trim(), cols[2].trim());
         }
     }
     if let Some(path) = opt(args, "--types") {
@@ -204,7 +227,10 @@ fn load_catalog(args: &[String]) -> Result<Catalog, String> {
             if cols.len() != 2 {
                 return Err(format!("{path}:{line_no}: expected sample_epc,type"));
             }
-            let epc: Epc = cols[0].trim().parse().map_err(|e| format!("{path}:{line_no}: {e}"))?;
+            let epc: Epc = cols[0]
+                .trim()
+                .parse()
+                .map_err(|e| format!("{path}:{line_no}: {e}"))?;
             catalog.types.map_class_of(epc, cols[1].trim());
         }
     }
@@ -218,13 +244,20 @@ fn load_trace(path: &str, catalog: &Catalog) -> Result<Vec<Observation>, String>
         if cols.len() != 3 {
             return Err(format!("{path}:{line_no}: expected time_ms,reader,epc"));
         }
-        let at: u64 =
-            cols[0].trim().parse().map_err(|_| format!("{path}:{line_no}: bad timestamp"))?;
-        let reader = catalog
-            .reader(cols[1].trim())
-            .ok_or_else(|| format!("{path}:{line_no}: unknown reader `{}` (missing --readers?)", cols[1]))?;
-        let object: Epc =
-            cols[2].trim().parse().map_err(|e| format!("{path}:{line_no}: {e}"))?;
+        let at: u64 = cols[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{line_no}: bad timestamp"))?;
+        let reader = catalog.reader(cols[1].trim()).ok_or_else(|| {
+            format!(
+                "{path}:{line_no}: unknown reader `{}` (missing --readers?)",
+                cols[1]
+            )
+        })?;
+        let object: Epc = cols[2]
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}:{line_no}: {e}"))?;
         out.push(Observation::new(reader, object, Timestamp::from_millis(at)));
     }
     out.sort();
@@ -245,5 +278,6 @@ fn read_csv_rows(path: &str) -> Result<Vec<(usize, String)>, String> {
 
 fn write_file(path: &Path, contents: &str) -> Result<(), String> {
     let mut f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    f.write_all(contents.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))
+    f.write_all(contents.as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))
 }

@@ -24,8 +24,18 @@ fn simulate_then_run_round_trips() {
         .arg(&dir)
         .output()
         .expect("simulate runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    for file in ["trace.csv", "readers.csv", "types.csv", "rules.rules", "truth.txt"] {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for file in [
+        "trace.csv",
+        "readers.csv",
+        "types.csv",
+        "rules.rules",
+        "truth.txt",
+    ] {
         assert!(dir.join(file).exists(), "{file} missing");
     }
 
@@ -40,10 +50,17 @@ fn simulate_then_run_round_trips() {
         .arg(dir.join("types.csv"))
         .output()
         .expect("run runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("processed"), "{stdout}");
-    assert!(stdout.contains("OBJECTCONTAINMENT"), "containments materialized: {stdout}");
+    assert!(
+        stdout.contains("OBJECTCONTAINMENT"),
+        "containments materialized: {stdout}"
+    );
 
     // The run's containment count equals the truth file's.
     let truth = std::fs::read_to_string(dir.join("truth.txt")).unwrap();
@@ -55,8 +72,12 @@ fn simulate_then_run_round_trips() {
         .unwrap();
     // OBJECTCONTAINMENT rows = total packed items, which is >= containments;
     // check alarms instead, which map 1:1 to a procedure count.
-    let expected_alarms: usize =
-        truth.lines().find_map(|l| l.strip_prefix("alarms: ")).unwrap().parse().unwrap();
+    let expected_alarms: usize = truth
+        .lines()
+        .find_map(|l| l.strip_prefix("alarms: "))
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(
         stdout.contains(&format!("send_alarm called {expected_alarms} time(s)"))
             || expected_alarms == 0,
@@ -77,13 +98,21 @@ fn inspect_prints_analysis_and_dot() {
     )
     .unwrap();
 
-    let out = cli().args(["inspect", "--script"]).arg(&script).output().unwrap();
+    let out = cli()
+        .args(["inspect", "--script"])
+        .arg(&script)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SEQ"), "{stdout}");
     assert!(stdout.contains("two-sided"), "{stdout}");
 
-    let out = cli().args(["inspect", "--dot", "--script"]).arg(&script).output().unwrap();
+    let out = cli()
+        .args(["inspect", "--dot", "--script"])
+        .arg(&script)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
     let _ = std::fs::remove_dir_all(&dir);
@@ -91,7 +120,10 @@ fn inspect_prints_analysis_and_dot() {
 
 #[test]
 fn bad_input_fails_cleanly() {
-    let out = cli().args(["run", "--script", "/nonexistent"]).output().unwrap();
+    let out = cli()
+        .args(["run", "--script", "/nonexistent"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 

@@ -74,7 +74,14 @@ fn glitch_filter_suppresses_ghosts_not_real_bursts() {
             Timestamp::from_millis(i * 300),
         )));
     }
-    passed.extend(f.offer(Observation::new(ReaderId(0), tag(2), Timestamp::from_secs(10))));
-    assert!(passed.iter().all(|o| o.object == tag(1)), "only the real tag passes");
+    passed.extend(f.offer(Observation::new(
+        ReaderId(0),
+        tag(2),
+        Timestamp::from_secs(10),
+    )));
+    assert!(
+        passed.iter().all(|o| o.object == tag(1)),
+        "only the real tag passes"
+    );
     assert!(!passed.is_empty());
 }

@@ -45,7 +45,11 @@ fn fig8_through_the_rule_language() {
 
     let emitted: Vec<&[Value]> = rt.procedures().calls("emit").collect();
     assert_eq!(emitted.len(), 1);
-    assert_eq!(emitted[0][0], Value::Epc(epc(10, 2)), "only the t=20 instance");
+    assert_eq!(
+        emitted[0][0],
+        Value::Epc(epc(10, 2)),
+        "only the t=20 instance"
+    );
     assert_eq!(emitted[0][1], Value::Time(Timestamp::from_secs(20)));
 }
 
@@ -75,10 +79,14 @@ fn fig4_through_the_rule_language() {
 
     assert!(rt.errors().is_empty(), "{}", rt.errors()[0]);
     let db = rt.db();
-    let mut first = db.contents_at(epc(40, 1), Timestamp::from_secs(13)).unwrap();
+    let mut first = db
+        .contents_at(epc(40, 1), Timestamp::from_secs(13))
+        .unwrap();
     first.sort();
     assert_eq!(first, vec![epc(30, 1), epc(30, 2), epc(30, 3)]);
-    let mut second = db.contents_at(epc(40, 2), Timestamp::from_secs(16)).unwrap();
+    let mut second = db
+        .contents_at(epc(40, 2), Timestamp::from_secs(16))
+        .unwrap();
     second.sort();
     assert_eq!(second, vec![epc(30, 5), epc(30, 6), epc(30, 7)]);
 }

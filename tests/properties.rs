@@ -12,7 +12,8 @@ const OBJECTS: u64 = 5;
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
     for i in 0..READERS {
-        c.readers.register(&format!("r{i}"), &format!("r{i}"), "loc");
+        c.readers
+            .register(&format!("r{i}"), &format!("r{i}"), "loc");
     }
     c
 }

@@ -15,7 +15,8 @@ fn catalog() -> Catalog {
     c.readers.register("r0", "g", "a");
     c.readers.register("r1", "g", "b");
     c.readers.register("r2", "solo", "c");
-    c.types.map_class_of(Gid96::new(1, 1, 0).unwrap().into(), "item");
+    c.types
+        .map_class_of(Gid96::new(1, 1, 0).unwrap().into(), "item");
     c
 }
 
@@ -59,22 +60,16 @@ fn rule_pool() -> Vec<&'static str> {
 }
 
 fn stream_strategy() -> impl Strategy<Value = Vec<Observation>> {
-    prop::collection::vec((0..READERS, 0u64..3, 0u64..6, 0u64..4_000), 0..150).prop_map(
-        |steps| {
-            let mut t = 0u64;
-            steps
-                .into_iter()
-                .map(|(r, class, o, dt)| {
-                    t += dt;
-                    Observation::new(
-                        ReaderId(r),
-                        epc(class + 1, o),
-                        Timestamp::from_millis(t),
-                    )
-                })
-                .collect()
-        },
-    )
+    prop::collection::vec((0..READERS, 0u64..3, 0u64..6, 0u64..4_000), 0..150).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(r, class, o, dt)| {
+                t += dt;
+                Observation::new(ReaderId(r), epc(class + 1, o), Timestamp::from_millis(t))
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -49,14 +49,24 @@ fn alarms_match_ground_truth_exactly() {
         .calls("send_alarm")
         .map(|args| args[0].clone())
         .collect();
-    let expected: HashSet<Value> =
-        trace.truth.alarms.iter().map(|(epc, _)| Value::Epc(*epc)).collect();
+    let expected: HashSet<Value> = trace
+        .truth
+        .alarms
+        .iter()
+        .map(|(epc, _)| Value::Epc(*epc))
+        .collect();
     assert_eq!(fired, expected);
 }
 
 #[test]
 fn duplicate_flags_match_ground_truth_exactly() {
-    let (rt, trace) = run(SimConfig { duplicate_prob: 0.2, ..SimConfig::default() }, 30_000);
+    let (rt, trace) = run(
+        SimConfig {
+            duplicate_prob: 0.2,
+            ..SimConfig::default()
+        },
+        30_000,
+    );
     let fired = rt.procedures().calls("send_duplicate_msg").count();
     assert_eq!(fired, trace.truth.duplicates.len());
 }
@@ -73,8 +83,10 @@ fn infield_filtering_matches_ground_truth_exactly() {
         .iter()
         .map(|&(_, epc, at)| (Value::Epc(epc), Value::Time(at)))
         .collect();
-    let got: HashSet<(Value, Value)> =
-        table.iter().map(|row| (row[1].clone(), row[2].clone())).collect();
+    let got: HashSet<(Value, Value)> = table
+        .iter()
+        .map(|row| (row[1].clone(), row[2].clone()))
+        .collect();
     assert_eq!(got, expected);
 }
 
@@ -90,7 +102,13 @@ fn location_changes_match_ground_truth_exactly() {
 
 #[test]
 fn sales_end_containment_and_move_items_to_sold() {
-    let (rt, trace) = run(SimConfig { sale_prob: 0.5, ..SimConfig::default() }, 30_000);
+    let (rt, trace) = run(
+        SimConfig {
+            sale_prob: 0.5,
+            ..SimConfig::default()
+        },
+        30_000,
+    );
     assert!(rt.errors().is_empty());
     assert!(!trace.truth.sales.is_empty(), "the workload includes sales");
 
@@ -128,7 +146,10 @@ fn larger_stream_stays_exact_and_bounded() {
     assert!(rt.errors().is_empty());
 
     let total_items: usize = trace.truth.containments.iter().map(|c| c.items.len()).sum();
-    assert_eq!(rt.db().table("OBJECTCONTAINMENT").unwrap().len(), total_items);
+    assert_eq!(
+        rt.db().table("OBJECTCONTAINMENT").unwrap().len(),
+        total_items
+    );
     assert_eq!(
         rt.procedures().calls("send_alarm").count(),
         trace.truth.alarms.len()
@@ -139,7 +160,10 @@ fn larger_stream_stays_exact_and_bounded() {
     );
 
     let stats = rt.engine().stats();
-    assert_eq!(stats.capacity_drops, 0, "no buffer ever hit the unbounded cap");
+    assert_eq!(
+        stats.capacity_drops, 0,
+        "no buffer ever hit the unbounded cap"
+    );
     assert!(stats.sweeps > 0, "pruning ran");
 }
 
