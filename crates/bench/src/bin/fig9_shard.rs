@@ -1,27 +1,106 @@
-//! Shard sweep: detection throughput vs. number of keyed shards, canonical
-//! rule set, fixed event count.
+//! Shard sweep: detection throughput vs. pipeline topology, canonical rule
+//! set, fixed event count.
 //!
-//! The sharded pipeline partitions object-shardable rules across worker
-//! threads by `hash(object EPC)` and keeps the remaining rules on a residual
-//! shard that sees the full stream. This sweep measures end-to-end events/s
-//! at 1, 2, 4 and 8 keyed shards against the single-threaded engine, and
+//! The sharded pipeline has two parallelism axes: object-shardable rules
+//! fan out over *keyed shards* by `hash(object EPC)`, while the remaining
+//! rules (the 512 `TSEQ+` containment rules on the canonical set) are
+//! rule-partitioned across *residual workers* that each receive the full
+//! stream by broadcast. This sweep measures end-to-end events/s over the
+//! cross product of both axes against the single-threaded engine, and
 //! writes the machine-readable series to `results/BENCH_shard.json`.
+//!
+//! Usage (all flags optional):
+//!
+//! ```text
+//! fig9_shard [--shards 1,2,4,8] [--residual-workers 1,2]
+//!            [--events 150000] [--seed 42]
+//! ```
 
 use std::fmt::Write as _;
 
 use rceda::{EngineConfig, ShardConfig};
 use rfid_bench::{
-    bare_engine, print_table, sharded_engine_from_script, time_engine_pass, time_sharded_pass,
-    BenchWorkload, Measurement,
+    bare_engine, sharded_engine_from_script, time_engine_pass, time_sharded_pass, BenchWorkload,
+    Measurement,
 };
 
-const EVENTS: usize = 150_000;
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_EVENTS: usize = 150_000;
+const DEFAULT_SHARDS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_RESIDUAL: [usize; 2] = [1, 2];
+
+struct Args {
+    shards: Vec<usize>,
+    residual_workers: Vec<usize>,
+    events: usize,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: DEFAULT_SHARDS.to_vec(),
+        residual_workers: DEFAULT_RESIDUAL.to_vec(),
+        events: DEFAULT_EVENTS,
+        seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--shards" => args.shards = parse_list(&value("--shards")),
+            "--residual-workers" => {
+                args.residual_workers = parse_list(&value("--residual-workers"));
+            }
+            "--events" => {
+                args.events = value("--events").parse().expect("--events takes a number");
+            }
+            "--seed" => args.seed = Some(value("--seed").parse().expect("--seed takes a number")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: fig9_shard [--shards LIST] [--residual-workers LIST] \
+                     [--events N] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    assert!(!args.shards.is_empty(), "--shards list must be non-empty");
+    assert!(
+        !args.residual_workers.is_empty(),
+        "--residual-workers list must be non-empty"
+    );
+    args
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("`{part}` is not a count"))
+        })
+        .collect()
+}
+
+/// One sweep point: a (keyed shards, residual workers) configuration.
+struct SweepRow {
+    residual_workers: usize,
+    measurement: Measurement,
+    stats: rceda::EngineStats,
+}
 
 fn main() {
-    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let args = parse_args();
+    let mut cfg = rfid_simulator::SimConfig::paper_scale();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let workload = BenchWorkload::with_config(cfg);
     let script = workload.sim.rule_set();
-    let trace = workload.trace(EVENTS);
+    let trace = workload.trace(args.events);
     let stream = &trace.observations;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -33,77 +112,77 @@ fn main() {
     eprintln!("  baseline (single-threaded): {base_ms:.1} ms, {base_firings} firings");
 
     let mut rows = Vec::new();
-    let mut pipeline_stats = Vec::new();
-    for &shards in &SHARD_COUNTS {
-        let config = ShardConfig {
-            shards,
-            ..ShardConfig::default()
-        };
-        let mut engine = sharded_engine_from_script(&workload, &script, config);
-        let (elapsed_ms, firings) = time_sharded_pass(&mut engine, stream);
-        assert_eq!(
-            firings, base_firings,
-            "sharded firing count diverged at {shards} shards"
-        );
-        let stats = engine.stats();
-        rows.push(Measurement {
-            x: shards as u64,
-            events: stream.len(),
-            rules,
-            elapsed_ms,
-            firings,
-            graph_nodes,
-        });
-        pipeline_stats.push(stats);
-        eprintln!(
-            "  {shards} shard(s): {elapsed_ms:.1} ms ({} batches, max queue depth {})",
-            stats.batches, stats.max_queue_depth
-        );
+    for &shards in &args.shards {
+        for &residual_workers in &args.residual_workers {
+            let config = ShardConfig {
+                shards,
+                residual_workers,
+                ..ShardConfig::default()
+            };
+            let mut engine = sharded_engine_from_script(&workload, &script, config);
+            let (elapsed_ms, firings) = time_sharded_pass(&mut engine, stream);
+            assert_eq!(
+                firings, base_firings,
+                "sharded firing count diverged at {shards} shards × {residual_workers} residual"
+            );
+            let stats = engine.stats();
+            eprintln!(
+                "  {shards} shard(s) × {} residual worker(s): {elapsed_ms:.1} ms \
+                 ({} batches, max queue depth {})",
+                stats.residual_workers, stats.batches, stats.max_queue_depth
+            );
+            rows.push(SweepRow {
+                residual_workers,
+                measurement: Measurement {
+                    x: shards as u64,
+                    events: stream.len(),
+                    rules,
+                    elapsed_ms,
+                    firings,
+                    graph_nodes,
+                },
+                stats,
+            });
+        }
     }
 
-    print_table(
-        "Shard sweep — throughput vs. keyed shard count (canonical rules)",
-        "shards",
-        &rows,
-    );
+    print_sweep(&rows);
     println!(
         "cores available: {cores}; baseline (unsharded): {:.0} ev/s",
-        {
-            let base = Measurement {
-                x: 0,
-                events: stream.len(),
-                rules,
-                elapsed_ms: base_ms,
-                firings: base_firings,
-                graph_nodes,
-            };
-            base.throughput()
-        }
+        stream.len() as f64 / (base_ms / 1000.0)
     );
 
-    write_json(
-        cores,
-        base_ms,
-        stream.len(),
-        base_firings,
-        &rows,
-        &pipeline_stats,
-    );
+    write_json(cores, base_ms, stream.len(), base_firings, &rows);
 }
 
-/// Hand-rolled JSON (no serde in the release path): one object per shard
-/// count, plus the unsharded baseline and the machine's core count. Each
-/// sweep row carries the pipeline's batching counters so regressions in
+fn print_sweep(rows: &[SweepRow]) {
+    println!("\n=== Shard sweep — throughput vs. keyed shards × residual workers ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>14} {:>10} {:>8} {:>12}",
+        "shards", "residual", "events", "time (ms)", "ev/s", "batches", "qdepth", "firings"
+    );
+    for row in rows {
+        let m = &row.measurement;
+        println!(
+            "{:>8} {:>10} {:>10} {:>10.1} {:>14.0} {:>10} {:>8} {:>12}",
+            m.x,
+            row.stats.residual_workers,
+            m.events,
+            m.elapsed_ms,
+            m.throughput(),
+            row.stats.batches,
+            row.stats.max_queue_depth,
+            m.firings,
+        );
+    }
+}
+
+/// Hand-rolled JSON (no serde in the release path): one object per sweep
+/// configuration, plus the unsharded baseline and the machine's core count.
+/// Each row carries the pipeline's batching counters so regressions in
 /// ingestion overhead (too many tiny batches, queue pile-ups) are visible
 /// without rerunning under a profiler.
-fn write_json(
-    cores: usize,
-    base_ms: f64,
-    events: usize,
-    firings: u64,
-    rows: &[Measurement],
-    pipeline_stats: &[rceda::EngineStats],
-) {
+fn write_json(cores: usize, base_ms: f64, events: usize, firings: u64, rows: &[SweepRow]) {
     let mut json = String::new();
     let base_tput = events as f64 / (base_ms / 1000.0);
     let _ = writeln!(json, "{{");
@@ -116,18 +195,19 @@ fn write_json(
         "  \"baseline\": {{ \"elapsed_ms\": {base_ms:.3}, \"events_per_sec\": {base_tput:.1} }},"
     );
     let _ = writeln!(json, "  \"sweep\": [");
-    for (i, m) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let stats = pipeline_stats[i];
+        let m = &row.measurement;
         let _ = writeln!(
             json,
             "    {{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1}, \
-             \"batches\": {}, \"max_queue_depth\": {} }}{comma}",
+             \"batches\": {}, \"max_queue_depth\": {}, \"residual_workers\": {} }}{comma}",
             m.x,
             m.elapsed_ms,
             m.throughput(),
-            stats.batches,
-            stats.max_queue_depth
+            row.stats.batches,
+            row.stats.max_queue_depth,
+            row.residual_workers,
         );
     }
     let _ = writeln!(json, "  ]");

@@ -42,9 +42,15 @@ fn engine_counts(workload: &BenchWorkload, script: &str) -> BTreeMap<String, u64
     })
 }
 
-fn sharded_counts(workload: &BenchWorkload, script: &str, shards: usize) -> BTreeMap<String, u64> {
+fn sharded_counts(
+    workload: &BenchWorkload,
+    script: &str,
+    shards: usize,
+    residual_workers: usize,
+) -> BTreeMap<String, u64> {
     let config = ShardConfig {
         shards,
+        residual_workers,
         ..ShardConfig::default()
     };
     let mut engine = sharded_engine_from_script(workload, script, config);
@@ -102,7 +108,7 @@ fn fig9_workload_reproduces_golden_counts() {
     assert_matches_golden(&engine, "single-threaded engine");
 
     for shards in [1usize, 2, 8] {
-        let sharded = sharded_counts(&workload, &script, shards);
+        let sharded = sharded_counts(&workload, &script, shards, 1);
         assert_matches_golden(&sharded, &format!("{shards}-shard pipeline"));
         // Beyond the pinned aggregates: every individual rule (all 500+ of
         // them) must agree with the single-threaded engine exactly.
@@ -110,5 +116,29 @@ fn fig9_workload_reproduces_golden_counts() {
             sharded, engine,
             "per-rule firing counts diverged between engine and {shards}-shard pipeline"
         );
+    }
+}
+
+#[test]
+fn fig9_workload_reproduces_golden_counts_with_residual_partitioning() {
+    // The rule-partitioned residual grid: the 512 containment rules split
+    // across residual workers, and every per-rule count must still match
+    // the single-threaded engine bit-for-bit at every grid point.
+    let workload = BenchWorkload::with_config(SimConfig::paper_scale());
+    let script = workload.sim.rule_set();
+
+    let engine = engine_counts(&workload, &script);
+    assert_matches_golden(&engine, "single-threaded engine");
+
+    for shards in [1usize, 2] {
+        for residual_workers in [2usize, 4] {
+            let label = format!("{shards} shards × {residual_workers} residual workers");
+            let sharded = sharded_counts(&workload, &script, shards, residual_workers);
+            assert_matches_golden(&sharded, &label);
+            assert_eq!(
+                sharded, engine,
+                "per-rule firing counts diverged between engine and {label}"
+            );
+        }
     }
 }

@@ -165,6 +165,26 @@ impl Engine {
         }
     }
 
+    /// Builds an engine over `catalog` preloaded with a subset of rules —
+    /// the constructor the sharded pipeline uses to stamp out per-worker
+    /// engines from disjoint slices of one coordinator catalog. Rules are
+    /// registered in iteration order, so worker-local [`RuleId`]s map
+    /// positionally onto the caller's subset.
+    pub fn with_rules<'r, I>(
+        catalog: Catalog,
+        config: EngineConfig,
+        rules: I,
+    ) -> Result<Self, InvalidRule>
+    where
+        I: IntoIterator<Item = (&'r str, &'r EventExpr)>,
+    {
+        let mut engine = Self::new(catalog, config);
+        for (name, event) in rules {
+            engine.add_rule(name, event.clone())?;
+        }
+        Ok(engine)
+    }
+
     /// Registers a rule: its event expression is compiled into the shared
     /// graph (merging common structure) and validated (§4.4). Returns the
     /// rule id used in sink callbacks.

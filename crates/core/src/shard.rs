@@ -21,11 +21,16 @@
 //! 2. **Routing + batched ingestion**: observations are appended to a
 //!    per-shard batch and shipped over a bounded channel (backpressure) to
 //!    worker threads, each owning a plain single-threaded [`Engine`] loaded
-//!    with the shardable rules. Rules that fail the analysis run on one
-//!    *residual* shard that receives the full stream — the sharded engine
-//!    never rejects a rule, it just cannot parallelize that one. Per-shard
-//!    delivery stays timestamp-ordered because routing preserves the
-//!    stream's order within every shard.
+//!    with the shardable rules. Rules that fail the analysis run on
+//!    *residual* workers that receive the full stream by broadcast — the
+//!    sharded engine never rejects a rule, it just cannot split its stream.
+//!    Residual rules are still mutually independent detection trees over
+//!    that stream, so they parallelize **by rule**: [`partition_rules`]
+//!    splits them across [`ShardConfig::residual_workers`] partitions,
+//!    keeping rules that share compiled subgraphs together (merging is
+//!    preserved within a worker) and balancing partitions by leaf-dispatch
+//!    fan-out. Per-worker delivery stays timestamp-ordered because both
+//!    keyed routing and broadcast preserve the stream's order.
 //! 3. **Barrier-based harvest**: firings accumulate inside workers and are
 //!    delivered to the caller's sink at [`ShardedEngine::advance_to`] /
 //!    [`ShardedEngine::finish`] barriers, merged across shards — in stable
@@ -34,16 +39,17 @@
 //!    worker's pseudo-event queue, so `NOT`/`TSEQ+` windows resolve exactly
 //!    as they do single-threaded.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rfid_events::{Catalog, EventExpr, Instance, Observation, Timestamp};
+use rfid_events::{Catalog, EventExpr, Instance, Observation, ReaderSel, Timestamp};
 
 use crate::engine::{Engine, EngineConfig, RuleId, Sink};
 use crate::error::InvalidRule;
-use crate::graph::{EventGraph, NodeKind, Plan};
+use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
 use crate::key::{mix64, Attr};
 use crate::stats::EngineStats;
 
@@ -105,9 +111,15 @@ pub fn analyze(event: &EventExpr) -> Result<Shardability, InvalidRule> {
 /// Tuning knobs of the sharded pipeline.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
-    /// Number of keyed worker shards (clamped to at least 1). The residual
-    /// shard, when any rule needs it, is one additional worker.
+    /// Number of keyed worker shards (clamped to at least 1). Residual
+    /// workers, when any rule needs them, are additional workers.
     pub shards: usize,
+    /// Number of rule-partitioned residual workers (clamped to at least 1,
+    /// and to the number of merge groups the residual rule set actually
+    /// splits into). Each residual worker owns a disjoint subset of the
+    /// unshardable rules and receives the full stream by broadcast, so
+    /// ingestion cost grows with this knob while detection parallelizes.
+    pub residual_workers: usize,
     /// Observations per ingestion batch.
     pub batch_size: usize,
     /// Bounded channel depth per shard, in batches; a full queue blocks the
@@ -128,12 +140,152 @@ impl Default for ShardConfig {
             .unwrap_or(1);
         Self {
             shards,
+            residual_workers: 1,
             batch_size: 1024,
             queue_depth: 4,
             ordered_output: true,
             engine: EngineConfig::default(),
         }
     }
+}
+
+/// Merge-aware partition of a rule set into at most `max_parts` disjoint
+/// subsets for rule-partitioned broadcast execution. Returns the partitions
+/// as sorted index lists into `events`; deterministic for a fixed input.
+///
+/// Two concerns compete:
+///
+/// * **Preserve common-subgraph merging.** All rules are compiled into one
+///   scratch [`EventGraph`] (hash-consing on); rules whose compiled forms
+///   share *any* node are grouped together and never split. Splitting them
+///   would be semantically sound — every rule is a deterministic function
+///   of the full stream — but each worker would rebuild the shared subtree
+///   and redo its detection work, forfeiting exactly the merging §4.3
+///   introduces.
+/// * **Balance by leaf-dispatch fan-out.** A worker's per-observation
+///   broadcast cost is the dispatch work its leaves cause, not its rule
+///   count: a leaf naming one reader costs only when that reader speaks, a
+///   group leaf costs for every member, an `ANY` leaf for every
+///   observation. Merge groups are therefore weighted by the summed
+///   catalog fan-out of their distinct leaves and placed
+///   longest-processing-time-first onto the lightest partition, rather
+///   than dealt round-robin.
+pub fn partition_rules(
+    catalog: &Catalog,
+    events: &[&EventExpr],
+    max_parts: usize,
+) -> Result<Vec<Vec<usize>>, InvalidRule> {
+    if events.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Compile everything into one merging graph, tracking which rule first
+    // claimed each node; a later rule touching a claimed node unions the
+    // two rules' groups.
+    let mut scratch = EventGraph::new();
+    let mut uf: Vec<usize> = (0..events.len()).collect();
+    let mut owner: HashMap<NodeId, usize> = HashMap::new();
+    let mut rule_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        let root = scratch.add_event(event)?;
+        let reachable = reachable_nodes(&scratch, root);
+        for &node in &reachable {
+            match owner.entry(node) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let (a, b) = (find(&mut uf, i), find(&mut uf, *o.get()));
+                    if a != b {
+                        uf[a.max(b)] = a.min(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+        rule_nodes.push(reachable);
+    }
+    // Collect merge groups and weigh each by the dispatch fan-out of its
+    // distinct leaves (a shared leaf costs a worker once, so count it once).
+    let mut groups: HashMap<usize, (u64, Vec<usize>)> = HashMap::new();
+    for i in 0..events.len() {
+        let rep = find(&mut uf, i);
+        groups.entry(rep).or_default().1.push(i);
+    }
+    for (weight, members) in groups.values_mut() {
+        let mut leaves: Vec<NodeId> = members
+            .iter()
+            .flat_map(|&i| rule_nodes[i].iter().copied())
+            .filter(|&n| matches!(scratch.node(n).plan, Plan::Leaf))
+            .collect();
+        leaves.sort_unstable_by_key(|n| n.0);
+        leaves.dedup();
+        *weight = leaves
+            .iter()
+            .map(|&n| match &scratch.node(n).kind {
+                NodeKind::Primitive(p) => leaf_weight(catalog, &p.reader),
+                _ => 0,
+            })
+            .sum::<u64>()
+            .max(1);
+    }
+    // LPT bin-packing: heaviest group first, onto the lightest partition.
+    let mut ordered: Vec<(u64, usize, Vec<usize>)> = groups
+        .into_iter()
+        .map(|(_, (w, members))| {
+            let first = *members.iter().min().expect("groups are non-empty");
+            (w, first, members)
+        })
+        .collect();
+    ordered.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let parts_n = max_parts.max(1).min(ordered.len());
+    let mut loads = vec![0u64; parts_n];
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); parts_n];
+    for (weight, _, members) in ordered {
+        let lightest = (0..parts_n)
+            .min_by_key(|&p| (loads[p], p))
+            .expect("at least one partition");
+        loads[lightest] += weight;
+        parts[lightest].extend(members);
+    }
+    for part in &mut parts {
+        part.sort_unstable();
+    }
+    Ok(parts)
+}
+
+/// Expected dispatch candidates per observation contributed by one leaf,
+/// relative across selectors: named readers hit only their own traffic,
+/// groups hit every member's, `ANY` hits everything.
+fn leaf_weight(catalog: &Catalog, sel: &ReaderSel) -> u64 {
+    match sel {
+        // A name missing from the catalog can never match (dead leaf).
+        ReaderSel::Named(name) => u64::from(catalog.reader(name).is_some()),
+        ReaderSel::Group(g) => catalog.readers.members(g).len().max(1) as u64,
+        ReaderSel::Any => catalog.readers.len().max(1) as u64,
+    }
+}
+
+/// All nodes reachable from `root` through child edges.
+fn reachable_nodes(graph: &EventGraph, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![root];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        for &child in &graph.node(id).children {
+            if !seen.contains(&child) {
+                seen.push(child);
+                stack.push(child);
+            }
+        }
+    }
+    seen
+}
+
+/// Union-find `find` with path compression.
+fn find(uf: &mut [usize], mut i: usize) -> usize {
+    while uf[i] != i {
+        uf[i] = uf[uf[i]];
+        i = uf[i];
+    }
+    i
 }
 
 /// A rule firing shipped from a worker to the coordinator.
@@ -178,11 +330,11 @@ struct Runtime {
     workers: Vec<Worker>,
     /// Per-worker batch under construction.
     pending: Vec<Vec<Observation>>,
-    /// Number of keyed workers (prefix of `workers`); the residual, if any,
-    /// is the last worker.
+    /// Number of keyed workers (prefix of `workers`).
     keyed: usize,
-    /// Index of the residual worker in `workers`.
-    residual: Option<usize>,
+    /// Index of the first broadcast (rule-partitioned residual) worker;
+    /// `workers[broadcast_start..]` all receive the full stream.
+    broadcast_start: usize,
 }
 
 /// Parallel detection over keyed shards; see the module docs.
@@ -199,6 +351,9 @@ pub struct ShardedEngine {
     finished: bool,
     /// Latest stats snapshot per worker (updated at barriers).
     worker_stats: Vec<EngineStats>,
+    /// Rule partition of each broadcast worker, in worker order (set on
+    /// start; empty before the first observation).
+    partitions: Vec<Vec<RuleId>>,
     rule_firings: Vec<u64>,
     batches: u64,
     max_queue_depth: u64,
@@ -214,6 +369,7 @@ impl ShardedEngine {
             runtime: None,
             finished: false,
             worker_stats: Vec::new(),
+            partitions: Vec::new(),
             rule_firings: Vec::new(),
             batches: 0,
             max_queue_depth: 0,
@@ -268,15 +424,36 @@ impl ShardedEngine {
         self.config.shards.max(1)
     }
 
-    /// Whether any rule requires the residual full-stream shard.
+    /// Whether any rule requires a residual full-stream worker.
     pub fn has_residual(&self) -> bool {
         self.rules.iter().any(|r| !r.shardability.is_object())
     }
 
+    /// Number of broadcast (rule-partitioned residual) workers running.
+    /// Zero before the first observation and when every rule is keyed.
+    pub fn residual_worker_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The rule partition each broadcast worker owns, in worker order
+    /// (empty before the pipeline starts). With a single keyed shard the
+    /// keyed rules fold into these partitions too, so the union may exceed
+    /// the residual rule set.
+    pub fn residual_partitions(&self) -> &[Vec<RuleId>] {
+        &self.partitions
+    }
+
+    /// Per-worker counters as of the last barrier: the keyed shards first,
+    /// then one entry per broadcast partition (same order as
+    /// [`ShardedEngine::residual_partitions`]).
+    pub fn worker_stats(&self) -> &[EngineStats] {
+        &self.worker_stats
+    }
+
     /// Counters merged across every shard at the last barrier, plus the
     /// coordinator's batching counters. Per-engine counters sum, so an
-    /// observation delivered to both a keyed shard and the residual is
-    /// counted by each engine that processed it.
+    /// observation delivered to both a keyed shard and a residual worker is
+    /// counted by each engine that processed it; gauges merge as maxima.
     pub fn stats(&self) -> EngineStats {
         let mut merged = self
             .worker_stats
@@ -284,12 +461,13 @@ impl ShardedEngine {
             .fold(EngineStats::default(), |acc, s| acc.merge(*s));
         merged.batches = self.batches;
         merged.max_queue_depth = self.max_queue_depth;
+        merged.residual_workers = self.partitions.len() as u64;
         merged
     }
 
-    /// Routes one observation to its shard (and to the residual, if any).
-    /// Observations must arrive in non-decreasing timestamp order, exactly
-    /// as for [`Engine::process`].
+    /// Routes one observation to its keyed shard and broadcasts it to every
+    /// residual worker. Observations must arrive in non-decreasing
+    /// timestamp order, exactly as for [`Engine::process`].
     ///
     /// # Panics
     /// Panics if the stream was already [`ShardedEngine::finish`]ed.
@@ -311,12 +489,12 @@ impl ShardedEngine {
                 );
             }
         }
-        if let Some(res) = rt.residual {
-            rt.pending[res].push(obs);
-            if rt.pending[res].len() >= batch_size {
+        for idx in rt.broadcast_start..rt.workers.len() {
+            rt.pending[idx].push(obs);
+            if rt.pending[idx].len() >= batch_size {
                 flush(
                     rt,
-                    res,
+                    idx,
                     batch_size,
                     &mut self.batches,
                     &mut self.max_queue_depth,
@@ -421,56 +599,80 @@ impl ShardedEngine {
         let residual_rules: Vec<usize> = (0..self.rules.len())
             .filter(|&i| !self.rules[i].shardability.is_object())
             .collect();
+        let max_parts = self.config.residual_workers.max(1);
 
-        let mut workers = Vec::new();
-        let (keyed, residual);
-        if self.keyed_shards() == 1 && !shardable.is_empty() && !residual_rules.is_empty() {
-            // A single keyed shard receives the full stream anyway, so a
-            // separate residual worker would only process every observation
-            // a second time. Fold all rules into the one worker: same
-            // semantics, half the work.
+        let keyed;
+        let broadcast_sets: Vec<Vec<usize>>;
+        if self.keyed_shards() == 1 && !shardable.is_empty() {
+            // A single keyed shard receives the full stream anyway, so keyed
+            // routing buys nothing over broadcast: fold the keyed rules into
+            // the broadcast partitions. With one residual worker this is the
+            // classic fold (every rule on one full-stream engine — same
+            // semantics, half the ingestion); with more, the keyed rules get
+            // rule-partitioned along with the residual ones.
+            keyed = 0;
             let all: Vec<usize> = (0..self.rules.len()).collect();
-            workers.push(self.spawn_worker("shard-0", &all));
-            keyed = 1;
-            residual = None;
+            broadcast_sets = self.partition_indices(&all, max_parts);
         } else {
             keyed = if shardable.is_empty() {
                 0
             } else {
                 self.keyed_shards()
             };
-            for shard in 0..keyed {
-                workers.push(self.spawn_worker(&format!("shard-{shard}"), &shardable));
-            }
-            residual = if residual_rules.is_empty() {
-                None
-            } else {
-                workers.push(self.spawn_worker("shard-residual", &residual_rules));
-                Some(workers.len() - 1)
-            };
+            broadcast_sets = self.partition_indices(&residual_rules, max_parts);
         }
+        let mut workers = Vec::new();
+        for shard in 0..keyed {
+            workers.push(self.spawn_worker(&format!("shard-{shard}"), &shardable));
+        }
+        let broadcast_start = workers.len();
+        for (p, set) in broadcast_sets.iter().enumerate() {
+            workers.push(self.spawn_worker(&format!("residual-{p}"), set));
+        }
+        self.partitions = broadcast_sets
+            .iter()
+            .map(|set| set.iter().map(|&i| RuleId(i as u32)).collect())
+            .collect();
         let pending = workers.iter().map(|_| Vec::new()).collect();
         self.worker_stats = vec![EngineStats::default(); workers.len()];
         self.runtime = Some(Runtime {
             workers,
             pending,
             keyed,
-            residual,
+            broadcast_start,
         });
+    }
+
+    /// Partitions the rules at `indices` into at most `max_parts`
+    /// merge-aware groups (see [`partition_rules`]), mapping the returned
+    /// positions back to global rule indices.
+    fn partition_indices(&self, indices: &[usize], max_parts: usize) -> Vec<Vec<usize>> {
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        if max_parts <= 1 || indices.len() == 1 {
+            return vec![indices.to_vec()];
+        }
+        let events: Vec<&EventExpr> = indices.iter().map(|&i| &self.rules[i].event).collect();
+        partition_rules(&self.catalog, &events, max_parts)
+            .expect("rules validated by add_rule")
+            .into_iter()
+            .map(|part| part.into_iter().map(|j| indices[j]).collect())
+            .collect()
     }
 
     /// Builds one worker: an engine loaded with `rule_indices` (in global
     /// order, so worker-local ids map back positionally) on its own thread.
     fn spawn_worker(&self, name: &str, rule_indices: &[usize]) -> Worker {
-        let mut engine = Engine::new(self.catalog.clone(), self.config.engine.clone());
-        let mut map = Vec::with_capacity(rule_indices.len());
-        for &i in rule_indices {
-            let def = &self.rules[i];
-            engine
-                .add_rule(&def.name, def.event.clone())
-                .expect("rule validated by add_rule");
-            map.push(RuleId(i as u32));
-        }
+        let engine = Engine::with_rules(
+            self.catalog.clone(),
+            self.config.engine.clone(),
+            rule_indices
+                .iter()
+                .map(|&i| (self.rules[i].name.as_str(), &self.rules[i].event)),
+        )
+        .expect("rules validated by add_rule");
+        let map: Vec<RuleId> = rule_indices.iter().map(|&i| RuleId(i as u32)).collect();
         let (cmd_tx, cmd_rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
         let (reply_tx, reply_rx) = mpsc::channel();
         let (recycle_tx, recycle_rx) = mpsc::channel();
@@ -682,6 +884,116 @@ mod tests {
     #[test]
     fn analysis_propagates_invalid_rules() {
         assert!(analyze(&EventExpr::observation_at("r0").build().not()).is_err());
+    }
+
+    fn named_run(conv: &str, caser: &str) -> EventExpr {
+        EventExpr::observation_at(conv)
+            .tseq_plus(Span::ZERO, Span::from_secs(1))
+            .tseq(
+                EventExpr::observation_at(caser),
+                Span::ZERO,
+                Span::from_secs(2),
+            )
+            .within(Span::from_secs(60))
+    }
+
+    fn line_catalog(lines: usize) -> Catalog {
+        let mut catalog = Catalog::new();
+        for i in 0..lines {
+            catalog
+                .readers
+                .register(&format!("conv{i}"), "convs", "line");
+            catalog
+                .readers
+                .register(&format!("caser{i}"), "casers", "line");
+        }
+        catalog
+    }
+
+    #[test]
+    fn partitioner_balances_independent_rules() {
+        // Eight containment-style rules over disjoint readers: no shared
+        // structure, equal fan-out, so 3 partitions split them 3/3/2.
+        let catalog = line_catalog(8);
+        let events: Vec<EventExpr> = (0..8)
+            .map(|i| named_run(&format!("conv{i}"), &format!("caser{i}")))
+            .collect();
+        let refs: Vec<&EventExpr> = events.iter().collect();
+        let parts = partition_rules(&catalog, &refs, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let mut sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3, 3], "LPT must balance equal weights");
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>(), "partition, not sample");
+    }
+
+    #[test]
+    fn partitioner_keeps_merged_subgraphs_together() {
+        // Rules 0 and 2 share the conv0 TSEQ+ subexpression (they differ
+        // only in the terminator distance), so the merged graph unifies the
+        // run node — they must land in the same partition. Rule 1 is
+        // structurally disjoint.
+        let catalog = line_catalog(2);
+        let a = named_run("conv0", "caser0");
+        let b = named_run("conv1", "caser1");
+        let c = EventExpr::observation_at("conv0")
+            .tseq_plus(Span::ZERO, Span::from_secs(1))
+            .tseq(
+                EventExpr::observation_at("caser0"),
+                Span::ZERO,
+                Span::from_secs(5),
+            )
+            .within(Span::from_secs(60));
+        let parts = partition_rules(&catalog, &[&a, &b, &c], 3).unwrap();
+        assert_eq!(parts.len(), 2, "two merge groups, not three rules");
+        let with_a = parts
+            .iter()
+            .find(|p| p.contains(&0))
+            .expect("rule 0 is somewhere");
+        assert!(
+            with_a.contains(&2),
+            "rules sharing the TSEQ+ node must colocate: {parts:?}"
+        );
+        assert!(!with_a.contains(&1), "disjoint rule gets its own partition");
+    }
+
+    #[test]
+    fn partitioner_weighs_by_dispatch_fanout() {
+        // One group-leaf rule (fan-out = all 6 conv readers) vs. three
+        // named-leaf rules (fan-out 2 each): with two partitions, LPT puts
+        // the heavy group rule alone and the three cheap rules together —
+        // round-robin would split 2/2.
+        let catalog = line_catalog(3);
+        let heavy = EventExpr::observation_in_group("convs")
+            .seq(EventExpr::observation_in_group("casers"))
+            .within(Span::from_secs(5));
+        let cheap: Vec<EventExpr> = (0..3)
+            .map(|i| named_run(&format!("conv{i}"), &format!("caser{i}")))
+            .collect();
+        let refs: Vec<&EventExpr> = std::iter::once(&heavy).chain(cheap.iter()).collect();
+        let parts = partition_rules(&catalog, &refs, 2).unwrap();
+        assert_eq!(parts.len(), 2);
+        let heavy_part = parts
+            .iter()
+            .find(|p| p.contains(&0))
+            .expect("heavy rule is somewhere");
+        assert_eq!(
+            heavy_part,
+            &vec![0],
+            "fan-out-weighted packing isolates the group-leaf rule: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn partitioner_clamps_to_group_count() {
+        let catalog = line_catalog(2);
+        let a = named_run("conv0", "caser0");
+        let b = named_run("conv1", "caser1");
+        let parts = partition_rules(&catalog, &[&a, &b], 16).unwrap();
+        assert_eq!(parts.len(), 2, "never more partitions than merge groups");
+        assert!(partition_rules(&catalog, &[], 4).unwrap().is_empty());
     }
 
     #[test]

@@ -27,17 +27,23 @@ pub struct EngineStats {
     pub max_queue_depth: u64,
     /// Correlation keys currently retained in negation histories — the
     /// working set [`crate::state::NegationState::prune`] bounds. A gauge,
-    /// snapshotted by `Engine::stats`; merging sums per-shard gauges into a
-    /// pipeline-wide total.
+    /// snapshotted by `Engine::stats`; merging takes the per-shard maximum
+    /// (broadcast workers retain overlapping key sets, so a sum would
+    /// double-count the same keys).
     pub retained_keys: u64,
+    /// Rule-partitioned residual workers in the sharded pipeline. A gauge
+    /// set by `ShardedEngine::stats`; zero single-threaded.
+    pub residual_workers: u64,
 }
 
 impl EngineStats {
-    /// Combines two counter sets: every throughput counter adds, while
-    /// [`EngineStats::max_queue_depth`] — a high-water mark, not a rate —
-    /// takes the maximum. Merging is associative and commutative with
-    /// [`EngineStats::default`] as identity, so per-shard stats can be
-    /// folded in any order.
+    /// Combines two counter sets: every throughput counter adds, while the
+    /// gauges — [`EngineStats::max_queue_depth`] (a high-water mark) and
+    /// [`EngineStats::retained_keys`] / [`EngineStats::residual_workers`]
+    /// (point-in-time working-set sizes) — take the maximum, since summing
+    /// a gauge over shards that observe overlapping state double-counts.
+    /// Merging is associative and commutative with [`EngineStats::default`]
+    /// as identity, so per-shard stats can be folded in any order.
     #[must_use]
     pub fn merge(self, other: EngineStats) -> EngineStats {
         EngineStats {
@@ -51,7 +57,8 @@ impl EngineStats {
             sweeps: self.sweeps + other.sweeps,
             batches: self.batches + other.batches,
             max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
-            retained_keys: self.retained_keys + other.retained_keys,
+            retained_keys: self.retained_keys.max(other.retained_keys),
+            residual_workers: self.residual_workers.max(other.residual_workers),
         }
     }
 }
@@ -61,7 +68,7 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
-             batches={} qdepth={} negkeys={}",
+             batches={} qdepth={} negkeys={} rworkers={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -73,6 +80,7 @@ impl std::fmt::Display for EngineStats {
             self.batches,
             self.max_queue_depth,
             self.retained_keys,
+            self.residual_workers,
         )
     }
 }
@@ -95,6 +103,7 @@ mod tests {
             batches: seed + 8,
             max_queue_depth: seed / 10,
             retained_keys: seed + 9,
+            residual_workers: seed / 5,
         }
     }
 
@@ -119,6 +128,39 @@ mod tests {
         assert_eq!(
             merged.max_queue_depth, 20,
             "high-water mark takes the max, not the sum"
+        );
+    }
+
+    /// Audit of the gauge/counter split: every counter (monotone rate) must
+    /// merge as a sum, every gauge (point-in-time level) as a max. A gauge
+    /// that sums double-counts state observed by several shards — exactly
+    /// the bug this test exists to catch.
+    #[test]
+    fn merge_audit_gauges_max_counters_sum() {
+        let (a, b) = (sample(40), sample(300));
+        let merged = a.merge(b);
+        // Counters: sums.
+        assert_eq!(merged.events, a.events + b.events);
+        assert_eq!(merged.matched_events, a.matched_events + b.matched_events);
+        assert_eq!(
+            merged.pseudo_scheduled,
+            a.pseudo_scheduled + b.pseudo_scheduled
+        );
+        assert_eq!(merged.pseudo_fired, a.pseudo_fired + b.pseudo_fired);
+        assert_eq!(merged.occurrences, a.occurrences + b.occurrences);
+        assert_eq!(merged.rule_firings, a.rule_firings + b.rule_firings);
+        assert_eq!(merged.capacity_drops, a.capacity_drops + b.capacity_drops);
+        assert_eq!(merged.sweeps, a.sweeps + b.sweeps);
+        assert_eq!(merged.batches, a.batches + b.batches);
+        // Gauges: maxima.
+        assert_eq!(
+            merged.max_queue_depth,
+            a.max_queue_depth.max(b.max_queue_depth)
+        );
+        assert_eq!(merged.retained_keys, a.retained_keys.max(b.retained_keys));
+        assert_eq!(
+            merged.residual_workers,
+            a.residual_workers.max(b.residual_workers)
         );
     }
 }

@@ -77,8 +77,18 @@ fn reference_firings(sim: &SupplyChain, stream: &[Observation]) -> Vec<Fingerpri
 }
 
 fn sharded(sim: &SupplyChain, shards: usize, batch_size: usize) -> ShardedEngine {
+    sharded_with_residual(sim, shards, 1, batch_size)
+}
+
+fn sharded_with_residual(
+    sim: &SupplyChain,
+    shards: usize,
+    residual_workers: usize,
+    batch_size: usize,
+) -> ShardedEngine {
     let config = ShardConfig {
         shards,
+        residual_workers,
         batch_size,
         queue_depth: 2,
         ordered_output: true,
@@ -121,6 +131,67 @@ fn sharded_matches_single_threaded_for_all_shard_counts() {
         );
         let harvested: u64 = engine.firings_per_rule().iter().sum();
         assert_eq!(harvested as usize, expected.len());
+    }
+}
+
+#[test]
+fn rule_partitioned_residual_matches_single_threaded() {
+    // The full grid the tentpole must hold over: keyed shards × residual
+    // workers, with per-rule firing counts pinned against the
+    // single-threaded engine — not just the total.
+    let (sim, stream) = trace(4_000);
+    let expected = reference_firings(&sim, &stream);
+    let per_rule = |fps: &[Fingerprint]| {
+        let mut counts = [0u64; 5];
+        for f in fps {
+            counts[f.0 as usize] += 1;
+        }
+        counts
+    };
+    let expected_per_rule = per_rule(&expected);
+
+    for shards in [1usize, 2] {
+        for residual_workers in [1usize, 2, 4] {
+            let mut engine = sharded_with_residual(&sim, shards, residual_workers, 64);
+            let mut got = Vec::new();
+            engine.process_all(stream.iter().copied(), &mut |rule, inst: &Instance| {
+                got.push(fingerprint(rule, inst));
+            });
+            let label = format!("{shards} shards × {residual_workers} residual workers");
+            assert_eq!(
+                per_rule(&got),
+                expected_per_rule,
+                "per-rule counts, {label}"
+            );
+            got.sort();
+            assert_eq!(got, expected, "firing multiset diverged, {label}");
+
+            let stats = engine.stats();
+            let spawned = engine.residual_worker_count();
+            assert_eq!(stats.residual_workers, spawned as u64);
+            assert!(
+                spawned <= residual_workers.max(1),
+                "never more residual workers than configured, {label}"
+            );
+            if residual_workers > 1 && shards > 1 {
+                assert!(
+                    spawned > 1,
+                    "the 2-residual-rule set must actually split, {label}"
+                );
+            }
+            // The broadcast partitions are disjoint and cover the rules
+            // they were asked to run.
+            let mut owned: Vec<u32> = engine
+                .residual_partitions()
+                .iter()
+                .flatten()
+                .map(|r| r.0)
+                .collect();
+            owned.sort_unstable();
+            let before = owned.len();
+            owned.dedup();
+            assert_eq!(owned.len(), before, "partitions must be disjoint");
+        }
     }
 }
 

@@ -263,8 +263,11 @@ impl RuleRuntime {
     /// pipeline ([`rceda::ShardedEngine`]) instead of this runtime's
     /// single-threaded engine. The loaded rules are recompiled into the
     /// sharded engine (object-shardable rules fan out over `shards` worker
-    /// threads; the rest run on a residual full-stream shard), and every
-    /// firing runs its condition and actions in the merged deterministic
+    /// threads; the rest run on residual full-stream workers — one by
+    /// default, rule-partitioned across
+    /// [`rceda::ShardConfig::residual_workers`] when configured via
+    /// [`RuleRuntime::process_all_sharded_config`]), and every firing runs
+    /// its condition and actions in the merged deterministic
     /// `(t_end, shard, seq)` order at the end-of-stream barrier. Rules
     /// disabled via `DROP RULE` are detected but not fired. Returns the
     /// merged detection stats.
@@ -281,8 +284,9 @@ impl RuleRuntime {
     }
 
     /// [`Runtime::process_all_sharded`] with full control over the pipeline
-    /// configuration (ingestion batch size, queue depth, output ordering),
-    /// for callers tuning the shard pipeline rather than taking defaults.
+    /// configuration (ingestion batch size, queue depth, output ordering,
+    /// and the number of rule-partitioned residual workers), for callers
+    /// tuning the shard pipeline rather than taking defaults.
     pub fn process_all_sharded_config<I: IntoIterator<Item = Observation>>(
         &mut self,
         stream: I,

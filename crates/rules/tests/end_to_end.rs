@@ -378,7 +378,7 @@ fn sharded_runtime_matches_single_threaded() {
             )
         })
         .collect();
-    let stats = shard.rt.process_all_sharded(stream, 3).unwrap();
+    let stats = shard.rt.process_all_sharded(stream.clone(), 3).unwrap();
     assert!(stats.batches > 0, "sharded path batches its input");
     assert!(shard.rt.errors().is_empty(), "{:?}", shard.rt.errors());
 
@@ -412,4 +412,23 @@ fn sharded_runtime_matches_single_threaded() {
         "infield filtering must record rows"
     );
     assert_eq!(rows_fp(&single), rows_fp(&shard));
+
+    // Rule-partitioned residual workers: same stream again through an
+    // explicit config splitting the rules across two full-stream workers
+    // must leave identical store rows and procedure log too.
+    let mut parted = Deployment::new();
+    load(&mut parted);
+    let config = rceda::ShardConfig {
+        shards: 2,
+        residual_workers: 2,
+        ..rceda::ShardConfig::default()
+    };
+    let stats = parted
+        .rt
+        .process_all_sharded_config(stream, config)
+        .unwrap();
+    assert!(parted.rt.errors().is_empty(), "{:?}", parted.rt.errors());
+    assert!(stats.residual_workers <= 2);
+    assert_eq!(log_fp(&single), log_fp(&parted));
+    assert_eq!(rows_fp(&single), rows_fp(&parted));
 }

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Throughput regression gate: re-runs the single-threaded hot-path benchmark
-# and fails if events/s fell more than 15% below the committed reference in
-# results/BENCH_hotpath.json. Pass a different tolerance (percent) as $1.
+# Throughput regression gates: re-runs the single-threaded hot-path benchmark
+# and the shard sweep, and fails if events/s fell more than 15% below the
+# committed references in results/BENCH_hotpath.json / results/BENCH_shard.json.
+# Pass a different tolerance (percent) as $1.
+#
+# The shard gate compares best-vs-best across the sweep: the fastest
+# (shards × residual workers) configuration in the fresh run must stay within
+# tolerance of the fastest configuration in the reference, so a topology whose
+# optimum merely moves (e.g. 2×1 -> 2×2) does not fail the gate.
 #
 # On pass, the refreshed JSON is kept (the reference tracks the current
 # tree); on fail, the prior reference is restored so reruns still compare
@@ -10,6 +16,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tolerance="${1:-15}"
+
+# --- hot-path gate -----------------------------------------------------------
+
 reference=results/BENCH_hotpath.json
 
 if [[ ! -f "$reference" ]]; then
@@ -40,11 +49,57 @@ if ! awk -v ref="$ref_eps" -v new="$new_eps" -v tol="$tolerance" 'BEGIN {
     floor = ref * (1 - tol / 100)
     printf "  reference: %.0f ev/s | measured: %.0f ev/s | floor: %.0f ev/s\n", ref, new, floor
     if (new < floor) {
-        printf "bench_gate.sh: FAIL — throughput regressed more than %s%%\n", tol
+        printf "bench_gate.sh: FAIL — hot-path throughput regressed more than %s%%\n", tol
         exit 1
     }
     printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
 }'; then
     cp "$saved" "$reference"
+    exit 1
+fi
+
+# --- shard-pipeline gate -----------------------------------------------------
+
+shard_reference=results/BENCH_shard.json
+
+if [[ ! -f "$shard_reference" ]]; then
+    echo "bench_gate.sh: no committed $shard_reference; run fig9_shard first" >&2
+    exit 1
+fi
+
+# Best events/s over the sweep rows (rows carry "shards"; the baseline
+# object does not, so it is excluded).
+parse_best_shard_eps() {
+    awk -F'"events_per_sec": ' '/"shards":/ {
+        split($2, a, ","); v = a[1] + 0
+        if (v > best) best = v
+    } END { if (best > 0) printf "%.1f\n", best }' "$1"
+}
+
+shard_ref_eps=$(parse_best_shard_eps "$shard_reference")
+if [[ -z "$shard_ref_eps" ]]; then
+    echo "bench_gate.sh: could not parse sweep events_per_sec from $shard_reference" >&2
+    exit 1
+fi
+
+shard_saved=$(mktemp)
+cp "$shard_reference" "$shard_saved"
+trap 'rm -f "$saved" "$shard_saved"' EXIT
+
+echo "== bench gate: shard pipeline (best reference ${shard_ref_eps} ev/s, -${tolerance}% floor) =="
+cargo run -q --release -p rfid-bench --bin fig9_shard >/dev/null 2>&1
+
+shard_new_eps=$(parse_best_shard_eps "$shard_reference")
+
+if ! awk -v ref="$shard_ref_eps" -v new="$shard_new_eps" -v tol="$tolerance" 'BEGIN {
+    floor = ref * (1 - tol / 100)
+    printf "  reference: %.0f ev/s | measured: %.0f ev/s | floor: %.0f ev/s\n", ref, new, floor
+    if (new < floor) {
+        printf "bench_gate.sh: FAIL — shard-pipeline throughput regressed more than %s%%\n", tol
+        exit 1
+    }
+    printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
+}'; then
+    cp "$shard_saved" "$shard_reference"
     exit 1
 fi
