@@ -65,7 +65,7 @@ proptest! {
                 .add_rule("seq", EventExpr::observation_at("r0").seq(EventExpr::observation_at("r1")))
                 .unwrap();
             let mut sink = |_: rceda::RuleId, inst: &rfid_events::Instance| {
-                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect());
             };
             for &obs in &stream {
                 engine.process(obs, &mut sink);
@@ -83,7 +83,7 @@ proptest! {
                 vec![],
             );
             eca.process_all(stream.iter().copied(), &mut |_, inst| {
-                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect());
             });
         });
         prop_assert_eq!(rceda_pairs, eca_pairs);
@@ -97,7 +97,7 @@ proptest! {
                 .add_rule("and", EventExpr::observation_at("r0").and(EventExpr::observation_at("r1")))
                 .unwrap();
             let mut sink = |_: rceda::RuleId, inst: &rfid_events::Instance| {
-                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect());
             };
             for &obs in &stream {
                 engine.process(obs, &mut sink);
@@ -115,7 +115,7 @@ proptest! {
                 vec![],
             );
             eca.process_all(stream.iter().copied(), &mut |_, inst| {
-                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect())
+                emit(inst.observations().iter().map(|o| o.at.as_millis()).collect());
             });
         });
         prop_assert_eq!(rceda_pairs, eca_pairs);

@@ -1,0 +1,702 @@
+//! Static analysis of rule events: the lint passes behind `rceda-lint`.
+//!
+//! The paper's §4 interval-constraint propagation is itself a static
+//! analysis — `WITHIN`/`TSEQ` bounds flow top-down through the event graph
+//! before any event arrives. This module reuses that machinery to *judge*
+//! rules instead of merely executing them: each rule's event compiles into a
+//! scratch [`EventGraph`] and a battery of passes walks the propagated
+//! constraints looking for the two classic CEP failure modes (unsatisfiable
+//! temporal predicates and unbounded partial-match state) plus operational
+//! hazards (dead leaves, shadowed rules, residual-path rules).
+//!
+//! Diagnostics carry **stable codes** (documented in `DESIGN.md` §12):
+//!
+//! | code | severity | pass |
+//! |------|----------|------|
+//! | E000 | error    | rule rejected outright (builder/compiler error) |
+//! | E001 | error    | empty window: minimum duration exceeds `WITHIN` |
+//! | E002 | error    | empty distance interval on `TSEQ` after propagation |
+//! | E003 | error    | unbounded chronicle state (`NOT`/`SEQ+`/`TSEQ+`) |
+//! | E004 | error    | condition/action references an unbindable variable |
+//! | W001 | warning  | rule shadowed by an earlier rule (merged away) |
+//! | W002 | warning  | duplicate `DEFINE` alias |
+//! | W003 | warning  | dead leaf: pattern can never match the catalog |
+//! | W004 | warning  | rule runs on the residual (non-sharded) path |
+//! | W005 | warning  | unbounded chronicle buffer on a join node |
+//!
+//! E004 and W002 are script-level passes: they live in the rule-language
+//! crate (`rfid-rules`), but their codes are defined here so the taxonomy
+//! has one home. Everything else runs on the compiled event graph via
+//! [`analyze_event`] / [`analyze_program`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rfid_events::{Catalog, EventExpr, ObjectSel, ReaderSel, Span};
+
+use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
+use crate::shard::{self, ResidualReason, Shardability};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable; the rule loads and runs.
+    Warning,
+    /// The rule (or program) is broken: it can never fire as written, or
+    /// will grow state without bound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. The numeric part never changes meaning;
+/// renders as `E001`, `W004`, … via [`DiagCode::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// The rule was rejected outright: a §4.4 invalid rule (builder
+    /// rejection) or a rule-language compile error, resurfaced as a
+    /// diagnostic so a lint run reports every problem instead of aborting
+    /// at the first.
+    InvalidRule,
+    /// Unsatisfiable `WITHIN`: the minimum possible duration of the
+    /// sub-event exceeds its effective window, so no instance can ever
+    /// satisfy the constraint.
+    EmptyWindow,
+    /// Empty `TSEQ` distance interval: after window propagation the
+    /// effective maximum distance is below the minimum distance.
+    EmptyDistance,
+    /// Unbounded chronicle state: a `NOT`/`SEQ+` history with no finite
+    /// retention bound, or a `TSEQ+` whose runs can never close — memory
+    /// grows with the stream (watch `retained_keys`).
+    UnboundedState,
+    /// A condition or action references a variable no positive (non-`NOT`)
+    /// leaf can bind, so every firing would fail to bind.
+    UnboundBinding,
+    /// The rule's event merged into an earlier rule's node with the same
+    /// effective window: both fire on exactly the same instances.
+    ShadowedRule,
+    /// A `DEFINE` alias is declared more than once; the later body silently
+    /// shadows the earlier one.
+    DuplicateDefine,
+    /// A leaf pattern that can never match under the deployment catalog
+    /// (unknown reader, empty group, unmapped type): the rule cannot fire.
+    DeadLeaf,
+    /// The rule is not object-shardable and runs on the residual broadcast
+    /// path ([`crate::shard::Shardability::Residual`]).
+    ResidualRule,
+    /// A join node with no finite window retains partial matches until the
+    /// capacity cap evicts them (`capacity_drops`).
+    UnboundedBuffer,
+}
+
+impl DiagCode {
+    /// The stable code string (`E001`, `W004`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::InvalidRule => "E000",
+            DiagCode::EmptyWindow => "E001",
+            DiagCode::EmptyDistance => "E002",
+            DiagCode::UnboundedState => "E003",
+            DiagCode::UnboundBinding => "E004",
+            DiagCode::ShadowedRule => "W001",
+            DiagCode::DuplicateDefine => "W002",
+            DiagCode::DeadLeaf => "W003",
+            DiagCode::ResidualRule => "W004",
+            DiagCode::UnboundedBuffer => "W005",
+        }
+    }
+
+    /// The severity class the code's prefix encodes.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::InvalidRule
+            | DiagCode::EmptyWindow
+            | DiagCode::EmptyDistance
+            | DiagCode::UnboundedState
+            | DiagCode::UnboundBinding => Severity::Error,
+            DiagCode::ShadowedRule
+            | DiagCode::DuplicateDefine
+            | DiagCode::DeadLeaf
+            | DiagCode::ResidualRule
+            | DiagCode::UnboundedBuffer => Severity::Warning,
+        }
+    }
+
+    /// One-line summary for the code table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            DiagCode::InvalidRule => "rule rejected by the compiler or graph builder",
+            DiagCode::EmptyWindow => "WITHIN window smaller than the event's minimum duration",
+            DiagCode::EmptyDistance => "TSEQ distance interval empty after window propagation",
+            DiagCode::UnboundedState => "negation/aperiodic state with no finite bound",
+            DiagCode::UnboundBinding => "condition/action variable no positive leaf binds",
+            DiagCode::ShadowedRule => "event merged into an identical earlier rule",
+            DiagCode::DuplicateDefine => "DEFINE alias declared more than once",
+            DiagCode::DeadLeaf => "pattern can never match the deployment catalog",
+            DiagCode::ResidualRule => "rule falls to the residual (full-stream) path",
+            DiagCode::UnboundedBuffer => "join buffers bounded only by the capacity cap",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: which rule, where in its event graph, what is wrong, and
+/// how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Declared rule id (`pack3`), or the alias name for `W002`.
+    pub rule_id: String,
+    /// Declared rule name (`containment_line_3`); may equal the id when the
+    /// source has no separate name.
+    pub rule_name: String,
+    /// Path from the event's root to the offending node, e.g.
+    /// `SEQ/0:NOT/0:observation`; empty when the finding is not tied to a
+    /// graph node.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Severity, from the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] rule `{}` ({})",
+            self.severity(),
+            self.code,
+            self.rule_id,
+            self.rule_name
+        )?;
+        if !self.path.is_empty() {
+            write!(f, " at {}", self.path)?;
+        }
+        write!(f, ": {}", self.message)?;
+        if !self.hint.is_empty() {
+            write!(f, " — hint: {}", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// One rule handed to the analyzer: its identity and compiled event.
+#[derive(Debug, Clone)]
+pub struct RuleEvent {
+    /// Declared id.
+    pub id: String,
+    /// Declared name.
+    pub name: String,
+    /// The event expression, alias-free.
+    pub event: EventExpr,
+}
+
+impl RuleEvent {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, name: impl Into<String>, event: EventExpr) -> Self {
+        Self {
+            id: id.into(),
+            name: name.into(),
+            event,
+        }
+    }
+}
+
+/// Analyzes one rule's event in isolation: compiles it into a scratch graph
+/// and runs the per-rule passes (E001, E002, E003, W003, W004, W005). A
+/// builder rejection becomes an `E000` diagnostic. Pass the deployment
+/// catalog to enable the dead-leaf pass (W003); without one, patterns
+/// cannot be checked against reality and the pass is skipped.
+pub fn analyze_event(rule: &RuleEvent, catalog: Option<&Catalog>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut scratch = EventGraph::new();
+    let root = match scratch.add_event(&rule.event) {
+        Ok(root) => root,
+        Err(err) => {
+            out.push(Diagnostic {
+                code: DiagCode::InvalidRule,
+                rule_id: rule.id.clone(),
+                rule_name: rule.name.clone(),
+                path: String::new(),
+                message: err.to_string(),
+                hint: "rewrite the event so its root is push- or mixed-mode (§4.4)".to_owned(),
+            });
+            return out;
+        }
+    };
+    let paths = node_paths(&scratch, root);
+    let durations = min_durations(&scratch);
+    let mut diag = |code: DiagCode, node: NodeId, message: String, hint: &str| {
+        out.push(Diagnostic {
+            code,
+            rule_id: rule.id.clone(),
+            rule_name: rule.name.clone(),
+            path: paths.get(&node).cloned().unwrap_or_default(),
+            message,
+            hint: hint.to_owned(),
+        });
+    };
+
+    for node in scratch.nodes() {
+        // E002: the effective distance interval of a TSEQ is empty.
+        if let NodeKind::TSeq { min_dist, max_dist } = node.kind {
+            let effective_max = max_dist.min(node.within);
+            if effective_max < min_dist {
+                diag(
+                    DiagCode::EmptyDistance,
+                    node.id,
+                    format!(
+                        "TSEQ distance interval [{min_dist}, {max_dist}] is empty under the \
+                         effective window {} (max distance becomes {effective_max})",
+                        node.within
+                    ),
+                    "raise the WITHIN window above the minimum distance, or lower the minimum",
+                );
+                continue; // E001 at the same node would restate the problem.
+            }
+        }
+
+        // E001: the window cannot contain even the shortest instance.
+        let min_dur = durations[node.id.idx()];
+        if min_dur > node.within {
+            diag(
+                DiagCode::EmptyWindow,
+                node.id,
+                format!(
+                    "minimum possible duration {min_dur} exceeds the effective window {}; \
+                     no instance can satisfy the constraint",
+                    node.within
+                ),
+                "widen the WITHIN window or relax the inner TSEQ minimum distances",
+            );
+        }
+
+        // E003: history/run state that nothing ever bounds.
+        match node.kind {
+            NodeKind::Not | NodeKind::SeqPlus if node.retention == Span::MAX => {
+                diag(
+                    DiagCode::UnboundedState,
+                    node.id,
+                    format!(
+                        "{} history has no finite retention bound: every recorded occurrence \
+                         is kept forever and `retained_keys` grows with the stream",
+                        node.kind.name()
+                    ),
+                    "wrap the enclosing sequence in WITHIN(…, τ) or use TSEQ distance bounds",
+                );
+            }
+            NodeKind::TSeqPlus { max_gap, .. } if max_gap == Span::MAX => {
+                diag(
+                    DiagCode::UnboundedState,
+                    node.id,
+                    "TSEQ+ maximum gap is infinite: the open run never closes by gap \
+                     violation and its closure pseudo event is scheduled at t=∞, so the \
+                     run accumulates elements forever and is never emitted"
+                        .to_owned(),
+                    "give TSEQ+ a finite maximum gap so runs can close",
+                );
+            }
+            _ => {}
+        }
+
+        // W005: a two-sided join whose partial matches only the capacity cap
+        // evicts. Not an error — detection still works — but an operational
+        // hazard under sustained load.
+        if node.plan == Plan::TwoSided && node.horizon == Span::MAX {
+            diag(
+                DiagCode::UnboundedBuffer,
+                node.id,
+                format!(
+                    "{} join has no finite window: unmatched constituents are retained \
+                     until the capacity cap evicts them (`capacity_drops`)",
+                    node.kind.name()
+                ),
+                "add a WITHIN constraint so partial matches expire deterministically",
+            );
+        }
+
+        // W003: leaves that can never match the deployment.
+        if let (NodeKind::Primitive(p), Some(cat)) = (&node.kind, catalog) {
+            match &p.reader {
+                ReaderSel::Named(name) if cat.reader(name).is_none() => {
+                    diag(
+                        DiagCode::DeadLeaf,
+                        node.id,
+                        format!("reader `{name}` is not in the deployment catalog"),
+                        "register the reader in the catalog or fix the name",
+                    );
+                }
+                ReaderSel::Group(group) if cat.readers.members(group).is_empty() => {
+                    diag(
+                        DiagCode::DeadLeaf,
+                        node.id,
+                        format!("reader group `{group}` has no members in the catalog"),
+                        "register readers into the group or fix the group name",
+                    );
+                }
+                _ => {}
+            }
+            if let ObjectSel::Type(ty) = &p.object {
+                if !cat.types.knows_type(ty) {
+                    diag(
+                        DiagCode::DeadLeaf,
+                        node.id,
+                        format!("object type `{ty}` has no mapping in the catalog"),
+                        "map EPCs or classes to the type, or fix the type name",
+                    );
+                }
+            }
+        }
+    }
+
+    // W004: the shardability report — why the rule needs the residual path.
+    if let Ok(Shardability::Residual(reason)) = shard::analyze(&rule.event) {
+        let (message, hint) = match reason {
+            ResidualReason::GlobalRun => (
+                "contains SEQ+/TSEQ+: aperiodic runs span objects, so the rule runs on \
+                 the residual full-stream path instead of keyed shards",
+                "expected for containment-style rules; raise `residual_workers` to scale them",
+            ),
+            ResidualReason::KeylessJoin => (
+                "a stateful join does not correlate on the object EPC, so detection \
+                 order depends on the full stream and the rule runs on the residual path",
+                "bind the object position to a shared variable on both sides to shard by object",
+            ),
+        };
+        out.push(Diagnostic {
+            code: DiagCode::ResidualRule,
+            rule_id: rule.id.clone(),
+            rule_name: rule.name.clone(),
+            path: paths.get(&root).cloned().unwrap_or_default(),
+            message: message.to_owned(),
+            hint: hint.to_owned(),
+        });
+    }
+
+    out
+}
+
+/// Analyzes a whole program: per-rule passes on every rule, then the
+/// merge-aware W001 pass — rules whose events hash-cons to the same node
+/// with the same effective window are duplicates; the later one is
+/// shadowed (it fires on exactly the instances the earlier one fires on).
+pub fn analyze_program(rules: &[RuleEvent], catalog: Option<&Catalog>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in rules {
+        out.extend(analyze_event(rule, catalog));
+    }
+    out.extend(analyze_shadowing(rules));
+    out
+}
+
+/// The W001 pass alone: detects rules that merge into the same graph node.
+/// [`analyze_program`] runs it after the per-rule passes; script-level
+/// frontends call it directly so they can group diagnostics per rule.
+pub fn analyze_shadowing(rules: &[RuleEvent]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // W001 via the production compilation path: one merged graph.
+    let mut merged = EventGraph::new();
+    let mut owner: HashMap<NodeId, usize> = HashMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let Ok(root) = merged.add_event(&rule.event) else {
+            continue; // already reported as E000 by the per-rule pass
+        };
+        match owner.get(&root) {
+            Some(&first) => {
+                let prior = &rules[first];
+                out.push(Diagnostic {
+                    code: DiagCode::ShadowedRule,
+                    rule_id: rule.id.clone(),
+                    rule_name: rule.name.clone(),
+                    path: merged.node(root).kind.name().to_owned(),
+                    message: format!(
+                        "event is identical to rule `{}` ({}) after common-subgraph merging \
+                         (same structure and effective window); both rules fire on exactly \
+                         the same instances",
+                        prior.id, prior.name
+                    ),
+                    hint: "drop one rule, or merge their actions into a single rule".to_owned(),
+                });
+            }
+            None => {
+                owner.insert(root, i);
+            }
+        }
+    }
+    out
+}
+
+/// First path from the root to every reachable node, rendered as
+/// `KIND/childidx:KIND/…` (e.g. `SEQ/0:NOT/0:observation`).
+fn node_paths(graph: &EventGraph, root: NodeId) -> HashMap<NodeId, String> {
+    let mut paths = HashMap::new();
+    let mut stack = vec![(root, graph.node(root).kind.name().to_owned())];
+    while let Some((id, path)) = stack.pop() {
+        if paths.contains_key(&id) {
+            continue; // shared subgraph: keep the first path found
+        }
+        for (i, &child) in graph.node(id).children.iter().enumerate() {
+            let kind = graph.node(child).kind.name();
+            stack.push((child, format!("{path}/{i}:{kind}")));
+        }
+        paths.insert(id, path);
+    }
+    paths
+}
+
+/// Minimum possible instance duration per node, bottom-up. `Span`'s
+/// addition saturates, so unbounded constituents stay at `Span::MAX`.
+fn min_durations(graph: &EventGraph) -> Vec<Span> {
+    let mut dur = vec![Span::ZERO; graph.len()];
+    // Nodes are pushed children-first, so index order is a topological order.
+    for node in graph.nodes() {
+        let child = |i: usize| dur[node.children[i].idx()];
+        dur[node.id.idx()] = match node.kind {
+            NodeKind::Primitive(_) => Span::ZERO,
+            // Negation asserts absence: it adds no duration of its own.
+            NodeKind::Not => Span::ZERO,
+            NodeKind::Or => child(0).min(child(1)),
+            NodeKind::And => Ord::max(child(0), child(1)),
+            NodeKind::Seq => child(0) + child(1),
+            NodeKind::TSeq { min_dist, .. } => child(0) + min_dist + child(1),
+            // A run of one element is a legal SEQ+/TSEQ+ instance.
+            NodeKind::SeqPlus | NodeKind::TSeqPlus { .. } => child(0),
+        };
+    }
+    dur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(reader: &str) -> EventExpr {
+        EventExpr::observation_at(reader).build()
+    }
+
+    fn obs_keyed(reader: &str) -> EventExpr {
+        EventExpr::observation_at(reader).bind_object("o").build()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn rule(event: EventExpr) -> RuleEvent {
+        RuleEvent::new("r", "test", event)
+    }
+
+    #[test]
+    fn clean_rule_has_no_findings() {
+        let e = obs_keyed("r1")
+            .seq(obs_keyed("r2"))
+            .within(Span::from_secs(5));
+        assert!(analyze_event(&rule(e), None).is_empty());
+    }
+
+    #[test]
+    fn empty_window_is_e001() {
+        // Two satisfiable TSEQs whose minimum distances sum past the window.
+        let e = obs_keyed("r1")
+            .tseq(obs_keyed("r2"), Span::from_secs(2), Span::from_secs(3))
+            .seq(obs_keyed("r3").tseq(obs_keyed("r4"), Span::from_secs(4), Span::from_secs(5)))
+            .within(Span::from_secs(5));
+        let diags = analyze_event(&rule(e), None);
+        assert!(codes(&diags).contains(&DiagCode::EmptyWindow), "{diags:?}");
+        assert!(
+            !codes(&diags).contains(&DiagCode::EmptyDistance),
+            "each TSEQ alone is satisfiable: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn empty_distance_is_e002_not_e001() {
+        let e = obs_keyed("r1")
+            .tseq(obs_keyed("r2"), Span::from_secs(10), Span::from_secs(20))
+            .within(Span::from_secs(5));
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::EmptyDistance], "{diags:?}");
+        assert!(diags[0].path.starts_with("TSEQ"));
+    }
+
+    #[test]
+    fn unbounded_histories_are_e003() {
+        // SEQ(¬a; b) with no WITHIN: accepted by the builder, but the
+        // negation history is never pruned.
+        let e = obs_keyed("r1").not().seq(obs_keyed("r2"));
+        let diags = analyze_event(&rule(e), None);
+        assert!(
+            codes(&diags).contains(&DiagCode::UnboundedState),
+            "{diags:?}"
+        );
+
+        let e = obs("r1").seq_plus().seq(obs("r2"));
+        let diags = analyze_event(&rule(e), None);
+        assert!(
+            codes(&diags).contains(&DiagCode::UnboundedState),
+            "{diags:?}"
+        );
+
+        // The same shapes under WITHIN are clean.
+        let e = obs_keyed("r1")
+            .not()
+            .seq(obs_keyed("r2"))
+            .within(Span::from_secs(30));
+        assert!(analyze_event(&rule(e), None).is_empty());
+    }
+
+    #[test]
+    fn infinite_tseq_plus_gap_is_e003() {
+        let e = obs("r1").tseq_plus(Span::ZERO, Span::MAX).tseq(
+            obs("r2"),
+            Span::ZERO,
+            Span::from_secs(5),
+        );
+        let diags = analyze_event(&rule(e), None);
+        assert!(
+            codes(&diags).contains(&DiagCode::UnboundedState),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn bare_join_is_w005() {
+        let e = obs_keyed("r1").seq(obs_keyed("r2"));
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::UnboundedBuffer], "{diags:?}");
+        assert_eq!(diags[0].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn dead_leaves_need_a_catalog() {
+        let e = obs("ghost").seq(obs("r1")).within(Span::from_secs(5));
+        // Without a catalog the pass is skipped (only the keyless-join W004
+        // remains).
+        let diags = analyze_event(&rule(e.clone()), None);
+        assert!(!codes(&diags).contains(&DiagCode::DeadLeaf));
+
+        let mut catalog = Catalog::new();
+        catalog.readers.register("r1", "g1", "dock");
+        let diags = analyze_event(&rule(e), Some(&catalog));
+        assert!(codes(&diags).contains(&DiagCode::DeadLeaf), "{diags:?}");
+
+        // Unknown group and unmapped type are also dead.
+        let e = EventExpr::observation_in_group("nowhere")
+            .with_type("unobtainium")
+            .build();
+        let diags = analyze_event(&rule(e), Some(&catalog));
+        assert_eq!(
+            codes(&diags),
+            vec![DiagCode::DeadLeaf, DiagCode::DeadLeaf],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn residual_rules_are_w004_with_reason() {
+        // Keyless SEQ: W005 (no window bound here is avoided with WITHIN).
+        let e = obs("r1").seq(obs("r2")).within(Span::from_secs(10));
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::ResidualRule], "{diags:?}");
+        assert!(diags[0].message.contains("object"));
+
+        // Aperiodic runs: GlobalRun.
+        let e = obs("r1").tseq_plus(Span::ZERO, Span::from_secs(1)).tseq(
+            obs("r2"),
+            Span::ZERO,
+            Span::from_secs(5),
+        );
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::ResidualRule], "{diags:?}");
+        assert!(diags[0].message.contains("SEQ+"));
+    }
+
+    #[test]
+    fn builder_rejections_become_e000() {
+        let e = obs_keyed("r1").seq(obs_keyed("r2").not());
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::InvalidRule]);
+        assert_eq!(diags[0].severity(), Severity::Error);
+        assert!(diags[0].message.contains("negation"), "{diags:?}");
+    }
+
+    #[test]
+    fn shadowed_rules_are_w001() {
+        let a = RuleEvent::new(
+            "a",
+            "first",
+            obs_keyed("r1")
+                .seq(obs_keyed("r2"))
+                .within(Span::from_secs(5)),
+        );
+        let b = RuleEvent::new(
+            "b",
+            "second",
+            obs_keyed("r1")
+                .seq(obs_keyed("r2"))
+                .within(Span::from_secs(5)),
+        );
+        let c = RuleEvent::new(
+            "c",
+            "different-window",
+            obs_keyed("r1")
+                .seq(obs_keyed("r2"))
+                .within(Span::from_secs(9)),
+        );
+        let diags = analyze_program(&[a, b, c], None);
+        let shadowed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::ShadowedRule)
+            .collect();
+        assert_eq!(shadowed.len(), 1, "{diags:?}");
+        assert_eq!(shadowed[0].rule_id, "b");
+        assert!(shadowed[0].message.contains("`a`"));
+    }
+
+    #[test]
+    fn paths_descend_into_the_graph() {
+        let e = obs_keyed("r1").not().seq(obs_keyed("r2"));
+        let diags = analyze_event(&rule(e), None);
+        let e003 = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UnboundedState)
+            .unwrap();
+        assert_eq!(e003.path, "SEQ/0:NOT");
+    }
+
+    #[test]
+    fn display_is_one_line_with_code_and_hint() {
+        let e = obs_keyed("r1")
+            .tseq(obs_keyed("r2"), Span::from_secs(10), Span::from_secs(20))
+            .within(Span::from_secs(5));
+        let diags = analyze_event(&RuleEvent::new("x", "demo", e), None);
+        let line = diags[0].to_string();
+        assert!(
+            line.starts_with("error[E002] rule `x` (demo) at TSEQ"),
+            "{line}"
+        );
+        assert!(line.contains("hint:"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+}

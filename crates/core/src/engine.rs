@@ -35,7 +35,10 @@ use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
 use crate::key::{extract_all, Key};
 use crate::pseudo::{PseudoAction, PseudoEvent, PseudoQueue};
-use crate::state::{dead_before, Entry, NodeState, WaitEntry};
+use crate::state::{
+    dead_before, AperiodicState, Entry, KeyedBuffer, NegationState, NodeState, TimedRunState,
+    WaitEntry, WaitState,
+};
 use crate::stats::EngineStats;
 
 /// Identifier of a registered rule.
@@ -976,12 +979,12 @@ fn initial_state(node: &Node) -> NodeState {
             NodeState::Stateless
         }
         Plan::TwoSided => NodeState::Join {
-            left: Default::default(),
-            right: Default::default(),
+            left: KeyedBuffer::default(),
+            right: KeyedBuffer::default(),
         },
-        Plan::RightNegationWait | Plan::AndNegation { .. } => NodeState::Wait(Default::default()),
-        Plan::NegationRecorder => NodeState::Negation(Default::default()),
-        Plan::AperiodicRecorder => NodeState::Aperiodic(Default::default()),
-        Plan::TimedAperiodic => NodeState::TimedRun(Default::default()),
+        Plan::RightNegationWait | Plan::AndNegation { .. } => NodeState::Wait(WaitState::default()),
+        Plan::NegationRecorder => NodeState::Negation(NegationState::default()),
+        Plan::AperiodicRecorder => NodeState::Aperiodic(AperiodicState::default()),
+        Plan::TimedAperiodic => NodeState::TimedRun(TimedRunState::default()),
     }
 }

@@ -40,7 +40,7 @@ impl EventGraph {
                 node.id.0,
                 node.kind.name(),
                 mode,
-                plan_name(&node.plan),
+                plan_name(node.plan),
                 fmt_span(node.within),
                 fmt_span(node.horizon),
                 children.join(","),
@@ -97,7 +97,7 @@ impl EventGraph {
     }
 }
 
-fn plan_name(plan: &Plan) -> &'static str {
+fn plan_name(plan: Plan) -> &'static str {
     match plan {
         Plan::Leaf => "leaf",
         Plan::Forward => "forward",

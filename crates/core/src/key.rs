@@ -561,7 +561,7 @@ mod tests {
     #[test]
     fn join_spec_aligns_shared_vars() {
         // Two primitives both binding r and o (Rule 1's shape).
-        let pattern = |_: ()| {
+        let pattern = |(): ()| {
             let e = EventExpr::observation()
                 .bind_reader("r")
                 .bind_object("o")

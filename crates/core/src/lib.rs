@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -63,6 +64,7 @@ pub mod shard;
 pub mod state;
 pub mod stats;
 
+pub use analyze::{DiagCode, Diagnostic, RuleEvent, Severity};
 pub use engine::{Engine, EngineConfig, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};

@@ -1,66 +1,105 @@
 //! Engine counters, used by tests, benches, and EXPERIMENTS.md tables.
+//!
+//! Every statistic is classified once, in the [`engine_stats!`] field table
+//! below, as either a [`StatKind::Counter`] (monotone rate — merges by
+//! summing) or a [`StatKind::Gauge`] (point-in-time level — merges by
+//! maximum). `merge` is generated from that table, so a new field cannot
+//! silently repeat the `retained_keys` sum-vs-max bug: adding it forces a
+//! kind choice, and the audit test checks the merge against the table.
 
-/// Monotone counters the engine maintains while detecting.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct EngineStats {
+/// How a statistic combines across shards/workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatKind {
+    /// A monotone throughput counter: merging sums the contributions.
+    Counter,
+    /// A point-in-time level (high-water mark or working-set size): merging
+    /// takes the maximum, since summing a gauge over shards that observe
+    /// overlapping state double-counts it.
+    Gauge,
+}
+
+impl StatKind {
+    /// Combines two observations of the same statistic.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            StatKind::Counter => a + b,
+            StatKind::Gauge => a.max(b),
+        }
+    }
+}
+
+/// Declares [`EngineStats`]: one line per field with its merge kind. The
+/// struct, the [`EngineStats::FIELDS`] table, [`EngineStats::merge`], and
+/// the by-name accessor are all generated from this single list.
+macro_rules! engine_stats {
+    ($($(#[$doc:meta])* $field:ident : $kind:ident,)+) => {
+        /// Counters and gauges the engine maintains while detecting.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct EngineStats {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl EngineStats {
+            /// The single source of truth: every statistic's name and merge
+            /// kind, in declaration order.
+            pub const FIELDS: &'static [(&'static str, StatKind)] =
+                &[$((stringify!($field), StatKind::$kind),)+];
+
+            /// Combines two stat sets field-by-field according to each
+            /// field's [`StatKind`]: counters add, gauges take the maximum.
+            /// Merging is associative and commutative with
+            /// [`EngineStats::default`] as identity, so per-shard stats can
+            /// be folded in any order.
+            #[must_use]
+            pub fn merge(self, other: EngineStats) -> EngineStats {
+                EngineStats {
+                    $($field: StatKind::$kind.combine(self.$field, other.$field),)+
+                }
+            }
+
+            /// Value of a field by its [`EngineStats::FIELDS`] name.
+            pub fn get(&self, field: &str) -> Option<u64> {
+                match field {
+                    $(stringify!($field) => Some(self.$field),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+engine_stats! {
     /// Primitive observations processed.
-    pub events: u64,
+    events: Counter,
     /// Primitive observations that matched at least one leaf pattern.
-    pub matched_events: u64,
+    matched_events: Counter,
     /// Pseudo events scheduled.
-    pub pseudo_scheduled: u64,
+    pseudo_scheduled: Counter,
     /// Pseudo events executed.
-    pub pseudo_fired: u64,
+    pseudo_fired: Counter,
     /// Complex event occurrences emitted (all nodes, pre-rule fan-out).
-    pub occurrences: u64,
+    occurrences: Counter,
     /// Rule firings delivered to the sink.
-    pub rule_firings: u64,
+    rule_firings: Counter,
     /// Instances evicted by the unbounded-buffer cap.
-    pub capacity_drops: u64,
+    capacity_drops: Counter,
     /// Buffer sweep passes performed.
-    pub sweeps: u64,
+    sweeps: Counter,
     /// Observation batches shipped to workers. Only the sharded path
     /// ([`crate::shard::ShardedEngine`]) batches; zero single-threaded.
-    pub batches: u64,
+    batches: Counter,
     /// Deepest per-shard ingestion queue observed, in batches. Zero
     /// single-threaded.
-    pub max_queue_depth: u64,
+    max_queue_depth: Gauge,
     /// Correlation keys currently retained in negation histories — the
     /// working set [`crate::state::NegationState::prune`] bounds. A gauge,
     /// snapshotted by `Engine::stats`; merging takes the per-shard maximum
     /// (broadcast workers retain overlapping key sets, so a sum would
     /// double-count the same keys).
-    pub retained_keys: u64,
+    retained_keys: Gauge,
     /// Rule-partitioned residual workers in the sharded pipeline. A gauge
     /// set by `ShardedEngine::stats`; zero single-threaded.
-    pub residual_workers: u64,
-}
-
-impl EngineStats {
-    /// Combines two counter sets: every throughput counter adds, while the
-    /// gauges — [`EngineStats::max_queue_depth`] (a high-water mark) and
-    /// [`EngineStats::retained_keys`] / [`EngineStats::residual_workers`]
-    /// (point-in-time working-set sizes) — take the maximum, since summing
-    /// a gauge over shards that observe overlapping state double-counts.
-    /// Merging is associative and commutative with [`EngineStats::default`]
-    /// as identity, so per-shard stats can be folded in any order.
-    #[must_use]
-    pub fn merge(self, other: EngineStats) -> EngineStats {
-        EngineStats {
-            events: self.events + other.events,
-            matched_events: self.matched_events + other.matched_events,
-            pseudo_scheduled: self.pseudo_scheduled + other.pseudo_scheduled,
-            pseudo_fired: self.pseudo_fired + other.pseudo_fired,
-            occurrences: self.occurrences + other.occurrences,
-            rule_firings: self.rule_firings + other.rule_firings,
-            capacity_drops: self.capacity_drops + other.capacity_drops,
-            sweeps: self.sweeps + other.sweeps,
-            batches: self.batches + other.batches,
-            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
-            retained_keys: self.retained_keys.max(other.retained_keys),
-            residual_workers: self.residual_workers.max(other.residual_workers),
-        }
-    }
+    residual_workers: Gauge,
 }
 
 impl std::fmt::Display for EngineStats {
@@ -131,36 +170,45 @@ mod tests {
         );
     }
 
-    /// Audit of the gauge/counter split: every counter (monotone rate) must
-    /// merge as a sum, every gauge (point-in-time level) as a max. A gauge
-    /// that sums double-counts state observed by several shards — exactly
-    /// the bug this test exists to catch.
+    /// Audit of the gauge/counter split, driven by the field table itself:
+    /// every counter (monotone rate) must merge as a sum, every gauge
+    /// (point-in-time level) as a max. A gauge that sums double-counts
+    /// state observed by several shards — exactly the bug this test exists
+    /// to catch.
     #[test]
     fn merge_audit_gauges_max_counters_sum() {
         let (a, b) = (sample(40), sample(300));
         let merged = a.merge(b);
-        // Counters: sums.
-        assert_eq!(merged.events, a.events + b.events);
-        assert_eq!(merged.matched_events, a.matched_events + b.matched_events);
+        for &(name, kind) in EngineStats::FIELDS {
+            let (va, vb) = (a.get(name).unwrap(), b.get(name).unwrap());
+            let expected = match kind {
+                StatKind::Counter => va + vb,
+                StatKind::Gauge => va.max(vb),
+            };
+            assert_eq!(
+                merged.get(name).unwrap(),
+                expected,
+                "field `{name}` must merge as a {kind:?}"
+            );
+        }
+    }
+
+    /// The classification itself: the stats every shard observes about the
+    /// *same* shared resource (queues, retained key sets, worker pools) are
+    /// gauges; everything that counts disjoint work is a counter.
+    #[test]
+    fn field_table_pins_the_classification() {
+        let gauges: Vec<&str> = EngineStats::FIELDS
+            .iter()
+            .filter(|(_, k)| *k == StatKind::Gauge)
+            .map(|(n, _)| *n)
+            .collect();
         assert_eq!(
-            merged.pseudo_scheduled,
-            a.pseudo_scheduled + b.pseudo_scheduled
+            gauges,
+            ["max_queue_depth", "retained_keys", "residual_workers"],
+            "re-classifying a field is a semantic change: update this test \
+             and the EXPERIMENTS.md tables together"
         );
-        assert_eq!(merged.pseudo_fired, a.pseudo_fired + b.pseudo_fired);
-        assert_eq!(merged.occurrences, a.occurrences + b.occurrences);
-        assert_eq!(merged.rule_firings, a.rule_firings + b.rule_firings);
-        assert_eq!(merged.capacity_drops, a.capacity_drops + b.capacity_drops);
-        assert_eq!(merged.sweeps, a.sweeps + b.sweeps);
-        assert_eq!(merged.batches, a.batches + b.batches);
-        // Gauges: maxima.
-        assert_eq!(
-            merged.max_queue_depth,
-            a.max_queue_depth.max(b.max_queue_depth)
-        );
-        assert_eq!(merged.retained_keys, a.retained_keys.max(b.retained_keys));
-        assert_eq!(
-            merged.residual_workers,
-            a.residual_workers.max(b.residual_workers)
-        );
+        assert_eq!(EngineStats::FIELDS.len(), 12);
     }
 }

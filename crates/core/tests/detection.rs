@@ -60,7 +60,7 @@ impl Fixture {
             })
             .collect();
         self.engine.process_all(stream, &mut |rule, inst| {
-            out.push((rule, Arc::new(inst.clone())))
+            out.push((rule, Arc::new(inst.clone())));
         });
         out
     }
@@ -703,7 +703,7 @@ fn group_patterns_match_any_group_member() {
     let mut fired = Vec::new();
     let t = Timestamp::from_secs(1);
     engine.process(Observation::new(a, obj(30, 1), t), &mut |r, _| {
-        fired.push(r)
+        fired.push(r);
     });
     engine.process(
         Observation::new(b, obj(30, 2), t + Span::from_secs(1)),

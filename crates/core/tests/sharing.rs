@@ -221,7 +221,7 @@ fn reorderer_feeds_engine_correctly() {
                 .iter()
                 .map(|o| o.at.as_millis())
                 .collect::<Vec<_>>(),
-        )
+        );
     };
     for o in raw {
         if let Ok(batch) = reorderer.offer(o) {

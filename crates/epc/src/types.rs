@@ -160,6 +160,16 @@ impl TypeRegistry {
         self.type_of(epc).is_some_and(|t| t.name() == name)
     }
 
+    /// Whether any mapping (override, class rule, or fallback) can produce
+    /// this type name — i.e. whether `type(o) = name` is satisfiable at all
+    /// under this registry. Used by static analysis to flag patterns that
+    /// predicate on a type no object will ever have.
+    pub fn knows_type(&self, name: &str) -> bool {
+        self.by_epc.values().any(|t| t.name() == name)
+            || self.by_class.values().any(|t| t.name() == name)
+            || self.fallback.as_ref().is_some_and(|t| t.name() == name)
+    }
+
     /// Number of registered rules (overrides + class rules).
     pub fn len(&self) -> usize {
         self.by_epc.len() + self.by_class.len()

@@ -364,7 +364,7 @@ impl EventExpr {
             }
             EventExpr::Not(x) | EventExpr::SeqPlus(x) => x.for_each_primitive(f),
             EventExpr::TSeqPlus { inner, .. } | EventExpr::Within { inner, .. } => {
-                inner.for_each_primitive(f)
+                inner.for_each_primitive(f);
             }
         }
     }

@@ -39,11 +39,13 @@ pub mod bind;
 pub mod compile;
 pub mod cond;
 pub mod driver;
+pub mod lint;
 pub mod parser;
 pub mod runtime;
 pub mod stdlib;
 pub mod token;
 
 pub use driver::StreamHandle;
+pub use lint::{lint_script, LintLevel, LintReport};
 pub use parser::{parse_script, ParseError};
 pub use runtime::{Procedures, RuleRuntime, RuntimeError};

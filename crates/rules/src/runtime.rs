@@ -37,6 +37,9 @@ pub enum RuntimeError {
     DuplicateRuleId(String),
     /// `DROP RULE` named a rule that was never created.
     UnknownRuleId(String),
+    /// [`RuleRuntime::compile`] under [`crate::LintLevel::Deny`] found
+    /// error-level diagnostics; the full report is attached.
+    Lint(Vec<rceda::analyze::Diagnostic>),
 }
 
 impl fmt::Display for RuntimeError {
@@ -49,6 +52,23 @@ impl fmt::Display for RuntimeError {
             Self::Action(e) => write!(f, "{e}"),
             Self::DuplicateRuleId(id) => write!(f, "duplicate rule id `{id}`"),
             Self::UnknownRuleId(id) => write!(f, "no rule with id `{id}` to drop"),
+            Self::Lint(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity() == rceda::analyze::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "lint rejected the program: {errors} error-level finding(s)"
+                )?;
+                if let Some(first) = diags
+                    .iter()
+                    .find(|d| d.severity() == rceda::analyze::Severity::Error)
+                {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -168,6 +188,43 @@ impl RuleRuntime {
             defines: HashMap::new(),
             errors: Vec::new(),
         }
+    }
+
+    /// Builds a runtime from a script under a lint policy. This is
+    /// [`RuleRuntime::new`] + [`RuleRuntime::load`] with static analysis in
+    /// front:
+    ///
+    /// * [`crate::LintLevel::Allow`] — no linting; behaves like plain `load`
+    ///   and returns no diagnostics;
+    /// * [`crate::LintLevel::Warn`] — diagnostics are returned alongside
+    ///   the runtime, which is built even when errors are found (the
+    ///   builder still rejects §4.4-invalid rules as before);
+    /// * [`crate::LintLevel::Deny`] — any error-level diagnostic (`E…`)
+    ///   aborts with [`RuntimeError::Lint`] carrying the full report.
+    ///
+    /// The runtime's catalog doubles as the deployment the dead-leaf pass
+    /// (W003) checks patterns against.
+    pub fn compile(
+        catalog: Catalog,
+        script: &str,
+        level: crate::LintLevel,
+    ) -> Result<(Self, Vec<rceda::analyze::Diagnostic>), RuntimeError> {
+        let diagnostics = match level {
+            crate::LintLevel::Allow => Vec::new(),
+            crate::LintLevel::Warn | crate::LintLevel::Deny => {
+                crate::lint::lint_script(script, Some(&catalog))?.diagnostics
+            }
+        };
+        if level == crate::LintLevel::Deny
+            && diagnostics
+                .iter()
+                .any(|d| d.severity() == rceda::analyze::Severity::Error)
+        {
+            return Err(RuntimeError::Lint(diagnostics));
+        }
+        let mut runtime = Self::new(catalog);
+        runtime.load(script)?;
+        Ok((runtime, diagnostics))
     }
 
     /// Parses and loads a script (any number of `DEFINE`s and rules).

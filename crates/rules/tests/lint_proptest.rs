@@ -1,0 +1,110 @@
+//! Property: a program the linter passes without error-level findings must
+//! always compile into a working runtime and survive a small observation
+//! stream without panicking or accumulating runtime errors.
+//!
+//! The generator deliberately produces a mix of clean and broken programs
+//! (unbounded negation, impossible windows, unbound action variables, dead
+//! readers) — broken ones exercise the linter's rejection paths, clean ones
+//! must run.
+
+use proptest::prelude::*;
+use rceda::analyze::Severity;
+use rfid_epc::{Epc, Gid96};
+use rfid_events::{Catalog, Observation, Timestamp};
+use rfid_rules::{lint_script, RuleRuntime};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.readers.register("r1", "g1", "dock-a");
+    cat.readers.register("r2", "g1", "dock-b");
+    cat
+}
+
+/// One generated rule: an event template crossed with a window choice and
+/// an action variable that may or may not be bound by the event.
+#[derive(Debug, Clone)]
+struct GenRule {
+    template: u8,
+    window_secs: u8,
+    action_var: u8,
+}
+
+fn event_text(r: &GenRule) -> String {
+    let t = match r.template {
+        0 => "observation('r1', o, t1)".to_owned(),
+        1 => "observation(r, o, t1) ; observation(r, o, t2)".to_owned(),
+        2 => "observation('r1', o, t1) AND observation('r2', o, t2)".to_owned(),
+        3 => "NOT observation(r, o, t1) ; observation(r, o, t2)".to_owned(),
+        4 => "TSEQ(observation('r1', o, t1); observation('r2', o, t2), 1 sec, 2 sec)".to_owned(),
+        5 => "observation('ghost', o, t1)".to_owned(),
+        _ => "TSEQ(TSEQ+(observation('r1', o, t1), 0, 1 sec); \
+              observation('r2', o2, t2), 1 sec, 2 sec)"
+            .to_owned(),
+    };
+    if r.window_secs == 0 {
+        format!("({t})")
+    } else {
+        format!("WITHIN({t}, {} sec)", r.window_secs)
+    }
+}
+
+fn script_text(rules: &[GenRule]) -> String {
+    let mut script = String::new();
+    for (i, r) in rules.iter().enumerate() {
+        let var = match r.action_var {
+            0 => "o",
+            1 => "t1",
+            _ => "ghost_var",
+        };
+        script.push_str(&format!(
+            "CREATE RULE g{i}, generated_{i} ON {} IF true DO log_event({var}) ",
+            event_text(r)
+        ));
+    }
+    script
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<GenRule>> {
+    prop::collection::vec(
+        (0u8..7, 0u8..8, 0u8..3).prop_map(|(template, window_secs, action_var)| GenRule {
+            template,
+            window_secs,
+            action_var,
+        }),
+        1..4,
+    )
+}
+
+proptest! {
+    #[test]
+    fn lint_clean_programs_compile_and_run(rules in rules_strategy()) {
+        let script = script_text(&rules);
+        let cat = catalog();
+        // Parse failures would be generator bugs, not linter verdicts.
+        let report = lint_script(&script, Some(&cat)).expect("generated script must parse");
+        if report.diagnostics.iter().any(|d| d.severity() == Severity::Error) {
+            return; // linter rejected it; nothing to run
+        }
+
+        let mut rt = RuleRuntime::new(cat);
+        rt.register_procedure("log_event", |_args| {});
+        rt.load(&script).expect("lint-clean program must load");
+
+        let r1 = rt.engine().catalog().reader("r1").unwrap();
+        let r2 = rt.engine().catalog().reader("r2").unwrap();
+        let obj: Epc = Gid96::new(1, 3, 5).unwrap().into();
+        let stream: Vec<Observation> = (0..20u64)
+            .map(|i| {
+                let reader = if i % 2 == 0 { r1 } else { r2 };
+                Observation::new(reader, obj, Timestamp::from_millis(i * 700))
+            })
+            .collect();
+        rt.process_all(stream);
+        rt.finish();
+        prop_assert!(
+            rt.errors().is_empty(),
+            "lint-clean program hit runtime errors: {:?}",
+            rt.errors().first().map(std::string::ToString::to_string)
+        );
+    }
+}

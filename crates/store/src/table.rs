@@ -31,8 +31,7 @@ impl ColumnType {
             (ColumnType::Epc, Value::Epc(_))
                 | (ColumnType::Str, Value::Str(_))
                 | (ColumnType::Int, Value::Int(_))
-                | (ColumnType::Time, Value::Time(_))
-                | (ColumnType::Time, Value::Uc)
+                | (ColumnType::Time, Value::Time(_) | Value::Uc)
                 | (_, Value::Null)
         )
     }

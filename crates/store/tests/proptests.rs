@@ -35,8 +35,8 @@ proptest! {
     #[test]
     fn uc_invariants_hold(ops in ops_strategy()) {
         let mut db = Database::rfid();
-        let mut naive_loc: std::collections::HashMap<u64, u8> = Default::default();
-        let mut naive_parent: std::collections::HashMap<u64, Option<u64>> = Default::default();
+        let mut naive_loc = std::collections::HashMap::<u64, u8>::new();
+        let mut naive_parent = std::collections::HashMap::<u64, Option<u64>>::new();
         for (i, op) in ops.iter().enumerate() {
             let t = Timestamp::from_secs(i as u64 + 1);
             match *op {

@@ -14,4 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (root package) =="
 cargo test -q
 
+echo "== rceda-lint (canonical rule programs) =="
+# The Rule 1-5 program and the 512-rule containment workload must lint
+# free of error-level findings; rceda-lint exits 1 on any E-code.
+cargo run -q --release -p rceda-lint -- --sim default --sim paper-scale
+
 echo "check.sh: all gates passed"

@@ -31,7 +31,7 @@ fn main() {
         Some("simulate") => simulate(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("--help" | "-h") | None => {
             eprintln!("usage: rfid-cli <simulate|run|inspect> [options]  (see --help per command)");
             Ok(())
         }
@@ -168,7 +168,7 @@ fn run(args: &[String]) -> Result<(), String> {
         *proc_counts.entry(name).or_default() += 1;
     }
     let mut procs: Vec<_> = proc_counts.into_iter().collect();
-    procs.sort();
+    procs.sort_unstable();
     for (name, count) in procs {
         println!("procedure: {name} called {count} time(s)");
     }
