@@ -1,116 +1,194 @@
 //! Hot-path throughput gate: single-threaded events/s on the Fig. 9
 //! workload, measured over several fresh-engine passes.
 //!
-//! This is the benchmark the allocation-lean refactor (packed correlation
-//! keys, borrowed plans, pooled scratch buffers) is judged against. The
-//! pre-refactor engine — `Vec<KeyPart>` keys, cloned `Plan`s, per-arrival
-//! work vectors — measured 1 005 586.7 ev/s on this exact workload; that
-//! figure is pinned below and every run reports its speedup against it.
-//! `scripts/bench_gate.sh` reads the JSON this writes and fails the build
-//! on a >15% regression.
+//! This is the benchmark the compiled-plan lowering (flat node table,
+//! direct-index dispatch rows, fused in-field delivery, expiry-log
+//! pruning) is judged against. The pre-lowering engine — the graph walker
+//! with hash-probed dispatch and rule fan-out — measured 1 515 436.4 ev/s
+//! on this exact workload; that figure is pinned below and every run
+//! reports its speedup against it. `scripts/bench_gate.sh` reads the JSON
+//! this writes and fails the build on a >15% regression.
+//!
+//! Flags:
+//! * `--plan` / `--graph` — measure only the compiled-plan executor or
+//!   only the graph-walker oracle. The default measures both (plan is the
+//!   headline, the walker row is the ablation).
+//! * `--events N` — trace length override (CI smoke runs use a small N).
+//! * `--reps N` — measured passes per mode (default 5). min-of-N is the
+//!   headline estimator, so more passes tighten it on a noisy box.
 
 use std::fmt::Write as _;
 
-use rceda::EngineConfig;
+use rceda::{EngineConfig, ExecMode};
 use rfid_bench::{bare_engine, time_engine_pass, BenchWorkload};
 
 const EVENTS: usize = 150_000;
 const REPS: usize = 5;
 
-/// Single-threaded ev/s of the pre-refactor engine on this workload
-/// (commit prior to the packed-key refactor, same machine class, recorded
-/// in `results/BENCH_shard.json` at the time).
-const PRE_PR_BASELINE_EPS: f64 = 1_005_586.7;
+/// Single-threaded ev/s of the pre-lowering engine (the graph walker,
+/// commit prior to the compiled-plan refactor) on this workload, same
+/// machine class, recorded in `results/BENCH_hotpath.json` at the time.
+const PRE_PR_BASELINE_EPS: f64 = 1_515_436.4;
 
-fn main() {
-    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
-    let trace = workload.trace(EVENTS);
-    let stream = &trace.observations;
-
-    // Warm-up pass: fills the allocator's caches and faults in the trace so
-    // the measured passes see steady state. Each measured pass gets a fresh
-    // engine — the hash-consed instance catalog is append-only and would
-    // otherwise grow across replays, degrading lookups pass over pass.
-    let mut warm = bare_engine(&workload, EngineConfig::default());
-    let rules = warm.rule_count();
-    let (warm_ms, warm_firings) = time_engine_pass(&mut warm, stream);
-    eprintln!("  warm-up: {warm_ms:.1} ms, {warm_firings} firings");
-    drop(warm);
-
-    let mut passes = Vec::with_capacity(REPS);
-    for rep in 0..REPS {
-        let mut engine = bare_engine(&workload, EngineConfig::default());
-        let (elapsed_ms, firings) = time_engine_pass(&mut engine, stream);
-        assert_eq!(firings, warm_firings, "firing count changed across replays");
-        eprintln!("  pass {}: {elapsed_ms:.1} ms", rep + 1);
-        passes.push(elapsed_ms);
-    }
-
-    // Headline metric is the best pass: on a contended box interference only
-    // ever adds time, so min-of-N is the least-noise estimator of true cost
-    // (the median is still recorded in the JSON for context).
-    let best_ms = passes.iter().copied().fold(f64::INFINITY, f64::min);
-    let median_ms = {
-        let mut sorted = passes.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        sorted[sorted.len() / 2]
-    };
-    let eps = stream.len() as f64 / (best_ms / 1000.0);
-    let speedup = eps / PRE_PR_BASELINE_EPS;
-
-    println!("Hot-path gate — single-threaded Fig. 9 workload");
-    println!(
-        "  events: {} | rules: {rules} | firings: {warm_firings}",
-        stream.len()
-    );
-    println!("  best of {REPS} passes: {best_ms:.1} ms ({eps:.0} ev/s)");
-    println!("  median: {median_ms:.1} ms");
-    println!("  vs. pre-refactor baseline {PRE_PR_BASELINE_EPS:.0} ev/s: {speedup:.2}x");
-
-    write_json(&Summary {
-        events: stream.len(),
-        rules,
-        firings: warm_firings,
-        passes,
-        best_ms,
-        median_ms,
-        eps,
-        speedup,
-    });
-}
-
-/// Everything one run measures, as written to `results/BENCH_hotpath.json`.
-struct Summary {
-    events: usize,
-    rules: usize,
-    firings: u64,
+/// One executor's measurement: the per-mode row of the ablation.
+struct ModeRun {
+    mode: ExecMode,
     passes: Vec<f64>,
     best_ms: f64,
     median_ms: f64,
     eps: f64,
-    speedup: f64,
+    firings: u64,
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Plan => "plan",
+        ExecMode::Graph => "graph",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let events = args
+        .iter()
+        .position(|a| a == "--events")
+        .and_then(|i| args.get(i + 1))
+        .map_or(EVENTS, |n| n.parse().expect("--events takes a count"));
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .map_or(REPS, |n| n.parse().expect("--reps takes a count"));
+    let modes: &[ExecMode] = match (
+        args.iter().any(|a| a == "--plan"),
+        args.iter().any(|a| a == "--graph"),
+    ) {
+        (true, false) => &[ExecMode::Plan],
+        (false, true) => &[ExecMode::Graph],
+        // Headline first: the gate and the JSON lead with the plan row.
+        _ => &[ExecMode::Plan, ExecMode::Graph],
+    };
+
+    let workload = BenchWorkload::with_config(rfid_simulator::SimConfig::paper_scale());
+    let trace = workload.trace(events);
+    let stream = &trace.observations;
+
+    println!("Hot-path gate — single-threaded Fig. 9 workload");
+    let mut runs = Vec::with_capacity(modes.len());
+    let mut rules = 0;
+    for &mode in modes {
+        let config = EngineConfig {
+            exec: mode,
+            ..EngineConfig::default()
+        };
+
+        // Warm-up pass: fills the allocator's caches and faults in the
+        // trace so the measured passes see steady state. Each measured pass
+        // gets a fresh engine — the hash-consed instance catalog is
+        // append-only and would otherwise grow across replays, degrading
+        // lookups pass over pass.
+        let mut warm = bare_engine(&workload, config.clone());
+        rules = warm.rule_count();
+        let (warm_ms, warm_firings) = time_engine_pass(&mut warm, stream);
+        eprintln!(
+            "  [{}] warm-up: {warm_ms:.1} ms, {warm_firings} firings",
+            mode_name(mode)
+        );
+        drop(warm);
+
+        let mut passes = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let mut engine = bare_engine(&workload, config.clone());
+            let (elapsed_ms, firings) = time_engine_pass(&mut engine, stream);
+            assert_eq!(firings, warm_firings, "firing count changed across replays");
+            eprintln!(
+                "  [{}] pass {}: {elapsed_ms:.1} ms",
+                mode_name(mode),
+                rep + 1
+            );
+            passes.push(elapsed_ms);
+        }
+
+        // Headline metric is the best pass: on a contended box interference
+        // only ever adds time, so min-of-N is the least-noise estimator of
+        // true cost (the median is still recorded in the JSON for context).
+        let best_ms = passes.iter().copied().fold(f64::INFINITY, f64::min);
+        let median_ms = {
+            let mut sorted = passes.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            sorted[sorted.len() / 2]
+        };
+        let eps = stream.len() as f64 / (best_ms / 1000.0);
+        runs.push(ModeRun {
+            mode,
+            passes,
+            best_ms,
+            median_ms,
+            eps,
+            firings: warm_firings,
+        });
+    }
+
+    let headline = &runs[0];
+    let speedup = headline.eps / PRE_PR_BASELINE_EPS;
+    println!(
+        "  events: {} | rules: {rules} | firings: {}",
+        stream.len(),
+        headline.firings
+    );
+    for run in &runs {
+        println!(
+            "  [{}] best of {} passes: {:.1} ms ({:.0} ev/s) | median: {:.1} ms",
+            mode_name(run.mode),
+            run.passes.len(),
+            run.best_ms,
+            run.eps,
+            run.median_ms
+        );
+    }
+    if runs.len() == 2 {
+        println!("  plan vs graph: {:.2}x", runs[0].eps / runs[1].eps);
+    }
+    println!("  vs. pre-lowering baseline {PRE_PR_BASELINE_EPS:.0} ev/s: {speedup:.2}x");
+
+    write_json(stream.len(), rules, &runs, speedup);
 }
 
 /// Hand-rolled JSON (no serde in the release path), mirroring
-/// `fig9_shard`'s format.
-fn write_json(s: &Summary) {
+/// `fig9_shard`'s format. The headline (plan-mode) `events_per_sec` is
+/// written first so `bench_gate.sh`'s first-match parse reads it; the
+/// per-mode ablation rows follow.
+fn write_json(events: usize, rules: usize, runs: &[ModeRun], speedup: f64) {
+    let headline = &runs[0];
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"fig9_hotpath\",");
-    let _ = writeln!(json, "  \"events\": {},", s.events);
-    let _ = writeln!(json, "  \"rules\": {},", s.rules);
-    let _ = writeln!(json, "  \"firings\": {},", s.firings);
-    let _ = writeln!(json, "  \"passes_ms\": [");
-    for (i, ms) in s.passes.iter().enumerate() {
-        let comma = if i + 1 < s.passes.len() { "," } else { "" };
-        let _ = writeln!(json, "    {ms:.3}{comma}");
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"best_ms\": {:.3},", s.best_ms);
-    let _ = writeln!(json, "  \"median_ms\": {:.3},", s.median_ms);
-    let _ = writeln!(json, "  \"events_per_sec\": {:.1},", s.eps);
+    let _ = writeln!(json, "  \"events\": {events},");
+    let _ = writeln!(json, "  \"rules\": {rules},");
+    let _ = writeln!(json, "  \"firings\": {},", headline.firings);
+    let _ = writeln!(json, "  \"mode\": \"{}\",", mode_name(headline.mode));
+    let _ = writeln!(json, "  \"best_ms\": {:.3},", headline.best_ms);
+    let _ = writeln!(json, "  \"median_ms\": {:.3},", headline.median_ms);
+    let _ = writeln!(json, "  \"events_per_sec\": {:.1},", headline.eps);
     let _ = writeln!(json, "  \"pre_pr_baseline_eps\": {PRE_PR_BASELINE_EPS:.1},");
-    let _ = writeln!(json, "  \"speedup_vs_baseline\": {:.3}", s.speedup);
+    let _ = writeln!(json, "  \"speedup_vs_baseline\": {speedup:.3},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (m, run) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"mode\": \"{}\",", mode_name(run.mode));
+        let _ = writeln!(json, "      \"passes_ms\": [");
+        for (i, ms) in run.passes.iter().enumerate() {
+            let comma = if i + 1 < run.passes.len() { "," } else { "" };
+            let _ = writeln!(json, "        {ms:.3}{comma}");
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(json, "      \"best_ms\": {:.3},", run.best_ms);
+        let _ = writeln!(json, "      \"median_ms\": {:.3},", run.median_ms);
+        let _ = writeln!(json, "      \"events_per_sec\": {:.1}", run.eps);
+        let comma = if m + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
     std::fs::create_dir_all("results").expect("results dir");

@@ -35,6 +35,7 @@ use std::fmt;
 use rfid_events::{Catalog, EventExpr, ObjectSel, ReaderSel, Span};
 
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
+use crate::plan::CompiledPlan;
 use crate::shard::{self, ResidualReason, Shardability};
 
 /// How bad a diagnostic is.
@@ -247,6 +248,9 @@ pub fn analyze_event(rule: &RuleEvent, catalog: Option<&Catalog>) -> Vec<Diagnos
     };
     let paths = node_paths(&scratch, root);
     let durations = min_durations(&scratch);
+    // The dead-leaf pass (W003) reads reachability off the compiled plan's
+    // dispatch rows — the same structure the executor dispatches through.
+    let deployment = catalog.map(|cat| (cat, CompiledPlan::lower(&scratch, cat, &HashMap::new())));
     let mut diag = |code: DiagCode, node: NodeId, message: String, hint: &str| {
         out.push(Diagnostic {
             code,
@@ -336,26 +340,33 @@ pub fn analyze_event(rule: &RuleEvent, catalog: Option<&Catalog>) -> Vec<Diagnos
             );
         }
 
-        // W003: leaves that can never match the deployment.
-        if let (NodeKind::Primitive(p), Some(cat)) = (&node.kind, catalog) {
-            match &p.reader {
-                ReaderSel::Named(name) if cat.reader(name).is_none() => {
-                    diag(
-                        DiagCode::DeadLeaf,
-                        node.id,
-                        format!("reader `{name}` is not in the deployment catalog"),
-                        "register the reader in the catalog or fix the name",
-                    );
+        // W003: leaves that can never match the deployment. Reader-side
+        // deadness is the compiled plan's dispatchability view — a leaf is
+        // dead exactly when `lower_dispatch` put it in no dispatch row — so
+        // the analyzer and the executor can never disagree about which
+        // leaves are reachable. The object-type check stays separate: type
+        // membership resolves at match time, not at lowering time.
+        if let (NodeKind::Primitive(p), Some((cat, plan))) = (&node.kind, &deployment) {
+            if !plan.leaf_is_dispatchable(node.id) {
+                match &p.reader {
+                    ReaderSel::Named(name) => {
+                        diag(
+                            DiagCode::DeadLeaf,
+                            node.id,
+                            format!("reader `{name}` is not in the deployment catalog"),
+                            "register the reader in the catalog or fix the name",
+                        );
+                    }
+                    ReaderSel::Group(group) => {
+                        diag(
+                            DiagCode::DeadLeaf,
+                            node.id,
+                            format!("reader group `{group}` has no members in the catalog"),
+                            "register readers into the group or fix the group name",
+                        );
+                    }
+                    ReaderSel::Any => unreachable!("ReaderSel::Any is always dispatchable"),
                 }
-                ReaderSel::Group(group) if cat.readers.members(group).is_empty() => {
-                    diag(
-                        DiagCode::DeadLeaf,
-                        node.id,
-                        format!("reader group `{group}` has no members in the catalog"),
-                        "register readers into the group or fix the group name",
-                    );
-                }
-                _ => {}
             }
             if let ObjectSel::Type(ty) = &p.object {
                 if !cat.types.knows_type(ty) {

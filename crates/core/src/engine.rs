@@ -34,6 +34,7 @@ use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Sp
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
 use crate::key::{extract_all, Key};
+use crate::plan::{CompiledPlan, EdgeOp, InlineBuf, LEAF_HITS_INLINE};
 use crate::pseudo::{PseudoAction, PseudoEvent, PseudoQueue};
 use crate::state::{
     dead_before, AperiodicState, Entry, KeyedBuffer, NegationState, NodeState, TimedRunState,
@@ -44,6 +45,24 @@ use crate::stats::EngineStats;
 /// Identifier of a registered rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId(pub u32);
+
+/// Which executor drives detection.
+///
+/// Both execute the *same* arrival handlers over the same runtime state —
+/// the difference is purely how an occurrence finds its rules, parents, and
+/// leaf candidates. The walker is retained as the differential-testing
+/// oracle and the `fig9_hotpath --graph` ablation baseline; [`ExecMode::Plan`]
+/// is the default and the one the throughput gate measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Execute the lowered [`CompiledPlan`]: flat arenas, per-reader
+    /// dispatch rows, precomputed delivery edges.
+    #[default]
+    Plan,
+    /// Walk the [`EventGraph`] directly: hash-map dispatch and rule lookup,
+    /// per-delivery side derivation.
+    Graph,
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +78,9 @@ pub struct EngineConfig {
     /// off: everything lands in one FIFO and key equality is checked during
     /// the scan instead).
     pub partition_buffers: bool,
+    /// Executor selection: compiled plan (default) or the graph-walker
+    /// oracle.
+    pub exec: ExecMode,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +90,7 @@ impl Default for EngineConfig {
             sweep_every: 4096,
             merge_subgraphs: true,
             partition_buffers: true,
+            exec: ExecMode::Plan,
         }
     }
 }
@@ -89,6 +112,9 @@ pub struct Engine {
     rule_enabled: Vec<bool>,
     rule_firings: Vec<u64>,
     dispatch: Dispatch,
+    /// The lowered execution plan; rebuilt together with `dispatch` when
+    /// the rule set changes.
+    plan: CompiledPlan,
     dispatch_dirty: bool,
     config: EngineConfig,
 }
@@ -163,6 +189,7 @@ impl Engine {
             rule_enabled: Vec::new(),
             rule_firings: Vec::new(),
             dispatch: Dispatch::default(),
+            plan: CompiledPlan::default(),
             dispatch_dirty: true,
             config,
         }
@@ -224,31 +251,50 @@ impl Engine {
     /// are executed first.
     pub fn process(&mut self, obs: Observation, sink: &mut Sink<'_>) {
         debug_assert!(obs.at >= self.rt.clock, "observations must be time-ordered");
+        if self.dispatch_dirty {
+            self.recompile();
+        }
         while let Some(ev) = self.rt.pseudo.pop_due(obs.at) {
             self.fire_pseudo(ev, sink);
         }
         self.rt.clock = self.rt.clock.max(obs.at);
         self.rt.stats.events += 1;
 
-        if self.dispatch_dirty {
-            self.rebuild_dispatch();
-        }
-        self.rt.scratch.clear();
-        self.dispatch
-            .candidates(&self.catalog, &obs, &mut self.rt.scratch);
-        let (graph, catalog) = (&self.graph, &self.catalog);
-        self.rt
-            .scratch
-            .retain(|&leaf| match &graph.node(leaf).kind {
-                NodeKind::Primitive(p) => p.matches(&obs, catalog),
-                _ => false,
-            });
-        if !self.rt.scratch.is_empty() {
-            self.rt.stats.matched_events += 1;
-            let inst = Arc::new(Instance::observation(obs));
-            let Runtime { scratch, work, .. } = &mut self.rt;
-            work.extend(scratch.iter().map(|&leaf| (leaf, inst.clone())));
-            self.run_work(sink);
+        match self.config.exec {
+            ExecMode::Plan => {
+                // One direct index into the reader's dispatch row; matched
+                // leaves collect in an inline fixed-capacity queue, so the
+                // common miss/single-hit cases never allocate.
+                let mut hits: InlineBuf<NodeId, LEAF_HITS_INLINE> = InlineBuf::default();
+                self.plan.leaf_hits(&self.catalog, &obs, &mut hits);
+                if !hits.is_empty() {
+                    self.rt.stats.matched_events += 1;
+                    let inst = Arc::new(Instance::observation(obs));
+                    self.rt
+                        .work
+                        .extend(hits.iter().map(|&leaf| (leaf, inst.clone())));
+                    self.run_work_plan(sink);
+                }
+            }
+            ExecMode::Graph => {
+                self.rt.scratch.clear();
+                self.dispatch
+                    .candidates(&self.catalog, &obs, &mut self.rt.scratch);
+                let (graph, catalog) = (&self.graph, &self.catalog);
+                self.rt
+                    .scratch
+                    .retain(|&leaf| match &graph.node(leaf).kind {
+                        NodeKind::Primitive(p) => p.matches(&obs, catalog),
+                        _ => false,
+                    });
+                if !self.rt.scratch.is_empty() {
+                    self.rt.stats.matched_events += 1;
+                    let inst = Arc::new(Instance::observation(obs));
+                    let Runtime { scratch, work, .. } = &mut self.rt;
+                    work.extend(scratch.iter().map(|&leaf| (leaf, inst.clone())));
+                    self.run_work_graph(sink);
+                }
+            }
         }
 
         if self.rt.stats.events.is_multiple_of(self.config.sweep_every) {
@@ -271,6 +317,9 @@ impl Engine {
     /// Drains every pending pseudo event (end of stream): negation windows
     /// and open `TSEQ+` runs resolve as if time advanced past them.
     pub fn finish(&mut self, sink: &mut Sink<'_>) {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
         while let Some(ev) = self.rt.pseudo.pop_any() {
             self.rt.clock = self.rt.clock.max(ev.exec);
             self.fire_pseudo(ev, sink);
@@ -280,6 +329,9 @@ impl Engine {
     /// Advances the clock to `now`, executing due pseudo events, without
     /// feeding an observation (heartbeat for quiet streams).
     pub fn advance_to(&mut self, now: Timestamp, sink: &mut Sink<'_>) {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
         while let Some(ev) = self.rt.pseudo.pop_due(now) {
             self.fire_pseudo(ev, sink);
         }
@@ -291,6 +343,8 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let mut s = self.rt.stats;
         s.pseudo_scheduled = self.rt.pseudo.scheduled;
+        s.plan_nodes = self.plan.node_count() as u64;
+        s.plan_arena_bytes = self.plan.arena_bytes() as u64;
         for state in &self.rt.states {
             match state {
                 NodeState::Join { left, right } => {
@@ -298,6 +352,10 @@ impl Engine {
                 }
                 NodeState::Negation(neg) => {
                     s.retained_keys += neg.key_count() as u64;
+                }
+                NodeState::TimedRun(run) => {
+                    s.run_spills += run.open.spills();
+                    s.max_run_depth = s.max_run_depth.max(run.open.high_water());
                 }
                 _ => {}
             }
@@ -308,6 +366,15 @@ impl Engine {
     /// The compiled event graph (inspection, tests, benches).
     pub fn graph(&self) -> &EventGraph {
         &self.graph
+    }
+
+    /// The lowered execution plan, recompiling first if the rule set
+    /// changed since the last compile (inspection, explain, tests).
+    pub fn compiled_plan(&mut self) -> &CompiledPlan {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
+        &self.plan
     }
 
     /// Total instances currently held in join buffers, negation histories,
@@ -389,6 +456,13 @@ impl Engine {
         self.rt.clock
     }
 
+    /// Rebuilds the walker's dispatch index *and* lowers the graph into the
+    /// compiled plan. Runs once per rule-set change, never per event.
+    fn recompile(&mut self) {
+        self.rebuild_dispatch();
+        self.plan = CompiledPlan::lower(&self.graph, &self.catalog, &self.rules_at);
+    }
+
     fn rebuild_dispatch(&mut self) {
         self.dispatch = Dispatch::default();
         for &leaf in self.graph.primitives() {
@@ -419,13 +493,40 @@ impl Engine {
         self.rt.stats.pseudo_fired += 1;
         self.rt.clock = self.rt.clock.max(ev.exec);
         match ev.action {
-            PseudoAction::CloseRun { node, generation } => {
+            PseudoAction::CloseRun {
+                node,
+                generation: _,
+            } => {
+                let mut rearm = None;
                 let run = match &mut self.rt.states[node.idx()] {
-                    NodeState::TimedRun(run) if run.generation == generation => {
-                        std::mem::take(&mut run.open)
+                    NodeState::TimedRun(run) if run.armed => {
+                        if ev.exec == run.close_exec && ev.seq == run.close_seq {
+                            run.armed = false;
+                            run.open.take_all()
+                        } else {
+                            // Stale: the run advanced after this closure was
+                            // armed. Push it back at the recorded position —
+                            // the exact `(exec, seq)` a per-element schedule
+                            // would have used, so ordering is unchanged while
+                            // the queue holds one entry per run instead of
+                            // one per element.
+                            rearm = Some(PseudoEvent {
+                                exec: run.close_exec,
+                                seq: run.close_seq,
+                                action: PseudoAction::CloseRun {
+                                    node,
+                                    generation: run.generation,
+                                },
+                            });
+                            Vec::new()
+                        }
                     }
                     _ => return,
                 };
+                if let Some(rearmed) = rearm {
+                    self.rt.pseudo.schedule(rearmed);
+                    return;
+                }
                 if !run.is_empty() {
                     let inst = Arc::new(Instance::composite("TSEQ+", run));
                     self.rt.work.push((node, inst));
@@ -468,10 +569,64 @@ impl Engine {
         }
     }
 
-    /// The ACTIVATE_PARENT_NODE loop: drains `rt.work`, propagating each
-    /// occurrence to the node's rules and parents. Arrival handlers push
-    /// further occurrences onto the same queue.
+    /// The ACTIVATE_PARENT_NODE loop, dispatched to the configured
+    /// executor. Both executors drain the same queue through the same
+    /// arrival handlers; they differ only in how an occurrence finds its
+    /// rules and parent deliveries.
     fn run_work(&mut self, sink: &mut Sink<'_>) {
+        match self.config.exec {
+            ExecMode::Plan => self.run_work_plan(sink),
+            ExecMode::Graph => self.run_work_graph(sink),
+        }
+    }
+
+    /// `run_work` over the compiled plan: rule fan-out is a range scan
+    /// over the flat rule arena and parent activation follows precomputed
+    /// [`EdgeOp`] edges — no hash probes, no per-delivery side derivation.
+    fn run_work_plan(&mut self, sink: &mut Sink<'_>) {
+        let Self {
+            graph,
+            rt,
+            plan,
+            rule_enabled,
+            rule_firings,
+            config,
+            ..
+        } = self;
+        while let Some((node_id, inst)) = rt.work.pop() {
+            // A coalesced leaf representative stands in for its whole
+            // pattern group; count the pops the walker would have made.
+            rt.stats.occurrences += 1 + u64::from(plan.extra_pops(node_id));
+            for &rule in plan.rules_at(node_id) {
+                if !rule_enabled[rule.0 as usize] {
+                    continue;
+                }
+                rt.stats.rule_firings += 1;
+                rule_firings[rule.0 as usize] += 1;
+                sink(rule, &inst);
+            }
+            for edge in plan.edges_at(node_id) {
+                let pnode = graph.node(edge.parent());
+                match edge.op() {
+                    EdgeOp::SelfJoin => rt.self_join_arrival(graph, config, pnode, &inst),
+                    EdgeOp::Left => rt.arrival(graph, config, pnode, 0, &inst),
+                    EdgeOp::Right => rt.arrival(graph, config, pnode, 1, &inst),
+                    EdgeOp::RecordQuery { query } => {
+                        rt.fused_negation(graph, pnode, graph.node(NodeId(query)), &inst, true);
+                    }
+                    EdgeOp::QueryRecord { query } => {
+                        rt.fused_negation(graph, pnode, graph.node(NodeId(query)), &inst, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `run_work` over the event graph (the differential-testing oracle):
+    /// drains `rt.work`, propagating each occurrence to the node's rules
+    /// and parents. Arrival handlers push further occurrences onto the
+    /// same queue.
+    fn run_work_graph(&mut self, sink: &mut Sink<'_>) {
         let Self {
             graph,
             rt,
@@ -581,32 +736,122 @@ impl Runtime {
         let keyed = config.partition_buffers;
         let bucket = if keyed { &key } else { &Key::EMPTY };
 
-        let (lbuf, _) = self.states[node.id.idx()].join_mut();
-        let matched = lbuf.take_oldest_match(bucket, dead, |e| {
-            if Arc::ptr_eq(&e.inst, inst) {
-                return false;
-            }
-            if !keyed && !join.is_trivial() && join.left_key(&e.inst).as_ref() != Some(&key) {
-                return false;
-            }
-            pair_ok(kind, within, &e.inst, inst)
-        });
-        if let Some(e) = matched {
-            let out = Arc::new(Instance::composite(kind.name(), vec![e.inst, inst.clone()]));
-            self.work.push((node.id, out));
-        }
         self.seq += 1;
         let seq = self.seq;
-        let bucket = bucket.clone();
         let (lbuf, _) = self.states[node.id.idx()].join_mut();
-        lbuf.push(
-            bucket,
+        // Take-and-admit in one bucket probe: the instance scans for an
+        // older initiator to terminate and is enqueued as an initiator
+        // itself in the same map access.
+        let matched = lbuf.take_match_and_push(
+            bucket.clone(),
+            dead,
+            |e| {
+                if Arc::ptr_eq(&e.inst, inst) {
+                    return false;
+                }
+                if !keyed && !join.is_trivial() && join.left_key(&e.inst).as_ref() != Some(&key) {
+                    return false;
+                }
+                pair_ok(kind, within, &e.inst, inst)
+            },
             Entry {
                 inst: inst.clone(),
                 seq,
             },
             cap,
         );
+        if let Some(e) = matched {
+            let out = Arc::new(Instance::pair(kind.name(), e.inst, inst.clone()));
+            self.work.push((node.id, out));
+        }
+    }
+
+    /// Fused in-field delivery: record the instance into `not_node`'s
+    /// negation history and answer `query_node`'s window probe out of one
+    /// bucket access. The order mirrors the walker's for each lowered
+    /// shape. `record_first` ([`EdgeOp::RecordQuery`], merged leaf): the
+    /// record edge precedes the query edge within one work-queue pop.
+    /// Query-first ([`EdgeOp::QueryRecord`], unmerged twins): the elided
+    /// query twin is the later dispatch candidate, so it pops first off
+    /// the LIFO work stack, before the recorder twin's delivery — and
+    /// since that twin's pop is elided, its occurrence is counted here.
+    /// Lowering only emits these ops when the record key spec equals the
+    /// query key spec, so a single probe provably serves both deliveries
+    /// (in the twin shape, the downstream emission also cannot observe the
+    /// history: the `NOT` node's only parent is `query_node`).
+    fn fused_negation(
+        &mut self,
+        graph: &EventGraph,
+        not_node: &Node,
+        query_node: &Node,
+        inst: &Arc<Instance>,
+        record_first: bool,
+    ) {
+        let (from, to, exclusive) = match query_node.kind {
+            NodeKind::Seq => {
+                let from = if query_node.within == Span::MAX {
+                    Timestamp::ZERO
+                } else {
+                    inst.t_end().saturating_sub(query_node.within)
+                };
+                (from, inst.t_begin(), true)
+            }
+            NodeKind::TSeq { min_dist, max_dist } => {
+                let from = inst.t_end().saturating_sub(max_dist);
+                let to = inst.t_end().saturating_sub(min_dist).min(inst.t_begin());
+                (from, to, false)
+            }
+            ref other => unreachable!("fused negation delivery on {other:?}"),
+        };
+        if !record_first {
+            // The elided query twin would have been its own work-queue pop;
+            // keep the occurrence count comparable across executors.
+            self.stats.occurrences += 1;
+        }
+        let spec_idx = query_node.hist_spec.expect("query plan has a spec").0 as usize;
+        let specs = graph.hist_specs(not_node.id);
+        let NodeState::Negation(neg) = &mut self.states[not_node.id.idx()] else {
+            unreachable!("negation state");
+        };
+        debug_assert!(
+            neg.spec_count() >= specs.len().max(1),
+            "recompile sized the negation state"
+        );
+        let mut occurred = None;
+        for (i, spec) in specs.iter().enumerate() {
+            if let Some(key) = extract_all(&spec.extracts, inst) {
+                // Lowering guarantees this spec's extracts equal the query
+                // node's right-side join key, so `key` doubles as the
+                // query key — and its absence as the walker's dropped
+                // delivery.
+                if i == spec_idx {
+                    debug_assert_eq!(
+                        Some(&key),
+                        negation_query_key(query_node, 1, inst).as_ref(),
+                        "fused key specs agree"
+                    );
+                    occurred = Some(neg.fused_probe(
+                        i,
+                        key,
+                        inst.t_end(),
+                        from,
+                        to,
+                        exclusive,
+                        record_first,
+                    ));
+                } else {
+                    neg.record(i, key, inst.t_end());
+                }
+            }
+        }
+        if occurred == Some(false) {
+            let absence = Arc::new(Instance::absence(from, to));
+            let out = Arc::new(Instance::composite(
+                query_node.kind.name(),
+                vec![absence, inst.clone()],
+            ));
+            self.work.push((query_node.id, out));
+        }
     }
 
     /// Handles an instance arriving at `node` from its `side`-th child.
@@ -625,7 +870,7 @@ impl Runtime {
             Plan::Leaf => unreachable!("leaves have no children"),
             Plan::Forward => {
                 if inst.interval() <= node.within {
-                    let wrapped = Arc::new(Instance::composite("OR", vec![inst.clone()]));
+                    let wrapped = Arc::new(Instance::wrap("OR", inst.clone()));
                     self.work.push((parent, wrapped));
                 }
             }
@@ -737,7 +982,7 @@ impl Runtime {
                 };
                 if !occurred {
                     let absence = Arc::new(Instance::absence(from, to));
-                    let out = Arc::new(Instance::composite(kind_name, vec![absence, inst.clone()]));
+                    let out = Arc::new(Instance::pair(kind_name, absence, inst.clone()));
                     self.work.push((parent, out));
                 }
             }
@@ -773,7 +1018,7 @@ impl Runtime {
                     return;
                 }
                 let run = Arc::new(Instance::composite("SEQ+", elements));
-                let out = Arc::new(Instance::composite(kind_name, vec![run, inst.clone()]));
+                let out = Arc::new(Instance::pair(kind_name, run, inst.clone()));
                 if out.interval() <= within {
                     self.work.push((parent, out));
                 }
@@ -828,6 +1073,13 @@ impl Runtime {
                     unreachable!("TimedAperiodic on non-TSEQ+ node");
                 };
                 let within = node.within;
+                // Claim this arrival's sequence number up front (nothing
+                // else allocates between here and the original allocation
+                // point, so the value is unchanged): it marks where the
+                // run's closure now belongs in pseudo-event order.
+                self.seq += 1;
+                let close_seq = self.seq;
+                let close_exec = inst.t_end() + max_gap;
                 let NodeState::TimedRun(run) = &mut self.states[parent.idx()] else {
                     unreachable!("timed-run state");
                 };
@@ -836,7 +1088,12 @@ impl Runtime {
                     run.open.push(inst.clone());
                 } else {
                     let gap = inst.t_end().signed_delta(run.last_end);
-                    let first_begin = run.open[0].t_begin().min(inst.t_begin());
+                    let first_begin = run
+                        .open
+                        .first()
+                        .expect("non-empty run")
+                        .t_begin()
+                        .min(inst.t_begin());
                     let extended_interval = inst.t_end() - first_begin;
                     let gap_ok = gap >= 0
                         && gap as u64 >= min_gap.as_millis()
@@ -845,7 +1102,7 @@ impl Runtime {
                         run.open.push(inst.clone());
                     } else if gap >= 0 && gap as u64 > max_gap.as_millis() {
                         // Late closure (normally the pseudo event beats us).
-                        closed = Some(std::mem::take(&mut run.open));
+                        closed = Some(run.open.take_all());
                         run.open.push(inst.clone());
                     } else {
                         // Sub-τl gap (or interval overflow): the run cannot be
@@ -858,15 +1115,24 @@ impl Runtime {
                 run.last_end = inst.t_end();
                 run.generation += 1;
                 let generation = run.generation;
-                self.seq += 1;
-                self.pseudo.schedule(PseudoEvent {
-                    exec: inst.t_end() + max_gap,
-                    seq: self.seq,
-                    action: PseudoAction::CloseRun {
-                        node: parent,
-                        generation,
-                    },
-                });
+                // Re-arm instead of re-schedule: record where the closure
+                // belongs and keep at most one pseudo event per run in the
+                // queue (a popped stale one is pushed back at the recorded
+                // position by `fire_pseudo`).
+                run.close_exec = close_exec;
+                run.close_seq = close_seq;
+                let arm = !run.armed;
+                run.armed = true;
+                if arm {
+                    self.pseudo.schedule(PseudoEvent {
+                        exec: close_exec,
+                        seq: close_seq,
+                        action: PseudoAction::CloseRun {
+                            node: parent,
+                            generation,
+                        },
+                    });
+                }
                 if let Some(run) = closed {
                     let out = Arc::new(Instance::composite("TSEQ+", run));
                     self.work.push((parent, out));

@@ -10,7 +10,8 @@ use std::fmt::Write as _;
 
 use rfid_events::Span;
 
-use crate::graph::{DetectionMode, EventGraph, NodeKind, Plan};
+use crate::graph::{DetectionMode, EventGraph, NodeId, NodeKind, Plan};
+use crate::plan::{CompiledPlan, EdgeOp, OpTag};
 
 impl EventGraph {
     /// A text table of every node's static analysis, in id order.
@@ -97,6 +98,68 @@ impl EventGraph {
     }
 }
 
+impl CompiledPlan {
+    /// A text table of the lowered execution plan, in node order: the
+    /// per-node [`crate::plan::OpTag`], dispatch reachability, attached
+    /// rules, and the precomputed parent-activation edges — the flat view
+    /// the executor actually runs, complementing [`EventGraph::describe`]'s
+    /// graph-level analysis table.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4} {:<12} {:<6} {:<8} edges",
+            "id", "op", "disp", "rules"
+        );
+        for idx in 0..self.node_count() {
+            let id = NodeId(idx as u32);
+            let disp = match (self.tag(id), self.leaf_is_dispatchable(id)) {
+                (OpTag::Leaf, true) => "yes",
+                (OpTag::Leaf, false) => "dead",
+                _ => "-",
+            };
+            let rules: Vec<String> = self.rules_at(id).iter().map(|r| r.0.to_string()).collect();
+            let edges: Vec<String> = self
+                .edges_at(id)
+                .iter()
+                .map(|e| {
+                    let parent = e.parent().0;
+                    match e.op() {
+                        EdgeOp::SelfJoin => format!("self-join→{parent}"),
+                        EdgeOp::Left => format!("left→{parent}"),
+                        EdgeOp::Right => format!("right→{parent}"),
+                        EdgeOp::RecordQuery { query } => {
+                            format!("record→{parent}+query{query}")
+                        }
+                        EdgeOp::QueryRecord { query } => {
+                            format!("query{query}+record→{parent}")
+                        }
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:>4} {:<12} {:<6} {:<8} {}",
+                idx,
+                self.tag(id).name(),
+                disp,
+                rules.join(","),
+                edges.join(" "),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "— {} nodes, {} edges, {} rule attachments, dispatch width {}, {} arena bytes",
+            self.node_count(),
+            self.edge_count(),
+            self.rule_count(),
+            self.dispatch_width(),
+            self.arena_bytes(),
+        );
+        out
+    }
+}
+
 fn plan_name(plan: Plan) -> &'static str {
     match plan {
         Plan::Leaf => "leaf",
@@ -157,6 +220,32 @@ mod tests {
         assert!(text.contains("pull"));
         assert!(text.contains("and-negation"));
         assert!(text.contains("gap ∈ [0.100sec, 1sec]"));
+    }
+
+    #[test]
+    fn plan_describe_lists_every_node_and_the_fused_edge() {
+        let mut catalog = rfid_events::Catalog::new();
+        catalog.readers.register("s1", "shelves", "aisle-1");
+        let shelf = EventExpr::observation_in_group("shelves");
+        let infield = shelf.clone().not().seq(shelf).within(Span::from_secs(30));
+        let mut g = EventGraph::new();
+        g.add_event(&infield).unwrap();
+        let plan = CompiledPlan::lower(&g, &catalog, &std::collections::HashMap::new());
+        let text = plan.describe();
+        assert_eq!(
+            text.lines().count(),
+            plan.node_count() + 2,
+            "header + one line per node + summary"
+        );
+        assert!(text.contains("neg-record"), "tags rendered by name");
+        assert!(
+            text.contains("record→1+query2"),
+            "the fused in-field edge is visible: {text}"
+        );
+        assert!(
+            text.contains("dispatch width 1"),
+            "one shelf candidate: {text}"
+        );
     }
 
     #[test]

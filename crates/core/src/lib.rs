@@ -59,14 +59,16 @@ pub mod error;
 pub mod explain;
 pub mod graph;
 pub mod key;
+pub mod plan;
 pub mod pseudo;
 pub mod shard;
 pub mod state;
 pub mod stats;
 
 pub use analyze::{DiagCode, Diagnostic, RuleEvent, Severity};
-pub use engine::{Engine, EngineConfig, RuleId};
+pub use engine::{Engine, EngineConfig, ExecMode, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};
+pub use plan::{CompiledPlan, EdgeOp, InlineBuf, OpTag};
 pub use shard::{ShardConfig, Shardability, ShardedEngine};
 pub use stats::EngineStats;

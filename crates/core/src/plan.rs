@@ -1,0 +1,895 @@
+//! Compiled execution plan: the merged event graph lowered to a flat,
+//! cache-dense table (DESIGN.md §13).
+//!
+//! [`EventGraph`] pushes nodes children-first, so node-id order *is* a
+//! topological order of the DAG. Lowering exploits that: the plan keeps the
+//! graph's numbering and stores everything the hot path consults per
+//! occurrence — the constructor tag, the rules to fire, and the parent
+//! edges with their delivery side — in contiguous arenas indexed by node
+//! id. The per-event costs this removes from the graph walker:
+//!
+//! * **leaf dispatch** — two hash-map probes, a group-string lookup, and a
+//!   per-candidate pattern re-check become one direct index into a
+//!   per-reader row of pre-resolved `(leaf, object-check)` pairs;
+//! * **rule fan-out** — the `rules_at` hash probe per occurrence becomes a
+//!   range scan over a flat rule arena;
+//! * **parent activation** — re-deriving left/right/self-join from the
+//!   parent's child list on every delivery becomes a precomputed
+//!   [`EdgeOp`] per edge.
+//!
+//! The executor lives in [`crate::engine`]; the graph walker is retained as
+//! a runtime-selectable oracle ([`crate::engine::ExecMode::Graph`]) for
+//! differential tests and the `fig9_hotpath --graph` ablation. Lowering is
+//! deterministic and total: every well-formed graph lowers, and the plan
+//! encodes exactly the walker's candidate and delivery order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rfid_epc::Epc;
+use rfid_events::{Catalog, ObjectSel, Observation, ReaderSel};
+
+use crate::engine::RuleId;
+use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
+
+/// Dense per-node constructor tag: [`Plan`] lowered to one byte, with the
+/// `AndNegation` side folded in so tag dispatch never chases the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpTag {
+    /// Primitive leaf (entry point of dispatch rows).
+    Leaf,
+    /// Unary `OR` forwarding.
+    Forward,
+    /// Two-sided chronicle join (`AND`/`SEQ`/`TSEQ`, both sides push).
+    TwoSided,
+    /// `SEQ(¬A; B)` / `TSEQ(¬A; B)`: query the negation history on arrival.
+    LeftNegationQuery,
+    /// `SEQ(A+; B)` / `TSEQ(A+; B)`: drain the element history on arrival.
+    LeftAperiodicQuery,
+    /// `SEQ(A; ¬B)`: anchor the initiator, wait for the window to close.
+    RightNegationWait,
+    /// `AND(¬A, B)`: negation on the left child.
+    AndNegationNotLeft,
+    /// `AND(A, ¬B)`: negation on the right child.
+    AndNegationNotRight,
+    /// `NOT` child: record occurrences into the keyed history.
+    NegationRecorder,
+    /// `SEQ+` child: record occurrences into the element history.
+    AperiodicRecorder,
+    /// `TSEQ+`: extend/close the open timed run.
+    TimedAperiodic,
+}
+
+impl OpTag {
+    /// Short display name (explain tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpTag::Leaf => "leaf",
+            OpTag::Forward => "forward",
+            OpTag::TwoSided => "two-sided",
+            OpTag::LeftNegationQuery => "neg-query",
+            OpTag::LeftAperiodicQuery => "aper-query",
+            OpTag::RightNegationWait => "neg-wait",
+            OpTag::AndNegationNotLeft => "and-neg-l",
+            OpTag::AndNegationNotRight => "and-neg-r",
+            OpTag::NegationRecorder => "neg-record",
+            OpTag::AperiodicRecorder => "aper-record",
+            OpTag::TimedAperiodic => "timed-run",
+        }
+    }
+}
+
+/// How an occurrence at a child node is delivered to one of its parents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Both child slots are this node (or the parent is an unmerged
+    /// symmetric pair, ablation A1): run the self-join protocol once.
+    SelfJoin,
+    /// Deliver as the left (initiator-side) constituent.
+    Left,
+    /// Deliver as the right (terminator-side) constituent.
+    Right,
+    /// Fused in-field delivery, merged-leaf shape. With subgraph merging
+    /// on (the engine default), `WITHIN(NOT(A); A, w)` hash-conses both
+    /// copies of `A` into one leaf whose edge list is the adjacent pair
+    /// `[Left→NOT, Right→query]`; this edge collapses the pair into one
+    /// bucket access that records into the `NOT` parent's history and then
+    /// answers the query parent's window probe. Record-before-query is the
+    /// walker's order (edges run in parent-list order within one work-queue
+    /// pop). Only emitted when the record key spec and the query key spec
+    /// are syntactically identical, so both probes provably hit the same
+    /// history entry.
+    RecordQuery {
+        /// The `LeftNegationQuery` parent whose window probe is folded in.
+        query: u32,
+    },
+    /// Fused in-field delivery, twin-leaf shape. Without subgraph merging
+    /// (ablation A1), the two copies of `A` compile into twin leaves with
+    /// identical patterns — so every observation hits both, and dispatch
+    /// can deliver once: this edge (on the recorder twin) answers the query
+    /// parent's window probe and then records, while the query twin is
+    /// elided from the dispatch rows. Query-before-record is the walker's
+    /// order — the query twin is the later candidate, and the work stack is
+    /// LIFO, so it pops first. Only emitted when the twins are provably
+    /// interchangeable: identical patterns, an exclusive single-parent
+    /// chain (leaf→`NOT`→query), and a record key spec syntactically equal
+    /// to the query key spec.
+    QueryRecord {
+        /// The `LeftNegationQuery` parent whose window probe is folded in.
+        query: u32,
+    },
+}
+
+/// One parent-activation edge in the edge arena.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    parent: u32,
+    op: EdgeOp,
+}
+
+impl Edge {
+    /// The parent node activated through this edge.
+    pub fn parent(&self) -> NodeId {
+        NodeId(self.parent)
+    }
+
+    /// The precomputed delivery side.
+    pub fn op(&self) -> EdgeOp {
+        self.op
+    }
+}
+
+/// Pre-resolved object predicate of a leaf. The reader predicate is encoded
+/// by the row the leaf sits in, so only the object check remains at match
+/// time.
+#[derive(Debug, Clone)]
+enum ObjCheck {
+    /// Matches every object.
+    Any,
+    /// Matches exactly one EPC.
+    Exact(Epc),
+    /// Matches objects of a named type (resolved through the catalog's
+    /// mapping at match time, exactly like the walker's pattern check).
+    Type(Arc<str>),
+}
+
+impl ObjCheck {
+    #[inline]
+    fn matches(&self, obs: &Observation, catalog: &Catalog) -> bool {
+        match self {
+            ObjCheck::Any => true,
+            ObjCheck::Exact(epc) => obs.object == *epc,
+            ObjCheck::Type(ty) => catalog.types.is_type(obs.object, ty),
+        }
+    }
+}
+
+/// A leaf candidate inside a dispatch row: the leaf node plus its residual
+/// object check.
+#[derive(Debug, Clone)]
+struct LeafCheck {
+    node: u32,
+    object: ObjCheck,
+}
+
+/// Fixed-capacity inline buffer with heap spill — the ArrayVec-style
+/// scratch queue of the static-graph events plan (SNIPPETS.md Snippet 3),
+/// minus `unsafe` (this crate forbids it): the first `N` elements live
+/// inline in the struct and only past-capacity pushes touch the heap.
+/// Spills and the depth high-water mark are counted so the plan-shape
+/// stats can report whether `N` was sized right for the workload.
+#[derive(Debug)]
+pub struct InlineBuf<T, const N: usize> {
+    slots: [Option<T>; N],
+    inline: usize,
+    spill: Vec<T>,
+    spills: u64,
+    high_water: u64,
+}
+
+impl<T, const N: usize> Default for InlineBuf<T, N> {
+    fn default() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| None),
+            inline: 0,
+            spill: Vec::new(),
+            spills: 0,
+            high_water: 0,
+        }
+    }
+}
+
+impl<T, const N: usize> InlineBuf<T, N> {
+    /// Appends a value, spilling to the heap past capacity.
+    pub fn push(&mut self, value: T) {
+        if self.inline < N {
+            self.slots[self.inline] = Some(value);
+            self.inline += 1;
+        } else {
+            self.spill.push(value);
+            self.spills += 1;
+        }
+        self.high_water = self.high_water.max(self.len() as u64);
+    }
+
+    /// Number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.inline + self.spill.len()
+    }
+
+    /// Whether the buffer is empty (spill is only reachable once the inline
+    /// slots are full, so checking the inline count suffices).
+    pub fn is_empty(&self) -> bool {
+        self.inline == 0
+    }
+
+    /// The oldest buffered element.
+    pub fn first(&self) -> Option<&T> {
+        if self.inline == 0 {
+            None
+        } else {
+            self.slots[0].as_ref()
+        }
+    }
+
+    /// Drops all elements; diagnostics counters survive.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots[..self.inline] {
+            *slot = None;
+        }
+        self.inline = 0;
+        self.spill.clear();
+    }
+
+    /// Drains the buffer into a `Vec`, oldest first.
+    pub fn take_all(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for slot in &mut self.slots[..self.inline] {
+            out.push(slot.take().expect("inline slot occupied"));
+        }
+        self.inline = 0;
+        out.append(&mut self.spill);
+        out
+    }
+
+    /// Iterates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots[..self.inline]
+            .iter()
+            .map(|s| s.as_ref().expect("inline slot occupied"))
+            .chain(self.spill.iter())
+    }
+
+    /// Lifetime count of pushes that overflowed into the heap spill.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Deepest buffer length observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+/// Inline capacity of the leaf-dispatch hit queue: candidate leaves per
+/// reader are bounded by the rule program, not the stream, and the paper's
+/// rule sets stay well under this.
+pub const LEAF_HITS_INLINE: usize = 8;
+
+/// The merged event graph lowered to flat struct-of-arrays form.
+///
+/// All arenas are indexed by [`NodeId`] (graph numbering is topological, so
+/// the table is too); ranges are half-open `(start, end)` index pairs into
+/// the shared arenas. Build with [`CompiledPlan::lower`]; the engine
+/// rebuilds the plan whenever the rule set changes.
+#[derive(Debug, Default)]
+pub struct CompiledPlan {
+    /// Per-node constructor tag.
+    tags: Vec<OpTag>,
+    /// Per-node range into `edges`.
+    edge_ranges: Vec<(u32, u32)>,
+    /// Parent-activation edge arena.
+    edges: Vec<Edge>,
+    /// Per-node range into `rules`.
+    rule_ranges: Vec<(u32, u32)>,
+    /// Rule-attachment arena.
+    rules: Vec<RuleId>,
+    /// Per-reader (indexed by dense `ReaderId.0`) range into `leaf_checks`.
+    reader_rows: Vec<(u32, u32)>,
+    /// Dispatch-row arena: named-reader leaves, then group leaves, in
+    /// primitive registration order — the walker's candidate order.
+    leaf_checks: Vec<LeafCheck>,
+    /// Leaves with `ReaderSel::Any`: a shared suffix of every row.
+    any_leaves: Vec<LeafCheck>,
+    /// Per-node flag: leaf reachable from at least one dispatch row (the
+    /// shared view `analyze`'s dead-leaf pass reads).
+    dispatchable: Vec<bool>,
+    /// Per-node count of walker work-queue pops a coalesced leaf absorbs
+    /// beyond its own (see leaf coalescing in [`CompiledPlan::lower`]);
+    /// added to `occurrences` on every pop so the counter stays comparable
+    /// across executors.
+    extra_pops: Vec<u32>,
+}
+
+impl CompiledPlan {
+    /// Lowers the graph (plus the rule-attachment map) into the flat plan.
+    ///
+    /// Relies on — and in debug builds asserts — the `EventGraph` invariant
+    /// that nodes are pushed children-first, i.e. node-id order is
+    /// topological.
+    pub fn lower(
+        graph: &EventGraph,
+        catalog: &Catalog,
+        rules_at: &HashMap<NodeId, Vec<RuleId>>,
+    ) -> Self {
+        let n = graph.len();
+        let mut plan = CompiledPlan {
+            tags: Vec::with_capacity(n),
+            edge_ranges: Vec::with_capacity(n),
+            rule_ranges: Vec::with_capacity(n),
+            dispatchable: vec![false; n],
+            extra_pops: vec![0; n],
+            ..CompiledPlan::default()
+        };
+        // In-field twin-leaf fusion: adjacent primitive pairs that are
+        // interchangeable recorder/query twins collapse to one dispatched
+        // leaf carrying a fused [`EdgeOp::QueryRecord`] edge; the query
+        // twin is elided from the dispatch rows. Adjacency in the primitive
+        // list means adjacency in every dispatch row (identical patterns
+        // land in the same bucket in registration order), so eliding the
+        // later twin cannot reorder work relative to any other leaf.
+        let prims = graph.primitives();
+        let mut fused: HashMap<u32, Edge> = HashMap::new();
+        let mut elided: Vec<bool> = vec![false; n];
+        for w in 0..prims.len().saturating_sub(1) {
+            let (lr, lq) = (prims[w], prims[w + 1]);
+            if elided[lr.idx()] {
+                continue;
+            }
+            if let Some(edge) = fusable_leaf_pair(graph, rules_at, lr, lq) {
+                fused.insert(lr.0, edge);
+                elided[lq.idx()] = true;
+            }
+        }
+        // Leaf coalescing: leaves with *identical* primitive patterns that
+        // stayed distinct graph nodes (hash-consing keys on the node's
+        // temporal annotations, so e.g. Rule 1's 5 s shelf leaf and Rule
+        // 2's period-window shelf leaf never merge) always occupy the same
+        // dispatch rows and match exactly the same observations. Collapse
+        // each pattern group onto its *last* member: that member is the
+        // last row candidate, hence the first pop off the LIFO work stack,
+        // so walking the group's edge lists in reverse registration order
+        // from that single pop reproduces the walker's delivery order. The
+        // other members are elided from the rows; each pop of the
+        // representative counts their elided pops via `extra_pops`.
+        let mut groups: HashMap<&rfid_events::PrimitivePattern, Vec<NodeId>> = HashMap::new();
+        for &leaf in prims {
+            if elided[leaf.idx()] {
+                continue;
+            }
+            if let NodeKind::Primitive(p) = &graph.node(leaf).kind {
+                groups.entry(p).or_default().push(leaf);
+            }
+        }
+        let mut coalesced: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for members in groups.into_values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let rep = *members.last().expect("group is non-empty");
+            plan.extra_pops[rep.idx()] = (members.len() - 1) as u32;
+            for &m in &members[..members.len() - 1] {
+                elided[m.idx()] = true;
+            }
+            coalesced.insert(rep.0, members);
+        }
+        for idx in 0..n {
+            let id = NodeId(idx as u32);
+            let node = graph.node(id);
+            debug_assert!(
+                node.children.iter().all(|c| c.idx() < idx),
+                "event graph must be in topological (children-first) order"
+            );
+            plan.tags.push(match node.plan {
+                Plan::Leaf => OpTag::Leaf,
+                Plan::Forward => OpTag::Forward,
+                Plan::TwoSided => OpTag::TwoSided,
+                Plan::LeftNegationQuery => OpTag::LeftNegationQuery,
+                Plan::LeftAperiodicQuery => OpTag::LeftAperiodicQuery,
+                Plan::RightNegationWait => OpTag::RightNegationWait,
+                Plan::AndNegation { not_side: 0 } => OpTag::AndNegationNotLeft,
+                Plan::AndNegation { .. } => OpTag::AndNegationNotRight,
+                Plan::NegationRecorder => OpTag::NegationRecorder,
+                Plan::AperiodicRecorder => OpTag::AperiodicRecorder,
+                Plan::TimedAperiodic => OpTag::TimedAperiodic,
+            });
+
+            let rule_start = plan.rules.len() as u32;
+            if let Some(members) = coalesced.get(&(idx as u32)) {
+                for m in members.iter().rev() {
+                    if let Some(rules) = rules_at.get(m) {
+                        plan.rules.extend_from_slice(rules);
+                    }
+                }
+            } else if let Some(rules) = rules_at.get(&id) {
+                plan.rules.extend_from_slice(rules);
+            }
+            plan.rule_ranges.push((rule_start, plan.rules.len() as u32));
+
+            // Mirrors `run_work`'s parent loop exactly: one delivery per
+            // parent, with the side (or self-join) decided at compile time
+            // instead of by re-reading the parent's child list. A fused
+            // recorder twin replaces its single `Left` delivery with the
+            // combined query-and-record edge; a coalesced representative
+            // walks every member's deliveries in reverse registration
+            // order. Over the combined list, adjacent `Left→NOT,
+            // Right→query` pairs collapse into the record-and-query edge
+            // (the fused op runs where the pair sat, so work order is
+            // exactly the walker's).
+            let edge_start = plan.edges.len() as u32;
+            let mut raw: Vec<Edge> = Vec::new();
+            if let Some(members) = coalesced.get(&(idx as u32)) {
+                for &m in members.iter().rev() {
+                    raw_edges(graph, &fused, m, &mut raw);
+                }
+            } else if !elided[idx] {
+                // Elided leaves (fused query twins, coalesced members) are
+                // never dispatched, so their rows would be dead weight in
+                // the edge arena — their deliveries already ride the
+                // surviving leaf's list.
+                raw_edges(graph, &fused, id, &mut raw);
+            }
+            let mut i = 0;
+            while i < raw.len() {
+                if i + 1 < raw.len() {
+                    if let Some(pair) = fuse_record_query(graph, raw[i], raw[i + 1]) {
+                        plan.edges.push(pair);
+                        i += 2;
+                        continue;
+                    }
+                }
+                plan.edges.push(raw[i]);
+                i += 1;
+            }
+            plan.edge_ranges.push((edge_start, plan.edges.len() as u32));
+        }
+        plan.lower_dispatch(graph, catalog, &elided);
+        plan
+    }
+
+    /// Builds the per-reader dispatch rows: the walker's `by_reader` /
+    /// `by_group` buckets flattened so `reader_rows[r]` directly indexes
+    /// the candidates of reader `r` — named leaves first, then the leaves
+    /// of `r`'s group, each in primitive registration order. Leaves marked
+    /// `elided` (query twins served by a fused [`EdgeOp::QueryRecord`]
+    /// edge) keep their dispatchability flag but are left out of the rows.
+    fn lower_dispatch(&mut self, graph: &EventGraph, catalog: &Catalog, elided: &[bool]) {
+        let mut by_reader: HashMap<u32, Vec<LeafCheck>> = HashMap::new();
+        let mut by_group: HashMap<Arc<str>, Vec<LeafCheck>> = HashMap::new();
+        for &leaf in graph.primitives() {
+            let NodeKind::Primitive(p) = &graph.node(leaf).kind else {
+                continue;
+            };
+            let check = LeafCheck {
+                node: leaf.0,
+                object: match &p.object {
+                    ObjectSel::Any => ObjCheck::Any,
+                    ObjectSel::Exact(epc) => ObjCheck::Exact(*epc),
+                    ObjectSel::Type(ty) => ObjCheck::Type(ty.clone()),
+                },
+            };
+            match &p.reader {
+                ReaderSel::Named(name) => {
+                    // A name missing from the catalog can never match.
+                    if let Some(id) = catalog.reader(name) {
+                        self.dispatchable[leaf.idx()] = true;
+                        if !elided[leaf.idx()] {
+                            by_reader.entry(id.0).or_default().push(check);
+                        }
+                    }
+                }
+                ReaderSel::Group(group) => {
+                    if !catalog.readers.members(group).is_empty() {
+                        self.dispatchable[leaf.idx()] = true;
+                    }
+                    if !elided[leaf.idx()] {
+                        by_group.entry(group.clone()).or_default().push(check);
+                    }
+                }
+                ReaderSel::Any => {
+                    self.dispatchable[leaf.idx()] = true;
+                    if !elided[leaf.idx()] {
+                        self.any_leaves.push(check);
+                    }
+                }
+            }
+        }
+        for def in catalog.readers.iter() {
+            debug_assert_eq!(
+                def.id.0 as usize,
+                self.reader_rows.len(),
+                "reader ids are dense registration indices"
+            );
+            let start = self.leaf_checks.len() as u32;
+            if let Some(named) = by_reader.get(&def.id.0) {
+                self.leaf_checks.extend(named.iter().cloned());
+            }
+            if let Some(grouped) = by_group.get(&def.group) {
+                self.leaf_checks.extend(grouped.iter().cloned());
+            }
+            self.reader_rows
+                .push((start, self.leaf_checks.len() as u32));
+        }
+    }
+
+    /// Appends the leaves activated by `obs` — the reader's row, then the
+    /// `Any` suffix — to `out`, in the walker's candidate order.
+    #[inline]
+    pub fn leaf_hits(
+        &self,
+        catalog: &Catalog,
+        obs: &Observation,
+        out: &mut InlineBuf<NodeId, LEAF_HITS_INLINE>,
+    ) {
+        if let Some(&(start, end)) = self.reader_rows.get(obs.reader.0 as usize) {
+            for check in &self.leaf_checks[start as usize..end as usize] {
+                if check.object.matches(obs, catalog) {
+                    out.push(NodeId(check.node));
+                }
+            }
+        }
+        for check in &self.any_leaves {
+            if check.object.matches(obs, catalog) {
+                out.push(NodeId(check.node));
+            }
+        }
+    }
+
+    /// Rules attached to a node (roots of registered rules; empty slices
+    /// for inner nodes).
+    #[inline]
+    pub fn rules_at(&self, node: NodeId) -> &[RuleId] {
+        let (start, end) = self.rule_ranges[node.idx()];
+        &self.rules[start as usize..end as usize]
+    }
+
+    /// Parent-activation edges of a node.
+    #[inline]
+    pub fn edges_at(&self, node: NodeId) -> &[Edge] {
+        let (start, end) = self.edge_ranges[node.idx()];
+        &self.edges[start as usize..end as usize]
+    }
+
+    /// The constructor tag of a node.
+    pub fn tag(&self, node: NodeId) -> OpTag {
+        self.tags[node.idx()]
+    }
+
+    /// Number of compiled nodes (equals the graph's node count).
+    pub fn node_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Total edges in the parent-activation arena.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total rule attachments in the rule arena.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Leaf candidates across all dispatch rows plus the `Any` suffix.
+    pub fn dispatch_width(&self) -> usize {
+        self.leaf_checks.len() + self.any_leaves.len()
+    }
+
+    /// Bytes held by the flat arenas (the plan-shape stats gauge; excludes
+    /// spare capacity and the strings shared with the graph).
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.tags.len() * size_of::<OpTag>()
+            + (self.edge_ranges.len() + self.rule_ranges.len() + self.reader_rows.len())
+                * size_of::<(u32, u32)>()
+            + self.edges.len() * size_of::<Edge>()
+            + self.rules.len() * size_of::<RuleId>()
+            + (self.leaf_checks.len() + self.any_leaves.len()) * size_of::<LeafCheck>()
+            + self.extra_pops.len() * size_of::<u32>()
+    }
+
+    /// Walker work-queue pops this node absorbs beyond its own pop — zero
+    /// everywhere except coalesced leaf representatives.
+    #[inline]
+    pub fn extra_pops(&self, node: NodeId) -> u32 {
+        self.extra_pops[node.idx()]
+    }
+
+    /// Whether a leaf lands in at least one dispatch row — the shared view
+    /// behind `analyze`'s dead-leaf pass (W003): a named leaf whose reader
+    /// is not deployed, or a group leaf whose group has no members, never
+    /// appears in any row and so can never match.
+    pub fn leaf_is_dispatchable(&self, node: NodeId) -> bool {
+        self.dispatchable.get(node.idx()).copied().unwrap_or(false)
+    }
+}
+
+/// Collects `node`'s parent-activation edges in the walker's delivery
+/// order: one edge per parent, the side (or self-join) decided here at
+/// compile time. A recorder twin already fused by the twin-leaf pre-pass
+/// contributes its single combined edge instead of its `Left` delivery.
+fn raw_edges(graph: &EventGraph, fused: &HashMap<u32, Edge>, id: NodeId, out: &mut Vec<Edge>) {
+    if let Some(&edge) = fused.get(&id.0) {
+        out.push(edge);
+        return;
+    }
+    let node = graph.node(id);
+    for &p in &node.parents {
+        let pnode = graph.node(p);
+        let is_left = pnode.children[0] == id;
+        let is_right = pnode.children.len() > 1 && pnode.children[1] == id;
+        let op = if is_left && is_right {
+            Some(EdgeOp::SelfJoin)
+        } else if pnode.symmetric {
+            // Unmerged symmetric pair (ablation A1): only the
+            // terminator-side delivery runs the protocol; the
+            // initiator-side duplicate delivery is dropped.
+            is_right.then_some(EdgeOp::SelfJoin)
+        } else if is_left {
+            Some(EdgeOp::Left)
+        } else if is_right {
+            Some(EdgeOp::Right)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            out.push(Edge { parent: p.0, op });
+        }
+    }
+}
+
+/// Recognises the fusable `recorder → query` edge pair of a merged leaf:
+/// `rec` delivers the child into a `NOT` node's history, `qry` immediately
+/// delivers the same instance to a [`Plan::LeftNegationQuery`] parent
+/// querying *that* history under a key spec syntactically equal to the
+/// record spec. The fused op then serves both from one bucket probe; any
+/// mismatch falls back to the two unfused deliveries.
+fn fuse_record_query(graph: &EventGraph, rec: Edge, qry: Edge) -> Option<Edge> {
+    if rec.op != EdgeOp::Left || qry.op != EdgeOp::Right {
+        return None;
+    }
+    let not_node = graph.node(rec.parent());
+    let query_node = graph.node(qry.parent());
+    if !matches!(not_node.plan, Plan::NegationRecorder)
+        || !matches!(query_node.plan, Plan::LeftNegationQuery)
+        || query_node.children[0] != not_node.id
+    {
+        return None;
+    }
+    let spec = graph
+        .hist_specs(not_node.id)
+        .get(query_node.hist_spec?.0 as usize)?;
+    if spec.extracts != query_node.join.right {
+        return None;
+    }
+    Some(Edge {
+        parent: rec.parent,
+        op: EdgeOp::RecordQuery { query: qry.parent },
+    })
+}
+
+/// Recognises interchangeable in-field twin leaves: `lr` is the recorder
+/// twin (sole child of a `NOT` node `N`), `lq` the query twin (terminator
+/// of a [`Plan::LeftNegationQuery`] node `P` with `children == [N, lq]`),
+/// both with identical primitive patterns — so every observation that hits
+/// one hits the other, with the same extracted bindings. Fusing is
+/// order-sound only when nothing else can observe `N`'s history between
+/// the query and the record, hence the exclusivity conditions: `N` is
+/// `P`'s private recorder (`N.parents == [P]`), neither leaf fires rules
+/// of its own, and the record key spec equals the query key spec so both
+/// probes provably hit the same history entry.
+fn fusable_leaf_pair(
+    graph: &EventGraph,
+    rules_at: &HashMap<NodeId, Vec<RuleId>>,
+    lr: NodeId,
+    lq: NodeId,
+) -> Option<Edge> {
+    let (lr_node, lq_node) = (graph.node(lr), graph.node(lq));
+    let (NodeKind::Primitive(pr), NodeKind::Primitive(pq)) = (&lr_node.kind, &lq_node.kind) else {
+        return None;
+    };
+    if pr != pq {
+        return None;
+    }
+    let no_rules = |id: &NodeId| rules_at.get(id).is_none_or(Vec::is_empty);
+    if !no_rules(&lr) || !no_rules(&lq) {
+        return None;
+    }
+    let &[n] = &lr_node.parents[..] else {
+        return None;
+    };
+    let &[p] = &lq_node.parents[..] else {
+        return None;
+    };
+    let (n_node, p_node) = (graph.node(n), graph.node(p));
+    if !matches!(n_node.plan, Plan::NegationRecorder)
+        || !matches!(p_node.plan, Plan::LeftNegationQuery)
+        || n_node.parents != [p]
+        || p_node.children != [n, lq]
+    {
+        return None;
+    }
+    let spec = graph.hist_specs(n).get(p_node.hist_spec?.0 as usize)?;
+    if spec.extracts != p_node.join.right {
+        return None;
+    }
+    Some(Edge {
+        parent: n.0,
+        op: EdgeOp::QueryRecord { query: p.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_events::EventExpr;
+
+    fn infield_rule() -> rfid_events::EventExpr {
+        let shelf = EventExpr::observation_in_group("shelves");
+        shelf
+            .clone()
+            .not()
+            .seq(shelf)
+            .within(rfid_events::Span::from_secs(30))
+    }
+
+    fn shelf_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.readers.register("s1", "shelves", "aisle-1");
+        catalog
+    }
+
+    /// With subgraph merging on (the engine default), `WITHIN(NOT(A); A,
+    /// w)` hash-conses both copies of `A` into one leaf whose adjacent
+    /// `Left→NOT, Right→query` edges must collapse into one `RecordQuery`
+    /// edge: the recorder and the window query share a bucket probe.
+    #[test]
+    fn merged_infield_shape_lowers_to_fused_record_query() {
+        let catalog = shelf_catalog();
+        let mut graph = EventGraph::new();
+        let root = graph.add_event(&infield_rule()).expect("rule compiles");
+        let plan = CompiledPlan::lower(&graph, &catalog, &HashMap::new());
+
+        let &[leaf] = graph.primitives() else {
+            panic!("merging folds the twin copies into one leaf");
+        };
+        let edges = plan.edges_at(leaf);
+        assert_eq!(edges.len(), 1, "recorder + query fused into one edge");
+        let EdgeOp::RecordQuery { query } = edges[0].op() else {
+            panic!("expected a fused RecordQuery edge, got {:?}", edges[0].op());
+        };
+        assert_eq!(NodeId(query), root, "the fused probe answers the root");
+        assert_eq!(plan.tag(edges[0].parent()), OpTag::NegationRecorder);
+        assert_eq!(plan.dispatch_width(), 1);
+    }
+
+    /// Without subgraph merging (ablation A1), the same shape compiles `A`
+    /// into twin leaves. Lowering must fuse them the other way round: the
+    /// recorder twin carries one `QueryRecord` edge and the query twin is
+    /// elided from dispatch, so each shelf observation still costs one
+    /// work item and one bucket probe.
+    #[test]
+    fn infield_shape_lowers_to_fused_query_record() {
+        let catalog = shelf_catalog();
+        let mut graph = EventGraph::without_merging();
+        let root = graph.add_event(&infield_rule()).expect("rule compiles");
+        let plan = CompiledPlan::lower(&graph, &catalog, &HashMap::new());
+
+        let &[recorder_twin, query_twin] = graph.primitives() else {
+            panic!("in-field shape compiles exactly two primitive leaves");
+        };
+        let edges = plan.edges_at(recorder_twin);
+        assert_eq!(edges.len(), 1, "recorder + query fused into one edge");
+        let EdgeOp::QueryRecord { query } = edges[0].op() else {
+            panic!("expected a fused QueryRecord edge, got {:?}", edges[0].op());
+        };
+        assert_eq!(NodeId(query), root, "the fused probe answers the root");
+        assert_eq!(plan.tag(edges[0].parent()), OpTag::NegationRecorder);
+
+        assert_eq!(
+            plan.dispatch_width(),
+            1,
+            "the query twin is elided from the dispatch rows"
+        );
+        assert!(
+            plan.leaf_is_dispatchable(query_twin),
+            "elision must not mark the query twin as a dead leaf (W003)"
+        );
+    }
+
+    /// Two rules over the same reader group but different `WITHIN` windows
+    /// hash-cons into *distinct* leaves (the window is part of the node
+    /// identity) with identical primitive patterns. Lowering coalesces them
+    /// into one dispatch row: the representative (the later registration)
+    /// carries both leaves' edge lists back-to-back and absorbs the elided
+    /// leaf's work-queue pop via `extra_pops`, so one observation costs one
+    /// pop instead of two while the `occurrences` counter stays walker-equal.
+    #[test]
+    fn pattern_identical_leaves_coalesce_into_one_dispatch_row() {
+        let catalog = shelf_catalog();
+        let mut graph = EventGraph::new();
+        let shelf = EventExpr::observation_in_group("shelves");
+        let dup = graph
+            .add_event(
+                &shelf
+                    .clone()
+                    .seq(shelf.clone())
+                    .within(rfid_events::Span::from_secs(5)),
+            )
+            .expect("dup rule compiles");
+        let infield = graph.add_event(&infield_rule()).expect("rule compiles");
+        let plan = CompiledPlan::lower(&graph, &catalog, &HashMap::new());
+
+        let &[dup_leaf, infield_leaf] = graph.primitives() else {
+            panic!("different windows keep the two shelf leaves distinct");
+        };
+        assert_eq!(
+            plan.dispatch_width(),
+            1,
+            "coalescing leaves one dispatch row for both leaves"
+        );
+        assert_eq!(plan.extra_pops(infield_leaf), 1, "rep absorbs one pop");
+        assert_eq!(plan.extra_pops(dup_leaf), 0);
+        assert!(
+            plan.leaf_is_dispatchable(dup_leaf),
+            "elision must not mark the coalesced member as a dead leaf (W003)"
+        );
+
+        // The representative is the *last* registration (first LIFO pop in
+        // the walker), and its edge list runs members in reverse
+        // registration order: its own fused in-field edge, then the dup
+        // rule's self-join.
+        let edges = plan.edges_at(infield_leaf);
+        assert_eq!(edges.len(), 2, "both leaves' edges ride one row");
+        let EdgeOp::RecordQuery { query } = edges[0].op() else {
+            panic!("expected the rep's own fused edge first");
+        };
+        assert_eq!(NodeId(query), infield);
+        assert_eq!(edges[1].op(), EdgeOp::SelfJoin);
+        assert_eq!(edges[1].parent(), dup);
+        assert!(plan.edges_at(dup_leaf).is_empty(), "member row is elided");
+    }
+
+    #[test]
+    fn inline_buf_spills_past_capacity() {
+        let mut buf: InlineBuf<u32, 4> = InlineBuf::default();
+        assert!(buf.is_empty());
+        for i in 0..6 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 6);
+        assert_eq!(buf.spills(), 2);
+        assert_eq!(buf.high_water(), 6);
+        assert_eq!(buf.first(), Some(&0));
+        let drained = buf.take_all();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4, 5], "order preserved");
+        assert!(buf.is_empty());
+        assert_eq!(buf.spills(), 2, "diagnostics survive draining");
+
+        buf.push(9);
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![9]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.high_water(), 6);
+    }
+
+    #[test]
+    fn inline_buf_iter_spans_inline_and_spill() {
+        let mut buf: InlineBuf<u32, 2> = InlineBuf::default();
+        for i in 0..5 {
+            buf.push(i);
+        }
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use rfid_events::{Instance, Span, Timestamp};
 
 use crate::key::{Key, KeyMap};
+use crate::plan::InlineBuf;
 
 /// A buffered instance with its admission sequence number (FIFO tie-break
 /// and wait anchor).
@@ -24,6 +25,145 @@ pub struct Entry {
     pub seq: u64,
 }
 
+/// Entries a per-key join queue holds without touching the heap. Chronicle
+/// pairing consumes matches eagerly, so almost every key's queue holds at
+/// most a couple of unmatched initiators at any instant.
+const INLINE_ENTRIES: usize = 2;
+
+/// FIFO with an inline fast path: queues up to [`INLINE_ENTRIES`] long live
+/// directly in the key map's entry (no second pointer chase per probe);
+/// longer queues are promoted to a heap deque and stay there.
+#[derive(Debug)]
+enum MicroDeque<T> {
+    /// `buf[..len]` holds the queue, oldest first.
+    Inline {
+        len: u8,
+        buf: [Option<T>; INLINE_ENTRIES],
+    },
+    /// Overflow representation, oldest first.
+    Heap(VecDeque<T>),
+}
+
+impl<T> Default for MicroDeque<T> {
+    fn default() -> Self {
+        MicroDeque::Inline {
+            len: 0,
+            buf: [const { None }; INLINE_ENTRIES],
+        }
+    }
+}
+
+impl<T> MicroDeque<T> {
+    fn len(&self) -> usize {
+        match self {
+            MicroDeque::Inline { len, .. } => usize::from(*len),
+            MicroDeque::Heap(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn front(&self) -> Option<&T> {
+        match self {
+            MicroDeque::Inline { len: 0, .. } => None,
+            MicroDeque::Inline { buf, .. } => buf[0].as_ref(),
+            MicroDeque::Heap(q) => q.front(),
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<T> {
+        match self {
+            MicroDeque::Inline { len: 0, .. } => None,
+            MicroDeque::Inline { len, buf } => {
+                let out = buf[0].take();
+                buf.rotate_left(1);
+                *len -= 1;
+                out
+            }
+            MicroDeque::Heap(q) => q.pop_front(),
+        }
+    }
+
+    fn push_back(&mut self, value: T) {
+        match self {
+            MicroDeque::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < INLINE_ENTRIES {
+                    buf[n] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut q: VecDeque<T> = buf
+                        .iter_mut()
+                        .map(|s| s.take().expect("slot full"))
+                        .collect();
+                    q.push_back(value);
+                    *self = MicroDeque::Heap(q);
+                }
+            }
+            MicroDeque::Heap(q) => q.push_back(value),
+        }
+    }
+
+    fn remove(&mut self, pos: usize) -> Option<T> {
+        match self {
+            MicroDeque::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if pos >= n {
+                    return None;
+                }
+                let out = buf[pos].take();
+                buf[pos..n].rotate_left(1);
+                *len -= 1;
+                out
+            }
+            MicroDeque::Heap(q) => q.remove(pos),
+        }
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        match self {
+            MicroDeque::Inline { len, buf } => {
+                let mut kept = 0;
+                for i in 0..usize::from(*len) {
+                    let v = buf[i].take().expect("slot full");
+                    if keep(&v) {
+                        buf[kept] = Some(v);
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            MicroDeque::Heap(q) => q.retain(|v| keep(v)),
+        }
+    }
+
+    fn iter(&self) -> MicroIter<'_, T> {
+        match self {
+            MicroDeque::Inline { len, buf } => MicroIter::Inline(buf[..usize::from(*len)].iter()),
+            MicroDeque::Heap(q) => MicroIter::Heap(q.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`MicroDeque`], oldest first.
+enum MicroIter<'a, T> {
+    Inline(std::slice::Iter<'a, Option<T>>),
+    Heap(std::collections::vec_deque::Iter<'a, T>),
+}
+
+impl<'a, T> Iterator for MicroIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        match self {
+            MicroIter::Inline(it) => it.next().map(|s| s.as_ref().expect("slot full")),
+            MicroIter::Heap(it) => it.next(),
+        }
+    }
+}
+
 /// One side of a two-sided join: FIFO queues per correlation key.
 ///
 /// The paper's chronicle context pairs "the oldest initiator with the oldest
@@ -31,8 +171,15 @@ pub struct Entry {
 /// group* while making lookup O(1) in the number of keys.
 #[derive(Debug, Default)]
 pub struct KeyedBuffer {
-    queues: KeyMap<VecDeque<Entry>>,
+    queues: KeyMap<MicroDeque<Entry>>,
     len: usize,
+    /// Expiry log: one `(t_end, key)` per admitted entry, in admission
+    /// order. [`KeyedBuffer::prune`] walks only the expired prefix of this
+    /// log, so a sweep costs O(entries that died) instead of a full scan
+    /// over every live key. Entries whose instance was consumed earlier
+    /// (chronicle take) go stale in the log and are skipped when their
+    /// timestamp expires.
+    expiry: VecDeque<(Timestamp, Key)>,
     /// Instances evicted by the unbounded-buffer cap (reported in stats).
     pub dropped: u64,
 }
@@ -51,6 +198,7 @@ impl KeyedBuffer {
     /// Appends an entry under a key; evicts the oldest entry of that key
     /// when `cap` is exceeded (only finite for unbounded-horizon nodes).
     pub fn push(&mut self, key: Key, entry: Entry, cap: usize) {
+        self.expiry.push_back((entry.inst.t_end(), key.clone()));
         let q = self.queues.entry(key).or_default();
         q.push_back(entry);
         self.len += 1;
@@ -59,6 +207,44 @@ impl KeyedBuffer {
             self.len -= 1;
             self.dropped += 1;
         }
+    }
+
+    /// Chronicle take-or-admit in a single map probe: discards the dead
+    /// prefix of `key`'s queue, removes and returns the oldest entry
+    /// satisfying `pred`, then appends `entry` to the same queue. This is
+    /// the self-join arrival in one bucket access — the arriving instance
+    /// always becomes an initiator, matched or not, so splitting the take
+    /// and the push would probe the same bucket twice.
+    pub fn take_match_and_push(
+        &mut self,
+        key: Key,
+        dead_before: Timestamp,
+        mut pred: impl FnMut(&Entry) -> bool,
+        entry: Entry,
+        cap: usize,
+    ) -> Option<Entry> {
+        self.expiry.push_back((entry.inst.t_end(), key.clone()));
+        let q = self.queues.entry(key).or_default();
+        while let Some(front) = q.front() {
+            if front.inst.t_end() < dead_before {
+                q.pop_front();
+                self.len -= 1;
+            } else {
+                break;
+            }
+        }
+        let taken = q.iter().position(&mut pred).map(|pos| {
+            self.len -= 1;
+            q.remove(pos).expect("position is in range")
+        });
+        q.push_back(entry);
+        self.len += 1;
+        if q.len() > cap {
+            q.pop_front();
+            self.len -= 1;
+            self.dropped += 1;
+        }
+        taken
     }
 
     /// Removes and returns the oldest entry under `key` satisfying `pred`,
@@ -96,9 +282,20 @@ impl KeyedBuffer {
         }
     }
 
-    /// Drops every entry (across keys) with `t_end < dead_before`.
+    /// Drops every entry (across keys) whose expiry-log record has
+    /// `t_end < dead_before`, visiting only those keys. Out-of-order
+    /// admissions (lagged composites) behind a live log head are collected
+    /// on a later sweep — pruning is garbage collection, so laziness is
+    /// harmless: per-key matching already discards dead heads itself.
     pub fn prune(&mut self, dead_before: Timestamp) {
-        self.queues.retain(|_, q| {
+        while let Some(&(t, _)) = self.expiry.front() {
+            if t >= dead_before {
+                break;
+            }
+            let (_, key) = self.expiry.pop_front().expect("checked front");
+            let Some(q) = self.queues.get_mut(&key) else {
+                continue;
+            };
             while let Some(front) = q.front() {
                 if front.inst.t_end() < dead_before {
                     q.pop_front();
@@ -107,8 +304,142 @@ impl KeyedBuffer {
                     break;
                 }
             }
-            !q.is_empty()
-        });
+            if q.is_empty() {
+                self.queues.remove(&key);
+            }
+        }
+        // Consumed entries leave stale log records behind; under an
+        // unbounded horizon (`dead_before` zero) the loop above never pops
+        // them, so compact once the log outgrows the live population. The
+        // threshold makes the rebuild amortized O(1) per admission.
+        if self.expiry.len() > self.len * 2 + 32 {
+            self.rebuild_expiry();
+        }
+    }
+
+    /// Rebuilds the expiry log from the live queues (and drops queues a
+    /// chronicle take emptied).
+    fn rebuild_expiry(&mut self) {
+        self.queues.retain(|_, q| !q.is_empty());
+        let mut live: Vec<(Timestamp, Key)> = self
+            .queues
+            .iter()
+            .flat_map(|(k, q)| q.iter().map(move |e| (e.inst.t_end(), k.clone())))
+            .collect();
+        live.sort_by_key(|&(t, _)| t);
+        self.expiry = live.into();
+    }
+}
+
+/// End-times a key history can hold without touching the heap. Shelf-style
+/// in-field rules keep one or two live records per `(reader, object)` key,
+/// so the whole history fits in the map entry's cache line.
+const INLINE_TIMES: usize = 5;
+
+/// Ascending end-time store with an inline fast path: histories up to
+/// [`INLINE_TIMES`] records live directly in the map entry; only wider
+/// histories are promoted to a heap deque (and stay there — demotion would
+/// churn on the boundary).
+#[derive(Debug)]
+enum Times {
+    /// `buf[..len]` ascending.
+    Inline {
+        len: u8,
+        buf: [Timestamp; INLINE_TIMES],
+    },
+    /// Overflow representation, ascending.
+    Heap(VecDeque<Timestamp>),
+}
+
+impl Default for Times {
+    fn default() -> Self {
+        Times::Inline {
+            len: 0,
+            buf: [Timestamp::ZERO; INLINE_TIMES],
+        }
+    }
+}
+
+impl Times {
+    fn len(&self) -> usize {
+        match self {
+            Times::Inline { len, .. } => usize::from(*len),
+            Times::Heap(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn front(&self) -> Option<Timestamp> {
+        match self {
+            Times::Inline { len: 0, .. } => None,
+            Times::Inline { buf, .. } => Some(buf[0]),
+            Times::Heap(q) => q.front().copied(),
+        }
+    }
+
+    fn pop_front(&mut self) {
+        match self {
+            Times::Inline { len: 0, .. } => {}
+            Times::Inline { len, buf } => {
+                buf.copy_within(1..usize::from(*len), 0);
+                *len -= 1;
+            }
+            Times::Heap(q) => {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// Inserts keeping ascending order. Streams are processed in timestamp
+    /// order, but composite inner events may be delivered with lag, hence
+    /// the out-of-order insert path.
+    fn insert(&mut self, t: Timestamp) {
+        match self {
+            Times::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n == INLINE_TIMES {
+                    let mut q: VecDeque<Timestamp> = buf.iter().copied().collect();
+                    insert_sorted(&mut q, t);
+                    *self = Times::Heap(q);
+                    return;
+                }
+                let mut pos = n;
+                while pos > 0 && buf[pos - 1] > t {
+                    pos -= 1;
+                }
+                buf.copy_within(pos..n, pos + 1);
+                buf[pos] = t;
+                *len += 1;
+            }
+            Times::Heap(q) => insert_sorted(q, t),
+        }
+    }
+
+    /// The earliest stored end-time `>= from`.
+    fn first_at_or_after(&self, from: Timestamp) -> Option<Timestamp> {
+        match self {
+            Times::Inline { len, buf } => buf[..usize::from(*len)]
+                .iter()
+                .copied()
+                .find(|&t| t >= from),
+            Times::Heap(q) => {
+                let start = q.partition_point(|&t| t < from);
+                q.get(start).copied()
+            }
+        }
+    }
+}
+
+fn insert_sorted(q: &mut VecDeque<Timestamp>, t: Timestamp) {
+    match q.back() {
+        Some(&back) if back > t => {
+            let pos = q.partition_point(|&x| x <= t);
+            q.insert(pos, t);
+        }
+        _ => q.push_back(t),
     }
 }
 
@@ -119,7 +450,42 @@ struct KeyHist {
     /// "never occurred before t" queries).
     earliest: Option<Timestamp>,
     /// Recent occurrence end-times, ascending.
-    times: VecDeque<Timestamp>,
+    times: Times,
+}
+
+impl KeyHist {
+    /// Inserts an occurrence end-time, keeping the store sorted.
+    fn insert(&mut self, t: Timestamp) {
+        self.earliest = Some(match self.earliest {
+            Some(e) => e.min(t),
+            None => t,
+        });
+        self.times.insert(t);
+    }
+
+    /// Whether any stored occurrence falls in `[from, to]` (or `[from, to)`
+    /// when `exclusive_end`).
+    fn any_in(&self, from: Timestamp, to: Timestamp, exclusive_end: bool) -> bool {
+        if let Some(earliest) = self.earliest {
+            // Fast path for "never occurred before" queries anchored at the
+            // epoch; also correct when pruning removed old entries.
+            if from == Timestamp::ZERO {
+                return if exclusive_end {
+                    earliest < to
+                } else {
+                    earliest <= to
+                };
+            }
+            if earliest > to || (exclusive_end && earliest == to) {
+                return false;
+            }
+        }
+        match self.times.first_at_or_after(from) {
+            Some(t) if exclusive_end => t < to,
+            Some(t) => t <= to,
+            None => false,
+        }
+    }
 }
 
 /// State of a `NOT` node: one keyed history per registered
@@ -127,6 +493,10 @@ struct KeyHist {
 #[derive(Debug, Default)]
 pub struct NegationState {
     histories: Vec<KeyMap<KeyHist>>,
+    /// Per-spec expiry log mirroring [`KeyedBuffer`]'s: one `(t, key)` per
+    /// recorded occurrence, so pruning visits only keys that actually hold
+    /// expired records instead of scanning every live key each sweep.
+    expiry: Vec<VecDeque<(Timestamp, Key)>>,
     /// Earliest occurrence among fully dropped keys (evidence that the
     /// retention invariant holds; never consulted to answer queries).
     dropped_earliest: Option<Timestamp>,
@@ -139,25 +509,49 @@ impl NegationState {
     pub fn ensure_specs(&mut self, n: usize) {
         while self.histories.len() < n {
             self.histories.push(KeyMap::default());
+            self.expiry.push(VecDeque::new());
         }
+    }
+
+    /// Number of history specs currently sized for.
+    pub fn spec_count(&self) -> usize {
+        self.histories.len()
     }
 
     /// Records an inner occurrence ending at `t` under `key` in history
     /// `spec`.
     pub fn record(&mut self, spec: usize, key: Key, t: Timestamp) {
+        self.expiry[spec].push_back((t, key.clone()));
+        self.histories[spec].entry(key).or_default().insert(t);
+    }
+
+    /// Answers a window query and records an occurrence ending at `t`
+    /// against the same history entry, in one bucket probe — the fused
+    /// in-field deliveries ([`crate::plan::EdgeOp::RecordQuery`] with
+    /// `record_first`, [`crate::plan::EdgeOp::QueryRecord`] without).
+    /// Equivalent to [`NegationState::record`] and
+    /// [`NegationState::occurred`] under the same key, in the order the
+    /// flag selects — each fused shape preserves its walker order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_probe(
+        &mut self,
+        spec: usize,
+        key: Key,
+        t: Timestamp,
+        from: Timestamp,
+        to: Timestamp,
+        exclusive_end: bool,
+        record_first: bool,
+    ) -> bool {
+        self.expiry[spec].push_back((t, key.clone()));
         let hist = self.histories[spec].entry(key).or_default();
-        hist.earliest = Some(match hist.earliest {
-            Some(e) => e.min(t),
-            None => t,
-        });
-        // Streams are processed in timestamp order, but composite inner
-        // events may be delivered with lag; keep the deque sorted.
-        match hist.times.back() {
-            Some(&back) if back > t => {
-                let pos = hist.times.partition_point(|&x| x <= t);
-                hist.times.insert(pos, t);
-            }
-            _ => hist.times.push_back(t),
+        if record_first {
+            hist.insert(t);
+            hist.any_in(from, to, exclusive_end)
+        } else {
+            let occurred = hist.any_in(from, to, exclusive_end);
+            hist.insert(t);
+            occurred
         }
     }
 
@@ -182,26 +576,7 @@ impl NegationState {
             );
             return false;
         };
-        if let Some(earliest) = hist.earliest {
-            // Fast path for "never occurred before" queries anchored at the
-            // epoch; also correct when pruning removed old entries.
-            if from == Timestamp::ZERO {
-                return if exclusive_end {
-                    earliest < to
-                } else {
-                    earliest <= to
-                };
-            }
-            if earliest > to || (exclusive_end && earliest == to) {
-                return false;
-            }
-        }
-        let start = hist.times.partition_point(|&t| t < from);
-        match hist.times.get(start) {
-            Some(&t) if exclusive_end => t < to,
-            Some(&t) => t <= to,
-            None => false,
-        }
+        hist.any_in(from, to, exclusive_end)
     }
 
     /// Drops recorded occurrences older than `dead_before`, and removes
@@ -226,9 +601,22 @@ impl NegationState {
         }
         let mut dropped_earliest = self.dropped_earliest;
         let mut dropped_keys = self.dropped_keys;
-        for map in &mut self.histories {
-            map.retain(|_, hist| {
-                while let Some(&front) = hist.times.front() {
+        for (map, log) in self.histories.iter_mut().zip(&mut self.expiry) {
+            // The expiry log names exactly the keys holding records that
+            // just died, so the sweep is O(expired records) — not a retain
+            // over every live key. Out-of-order (lagged) records behind a
+            // live log head are collected on a later sweep, which is sound:
+            // `occurred` range-checks its answers, so a stale record is
+            // never *wrongly counted*, only kept a little longer.
+            while let Some(&(t, _)) = log.front() {
+                if t >= dead_before {
+                    break;
+                }
+                let (_, key) = log.pop_front().expect("checked front");
+                let Some(hist) = map.get_mut(&key) else {
+                    continue;
+                };
+                while let Some(front) = hist.times.front() {
                     if front < dead_before {
                         hist.times.pop_front();
                     } else {
@@ -236,17 +624,17 @@ impl NegationState {
                     }
                 }
                 if !hist.times.is_empty() {
-                    return true;
+                    continue;
                 }
                 match hist.earliest {
                     Some(e) if e < dead_before => {
                         dropped_earliest = Some(dropped_earliest.map_or(e, |d| d.min(e)));
                         dropped_keys += 1;
-                        false
+                        map.remove(&key);
                     }
-                    _ => true,
+                    _ => {}
                 }
-            });
+            }
         }
         self.dropped_earliest = dropped_earliest;
         self.dropped_keys = dropped_keys;
@@ -318,16 +706,37 @@ impl AperiodicState {
     }
 }
 
-/// State of a `TSEQ+` node: the open run.
+/// Inline capacity of an open `TSEQ+` run: the paper's conveyor runs pack
+/// 4–12 items per case, so a run of up to [`RUN_INLINE`] elements never
+/// touches the heap; longer runs spill (counted in the plan-shape stats).
+pub const RUN_INLINE: usize = 12;
+
+/// State of a `TSEQ+` node: the open run, NFA-style — a single active
+/// run per node whose elements live inline ([`InlineBuf`]) instead of a
+/// per-run `Vec`, plus the armed closure that advances or fires it.
+///
+/// Closure scheduling is re-armed rather than re-scheduled: at most one
+/// pseudo event per node sits in the queue, and `close_exec`/`close_seq`
+/// record where the closure *currently* belongs. A popped closure whose
+/// `(exec, seq)` no longer matches is stale (the run was extended) and is
+/// pushed back at the recorded position — the exact `(exec, seq)` the
+/// per-arrival scheme would have used, so ordering is unchanged while the
+/// queue holds one entry per run instead of one per element.
 #[derive(Debug, Default)]
 pub struct TimedRunState {
     /// Elements of the current open run, in arrival order.
-    pub open: Vec<Arc<Instance>>,
+    pub open: InlineBuf<Arc<Instance>, RUN_INLINE>,
     /// End-time of the last element.
     pub last_end: Timestamp,
-    /// Incremented whenever the run changes; a closure pseudo event only
-    /// fires if its recorded generation still matches.
+    /// Incremented whenever the run changes (diagnostics; closure validity
+    /// is decided by `close_exec`/`close_seq`).
     pub generation: u64,
+    /// Execution time the armed closure should fire at.
+    pub close_exec: Timestamp,
+    /// Sequence number the armed closure should fire with.
+    pub close_seq: u64,
+    /// Whether a closure pseudo event for this run is in the queue.
+    pub armed: bool,
 }
 
 /// A push-side instance waiting for a negation window to close.

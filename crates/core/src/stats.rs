@@ -100,6 +100,20 @@ engine_stats! {
     /// Rule-partitioned residual workers in the sharded pipeline. A gauge
     /// set by `ShardedEngine::stats`; zero single-threaded.
     residual_workers: Gauge,
+    /// Nodes in the compiled execution plan (`crate::plan::CompiledPlan`),
+    /// as of the last compile. Merging takes the maximum: the largest
+    /// per-worker compiled slice, not the sum of overlapping slices.
+    plan_nodes: Gauge,
+    /// Bytes held by the compiled plan's flat arenas (tags, edges, rules,
+    /// dispatch rows), as of the last compile. A gauge like `plan_nodes`.
+    plan_arena_bytes: Gauge,
+    /// Deepest open `TSEQ+` run observed, in elements — the high-water mark
+    /// of the inline run buffers (`crate::plan::InlineBuf`).
+    max_run_depth: Gauge,
+    /// Run-buffer pushes that overflowed the inline capacity into the heap
+    /// spill; nonzero means `crate::state::RUN_INLINE` is undersized for
+    /// the workload.
+    run_spills: Counter,
 }
 
 impl std::fmt::Display for EngineStats {
@@ -107,7 +121,7 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
-             batches={} qdepth={} negkeys={} rworkers={}",
+             batches={} qdepth={} negkeys={} rworkers={} plan={}n/{}B rundepth={} spills={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -120,6 +134,10 @@ impl std::fmt::Display for EngineStats {
             self.max_queue_depth,
             self.retained_keys,
             self.residual_workers,
+            self.plan_nodes,
+            self.plan_arena_bytes,
+            self.max_run_depth,
+            self.run_spills,
         )
     }
 }
@@ -143,6 +161,10 @@ mod tests {
             max_queue_depth: seed / 10,
             retained_keys: seed + 9,
             residual_workers: seed / 5,
+            plan_nodes: seed / 2,
+            plan_arena_bytes: seed / 3,
+            max_run_depth: seed / 4,
+            run_spills: seed + 10,
         }
     }
 
@@ -205,10 +227,17 @@ mod tests {
             .collect();
         assert_eq!(
             gauges,
-            ["max_queue_depth", "retained_keys", "residual_workers"],
+            [
+                "max_queue_depth",
+                "retained_keys",
+                "residual_workers",
+                "plan_nodes",
+                "plan_arena_bytes",
+                "max_run_depth",
+            ],
             "re-classifying a field is a semantic change: update this test \
              and the EXPERIMENTS.md tables together"
         );
-        assert_eq!(EngineStats::FIELDS.len(), 12);
+        assert_eq!(EngineStats::FIELDS.len(), 16);
     }
 }

@@ -17,6 +17,59 @@ use std::sync::Arc;
 use crate::observation::Observation;
 use crate::time::{Span, Timestamp};
 
+/// Constituents of a composite instance, in detection order.
+///
+/// Detection overwhelmingly produces one- and two-child composites (wrapped
+/// forwards, chronicle pairs, `query;event` sequences); storing those
+/// inline spares the hot path a heap allocation per match. Derefs to
+/// `[Arc<Instance>]`, so call sites index and iterate it like the `Vec` it
+/// replaces. The variant is determined by the child count alone, so derived
+/// equality never compares different representations of equal sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Children(ChildrenRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChildrenRepr {
+    One([Arc<Instance>; 1]),
+    Two([Arc<Instance>; 2]),
+    Many(Vec<Arc<Instance>>),
+}
+
+impl std::ops::Deref for Children {
+    type Target = [Arc<Instance>];
+
+    fn deref(&self) -> &[Arc<Instance>] {
+        match &self.0 {
+            ChildrenRepr::One(one) => one,
+            ChildrenRepr::Two(two) => two,
+            ChildrenRepr::Many(many) => many,
+        }
+    }
+}
+
+impl From<Vec<Arc<Instance>>> for Children {
+    fn from(mut v: Vec<Arc<Instance>>) -> Self {
+        match v.len() {
+            1 => Children(ChildrenRepr::One([v.pop().expect("len checked")])),
+            2 => {
+                let b = v.pop().expect("len checked");
+                let a = v.pop().expect("len checked");
+                Children(ChildrenRepr::Two([a, b]))
+            }
+            _ => Children(ChildrenRepr::Many(v)),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Children {
+    type Item = &'a Arc<Instance>;
+    type IntoIter = std::slice::Iter<'a, Arc<Instance>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// What kind of occurrence an instance is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InstanceKind {
@@ -29,7 +82,7 @@ pub enum InstanceKind {
         /// Constructor name, for diagnostics.
         op: &'static str,
         /// Constituents in detection order.
-        children: Vec<Arc<Instance>>,
+        children: Children,
     },
     /// A witnessed non-occurrence: "no instance of the negated event in
     /// `[t_begin, t_end]`".
@@ -70,7 +123,36 @@ impl Instance {
         Self {
             t_begin,
             t_end,
-            kind: InstanceKind::Composite { op, children },
+            kind: InstanceKind::Composite {
+                op,
+                children: children.into(),
+            },
+        }
+    }
+
+    /// Builds a two-child composite without an intermediate `Vec` — the
+    /// chronicle-pair and `query;event` hot paths.
+    pub fn pair(op: &'static str, first: Arc<Instance>, second: Arc<Instance>) -> Self {
+        Self {
+            t_begin: first.t_begin.min(second.t_begin),
+            t_end: first.t_end.max(second.t_end),
+            kind: InstanceKind::Composite {
+                op,
+                children: Children(ChildrenRepr::Two([first, second])),
+            },
+        }
+    }
+
+    /// Wraps a single child composite (`OR` forwarding) without an
+    /// intermediate `Vec`.
+    pub fn wrap(op: &'static str, child: Arc<Instance>) -> Self {
+        Self {
+            t_begin: child.t_begin,
+            t_end: child.t_end,
+            kind: InstanceKind::Composite {
+                op,
+                children: Children(ChildrenRepr::One([child])),
+            },
         }
     }
 

@@ -14,6 +14,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (root package) =="
 cargo test -q
 
+echo "== plan/graph differential suite =="
+# The compiled-plan executor must stay bit-for-bit equivalent to the graph
+# walker: property tests compare the firing multiset and the stats counters
+# across ExecMode::{Plan,Graph} under both merge settings.
+cargo test -q -p rceda --test plan_equivalence
+
 echo "== rceda-lint (canonical rule programs) =="
 # The Rule 1-5 program and the 512-rule containment workload must lint
 # free of error-level findings; rceda-lint exits 1 on any E-code.
