@@ -1,65 +1,279 @@
-//! Working-set profile: buffered instances vs. rule window size.
+//! Memory gate: live working set with solved retention bounds enforced
+//! vs. the conservative `max_lag`-padded eviction they replace.
 //!
-//! The engine's memory is bounded by the temporal constraints of the rules
-//! (plus the graph-wide lag slack), not by stream length — pruning and
-//! pseudo-event resolution retire state as windows close. This harness
-//! measures the peak working set of the duplicate-filter rule across window
-//! sizes on a fixed shelf workload.
+//! The workload is adversarial for the old eviction rule and routine for
+//! the new one. Every simulated object is a **fresh EPC** (the paper-scale
+//! regime: millions of distinct keys, each seen a handful of times), and
+//! one rule carries a day-long `TSEQ+` gap that inflates the *graph-wide*
+//! lag bound. Pre-solver, every buffer in every rule paid that global pad:
+//! a 30 s join window was swept at 30 s + 24 h, i.e. never within the
+//! trace, so join buffers and negation histories grew with the key count.
+//! The interval solver ([`rceda::bounds`]) derives per-node bounds instead
+//! — the day-long lag stays on the `TSEQ+` node that owns it — so with
+//! `enforce_bounds` on the same buffers stay flat.
+//!
+//! Rules:
+//! 1. `reverse` — `WITHIN(SEQ(out; in), 30 s)` keyed by object. The stream
+//!    emits in → out per object, so the left (out) buffer only ever holds
+//!    dead candidates; eager eviction retires them at 30 s.
+//! 2. `open` — `SEQ(probe; out)` keyed by object, no window: genuinely
+//!    unbounded left side in both modes (the capacity cap owns it), and a
+//!    solver-proved Δ=0 right side.
+//! 3. `linger` — `WITHIN(TSEQ+(probe, 0, 24 h), 48 h)`: the lag inflator.
+//!    Probe events are rare (1 in 1000 objects), so its own run store
+//!    stays small while its gap poisons the global `max_lag`.
+//! 4. `arrival` — `WITHIN(SEQ(NOT out; in), 60 s)` keyed by object: the
+//!    negation history records every `out`, bounded at 60 s by the solver
+//!    and at 60 s + 24 h (never) by the old rule.
+//!
+//! Output: `results/BENCH_mem.json`, headline first — the enforced-mode
+//! peak of the `buffered_entries` gauge, which `scripts/bench_gate.sh`
+//! compares best-vs-best against the committed reference. Gauge samples
+//! for both modes record the full trajectory (flat vs. monotonic). Peak
+//! RSS is read from `/proc/self/status` (best effort); the enforced run
+//! goes first so its `VmHWM` is not masked by the larger baseline run.
+//!
+//! Flags: `--events N` overrides the trace length (CI smoke uses 20 000).
 
-use rceda::EngineConfig;
-use rfid_bench::{engine_from_script, BenchWorkload};
-use rfid_simulator::SimConfig;
+use std::fmt::Write as _;
+
+use rceda::{Engine, EngineConfig, EngineStats, RuleId};
+use rfid_epc::{Epc, Gid96};
+use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
+
+const EVENTS: usize = 2_400_000;
+const SAMPLES: usize = 60;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.readers.register("in1", "in", "dock-in");
+    cat.readers.register("out1", "out", "dock-out");
+    cat.readers.register("probe1", "probe", "spot-check");
+    cat
+}
+
+fn rules() -> Vec<(&'static str, EventExpr)> {
+    let at = |group: &str| EventExpr::observation_in_group(group).bind_object("o");
+    vec![
+        (
+            "reverse",
+            at("out").seq(at("in")).within(Span::from_secs(30)),
+        ),
+        ("open", at("probe").seq(at("out"))),
+        (
+            "linger",
+            EventExpr::observation_in_group("probe")
+                .tseq_plus(Span::ZERO, Span::from_secs(86_400))
+                .within(Span::from_secs(172_800)),
+        ),
+        (
+            "arrival",
+            at("out").not().seq(at("in")).within(Span::from_secs(60)),
+        ),
+    ]
+}
+
+/// One gauge snapshot along a run.
+struct Sample {
+    events: usize,
+    buffered: u64,
+    join_keys: u64,
+    retained: u64,
+}
+
+struct ModeRun {
+    enforce: bool,
+    samples: Vec<Sample>,
+    peak_buffered: u64,
+    final_stats: EngineStats,
+    firings: u64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// `VmHWM` (peak RSS) from `/proc/self/status`, in kB. Best effort:
+/// absent on non-Linux hosts.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The in → out (+ rare probe) stream over fresh EPCs, one object per
+/// 10 ms of simulated time. Generated once and replayed by both modes.
+fn stream(events: usize) -> Vec<Observation> {
+    let mut cat = catalog();
+    let r_in = cat.readers.register("in1", "in", "dock-in");
+    let r_out = cat.readers.register("out1", "out", "dock-out");
+    let r_probe = cat.readers.register("probe1", "probe", "spot-check");
+    let mut out = Vec::with_capacity(events + 2);
+    let mut serial = 0u64;
+    while out.len() < events {
+        serial += 1;
+        let epc = Epc::from(Gid96::new(1, 1, serial).expect("serial in range"));
+        let t = Timestamp::from_millis(serial * 10);
+        out.push(Observation::new(r_in, epc, t));
+        if serial.is_multiple_of(1000) {
+            out.push(Observation::new(r_probe, epc, t + Span::from_millis(2)));
+        }
+        out.push(Observation::new(r_out, epc, t + Span::from_millis(5)));
+    }
+    out.truncate(events);
+    out
+}
+
+fn run(stream: &[Observation], enforce: bool) -> ModeRun {
+    let config = EngineConfig {
+        enforce_bounds: enforce,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(catalog(), config);
+    for (name, event) in rules() {
+        engine.add_rule(name, event).expect("valid rule");
+    }
+    let mut firings = 0u64;
+    let mut sink = |_: RuleId, _: &Instance| firings += 1;
+
+    let every = (stream.len() / SAMPLES).max(1);
+    let mut samples = Vec::with_capacity(SAMPLES + 1);
+    let mut peak_buffered = 0u64;
+    for (i, &obs) in stream.iter().enumerate() {
+        engine.process(obs, &mut sink);
+        if (i + 1) % every == 0 || i + 1 == stream.len() {
+            let s = engine.stats();
+            peak_buffered = peak_buffered.max(s.buffered_entries);
+            samples.push(Sample {
+                events: i + 1,
+                buffered: s.buffered_entries,
+                join_keys: s.join_keys,
+                retained: s.retained_keys,
+            });
+        }
+    }
+    let final_stats = engine.stats();
+    engine.finish(&mut sink);
+    ModeRun {
+        enforce,
+        samples,
+        peak_buffered,
+        final_stats,
+        firings,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
 
 fn main() {
-    let cfg = SimConfig {
-        shelves: 16,
-        shelf_population: 100,
-        duplicate_prob: 0.1,
-        packing_lines: 0,
-        docks: 0,
-        exits: 0,
-        pos_registers: 0,
-        ..SimConfig::default()
-    };
-    let workload = BenchWorkload::with_config(cfg);
-    let trace = workload.trace(40_000);
+    let args: Vec<String> = std::env::args().collect();
+    let events = args
+        .iter()
+        .position(|a| a == "--events")
+        .and_then(|i| args.get(i + 1))
+        .map_or(EVENTS, |n| n.parse().expect("--events takes a count"));
+
+    let stream = stream(events);
     println!(
-        "shelf workload: {} events over {} (logical)",
-        trace.observations.len(),
-        trace.until
+        "Memory gate — {} events, ~{} distinct EPCs, 4 rules (day-long TSEQ+ lag inflator)",
+        stream.len(),
+        stream.len() / 2
     );
-    println!(
-        "\n{:>12} {:>16} {:>14} {:>12}",
-        "window", "peak buffered", "final buffered", "firings"
-    );
-    for window_secs in [5u64, 30, 120, 600] {
-        let script = format!(
-            "CREATE RULE dup, duplicate_detection \
-             ON WITHIN(observation(r, o, t1); observation(r, o, t2), {window_secs} sec) \
-             IF true DO send_duplicate_msg(r, o, t1)"
-        );
-        let mut engine = engine_from_script(&workload, &script, EngineConfig::default());
-        let mut firings = 0u64;
-        let mut peak = 0usize;
-        let mut sink = |_: rceda::RuleId, _: &rfid_events::Instance| firings += 1;
-        for (i, &obs) in trace.observations.iter().enumerate() {
-            engine.process(obs, &mut sink);
-            if i % 512 == 0 {
-                peak = peak.max(engine.buffered_instances());
-            }
-        }
-        peak = peak.max(engine.buffered_instances());
-        engine.finish(&mut sink);
+
+    // Enforced first: its VmHWM must not be masked by the larger baseline.
+    let runs = [run(&stream, true), run(&stream, false)];
+    for r in &runs {
         println!(
-            "{:>11}s {:>16} {:>14} {:>12}",
-            window_secs,
-            peak,
-            engine.buffered_instances(),
-            firings
+            "  [enforce={}] peak buffered: {} | final buffered: {} | final join keys: {} | \
+             final neg keys: {} | capacity drops: {} | firings: {}",
+            r.enforce,
+            r.peak_buffered,
+            r.final_stats.buffered_entries,
+            r.final_stats.join_keys,
+            r.final_stats.retained_keys,
+            r.final_stats.capacity_drops,
+            r.firings
         );
     }
-    println!(
-        "\npeak working set tracks the window, not the {}‑event stream",
-        trace.observations.len()
+    assert_eq!(
+        runs[0].firings, runs[1].firings,
+        "bound enforcement changed the firing count"
     );
+    let reduction = runs[1].peak_buffered as f64 / (runs[0].peak_buffered.max(1)) as f64;
+    println!("  peak working set: {reduction:.1}x smaller with solved bounds enforced");
+
+    write_json(stream.len(), &runs, reduction);
+}
+
+/// Hand-rolled JSON (no serde in the release path). The enforced-mode
+/// peak leads so `bench_gate.sh`'s first-match parse reads the headline.
+fn write_json(events: usize, runs: &[ModeRun; 2], reduction: f64) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"mem_profile\",");
+    let _ = writeln!(json, "  \"events\": {events},");
+    let _ = writeln!(
+        json,
+        "  \"peak_buffered_enforced\": {},",
+        runs[0].peak_buffered
+    );
+    let _ = writeln!(
+        json,
+        "  \"peak_buffered_baseline\": {},",
+        runs[1].peak_buffered
+    );
+    let _ = writeln!(json, "  \"reduction_factor\": {reduction:.2},");
+    let _ = writeln!(json, "  \"firings\": {},", runs[0].firings);
+    let _ = writeln!(json, "  \"modes\": [");
+    for (m, r) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"enforce_bounds\": {},", r.enforce);
+        let _ = writeln!(json, "      \"peak_buffered\": {},", r.peak_buffered);
+        let _ = writeln!(
+            json,
+            "      \"final_buffered\": {},",
+            r.final_stats.buffered_entries
+        );
+        let _ = writeln!(
+            json,
+            "      \"final_join_keys\": {},",
+            r.final_stats.join_keys
+        );
+        let _ = writeln!(
+            json,
+            "      \"final_retained_keys\": {},",
+            r.final_stats.retained_keys
+        );
+        let _ = writeln!(
+            json,
+            "      \"capacity_drops\": {},",
+            r.final_stats.capacity_drops
+        );
+        match r.peak_rss_kb {
+            Some(kb) => {
+                let _ = writeln!(json, "      \"peak_rss_kb\": {kb},");
+            }
+            None => {
+                let _ = writeln!(json, "      \"peak_rss_kb\": null,");
+            }
+        }
+        let _ = writeln!(json, "      \"samples\": [");
+        for (i, s) in r.samples.iter().enumerate() {
+            let comma = if i + 1 < r.samples.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        {{\"events\": {}, \"buffered\": {}, \"join_keys\": {}, \
+                 \"retained_keys\": {}}}{comma}",
+                s.events, s.buffered, s.join_keys, s.retained
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let comma = if m + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_mem.json", &json).expect("write BENCH_mem.json");
+    eprintln!("  wrote results/BENCH_mem.json");
 }

@@ -23,6 +23,7 @@
 //! | W003 | warning  | dead leaf: pattern can never match the catalog |
 //! | W004 | warning  | rule runs on the residual (non-sharded) path |
 //! | W005 | warning  | unbounded chronicle buffer on a join node |
+//! | N001 | note     | join buffer bounded at runtime by the solved retention |
 //!
 //! E004 and W002 are script-level passes: they live in the rule-language
 //! crate (`rfid-rules`), but their codes are defined here so the taxonomy
@@ -34,6 +35,7 @@ use std::fmt;
 
 use rfid_events::{Catalog, EventExpr, ObjectSel, ReaderSel, Span};
 
+use crate::bounds::Bounds;
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
 use crate::plan::CompiledPlan;
 use crate::shard::{self, ResidualReason, Shardability};
@@ -41,6 +43,9 @@ use crate::shard::{self, ResidualReason, Shardability};
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Informational: nothing is wrong; the analyzer is reporting a bound
+    /// it proved rather than a hazard it found.
+    Note,
     /// Suspicious but executable; the rule loads and runs.
     Warning,
     /// The rule (or program) is broken: it can never fire as written, or
@@ -51,6 +56,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -95,6 +101,10 @@ pub enum DiagCode {
     /// A join node with no finite window retains partial matches until the
     /// capacity cap evicts them (`capacity_drops`).
     UnboundedBuffer,
+    /// A join side that *looks* unbounded (infinite window) but that the
+    /// interval solver ([`crate::bounds`]) proved finite through emission
+    /// lags: the engine prunes it eagerly at the solved horizon.
+    BoundedRetention,
 }
 
 impl DiagCode {
@@ -111,6 +121,7 @@ impl DiagCode {
             DiagCode::DeadLeaf => "W003",
             DiagCode::ResidualRule => "W004",
             DiagCode::UnboundedBuffer => "W005",
+            DiagCode::BoundedRetention => "N001",
         }
     }
 
@@ -127,6 +138,7 @@ impl DiagCode {
             | DiagCode::DeadLeaf
             | DiagCode::ResidualRule
             | DiagCode::UnboundedBuffer => Severity::Warning,
+            DiagCode::BoundedRetention => Severity::Note,
         }
     }
 
@@ -143,6 +155,7 @@ impl DiagCode {
             DiagCode::DeadLeaf => "pattern can never match the deployment catalog",
             DiagCode::ResidualRule => "rule falls to the residual (full-stream) path",
             DiagCode::UnboundedBuffer => "join buffers bounded only by the capacity cap",
+            DiagCode::BoundedRetention => "join buffer bounded at runtime by the solved retention",
         }
     }
 }
@@ -248,6 +261,8 @@ pub fn analyze_event(rule: &RuleEvent, catalog: Option<&Catalog>) -> Vec<Diagnos
     };
     let paths = node_paths(&scratch, root);
     let durations = min_durations(&scratch);
+    // Solved retention bounds drive the W005/N001 split below.
+    let solved = Bounds::solve(&scratch);
     // The dead-leaf pass (W003) reads reachability off the compiled plan's
     // dispatch rows — the same structure the executor dispatches through.
     let deployment = catalog.map(|cat| (cat, CompiledPlan::lower(&scratch, cat, &HashMap::new())));
@@ -324,20 +339,49 @@ pub fn analyze_event(rule: &RuleEvent, catalog: Option<&Catalog>) -> Vec<Diagnos
             _ => {}
         }
 
-        // W005: a two-sided join whose partial matches only the capacity cap
-        // evicts. Not an error — detection still works — but an operational
-        // hazard under sustained load.
+        // W005 / N001: a two-sided join with no finite window. The interval
+        // solver can still prove one side finite through emission lags (a
+        // SEQ right buffer only holds instances until the left side could
+        // no longer pair with them), so the hazard is per buffer side:
+        // solver-unbounded sides stay W005 (only the capacity cap evicts),
+        // solver-bounded sides become an informational N001 with the Δ the
+        // engine prunes them at.
         if node.plan == Plan::TwoSided && node.horizon == Span::MAX {
-            diag(
-                DiagCode::UnboundedBuffer,
-                node.id,
-                format!(
-                    "{} join has no finite window: unmatched constituents are retained \
-                     until the capacity cap evicts them (`capacity_drops`)",
-                    node.kind.name()
-                ),
-                "add a WITHIN constraint so partial matches expire deterministically",
-            );
+            let retain = solved.node(node.id).retain;
+            let unbounded: Vec<&str> = [("left", retain[0]), ("right", retain[1])]
+                .into_iter()
+                .filter(|&(_, r)| r == Span::MAX)
+                .map(|(name, _)| name)
+                .collect();
+            if !unbounded.is_empty() {
+                diag(
+                    DiagCode::UnboundedBuffer,
+                    node.id,
+                    format!(
+                        "{} join has no finite window: unmatched constituents on the {} \
+                         side are retained until the capacity cap evicts them \
+                         (`capacity_drops`)",
+                        node.kind.name(),
+                        unbounded.join(" and ")
+                    ),
+                    "add a WITHIN constraint so partial matches expire deterministically",
+                );
+            }
+            for (name, r) in [("left", retain[0]), ("right", retain[1])] {
+                if r < Span::MAX {
+                    diag(
+                        DiagCode::BoundedRetention,
+                        node.id,
+                        format!(
+                            "{} join {name} buffer is bounded at runtime to Δ={r} by the \
+                             solved retention bound, despite the infinite window",
+                            node.kind.name()
+                        ),
+                        "informational: the interval solver derived this bound from \
+                         emission lags; the engine prunes the buffer eagerly",
+                    );
+                }
+            }
         }
 
         // W003: leaves that can never match the deployment. Reader-side
@@ -593,10 +637,32 @@ mod tests {
 
     #[test]
     fn bare_join_is_w005() {
+        // SEQ with no window: the left buffer is truly unbounded (W005) but
+        // the right buffer is provably pruned at Δ = lag(left) = 0 (N001).
         let e = obs_keyed("r1").seq(obs_keyed("r2"));
         let diags = analyze_event(&rule(e), None);
-        assert_eq!(codes(&diags), vec![DiagCode::UnboundedBuffer], "{diags:?}");
+        assert_eq!(
+            codes(&diags),
+            vec![DiagCode::UnboundedBuffer, DiagCode::BoundedRetention],
+            "{diags:?}"
+        );
         assert_eq!(diags[0].severity(), Severity::Warning);
+        assert!(diags[0].message.contains("left side"), "{diags:?}");
+        assert_eq!(diags[1].severity(), Severity::Note);
+        assert!(diags[1].message.contains("Δ=0"), "{diags:?}");
+    }
+
+    #[test]
+    fn windowless_and_is_w005_on_both_sides_with_no_note() {
+        // AND retains a full window on both sides; with w = ∞ the solver
+        // proves nothing and no N001 is emitted.
+        let e = obs_keyed("r1").and(obs_keyed("r2"));
+        let diags = analyze_event(&rule(e), None);
+        assert_eq!(codes(&diags), vec![DiagCode::UnboundedBuffer], "{diags:?}");
+        assert!(
+            diags[0].message.contains("left and right side"),
+            "{diags:?}"
+        );
     }
 
     #[test]

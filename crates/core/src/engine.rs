@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Span, Timestamp};
 
+use crate::bounds::Bounds;
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
 use crate::key::{extract_all, Key};
@@ -81,6 +82,11 @@ pub struct EngineConfig {
     /// Executor selection: compiled plan (default) or the graph-walker
     /// oracle.
     pub exec: ExecMode,
+    /// Evict buffered state against the solved per-node retention bounds
+    /// from the interval-constraint pass ([`crate::bounds`]) instead of the
+    /// conservative `max_lag`-padded horizons. Provably firing-preserving;
+    /// off is the ablation/differential-testing baseline.
+    pub enforce_bounds: bool,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +97,7 @@ impl Default for EngineConfig {
             merge_subgraphs: true,
             partition_buffers: true,
             exec: ExecMode::Plan,
+            enforce_bounds: true,
         }
     }
 }
@@ -115,6 +122,8 @@ pub struct Engine {
     /// The lowered execution plan; rebuilt together with `dispatch` when
     /// the rule set changes.
     plan: CompiledPlan,
+    /// Solved retention bounds, refreshed with the plan on recompile.
+    bounds: Bounds,
     dispatch_dirty: bool,
     config: EngineConfig,
 }
@@ -190,6 +199,7 @@ impl Engine {
             rule_firings: Vec::new(),
             dispatch: Dispatch::default(),
             plan: CompiledPlan::default(),
+            bounds: Bounds::default(),
             dispatch_dirty: true,
             config,
         }
@@ -345,10 +355,12 @@ impl Engine {
         s.pseudo_scheduled = self.rt.pseudo.scheduled;
         s.plan_nodes = self.plan.node_count() as u64;
         s.plan_arena_bytes = self.plan.arena_bytes() as u64;
+        s.buffered_entries = self.buffered_instances() as u64;
         for state in &self.rt.states {
             match state {
                 NodeState::Join { left, right } => {
                     s.capacity_drops += left.dropped + right.dropped;
+                    s.join_keys += (left.key_count() + right.key_count()) as u64;
                 }
                 NodeState::Negation(neg) => {
                     s.retained_keys += neg.key_count() as u64;
@@ -375,6 +387,15 @@ impl Engine {
             self.recompile();
         }
         &self.plan
+    }
+
+    /// The solved retention bounds ([`crate::bounds`]), recompiling first
+    /// if the rule set changed since the last compile.
+    pub fn bounds(&mut self) -> &Bounds {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
+        &self.bounds
     }
 
     /// Total instances currently held in join buffers, negation histories,
@@ -460,7 +481,9 @@ impl Engine {
     /// compiled plan. Runs once per rule-set change, never per event.
     fn recompile(&mut self) {
         self.rebuild_dispatch();
-        self.plan = CompiledPlan::lower(&self.graph, &self.catalog, &self.rules_at);
+        self.bounds = Bounds::solve(&self.graph);
+        self.plan =
+            CompiledPlan::lower_with(&self.graph, &self.catalog, &self.rules_at, &self.bounds);
     }
 
     fn rebuild_dispatch(&mut self) {
@@ -588,6 +611,7 @@ impl Engine {
             graph,
             rt,
             plan,
+            bounds,
             rule_enabled,
             rule_firings,
             config,
@@ -608,9 +632,9 @@ impl Engine {
             for edge in plan.edges_at(node_id) {
                 let pnode = graph.node(edge.parent());
                 match edge.op() {
-                    EdgeOp::SelfJoin => rt.self_join_arrival(graph, config, pnode, &inst),
-                    EdgeOp::Left => rt.arrival(graph, config, pnode, 0, &inst),
-                    EdgeOp::Right => rt.arrival(graph, config, pnode, 1, &inst),
+                    EdgeOp::SelfJoin => rt.self_join_arrival(graph, config, bounds, pnode, &inst),
+                    EdgeOp::Left => rt.arrival(graph, config, bounds, pnode, 0, &inst),
+                    EdgeOp::Right => rt.arrival(graph, config, bounds, pnode, 1, &inst),
                     EdgeOp::RecordQuery { query } => {
                         rt.fused_negation(graph, pnode, graph.node(NodeId(query)), &inst, true);
                     }
@@ -631,6 +655,7 @@ impl Engine {
             graph,
             rt,
             rules_at,
+            bounds,
             rule_enabled,
             rule_firings,
             config,
@@ -657,47 +682,56 @@ impl Engine {
                     // Self-join (e.g. Rule 1's duplicate filter): match as the
                     // terminator against strictly older initiators, then
                     // buffer as an initiator for future arrivals.
-                    rt.self_join_arrival(graph, config, pnode, &inst);
+                    rt.self_join_arrival(graph, config, bounds, pnode, &inst);
                 } else if pnode.symmetric {
                     // Structurally identical children that did not merge
                     // (ablation A1): both deliver equivalent instances, so
                     // run the self-join protocol once, on the terminator
                     // side, and drop the initiator-side duplicate delivery.
                     if is_right {
-                        rt.self_join_arrival(graph, config, pnode, &inst);
+                        rt.self_join_arrival(graph, config, bounds, pnode, &inst);
                     }
                 } else {
                     if is_left {
-                        rt.arrival(graph, config, pnode, 0, &inst);
+                        rt.arrival(graph, config, bounds, pnode, 0, &inst);
                     }
                     if is_right {
-                        rt.arrival(graph, config, pnode, 1, &inst);
+                        rt.arrival(graph, config, bounds, pnode, 1, &inst);
                     }
                 }
             }
         }
     }
 
-    /// Global buffer sweep: prune joins, histories, and element stores by
-    /// their horizons.
+    /// Global buffer sweep: prune joins, histories, and element stores.
+    /// With bounds enforcement on, each store is pruned against its solved
+    /// per-node (and, for joins, per-side) retention from [`crate::bounds`]
+    /// — no graph-wide lag pad; otherwise the conservative horizon +
+    /// `max_lag` pruning applies.
     fn sweep(&mut self) {
         self.rt.stats.sweeps += 1;
+        let clock = self.rt.clock;
+        let enforce = self.config.enforce_bounds && self.bounds.len() == self.graph.len();
         let lag = self.graph.max_lag();
         for idx in 0..self.rt.states.len() {
-            let node = self.graph.node(NodeId(idx as u32));
-            let horizon = node.horizon;
-            let retention = node.retention;
+            let id = NodeId(idx as u32);
+            let node = self.graph.node(id);
+            let (h0, h1, retention, pad) = if enforce {
+                let b = self.bounds.node(id);
+                (b.retain[0], b.retain[1], b.retention, Span::ZERO)
+            } else {
+                (node.horizon, node.horizon, node.retention, lag)
+            };
             match &mut self.rt.states[idx] {
                 NodeState::Join { left, right } => {
-                    let dead = dead_before(self.rt.clock, horizon, lag);
-                    left.prune(dead);
-                    right.prune(dead);
+                    left.prune(dead_before(clock, h0, pad));
+                    right.prune(dead_before(clock, h1, pad));
                 }
                 NodeState::Negation(neg) => {
-                    neg.prune(dead_before(self.rt.clock, retention, lag));
+                    neg.prune(dead_before(clock, retention, pad));
                 }
                 NodeState::Aperiodic(ap) => {
-                    ap.prune(dead_before(self.rt.clock, retention, lag));
+                    ap.prune(dead_before(clock, retention, pad));
                 }
                 _ => {}
             }
@@ -714,6 +748,7 @@ impl Runtime {
         &mut self,
         graph: &EventGraph,
         config: &EngineConfig,
+        bounds: &Bounds,
         node: &Node,
         inst: &Arc<Instance>,
     ) {
@@ -727,7 +762,11 @@ impl Runtime {
         let Some(key) = key else { return };
         let kind = &node.kind;
         let within = node.within;
-        let dead = dead_before(self.clock, node.horizon, graph.max_lag());
+        let dead = if config.enforce_bounds {
+            dead_before(self.clock, bounds.node(node.id).retain[0], Span::ZERO)
+        } else {
+            dead_before(self.clock, node.horizon, graph.max_lag())
+        };
         let cap = if node.horizon == Span::MAX {
             config.unbounded_cap
         } else {
@@ -861,6 +900,7 @@ impl Runtime {
         &mut self,
         graph: &EventGraph,
         config: &EngineConfig,
+        bounds: &Bounds,
         node: &Node,
         side: u8,
         inst: &Arc<Instance>,
@@ -887,7 +927,15 @@ impl Runtime {
                 let kind = &node.kind;
                 let within = node.within;
                 let horizon = node.horizon;
-                let dead = dead_before(self.clock, horizon, graph.max_lag());
+                // The scan prunes the *other* side's buffer, so its solved
+                // retention governs (a side's entries outlive only what the
+                // opposite side can still pair with).
+                let dead = if config.enforce_bounds {
+                    let retain = bounds.node(parent).retain[1 - side as usize];
+                    dead_before(self.clock, retain, Span::ZERO)
+                } else {
+                    dead_before(self.clock, horizon, graph.max_lag())
+                };
                 let cap = if horizon == Span::MAX {
                     config.unbounded_cap
                 } else {

@@ -4,23 +4,29 @@
 //! The paper's Figs. 5–7 draw event graphs with constructor labels and
 //! temporal annotations; [`EventGraph::to_dot`] reproduces that drawing for
 //! any compiled rule set, and [`EventGraph::describe`] prints the analysis
-//! table (mode, plan, window, horizon) that §4.4's algorithms compute.
+//! table (mode, plan, window, horizon, solved retention) that §4.4's
+//! algorithms and the [`crate::bounds`] interval solver compute.
 
 use std::fmt::Write as _;
 
 use rfid_events::Span;
 
+use crate::bounds::Bounds;
 use crate::graph::{DetectionMode, EventGraph, NodeId, NodeKind, Plan};
 use crate::plan::{CompiledPlan, EdgeOp, OpTag};
 
 impl EventGraph {
-    /// A text table of every node's static analysis, in id order.
+    /// A text table of every node's static analysis, in id order. The
+    /// `retain` column is the interval solver's per-side buffer bound
+    /// ([`crate::bounds::NodeBounds::retain`]) — what the engine actually
+    /// prunes against when bound enforcement is on.
     pub fn describe(&self) -> String {
+        let solved = Bounds::solve(self);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<10} detail",
-            "id", "kind", "mode", "plan", "within", "horizon", "children"
+            "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:<10} detail",
+            "id", "kind", "mode", "plan", "within", "horizon", "retain", "children"
         );
         for node in self.nodes() {
             let mode = match node.mode {
@@ -35,15 +41,17 @@ impl EventGraph {
                 NodeKind::TSeqPlus { min_gap, max_gap } => format!("gap ∈ [{min_gap}, {max_gap}]"),
                 _ => String::new(),
             };
+            let retain = solved.node(node.id).retain;
             let _ = writeln!(
                 out,
-                "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<10} {}",
+                "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:<10} {}",
                 node.id.0,
                 node.kind.name(),
                 mode,
                 plan_name(node.plan),
                 fmt_span(node.within),
                 fmt_span(node.horizon),
+                format!("{}/{}", fmt_span(retain[0]), fmt_span(retain[1])),
                 children.join(","),
                 detail,
             );
@@ -220,6 +228,14 @@ mod tests {
         assert!(text.contains("pull"));
         assert!(text.contains("and-negation"));
         assert!(text.contains("gap ∈ [0.100sec, 1sec]"));
+        assert!(
+            text.lines().next().unwrap().contains("retain"),
+            "solved retention column present: {text}"
+        );
+        assert!(
+            text.contains('/'),
+            "per-side retain bounds rendered: {text}"
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod bounds;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -66,6 +67,7 @@ pub mod state;
 pub mod stats;
 
 pub use analyze::{DiagCode, Diagnostic, RuleEvent, Severity};
+pub use bounds::{Bounds, BoundsSummary, NodeBounds};
 pub use engine::{Engine, EngineConfig, ExecMode, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};

@@ -27,8 +27,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use rfid_epc::Epc;
-use rfid_events::{Catalog, ObjectSel, Observation, ReaderSel};
+use rfid_events::{Catalog, ObjectSel, Observation, ReaderSel, Span};
 
+use crate::bounds::Bounds;
 use crate::engine::RuleId;
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
 
@@ -310,6 +311,10 @@ pub struct CompiledPlan {
     /// added to `occurrences` on every pop so the counter stays comparable
     /// across executors.
     extra_pops: Vec<u32>,
+    /// Per-node solved join-buffer retention from the interval-constraint
+    /// pass ([`crate::bounds`]), `[left, right]`; [`Span::MAX`] =
+    /// unbounded. Introspection mirror of the bounds the engine enforces.
+    retain: Vec<[Span; 2]>,
 }
 
 impl CompiledPlan {
@@ -322,6 +327,18 @@ impl CompiledPlan {
         graph: &EventGraph,
         catalog: &Catalog,
         rules_at: &HashMap<NodeId, Vec<RuleId>>,
+    ) -> Self {
+        Self::lower_with(graph, catalog, rules_at, &Bounds::solve(graph))
+    }
+
+    /// [`CompiledPlan::lower`] with an already-solved bounds pass, so the
+    /// engine's recompile solves once and shares the result between the
+    /// plan arenas and its own eviction horizons.
+    pub fn lower_with(
+        graph: &EventGraph,
+        catalog: &Catalog,
+        rules_at: &HashMap<NodeId, Vec<RuleId>>,
+        bounds: &Bounds,
     ) -> Self {
         let n = graph.len();
         let mut plan = CompiledPlan {
@@ -455,6 +472,11 @@ impl CompiledPlan {
             plan.edge_ranges.push((edge_start, plan.edges.len() as u32));
         }
         plan.lower_dispatch(graph, catalog, &elided);
+        plan.retain = graph
+            .nodes()
+            .iter()
+            .map(|node| bounds.get(node.id).map_or([Span::MAX; 2], |b| b.retain))
+            .collect();
         plan
     }
 
@@ -597,6 +619,17 @@ impl CompiledPlan {
             + self.rules.len() * size_of::<RuleId>()
             + (self.leaf_checks.len() + self.any_leaves.len()) * size_of::<LeafCheck>()
             + self.extra_pops.len() * size_of::<u32>()
+            + self.retain.len() * size_of::<[Span; 2]>()
+    }
+
+    /// Solved per-side join-buffer retention of a node ([`Span::MAX`] =
+    /// unbounded); meaningful for two-sided joins only.
+    #[inline]
+    pub fn retain(&self, node: NodeId) -> [Span; 2] {
+        self.retain
+            .get(node.idx())
+            .copied()
+            .unwrap_or([Span::MAX; 2])
     }
 
     /// Walker work-queue pops this node absorbs beyond its own pop — zero

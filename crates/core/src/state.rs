@@ -171,17 +171,36 @@ impl<'a, T> Iterator for MicroIter<'a, T> {
 /// group* while making lookup O(1) in the number of keys.
 #[derive(Debug, Default)]
 pub struct KeyedBuffer {
-    queues: KeyMap<MicroDeque<Entry>>,
+    /// Key → slot id. The only place a [`Key`] is stored (once per live
+    /// key); everything hot references slots by compact id.
+    index: KeyMap<u32>,
+    /// Slot arena: per-key queues, slots recycled through `free`.
+    slots: Vec<Slot>,
+    /// Freed slot ids available for reuse.
+    free: Vec<u32>,
     len: usize,
-    /// Expiry log: one `(t_end, key)` per admitted entry, in admission
+    /// Expiry log: one `(t_end, slot)` per admitted entry, in admission
     /// order. [`KeyedBuffer::prune`] walks only the expired prefix of this
     /// log, so a sweep costs O(entries that died) instead of a full scan
     /// over every live key. Entries whose instance was consumed earlier
     /// (chronicle take) go stale in the log and are skipped when their
-    /// timestamp expires.
-    expiry: VecDeque<(Timestamp, Key)>,
+    /// timestamp expires; a record naming a freed-and-reused slot only ever
+    /// removes entries that are dead by time, so recycling is harmless.
+    /// Slot ids keep the log at 16 bytes per record where a cloned [`Key`]
+    /// was 40+ and a hash — the per-admission clone this replaces.
+    expiry: VecDeque<(Timestamp, u32)>,
     /// Instances evicted by the unbounded-buffer cap (reported in stats).
     pub dropped: u64,
+}
+
+/// One key's queue in the slot arena. `key` doubles as the occupancy flag:
+/// `None` marks a free slot (guards against double-free when stale expiry
+/// records name it) and `Some` holds the key needed to unlink the index
+/// when the queue drains.
+#[derive(Debug, Default)]
+struct Slot {
+    key: Option<Key>,
+    q: MicroDeque<Entry>,
 }
 
 impl KeyedBuffer {
@@ -195,11 +214,37 @@ impl KeyedBuffer {
         self.len == 0
     }
 
+    /// Distinct correlation keys currently indexed (reported in stats).
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Slot id for `key`, allocating (and storing the key — the one clone
+    /// per live key) on first sight.
+    fn slot_of(&mut self, key: Key) -> u32 {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let id = match self.free.pop() {
+                    Some(id) => id,
+                    None => {
+                        self.slots.push(Slot::default());
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.slots[id as usize].key = Some(v.key().clone());
+                v.insert(id);
+                id
+            }
+        }
+    }
+
     /// Appends an entry under a key; evicts the oldest entry of that key
     /// when `cap` is exceeded (only finite for unbounded-horizon nodes).
     pub fn push(&mut self, key: Key, entry: Entry, cap: usize) {
-        self.expiry.push_back((entry.inst.t_end(), key.clone()));
-        let q = self.queues.entry(key).or_default();
+        let slot = self.slot_of(key);
+        self.expiry.push_back((entry.inst.t_end(), slot));
+        let q = &mut self.slots[slot as usize].q;
         q.push_back(entry);
         self.len += 1;
         if q.len() > cap {
@@ -223,8 +268,9 @@ impl KeyedBuffer {
         entry: Entry,
         cap: usize,
     ) -> Option<Entry> {
-        self.expiry.push_back((entry.inst.t_end(), key.clone()));
-        let q = self.queues.entry(key).or_default();
+        let slot = self.slot_of(key);
+        self.expiry.push_back((entry.inst.t_end(), slot));
+        let q = &mut self.slots[slot as usize].q;
         while let Some(front) = q.front() {
             if front.inst.t_end() < dead_before {
                 q.pop_front();
@@ -256,7 +302,8 @@ impl KeyedBuffer {
         dead_before: Timestamp,
         mut pred: impl FnMut(&Entry) -> bool,
     ) -> Option<Entry> {
-        let q = self.queues.get_mut(key)?;
+        let slot = *self.index.get(key)?;
+        let q = &mut self.slots[slot as usize].q;
         while let Some(front) = q.front() {
             if front.inst.t_end() < dead_before {
                 q.pop_front();
@@ -275,7 +322,8 @@ impl KeyedBuffer {
     /// same-pattern children, one physical instance may sit in both side
     /// buffers, and chronicle consumption must retire every copy.
     pub fn remove_ptr_eq(&mut self, key: &Key, inst: &Arc<Instance>) {
-        if let Some(q) = self.queues.get_mut(key) {
+        if let Some(&slot) = self.index.get(key) {
+            let q = &mut self.slots[slot as usize].q;
             let before = q.len();
             q.retain(|e| !Arc::ptr_eq(&e.inst, inst));
             self.len -= before - q.len();
@@ -292,20 +340,21 @@ impl KeyedBuffer {
             if t >= dead_before {
                 break;
             }
-            let (_, key) = self.expiry.pop_front().expect("checked front");
-            let Some(q) = self.queues.get_mut(&key) else {
-                continue;
-            };
-            while let Some(front) = q.front() {
+            let (_, slot) = self.expiry.pop_front().expect("checked front");
+            let s = &mut self.slots[slot as usize];
+            while let Some(front) = s.q.front() {
                 if front.inst.t_end() < dead_before {
-                    q.pop_front();
+                    s.q.pop_front();
                     self.len -= 1;
                 } else {
                     break;
                 }
             }
-            if q.is_empty() {
-                self.queues.remove(&key);
+            if s.q.is_empty() {
+                if let Some(key) = s.key.take() {
+                    self.index.remove(&key);
+                    self.free.push(slot);
+                }
             }
         }
         // Consumed entries leave stale log records behind; under an
@@ -317,17 +366,30 @@ impl KeyedBuffer {
         }
     }
 
-    /// Rebuilds the expiry log from the live queues (and drops queues a
+    /// Rebuilds the expiry log from the live slots (and frees slots a
     /// chronicle take emptied).
     fn rebuild_expiry(&mut self) {
-        self.queues.retain(|_, q| !q.is_empty());
-        let mut live: Vec<(Timestamp, Key)> = self
-            .queues
-            .iter()
-            .flat_map(|(k, q)| q.iter().map(move |e| (e.inst.t_end(), k.clone())))
-            .collect();
+        let mut live: Vec<(Timestamp, u32)> = Vec::with_capacity(self.len);
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.key.is_none() {
+                continue;
+            }
+            if s.q.is_empty() {
+                let key = s.key.take().expect("occupied slot has a key");
+                self.index.remove(&key);
+                self.free.push(i as u32);
+            } else {
+                live.extend(s.q.iter().map(|e| (e.inst.t_end(), i as u32)));
+            }
+        }
         live.sort_by_key(|&(t, _)| t);
         self.expiry = live.into();
+    }
+
+    /// Expiry-log length (the compaction-threshold regression test).
+    #[cfg(test)]
+    fn expiry_log_len(&self) -> usize {
+        self.expiry.len()
     }
 }
 
@@ -488,15 +550,52 @@ impl KeyHist {
     }
 }
 
+/// One spec's keyed histories, slot-arena form: the [`Key`] is stored once
+/// per live key (in `index` plus the slot's occupancy field) and the expiry
+/// log names slots by compact id — no per-record key clones.
+#[derive(Debug, Default)]
+struct HistTable {
+    index: KeyMap<u32>,
+    slots: Vec<HistSlot>,
+    free: Vec<u32>,
+    /// Expiry log mirroring [`KeyedBuffer`]'s: one `(t, slot)` per recorded
+    /// occurrence, so pruning visits only keys that actually hold expired
+    /// records instead of scanning every live key each sweep.
+    log: VecDeque<(Timestamp, u32)>,
+}
+
+/// A key's history slot; `key` is `None` while the slot is free.
+#[derive(Debug, Default)]
+struct HistSlot {
+    key: Option<Key>,
+    hist: KeyHist,
+}
+
+impl HistTable {
+    fn slot_of(&mut self, key: Key) -> u32 {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let id = match self.free.pop() {
+                    Some(id) => id,
+                    None => {
+                        self.slots.push(HistSlot::default());
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.slots[id as usize].key = Some(v.key().clone());
+                v.insert(id);
+                id
+            }
+        }
+    }
+}
+
 /// State of a `NOT` node: one keyed history per registered
 /// [`crate::graph::HistSpec`].
 #[derive(Debug, Default)]
 pub struct NegationState {
-    histories: Vec<KeyMap<KeyHist>>,
-    /// Per-spec expiry log mirroring [`KeyedBuffer`]'s: one `(t, key)` per
-    /// recorded occurrence, so pruning visits only keys that actually hold
-    /// expired records instead of scanning every live key each sweep.
-    expiry: Vec<VecDeque<(Timestamp, Key)>>,
+    tables: Vec<HistTable>,
     /// Earliest occurrence among fully dropped keys (evidence that the
     /// retention invariant holds; never consulted to answer queries).
     dropped_earliest: Option<Timestamp>,
@@ -507,22 +606,23 @@ pub struct NegationState {
 impl NegationState {
     /// Makes room for `n` registered history specs.
     pub fn ensure_specs(&mut self, n: usize) {
-        while self.histories.len() < n {
-            self.histories.push(KeyMap::default());
-            self.expiry.push(VecDeque::new());
+        while self.tables.len() < n {
+            self.tables.push(HistTable::default());
         }
     }
 
     /// Number of history specs currently sized for.
     pub fn spec_count(&self) -> usize {
-        self.histories.len()
+        self.tables.len()
     }
 
     /// Records an inner occurrence ending at `t` under `key` in history
     /// `spec`.
     pub fn record(&mut self, spec: usize, key: Key, t: Timestamp) {
-        self.expiry[spec].push_back((t, key.clone()));
-        self.histories[spec].entry(key).or_default().insert(t);
+        let tb = &mut self.tables[spec];
+        let slot = tb.slot_of(key);
+        tb.log.push_back((t, slot));
+        tb.slots[slot as usize].hist.insert(t);
     }
 
     /// Answers a window query and records an occurrence ending at `t`
@@ -543,8 +643,10 @@ impl NegationState {
         exclusive_end: bool,
         record_first: bool,
     ) -> bool {
-        self.expiry[spec].push_back((t, key.clone()));
-        let hist = self.histories[spec].entry(key).or_default();
+        let tb = &mut self.tables[spec];
+        let slot = tb.slot_of(key);
+        tb.log.push_back((t, slot));
+        let hist = &mut tb.slots[slot as usize].hist;
         if record_first {
             hist.insert(t);
             hist.any_in(from, to, exclusive_end)
@@ -565,7 +667,11 @@ impl NegationState {
         to: Timestamp,
         exclusive_end: bool,
     ) -> bool {
-        let Some(hist) = self.histories.get(spec).and_then(|h| h.get(key)) else {
+        let Some(hist) = self
+            .tables
+            .get(spec)
+            .and_then(|tb| tb.index.get(key).map(|&s| &tb.slots[s as usize].hist))
+        else {
             // A dropped key cannot be the subject of an epoch-anchored query:
             // those only arise under unbounded windows (retention = MAX, so
             // nothing is ever dropped) or before the clock passes the
@@ -601,21 +707,25 @@ impl NegationState {
         }
         let mut dropped_earliest = self.dropped_earliest;
         let mut dropped_keys = self.dropped_keys;
-        for (map, log) in self.histories.iter_mut().zip(&mut self.expiry) {
+        for tb in &mut self.tables {
             // The expiry log names exactly the keys holding records that
             // just died, so the sweep is O(expired records) — not a retain
             // over every live key. Out-of-order (lagged) records behind a
             // live log head are collected on a later sweep, which is sound:
             // `occurred` range-checks its answers, so a stale record is
-            // never *wrongly counted*, only kept a little longer.
-            while let Some(&(t, _)) = log.front() {
+            // never *wrongly counted*, only kept a little longer. A log
+            // record naming a freed (or freed-and-reused) slot only ever
+            // removes records that are dead by time anyway.
+            while let Some(&(t, _)) = tb.log.front() {
                 if t >= dead_before {
                     break;
                 }
-                let (_, key) = log.pop_front().expect("checked front");
-                let Some(hist) = map.get_mut(&key) else {
+                let (_, slot) = tb.log.pop_front().expect("checked front");
+                let s = &mut tb.slots[slot as usize];
+                if s.key.is_none() {
                     continue;
-                };
+                }
+                let hist = &mut s.hist;
                 while let Some(front) = hist.times.front() {
                     if front < dead_before {
                         hist.times.pop_front();
@@ -630,7 +740,10 @@ impl NegationState {
                     Some(e) if e < dead_before => {
                         dropped_earliest = Some(dropped_earliest.map_or(e, |d| d.min(e)));
                         dropped_keys += 1;
-                        map.remove(&key);
+                        let key = s.key.take().expect("checked occupancy");
+                        s.hist = KeyHist::default();
+                        tb.index.remove(&key);
+                        tb.free.push(slot);
                     }
                     _ => {}
                 }
@@ -642,17 +755,18 @@ impl NegationState {
 
     /// Total retained occurrence records (diagnostics).
     pub fn recorded(&self) -> usize {
-        self.histories
+        self.tables
             .iter()
-            .flat_map(|m| m.values())
-            .map(|h| h.times.len())
+            .flat_map(|tb| tb.slots.iter())
+            .filter(|s| s.key.is_some())
+            .map(|s| s.hist.times.len())
             .sum()
     }
 
     /// Distinct correlation keys currently held across all history specs
     /// (the quantity [`NegationState::prune`] bounds; reported in stats).
     pub fn key_count(&self) -> usize {
-        self.histories.iter().map(|m| m.len()).sum()
+        self.tables.iter().map(|tb| tb.index.len()).sum()
     }
 }
 
@@ -869,6 +983,88 @@ mod tests {
         buf.push(other_key, entry(900, 2), usize::MAX);
         buf.prune(Timestamp::from_millis(500));
         assert_eq!(buf.len(), 1);
+    }
+
+    /// Pins the `rebuild_expiry` compaction threshold: stale log records
+    /// (from consumed entries) are tolerated up to `2·len + 32`, after
+    /// which a prune — even one that expires nothing — rebuilds the log.
+    #[test]
+    fn expiry_log_compaction_threshold_is_two_len_plus_32() {
+        let mut buf = KeyedBuffer::default();
+        // 33 entries under distinct keys, all consumed: the whole log goes
+        // stale while `len` drops to zero.
+        for i in 0..33u64 {
+            let key = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(i as u32))]);
+            buf.push(key.clone(), entry(100 + i, i), usize::MAX);
+            let taken = buf.take_oldest_match(&key, Timestamp::ZERO, |_| true);
+            assert!(taken.is_some());
+        }
+        assert_eq!(buf.len(), 0);
+        assert_eq!(
+            buf.expiry_log_len(),
+            33,
+            "consumed entries go stale in place"
+        );
+
+        // At 32 stale records the threshold (0·2 + 32) is not exceeded.
+        let mut at_threshold = KeyedBuffer::default();
+        for i in 0..32u64 {
+            let key = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(i as u32))]);
+            at_threshold.push(key.clone(), entry(100 + i, i), usize::MAX);
+            at_threshold.take_oldest_match(&key, Timestamp::ZERO, |_| true);
+        }
+        at_threshold.prune(Timestamp::ZERO);
+        assert_eq!(at_threshold.expiry_log_len(), 32, "32 > 0*2+32 is false");
+
+        // One more tips it over: the same no-op prune compacts to empty.
+        buf.prune(Timestamp::ZERO);
+        assert_eq!(buf.expiry_log_len(), 0, "33 > 0*2+32 triggers the rebuild");
+        assert_eq!(
+            buf.key_count(),
+            0,
+            "drained keys are unlinked by the rebuild"
+        );
+
+        // Live entries are preserved (and re-sorted) by compaction.
+        let key = Key::EMPTY;
+        for i in 0..40u64 {
+            buf.push(key.clone(), entry(1000 + i, i), usize::MAX);
+        }
+        for _ in 0..30 {
+            buf.take_oldest_match(&key, Timestamp::ZERO, |_| true);
+        }
+        // len = 10 live, 40 log records: 40 > 10*2 + 32 is false — stale
+        // records ride along until the imbalance is 2x + 32.
+        buf.prune(Timestamp::ZERO);
+        assert_eq!(buf.expiry_log_len(), 40);
+        for _ in 0..7 {
+            buf.take_oldest_match(&key, Timestamp::ZERO, |_| true);
+        }
+        // len = 3 live, 40 log records: 40 > 3*2 + 32 compacts to the live 3.
+        buf.prune(Timestamp::ZERO);
+        assert_eq!(buf.expiry_log_len(), 3);
+        assert_eq!(buf.len(), 3);
+    }
+
+    /// Slot recycling: a key whose queue drains by time is unlinked and its
+    /// slot reused by the next new key, with stale log records harmless.
+    #[test]
+    fn keyed_buffer_recycles_slots_after_prune() {
+        let mut buf = KeyedBuffer::default();
+        let k1 = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(1))]);
+        let k2 = Key::from_parts(&[crate::key::KeyPart::Reader(ReaderId(2))]);
+        buf.push(k1.clone(), entry(100, 1), usize::MAX);
+        buf.prune(Timestamp::from_millis(500));
+        assert_eq!((buf.len(), buf.key_count()), (0, 0));
+        // k2 reuses k1's slot; matching under k1 must not see k2's entry.
+        buf.push(k2.clone(), entry(900, 2), usize::MAX);
+        assert_eq!(buf.key_count(), 1);
+        assert!(buf
+            .take_oldest_match(&k1, Timestamp::ZERO, |_| true)
+            .is_none());
+        assert!(buf
+            .take_oldest_match(&k2, Timestamp::ZERO, |_| true)
+            .is_some());
     }
 
     #[test]

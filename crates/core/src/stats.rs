@@ -97,6 +97,14 @@ engine_stats! {
     /// (broadcast workers retain overlapping key sets, so a sum would
     /// double-count the same keys).
     retained_keys: Gauge,
+    /// Total instances currently held in join buffers, negation histories,
+    /// aperiodic stores, open runs, and waits — the working-set gauge the
+    /// solved retention bounds ([`crate::bounds`]) keep flat. Snapshotted
+    /// by `Engine::stats`.
+    buffered_entries: Gauge,
+    /// Correlation keys currently indexed by join-side buffers (both sides
+    /// of every two-sided node). Like `retained_keys`, but for joins.
+    join_keys: Gauge,
     /// Rule-partitioned residual workers in the sharded pipeline. A gauge
     /// set by `ShardedEngine::stats`; zero single-threaded.
     residual_workers: Gauge,
@@ -121,7 +129,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
-             batches={} qdepth={} negkeys={} rworkers={} plan={}n/{}B rundepth={} spills={}",
+             batches={} qdepth={} negkeys={} buffered={} joinkeys={} rworkers={} plan={}n/{}B \
+             rundepth={} spills={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -133,6 +142,8 @@ impl std::fmt::Display for EngineStats {
             self.batches,
             self.max_queue_depth,
             self.retained_keys,
+            self.buffered_entries,
+            self.join_keys,
             self.residual_workers,
             self.plan_nodes,
             self.plan_arena_bytes,
@@ -160,6 +171,8 @@ mod tests {
             batches: seed + 8,
             max_queue_depth: seed / 10,
             retained_keys: seed + 9,
+            buffered_entries: seed / 6,
+            join_keys: seed / 7,
             residual_workers: seed / 5,
             plan_nodes: seed / 2,
             plan_arena_bytes: seed / 3,
@@ -230,6 +243,8 @@ mod tests {
             [
                 "max_queue_depth",
                 "retained_keys",
+                "buffered_entries",
+                "join_keys",
                 "residual_workers",
                 "plan_nodes",
                 "plan_arena_bytes",
@@ -238,6 +253,6 @@ mod tests {
             "re-classifying a field is a semantic change: update this test \
              and the EXPERIMENTS.md tables together"
         );
-        assert_eq!(EngineStats::FIELDS.len(), 16);
+        assert_eq!(EngineStats::FIELDS.len(), 18);
     }
 }

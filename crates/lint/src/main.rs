@@ -18,7 +18,9 @@
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings at the failing level, 2 usage/IO/parse
-//! errors.
+//! errors. Note-level findings (`N001`) are informational — they report
+//! retention bounds the interval solver *proved* — and never affect the
+//! exit status, even under `--deny-warnings`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -114,10 +116,11 @@ fn render_human(label: &str, report: &LintReport) -> String {
 
     let _ = writeln!(
         out,
-        "{label}: {} rules, {} error(s), {} warning(s)",
+        "{label}: {} rules, {} error(s), {} warning(s), {} note(s)",
         report.rules,
         report.errors(),
-        report.warnings()
+        report.warnings(),
+        report.notes()
     );
     for d in &listed {
         let _ = writeln!(out, "  {d}");
@@ -177,11 +180,13 @@ fn render_json(targets: &[(String, LintReport)]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"rules\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            "{{\"name\":\"{}\",\"rules\":{},\"errors\":{},\"warnings\":{},\"notes\":{},\
+             \"diagnostics\":[",
             json_escape(label),
             report.rules,
             report.errors(),
-            report.warnings()
+            report.warnings(),
+            report.notes()
         );
         for (j, d) in report.diagnostics.iter().enumerate() {
             if j > 0 {

@@ -57,9 +57,22 @@ impl LintReport {
             .count()
     }
 
-    /// Number of warning-level findings.
+    /// Number of warning-level findings. Notes are counted separately
+    /// ([`LintReport::notes`]): they report bounds the analyzer *proved*,
+    /// not hazards, so they never trip a deny-warnings policy.
     pub fn warnings(&self) -> usize {
-        self.diagnostics.len() - self.errors()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == rceda::analyze::Severity::Warning)
+            .count()
+    }
+
+    /// Number of note-level findings (informational, e.g. `N001`).
+    pub fn notes(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == rceda::analyze::Severity::Note)
+            .count()
     }
 
     /// Whether the script is free of error-level findings.

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Throughput regression gates: re-runs the single-threaded hot-path benchmark
-# and the shard sweep, and fails if events/s fell more than 15% below the
-# committed references in results/BENCH_hotpath.json / results/BENCH_shard.json.
+# Throughput and memory regression gates: re-runs the single-threaded
+# hot-path benchmark, the shard sweep, and the memory profile, and fails if
+# events/s fell more than 15% below — or the enforced-mode peak working set
+# rose more than 15% above — the committed references in
+# results/BENCH_hotpath.json / results/BENCH_shard.json / results/BENCH_mem.json.
 # Pass a different tolerance (percent) as $1.
 #
 # The shard gate compares best-vs-best across the sweep: the fastest
@@ -106,5 +108,48 @@ if ! awk -v ref="$shard_ref_eps" -v new="$shard_new_eps" -v tol="$tolerance" 'BE
     printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
 }'; then
     cp "$shard_saved" "$shard_reference"
+    exit 1
+fi
+
+# --- memory gate -------------------------------------------------------------
+
+mem_reference=results/BENCH_mem.json
+
+if [[ ! -f "$mem_reference" ]]; then
+    echo "bench_gate.sh: no committed $mem_reference; run mem_profile first" >&2
+    exit 1
+fi
+
+# First match only: the JSON leads with the enforced-mode peak of the
+# buffered_entries gauge (best = smallest, unlike the throughput gates).
+parse_mem_peak() {
+    awk -F': ' '/"peak_buffered_enforced"/ { gsub(/,/, "", $2); print $2; exit }' "$1"
+}
+
+mem_ref_peak=$(parse_mem_peak "$mem_reference")
+if [[ -z "$mem_ref_peak" ]]; then
+    echo "bench_gate.sh: could not parse peak_buffered_enforced from $mem_reference" >&2
+    exit 1
+fi
+
+mem_saved=$(mktemp)
+cp "$mem_reference" "$mem_saved"
+trap 'rm -f "$saved" "$shard_saved" "$mem_saved"' EXIT
+
+echo "== bench gate: memory (reference peak ${mem_ref_peak} buffered entries, +${tolerance}% ceiling) =="
+cargo run -q --release -p rfid-bench --bin mem_profile >/dev/null
+
+mem_new_peak=$(parse_mem_peak "$mem_reference")
+
+if ! awk -v ref="$mem_ref_peak" -v new="$mem_new_peak" -v tol="$tolerance" 'BEGIN {
+    ceiling = ref * (1 + tol / 100)
+    printf "  reference: %.0f entries | measured: %.0f entries | ceiling: %.0f entries\n", ref, new, ceiling
+    if (new > ceiling) {
+        printf "bench_gate.sh: FAIL — enforced-mode peak working set grew more than %s%%\n", tol
+        exit 1
+    }
+    printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
+}'; then
+    cp "$mem_saved" "$mem_reference"
     exit 1
 fi

@@ -20,6 +20,11 @@ echo "== plan/graph differential suite =="
 # across ExecMode::{Plan,Graph} under both merge settings.
 cargo test -q -p rceda --test plan_equivalence
 
+echo "== retention-bound differential suite =="
+# Enforcing the solved retention bounds (eager eviction) must preserve the
+# firing multiset exactly vs the conservative max_lag-padded eviction.
+cargo test -q -p rceda --test bounds_equivalence
+
 echo "== rceda-lint (canonical rule programs) =="
 # The Rule 1-5 program and the 512-rule containment workload must lint
 # free of error-level findings; rceda-lint exits 1 on any E-code.
