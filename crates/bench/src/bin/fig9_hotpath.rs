@@ -17,9 +17,8 @@
 //! * `--reps N` — measured passes per mode (default 5). min-of-N is the
 //!   headline estimator, so more passes tighten it on a noisy box.
 
-use std::fmt::Write as _;
-
 use rceda::{EngineConfig, ExecMode};
+use rfid_bench::report::{self, JsonBuf};
 use rfid_bench::{bare_engine, time_engine_pass, BenchWorkload};
 
 const EVENTS: usize = 150_000;
@@ -118,7 +117,7 @@ fn main() {
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
             sorted[sorted.len() / 2]
         };
-        let eps = stream.len() as f64 / (best_ms / 1000.0);
+        let eps = report::eps(stream.len(), best_ms);
         runs.push(ModeRun {
             mode,
             passes,
@@ -154,44 +153,38 @@ fn main() {
     write_json(stream.len(), rules, &runs, speedup);
 }
 
-/// Hand-rolled JSON (no serde in the release path), mirroring
-/// `fig9_shard`'s format. The headline (plan-mode) `events_per_sec` is
-/// written first so `bench_gate.sh`'s first-match parse reads it; the
-/// per-mode ablation rows follow.
+/// The headline (plan-mode) `events_per_sec` is written first so
+/// `bench_gate.sh`'s first-match parse reads it; the per-mode ablation
+/// rows follow (see `rfid_bench::report` for the shared stamp/builder).
 fn write_json(events: usize, rules: usize, runs: &[ModeRun], speedup: f64) {
     let headline = &runs[0];
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"fig9_hotpath\",");
-    let _ = writeln!(json, "  \"events\": {events},");
-    let _ = writeln!(json, "  \"rules\": {rules},");
-    let _ = writeln!(json, "  \"firings\": {},", headline.firings);
-    let _ = writeln!(json, "  \"mode\": \"{}\",", mode_name(headline.mode));
-    let _ = writeln!(json, "  \"best_ms\": {:.3},", headline.best_ms);
-    let _ = writeln!(json, "  \"median_ms\": {:.3},", headline.median_ms);
-    let _ = writeln!(json, "  \"events_per_sec\": {:.1},", headline.eps);
-    let _ = writeln!(json, "  \"pre_pr_baseline_eps\": {PRE_PR_BASELINE_EPS:.1},");
-    let _ = writeln!(json, "  \"speedup_vs_baseline\": {speedup:.3},");
-    let _ = writeln!(json, "  \"modes\": [");
-    for (m, run) in runs.iter().enumerate() {
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"mode\": \"{}\",", mode_name(run.mode));
-        let _ = writeln!(json, "      \"passes_ms\": [");
-        for (i, ms) in run.passes.iter().enumerate() {
-            let comma = if i + 1 < run.passes.len() { "," } else { "" };
-            let _ = writeln!(json, "        {ms:.3}{comma}");
+    let reps = headline.passes.len();
+    let modes: Vec<&str> = runs.iter().map(|r| mode_name(r.mode)).collect();
+    let config = format!("events={events} reps={reps} modes={}", modes.join(","));
+    let mut json = JsonBuf::begin("fig9_hotpath", &config);
+    json.u64_field("events", events as u64);
+    json.u64_field("rules", rules as u64);
+    json.u64_field("firings", headline.firings);
+    json.str_field("mode", mode_name(headline.mode));
+    json.f64_field("best_ms", headline.best_ms, 3);
+    json.f64_field("median_ms", headline.median_ms, 3);
+    json.f64_field("events_per_sec", headline.eps, 1);
+    json.f64_field("pre_pr_baseline_eps", PRE_PR_BASELINE_EPS, 1);
+    json.f64_field("speedup_vs_baseline", speedup, 3);
+    json.begin_arr("modes");
+    for run in runs {
+        json.begin_obj(None);
+        json.str_field("mode", mode_name(run.mode));
+        json.begin_arr("passes_ms");
+        for ms in &run.passes {
+            json.elem(&format!("{ms:.3}"));
         }
-        let _ = writeln!(json, "      ],");
-        let _ = writeln!(json, "      \"best_ms\": {:.3},", run.best_ms);
-        let _ = writeln!(json, "      \"median_ms\": {:.3},", run.median_ms);
-        let _ = writeln!(json, "      \"events_per_sec\": {:.1}", run.eps);
-        let comma = if m + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(json, "    }}{comma}");
+        json.end_arr();
+        json.f64_field("best_ms", run.best_ms, 3);
+        json.f64_field("median_ms", run.median_ms, 3);
+        json.f64_field("events_per_sec", run.eps, 1);
+        json.end_obj();
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
-    eprintln!("  wrote results/BENCH_hotpath.json");
+    json.end_arr();
+    report::write_results("BENCH_hotpath.json", &json.finish());
 }

@@ -16,9 +16,8 @@
 //!            [--events 150000] [--seed 42]
 //! ```
 
-use std::fmt::Write as _;
-
 use rceda::{EngineConfig, ShardConfig};
+use rfid_bench::report::{self, JsonBuf};
 use rfid_bench::{
     bare_engine, sharded_engine_from_script, time_engine_pass, time_sharded_pass, BenchWorkload,
     Measurement,
@@ -149,10 +148,10 @@ fn main() {
     print_sweep(&rows);
     println!(
         "cores available: {cores}; baseline (unsharded): {:.0} ev/s",
-        stream.len() as f64 / (base_ms / 1000.0)
+        report::eps(stream.len(), base_ms)
     );
 
-    write_json(cores, base_ms, stream.len(), base_firings, &rows);
+    write_json(&args, cores, base_ms, stream.len(), base_firings, &rows);
 }
 
 fn print_sweep(rows: &[SweepRow]) {
@@ -177,43 +176,50 @@ fn print_sweep(rows: &[SweepRow]) {
     }
 }
 
-/// Hand-rolled JSON (no serde in the release path): one object per sweep
-/// configuration, plus the unsharded baseline and the machine's core count.
-/// Each row carries the pipeline's batching counters so regressions in
-/// ingestion overhead (too many tiny batches, queue pile-ups) are visible
-/// without rerunning under a profiler.
-fn write_json(cores: usize, base_ms: f64, events: usize, firings: u64, rows: &[SweepRow]) {
-    let mut json = String::new();
-    let base_tput = events as f64 / (base_ms / 1000.0);
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"fig9_shard\",");
-    let _ = writeln!(json, "  \"cores\": {cores},");
-    let _ = writeln!(json, "  \"events\": {events},");
-    let _ = writeln!(json, "  \"firings\": {firings},");
-    let _ = writeln!(
-        json,
-        "  \"baseline\": {{ \"elapsed_ms\": {base_ms:.3}, \"events_per_sec\": {base_tput:.1} }},"
+/// One object per sweep configuration, plus the unsharded baseline and the
+/// machine's core count. Each row carries the pipeline's batching counters
+/// so regressions in ingestion overhead (too many tiny batches, queue
+/// pile-ups) are visible without rerunning under a profiler. Sweep rows
+/// stay on one line: `bench_gate.sh` selects them by `"shards"` and reads
+/// `"events_per_sec"` from the same line (the baseline object carries no
+/// `"shards"`, so it is excluded).
+fn write_json(
+    args: &Args,
+    cores: usize,
+    base_ms: f64,
+    events: usize,
+    firings: u64,
+    rows: &[SweepRow],
+) {
+    let config = format!(
+        "events={events} shards={:?} residual_workers={:?}",
+        args.shards, args.residual_workers
     );
-    let _ = writeln!(json, "  \"sweep\": [");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
+    let mut json = JsonBuf::begin("fig9_shard", &config);
+    json.u64_field("cores", cores as u64);
+    json.u64_field("events", events as u64);
+    json.u64_field("firings", firings);
+    json.raw_field(
+        "baseline",
+        &format!(
+            "{{ \"elapsed_ms\": {base_ms:.3}, \"events_per_sec\": {:.1} }}",
+            report::eps(events, base_ms)
+        ),
+    );
+    json.begin_arr("sweep");
+    for row in rows {
         let m = &row.measurement;
-        let _ = writeln!(
-            json,
-            "    {{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1}, \
-             \"batches\": {}, \"max_queue_depth\": {}, \"residual_workers\": {} }}{comma}",
+        json.elem(&format!(
+            "{{ \"shards\": {}, \"elapsed_ms\": {:.3}, \"events_per_sec\": {:.1}, \
+             \"batches\": {}, \"max_queue_depth\": {}, \"residual_workers\": {} }}",
             m.x,
             m.elapsed_ms,
             m.throughput(),
             row.stats.batches,
             row.stats.max_queue_depth,
             row.residual_workers,
-        );
+        ));
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_shard.json", &json).expect("write BENCH_shard.json");
-    eprintln!("  wrote results/BENCH_shard.json");
+    json.end_arr();
+    report::write_results("BENCH_shard.json", &json.finish());
 }

@@ -35,9 +35,8 @@
 //!
 //! Flags: `--events N` overrides the trace length (CI smoke uses 20 000).
 
-use std::fmt::Write as _;
-
 use rceda::{Engine, EngineConfig, EngineStats, RuleId};
+use rfid_bench::report::{self, JsonBuf};
 use rfid_epc::{Epc, Gid96};
 use rfid_events::{Catalog, EventExpr, Instance, Observation, Span, Timestamp};
 
@@ -204,76 +203,36 @@ fn main() {
     write_json(stream.len(), &runs, reduction);
 }
 
-/// Hand-rolled JSON (no serde in the release path). The enforced-mode
-/// peak leads so `bench_gate.sh`'s first-match parse reads the headline.
+/// The enforced-mode peak leads so `bench_gate.sh`'s first-match parse
+/// reads the headline (see `rfid_bench::report` for the shared builder).
 fn write_json(events: usize, runs: &[ModeRun; 2], reduction: f64) {
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"mem_profile\",");
-    let _ = writeln!(json, "  \"events\": {events},");
-    let _ = writeln!(
-        json,
-        "  \"peak_buffered_enforced\": {},",
-        runs[0].peak_buffered
-    );
-    let _ = writeln!(
-        json,
-        "  \"peak_buffered_baseline\": {},",
-        runs[1].peak_buffered
-    );
-    let _ = writeln!(json, "  \"reduction_factor\": {reduction:.2},");
-    let _ = writeln!(json, "  \"firings\": {},", runs[0].firings);
-    let _ = writeln!(json, "  \"modes\": [");
-    for (m, r) in runs.iter().enumerate() {
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"enforce_bounds\": {},", r.enforce);
-        let _ = writeln!(json, "      \"peak_buffered\": {},", r.peak_buffered);
-        let _ = writeln!(
-            json,
-            "      \"final_buffered\": {},",
-            r.final_stats.buffered_entries
-        );
-        let _ = writeln!(
-            json,
-            "      \"final_join_keys\": {},",
-            r.final_stats.join_keys
-        );
-        let _ = writeln!(
-            json,
-            "      \"final_retained_keys\": {},",
-            r.final_stats.retained_keys
-        );
-        let _ = writeln!(
-            json,
-            "      \"capacity_drops\": {},",
-            r.final_stats.capacity_drops
-        );
-        match r.peak_rss_kb {
-            Some(kb) => {
-                let _ = writeln!(json, "      \"peak_rss_kb\": {kb},");
-            }
-            None => {
-                let _ = writeln!(json, "      \"peak_rss_kb\": null,");
-            }
-        }
-        let _ = writeln!(json, "      \"samples\": [");
-        for (i, s) in r.samples.iter().enumerate() {
-            let comma = if i + 1 < r.samples.len() { "," } else { "" };
-            let _ = writeln!(
-                json,
-                "        {{\"events\": {}, \"buffered\": {}, \"join_keys\": {}, \
-                 \"retained_keys\": {}}}{comma}",
+    let mut json = JsonBuf::begin("mem_profile", &format!("events={events}"));
+    json.u64_field("events", events as u64);
+    json.u64_field("peak_buffered_enforced", runs[0].peak_buffered);
+    json.u64_field("peak_buffered_baseline", runs[1].peak_buffered);
+    json.f64_field("reduction_factor", reduction, 2);
+    json.u64_field("firings", runs[0].firings);
+    json.begin_arr("modes");
+    for r in runs {
+        json.begin_obj(None);
+        json.bool_field("enforce_bounds", r.enforce);
+        json.u64_field("peak_buffered", r.peak_buffered);
+        json.u64_field("final_buffered", r.final_stats.buffered_entries);
+        json.u64_field("final_join_keys", r.final_stats.join_keys);
+        json.u64_field("final_retained_keys", r.final_stats.retained_keys);
+        json.u64_field("capacity_drops", r.final_stats.capacity_drops);
+        json.opt_u64_field("peak_rss_kb", r.peak_rss_kb);
+        json.begin_arr("samples");
+        for s in &r.samples {
+            json.elem(&format!(
+                "{{\"events\": {}, \"buffered\": {}, \"join_keys\": {}, \
+                 \"retained_keys\": {}}}",
                 s.events, s.buffered, s.join_keys, s.retained
-            );
+            ));
         }
-        let _ = writeln!(json, "      ]");
-        let comma = if m + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(json, "    }}{comma}");
+        json.end_arr();
+        json.end_obj();
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_mem.json", &json).expect("write BENCH_mem.json");
-    eprintln!("  wrote results/BENCH_mem.json");
+    json.end_arr();
+    report::write_results("BENCH_mem.json", &json.finish());
 }

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::time::Instant;
 
 use rceda::{EngineConfig, RuleId};

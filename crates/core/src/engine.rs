@@ -35,6 +35,7 @@ use crate::bounds::Bounds;
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
 use crate::key::{extract_all, Key};
+use crate::obs::{FlightRecorder, Histogram, ObsState, ObserveLevel, TelemetrySnapshot};
 use crate::plan::{CompiledPlan, EdgeOp, InlineBuf, LEAF_HITS_INLINE};
 use crate::pseudo::{PseudoAction, PseudoEvent, PseudoQueue};
 use crate::state::{
@@ -87,6 +88,17 @@ pub struct EngineConfig {
     /// conservative `max_lag`-padded horizons. Provably firing-preserving;
     /// off is the ablation/differential-testing baseline.
     pub enforce_bounds: bool,
+    /// Observability level ([`crate::obs`]): `Off` (default) keeps the hot
+    /// path unobserved, `Counters` maintains the per-node metrics arena
+    /// (≤3% overhead, gated), `Full` adds latency/occupancy histograms and
+    /// the firing flight recorder. Never changes what fires.
+    pub observe: ObserveLevel,
+    /// Flight-recorder ring capacity (records kept); 0 disables recording
+    /// even at `Full`.
+    pub flight_capacity: usize,
+    /// Flight-recorder sampling period: record every `n`-th firing
+    /// (1 = every firing; clamped to at least 1).
+    pub flight_sample: u64,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +110,9 @@ impl Default for EngineConfig {
             partition_buffers: true,
             exec: ExecMode::Plan,
             enforce_bounds: true,
+            observe: ObserveLevel::Off,
+            flight_capacity: 64,
+            flight_sample: 1,
         }
     }
 }
@@ -145,6 +160,11 @@ struct Runtime {
     /// Fully drained by `run_work` before `process` returns, so its capacity
     /// (not its contents) carries over between events.
     work: Vec<(NodeId, Arc<Instance>)>,
+    /// Observability state ([`crate::obs`]): the cached observe level, the
+    /// per-node metrics arena, histograms, and the flight recorder. Living
+    /// here keeps every instrumentation site a plain field access — no
+    /// extra parameters through the arrival handlers.
+    obs: ObsState,
 }
 
 /// Leaf dispatch index: maps an observation to candidate primitive nodes
@@ -191,6 +211,7 @@ impl Engine {
                 stats: EngineStats::default(),
                 scratch: Vec::new(),
                 work: Vec::new(),
+                obs: ObsState::new(config.observe, config.flight_capacity, config.flight_sample),
             },
             rules_at: HashMap::new(),
             rule_names: Vec::new(),
@@ -264,6 +285,11 @@ impl Engine {
         if self.dispatch_dirty {
             self.recompile();
         }
+        let obs_t0 = if self.rt.obs.level.full() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         while let Some(ev) = self.rt.pseudo.pop_due(obs.at) {
             self.fire_pseudo(ev, sink);
         }
@@ -309,6 +335,10 @@ impl Engine {
 
         if self.rt.stats.events.is_multiple_of(self.config.sweep_every) {
             self.sweep();
+        }
+        if let Some(t0) = obs_t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rt.obs.latency_ns.record(ns);
         }
     }
 
@@ -462,8 +492,46 @@ impl Engine {
         self.rt.clock = Timestamp::ZERO;
         self.rt.seq = 0;
         self.rt.stats = EngineStats::default();
+        self.rt.obs.reset();
         for f in &mut self.rule_firings {
             *f = 0;
+        }
+    }
+
+    /// The configured observability level ([`EngineConfig::observe`]).
+    pub fn observe_level(&self) -> ObserveLevel {
+        self.rt.obs.level
+    }
+
+    /// The firing provenance flight recorder. Populated only at
+    /// [`ObserveLevel::Full`]; empty otherwise.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.rt.obs.flight
+    }
+
+    /// An exportable point-in-time telemetry snapshot: stats totals, the
+    /// per-node metrics arena labelled with compiled-plan op names, and the
+    /// latency/occupancy histograms. Recompiles first if the rule set
+    /// changed, so node ids line up with the current plan. The queue-depth
+    /// histogram is filled by the sharded pipeline
+    /// ([`crate::shard::ShardedEngine::telemetry`]); empty here.
+    pub fn telemetry(&mut self) -> TelemetrySnapshot {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
+        self.rt
+            .obs
+            .arena
+            .ensure_len(self.graph.len().max(self.plan.node_count()));
+        TelemetrySnapshot {
+            label: "engine".to_owned(),
+            clock_ms: self.rt.clock.as_millis(),
+            stats: self.stats(),
+            ops: self.plan.op_names(self.rt.obs.arena.len()),
+            nodes: self.rt.obs.arena.clone(),
+            latency_ns: self.rt.obs.latency_ns,
+            occupancy: self.rt.obs.occupancy,
+            queue_depth: Histogram::default(),
         }
     }
 
@@ -484,6 +552,11 @@ impl Engine {
         self.bounds = Bounds::solve(&self.graph);
         self.plan =
             CompiledPlan::lower_with(&self.graph, &self.catalog, &self.rules_at, &self.bounds);
+        // Size the metrics arena for every node either executor can touch.
+        self.rt
+            .obs
+            .arena
+            .ensure_len(self.graph.len().max(self.plan.node_count()));
     }
 
     fn rebuild_dispatch(&mut self) {
@@ -571,6 +644,10 @@ impl Engine {
                 let spec = n.hist_spec.expect("wait plan always has a history spec").0 as usize;
                 let not_child = n.children[not_side as usize];
                 let kind_name = n.kind.name();
+                if self.rt.obs.level.counters() {
+                    // The deferred window-close check is this node's probe.
+                    self.rt.obs.arena.probed(node.idx());
+                }
                 let occurred = match &self.rt.states[not_child.idx()] {
                     NodeState::Negation(neg) => {
                         neg.occurred(spec, &entry.key, entry.from, entry.to, false)
@@ -617,10 +694,14 @@ impl Engine {
             config,
             ..
         } = self;
+        let observe = rt.obs.level;
         while let Some((node_id, inst)) = rt.work.pop() {
             // A coalesced leaf representative stands in for its whole
             // pattern group; count the pops the walker would have made.
             rt.stats.occurrences += 1 + u64::from(plan.extra_pops(node_id));
+            if observe.counters() {
+                rt.obs.arena.arrived(node_id.idx());
+            }
             for &rule in plan.rules_at(node_id) {
                 if !rule_enabled[rule.0 as usize] {
                     continue;
@@ -628,6 +709,12 @@ impl Engine {
                 rt.stats.rule_firings += 1;
                 rule_firings[rule.0 as usize] += 1;
                 sink(rule, &inst);
+                if observe.counters() {
+                    rt.obs.arena.fired(node_id.idx());
+                    if observe.full() {
+                        rt.obs.flight.offer(rule, rt.clock, &inst);
+                    }
+                }
             }
             for edge in plan.edges_at(node_id) {
                 let pnode = graph.node(edge.parent());
@@ -661,8 +748,12 @@ impl Engine {
             config,
             ..
         } = self;
+        let observe = rt.obs.level;
         while let Some((node_id, inst)) = rt.work.pop() {
             rt.stats.occurrences += 1;
+            if observe.counters() {
+                rt.obs.arena.arrived(node_id.idx());
+            }
             if let Some(rules) = rules_at.get(&node_id) {
                 for &rule in rules {
                     if !rule_enabled[rule.0 as usize] {
@@ -671,6 +762,12 @@ impl Engine {
                     rt.stats.rule_firings += 1;
                     rule_firings[rule.0 as usize] += 1;
                     sink(rule, &inst);
+                    if observe.counters() {
+                        rt.obs.arena.fired(node_id.idx());
+                        if observe.full() {
+                            rt.obs.flight.offer(rule, rt.clock, &inst);
+                        }
+                    }
                 }
             }
             for &parent in &graph.node(node_id).parents {
@@ -722,16 +819,33 @@ impl Engine {
             } else {
                 (node.horizon, node.horizon, node.retention, lag)
             };
+            let counters = self.rt.obs.level.counters();
             match &mut self.rt.states[idx] {
                 NodeState::Join { left, right } => {
+                    let before = left.len() + right.len();
                     left.prune(dead_before(clock, h0, pad));
                     right.prune(dead_before(clock, h1, pad));
+                    if counters {
+                        let dropped = before - (left.len() + right.len());
+                        self.rt.obs.arena.pruned(idx, dropped as u64);
+                    }
                 }
                 NodeState::Negation(neg) => {
+                    let before = neg.recorded();
                     neg.prune(dead_before(clock, retention, pad));
+                    if counters {
+                        self.rt
+                            .obs
+                            .arena
+                            .pruned(idx, (before - neg.recorded()) as u64);
+                    }
                 }
                 NodeState::Aperiodic(ap) => {
+                    let before = ap.len();
                     ap.prune(dead_before(clock, retention, pad));
+                    if counters {
+                        self.rt.obs.arena.pruned(idx, (before - ap.len()) as u64);
+                    }
                 }
                 _ => {}
             }
@@ -777,6 +891,11 @@ impl Runtime {
 
         self.seq += 1;
         let seq = self.seq;
+        if self.obs.level.counters() {
+            // One bucket access both probes for a partner and admits the
+            // instance as a future initiator.
+            self.obs.arena.probed_admitted(node.id.idx());
+        }
         let (lbuf, _) = self.states[node.id.idx()].join_mut();
         // Take-and-admit in one bucket probe: the instance scans for an
         // older initiator to terminate and is enqueued as an initiator
@@ -799,6 +918,10 @@ impl Runtime {
             },
             cap,
         );
+        if self.obs.level.full() {
+            let occ = lbuf.len() as u64;
+            self.obs.occupancy.record(occ);
+        }
         if let Some(e) = matched {
             let out = Arc::new(Instance::pair(kind.name(), e.inst, inst.clone()));
             self.work.push((node.id, out));
@@ -859,6 +982,9 @@ impl Runtime {
         let mut occurred = None;
         for (i, spec) in specs.iter().enumerate() {
             if let Some(key) = extract_all(&spec.extracts, inst) {
+                if self.obs.level.counters() {
+                    self.obs.arena.admitted(not_node.id.idx());
+                }
                 // Lowering guarantees this spec's extracts equal the query
                 // node's right-side join key, so `key` doubles as the
                 // query key — and its absence as the walker's dropped
@@ -869,6 +995,9 @@ impl Runtime {
                         negation_query_key(query_node, 1, inst).as_ref(),
                         "fused key specs agree"
                     );
+                    if self.obs.level.counters() {
+                        self.obs.arena.probed(query_node.id.idx());
+                    }
                     occurred = Some(neg.fused_probe(
                         i,
                         key,
@@ -945,6 +1074,9 @@ impl Runtime {
                 // FIFO and key equality moves into the scan predicate.
                 let keyed = config.partition_buffers;
                 let bucket = if keyed { &key } else { &Key::EMPTY };
+                if self.obs.level.counters() {
+                    self.obs.arena.probed(parent.idx());
+                }
                 let (lbuf, rbuf) = self.states[parent.idx()].join_mut();
                 let (own, other) = if side == 0 {
                     (lbuf, rbuf)
@@ -997,6 +1129,12 @@ impl Runtime {
                             seq: self.seq,
                         };
                         own.push(bucket.clone(), entry, cap);
+                        if self.obs.level.counters() {
+                            self.obs.arena.admitted(parent.idx());
+                            if self.obs.level.full() {
+                                self.obs.occupancy.record(own.len() as u64);
+                            }
+                        }
                     }
                 }
             }
@@ -1024,6 +1162,9 @@ impl Runtime {
                 let spec = node.hist_spec.expect("query plan has a spec").0 as usize;
                 let not_child = node.children[0];
                 let kind_name = node.kind.name();
+                if self.obs.level.counters() {
+                    self.obs.arena.probed(parent.idx());
+                }
                 let occurred = match &self.states[not_child.idx()] {
                     NodeState::Negation(neg) => neg.occurred(spec, &key, from, to, exclusive),
                     other => unreachable!("negation child has state {other:?}"),
@@ -1052,6 +1193,9 @@ impl Runtime {
                 let within = node.within;
                 let kind_name = node.kind.name();
                 let seqplus_child = node.children[0];
+                if self.obs.level.counters() {
+                    self.obs.arena.probed(parent.idx());
+                }
                 let NodeState::Aperiodic(ap) = &mut self.states[seqplus_child.idx()] else {
                     unreachable!("aperiodic child state");
                 };
@@ -1102,10 +1246,16 @@ impl Runtime {
                 if specs.is_empty() {
                     // No parent correlates: record under the empty key.
                     neg.record(0, Key::EMPTY, inst.t_end());
+                    if self.obs.level.counters() {
+                        self.obs.arena.admitted(parent.idx());
+                    }
                 } else {
                     for (i, spec) in specs.iter().enumerate() {
                         if let Some(key) = extract_all(&spec.extracts, inst) {
                             neg.record(i, key, inst.t_end());
+                            if self.obs.level.counters() {
+                                self.obs.arena.admitted(parent.idx());
+                            }
                         }
                     }
                 }
@@ -1115,6 +1265,9 @@ impl Runtime {
                     unreachable!("aperiodic state");
                 };
                 ap.record(inst.clone());
+                if self.obs.level.counters() {
+                    self.obs.arena.admitted(parent.idx());
+                }
             }
             Plan::TimedAperiodic => {
                 let NodeKind::TSeqPlus { min_gap, max_gap } = node.kind else {
@@ -1185,6 +1338,17 @@ impl Runtime {
                     let out = Arc::new(Instance::composite("TSEQ+", run));
                     self.work.push((parent, out));
                 }
+                if self.obs.level.counters() {
+                    // Every arrival is stored into the (possibly restarted)
+                    // open run.
+                    self.obs.arena.admitted(parent.idx());
+                    if self.obs.level.full() {
+                        let NodeState::TimedRun(run) = &self.states[parent.idx()] else {
+                            unreachable!("timed-run state");
+                        };
+                        self.obs.occupancy.record(run.open.len() as u64);
+                    }
+                }
             }
         }
     }
@@ -1209,6 +1373,9 @@ impl Runtime {
 
         let past_end = self.clock.min(to);
         if from <= past_end {
+            if self.obs.level.counters() {
+                self.obs.arena.probed(node.id.idx());
+            }
             let occurred = match &self.states[not_child.idx()] {
                 NodeState::Negation(neg) => neg.occurred(spec, &key, from, past_end, false),
                 other => unreachable!("negation child has state {other:?}"),
@@ -1243,6 +1410,9 @@ impl Runtime {
                 to,
             },
         );
+        if self.obs.level.counters() {
+            self.obs.arena.admitted(node.id.idx());
+        }
         self.pseudo.schedule(PseudoEvent {
             exec: to,
             seq: anchor,

@@ -9,10 +9,11 @@
 
 use std::fmt::Write as _;
 
-use rfid_events::Span;
+use rfid_events::{Instance, InstanceKind, Span};
 
 use crate::bounds::Bounds;
 use crate::graph::{DetectionMode, EventGraph, NodeId, NodeKind, Plan};
+use crate::obs::FlightRecord;
 use crate::plan::{CompiledPlan, EdgeOp, OpTag};
 
 impl EventGraph {
@@ -165,6 +166,79 @@ impl CompiledPlan {
             self.arena_bytes(),
         );
         out
+    }
+}
+
+/// Renders an instance's constituent tree — the event-graph derivation of
+/// a firing — down to the raw reader observations, one node per line:
+///
+/// ```text
+/// TSEQ [0ms..5.100sec] (4 observations)
+/// ├─ TSEQ+ [0ms..3sec] (3 observations)
+/// │  ├─ obs …
+/// │  └─ obs …
+/// └─ obs …
+/// ```
+///
+/// Absence constituents render as their witnessed window. This is the
+/// tree `rceda-obs explain` prints for each flight-recorded firing.
+pub fn render_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    render_node(inst, "", "", &mut out);
+    out
+}
+
+/// Renders one flight-recorded firing: a header naming the rule and
+/// firing position, then the derivation tree of its instance.
+pub fn render_firing(rule_name: &str, rec: &FlightRecord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "firing #{} — rule `{rule_name}` at {} ({} observations)",
+        rec.seq,
+        rec.at,
+        rec.inst.primitive_count()
+    );
+    out.push_str(&render_instance(&rec.inst));
+    out
+}
+
+fn render_node(inst: &Instance, prefix: &str, child_prefix: &str, out: &mut String) {
+    match inst.kind() {
+        InstanceKind::Observation(obs) => {
+            let _ = writeln!(out, "{prefix}obs {obs}");
+        }
+        InstanceKind::Composite { op, children } => {
+            let _ = writeln!(
+                out,
+                "{prefix}{op} [{}..{}] ({} observations)",
+                inst.t_begin(),
+                inst.t_end(),
+                inst.primitive_count()
+            );
+            let last = children.len().saturating_sub(1);
+            for (i, child) in children.iter().enumerate() {
+                let (branch, cont) = if i == last {
+                    ("└─ ", "   ")
+                } else {
+                    ("├─ ", "│  ")
+                };
+                render_node(
+                    child,
+                    &format!("{child_prefix}{branch}"),
+                    &format!("{child_prefix}{cont}"),
+                    out,
+                );
+            }
+        }
+        InstanceKind::Absence => {
+            let _ = writeln!(
+                out,
+                "{prefix}absence [{}..{}] (no occurrence witnessed)",
+                inst.t_begin(),
+                inst.t_end()
+            );
+        }
     }
 }
 

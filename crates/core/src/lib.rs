@@ -60,6 +60,7 @@ pub mod error;
 pub mod explain;
 pub mod graph;
 pub mod key;
+pub mod obs;
 pub mod plan;
 pub mod pseudo;
 pub mod shard;
@@ -71,6 +72,9 @@ pub use bounds::{Bounds, BoundsSummary, NodeBounds};
 pub use engine::{Engine, EngineConfig, ExecMode, RuleId};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};
+pub use obs::{
+    FlightRecord, FlightRecorder, Histogram, MetricsArena, ObserveLevel, TelemetrySnapshot,
+};
 pub use plan::{CompiledPlan, EdgeOp, InlineBuf, OpTag};
 pub use shard::{ShardConfig, Shardability, ShardedEngine};
 pub use stats::EngineStats;

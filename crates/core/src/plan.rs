@@ -593,6 +593,15 @@ impl CompiledPlan {
         self.tags.len()
     }
 
+    /// Op-tag name per node, padded with `"?"` up to `len` slots —
+    /// telemetry labels aligned with the per-node metrics arena
+    /// ([`crate::obs::MetricsArena`]), which may be sized past the plan.
+    pub fn op_names(&self, len: usize) -> Vec<&'static str> {
+        let mut ops: Vec<&'static str> = self.tags.iter().map(|t| t.name()).collect();
+        ops.resize(len.max(ops.len()), "?");
+        ops
+    }
+
     /// Total edges in the parent-activation arena.
     pub fn edge_count(&self) -> usize {
         self.edges.len()

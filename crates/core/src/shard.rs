@@ -51,6 +51,7 @@ use crate::engine::{Engine, EngineConfig, RuleId, Sink};
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
 use crate::key::{mix64, Attr};
+use crate::obs::{Histogram, TelemetrySnapshot};
 use crate::stats::EngineStats;
 
 /// Why a rule must run on the residual (full-stream) shard.
@@ -307,6 +308,10 @@ enum Cmd {
 struct Reply {
     firings: Vec<Firing>,
     stats: EngineStats,
+    /// Telemetry snapshot taken at the barrier; `None` unless the worker
+    /// engines observe (boxed — it is two orders of magnitude larger than
+    /// the rest of the reply).
+    telemetry: Option<Box<TelemetrySnapshot>>,
 }
 
 struct Worker {
@@ -351,6 +356,12 @@ pub struct ShardedEngine {
     finished: bool,
     /// Latest stats snapshot per worker (updated at barriers).
     worker_stats: Vec<EngineStats>,
+    /// Latest telemetry snapshot per worker (updated at barriers; `None`
+    /// when the engines run with observability off).
+    worker_telemetry: Vec<Option<TelemetrySnapshot>>,
+    /// Per-shard ingestion queue depth, sampled at every batch flush —
+    /// the backpressure trajectory, not just the final high-water mark.
+    queue_hists: Vec<Histogram>,
     /// Rule partition of each broadcast worker, in worker order (set on
     /// start; empty before the first observation).
     partitions: Vec<Vec<RuleId>>,
@@ -369,6 +380,8 @@ impl ShardedEngine {
             runtime: None,
             finished: false,
             worker_stats: Vec::new(),
+            worker_telemetry: Vec::new(),
+            queue_hists: Vec::new(),
             partitions: Vec::new(),
             rule_firings: Vec::new(),
             batches: 0,
@@ -465,6 +478,41 @@ impl ShardedEngine {
         merged
     }
 
+    /// Per-worker telemetry as of the last barrier, in
+    /// [`ShardedEngine::worker_stats`] order. Entries stay `None` until a
+    /// barrier runs with [`crate::obs::ObserveLevel::Counters`] or above.
+    pub fn worker_telemetry(&self) -> &[Option<TelemetrySnapshot>] {
+        &self.worker_telemetry
+    }
+
+    /// Telemetry merged across every worker at the last barrier. Per-node
+    /// tables survive the merge only when all observing workers compiled
+    /// the same plan (keyed shards do; residual partitions compile
+    /// different rule subsets, so a mixed fleet keeps counters and
+    /// histograms but drops the node tables). Stats are replaced by
+    /// [`ShardedEngine::stats`] so the coordinator's batching counters are
+    /// included, and the queue-depth histogram is the per-flush depth
+    /// distribution across all shards — backpressure over time, not just
+    /// the high-water mark. `None` until a barrier has run with
+    /// observability on.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let mut merged: Option<TelemetrySnapshot> = None;
+        for snap in self.worker_telemetry.iter().flatten() {
+            match merged.as_mut() {
+                Some(acc) => acc.merge(snap),
+                None => merged = Some(snap.clone()),
+            }
+        }
+        let mut merged = merged?;
+        "sharded".clone_into(&mut merged.label);
+        merged.stats = self.stats();
+        merged.queue_depth = Histogram::default();
+        for h in &self.queue_hists {
+            merged.queue_depth.merge_from(h);
+        }
+        Some(merged)
+    }
+
     /// Routes one observation to its keyed shard and broadcasts it to every
     /// residual worker. Observations must arrive in non-decreasing
     /// timestamp order, exactly as for [`Engine::process`].
@@ -486,6 +534,7 @@ impl ShardedEngine {
                     batch_size,
                     &mut self.batches,
                     &mut self.max_queue_depth,
+                    &mut self.queue_hists[shard],
                 );
             }
         }
@@ -498,6 +547,7 @@ impl ShardedEngine {
                     batch_size,
                     &mut self.batches,
                     &mut self.max_queue_depth,
+                    &mut self.queue_hists[idx],
                 );
             }
         }
@@ -528,6 +578,7 @@ impl ShardedEngine {
                 self.config.batch_size,
                 &mut self.batches,
                 &mut self.max_queue_depth,
+                &mut self.queue_hists[i],
             );
             rt.workers[i]
                 .cmd_tx
@@ -554,6 +605,7 @@ impl ShardedEngine {
                 self.config.batch_size,
                 &mut self.batches,
                 &mut self.max_queue_depth,
+                &mut self.queue_hists[i],
             );
             rt.workers[i]
                 .cmd_tx
@@ -577,6 +629,9 @@ impl ShardedEngine {
         for (idx, worker) in rt.workers.iter().enumerate() {
             let reply = worker.reply_rx.recv().expect("worker replies at barrier");
             self.worker_stats[idx] = reply.stats;
+            if let Some(snap) = reply.telemetry {
+                self.worker_telemetry[idx] = Some(*snap);
+            }
             merged.extend(reply.firings.into_iter().map(|f| (idx, f)));
         }
         if self.config.ordered_output {
@@ -635,6 +690,8 @@ impl ShardedEngine {
             .collect();
         let pending = workers.iter().map(|_| Vec::new()).collect();
         self.worker_stats = vec![EngineStats::default(); workers.len()];
+        self.worker_telemetry = vec![None; workers.len()];
+        self.queue_hists = vec![Histogram::default(); workers.len()];
         self.runtime = Some(Runtime {
             workers,
             pending,
@@ -718,7 +775,14 @@ impl Drop for ShardedEngine {
 /// replacement batch buffer comes from the worker's recycle channel when one
 /// is already back, so the router allocates only while the pipeline ramps
 /// up.
-fn flush(rt: &mut Runtime, idx: usize, batch_size: usize, batches: &mut u64, max_depth: &mut u64) {
+fn flush(
+    rt: &mut Runtime,
+    idx: usize,
+    batch_size: usize,
+    batches: &mut u64,
+    max_depth: &mut u64,
+    qdepth: &mut Histogram,
+) {
     if rt.pending[idx].is_empty() {
         return;
     }
@@ -730,6 +794,7 @@ fn flush(rt: &mut Runtime, idx: usize, batch_size: usize, batches: &mut u64, max
     let batch = std::mem::replace(&mut rt.pending[idx], replacement);
     let depth = worker.depth.fetch_add(1, Ordering::AcqRel) as u64 + 1;
     *max_depth = (*max_depth).max(depth);
+    qdepth.record(depth);
     *batches += 1;
     worker.cmd_tx.send(Cmd::Batch(batch)).expect("worker alive");
 }
@@ -761,6 +826,20 @@ fn push_firing(
         t_end: inst.t_end(),
         seq: *seq,
     });
+}
+
+/// Telemetry for a barrier reply: `None` with observability off (the common
+/// case — barriers stay allocation-light), else a snapshot labelled with the
+/// worker's thread name (`shard-N` / `residual-P`).
+fn snapshot_telemetry(engine: &mut Engine) -> Option<Box<TelemetrySnapshot>> {
+    if !engine.observe_level().counters() {
+        return None;
+    }
+    let mut snap = engine.telemetry();
+    if let Some(name) = std::thread::current().name() {
+        name.clone_into(&mut snap.label);
+    }
+    Some(Box::new(snap))
 }
 
 /// One worker: drives its engine over batches, accumulates firings (with
@@ -798,6 +877,7 @@ fn worker_loop(
                 let reply = Reply {
                     firings: std::mem::take(&mut firings),
                     stats: engine.stats(),
+                    telemetry: snapshot_telemetry(&mut engine),
                 };
                 if reply_tx.send(reply).is_err() {
                     break; // coordinator gone
@@ -811,6 +891,7 @@ fn worker_loop(
                 let reply = Reply {
                     firings: std::mem::take(&mut firings),
                     stats: engine.stats(),
+                    telemetry: snapshot_telemetry(&mut engine),
                 };
                 let _ = reply_tx.send(reply);
                 break;

@@ -16,13 +16,18 @@ pub enum StatKind {
     /// takes the maximum, since summing a gauge over shards that observe
     /// overlapping state double-counts it.
     Gauge,
+    /// One bucket of a log2 histogram ([`crate::obs::Histogram`]): a
+    /// monotone sample population, so merging sums like a counter. Kept as
+    /// its own kind so exports can tell distributions from plain rates and
+    /// the merge audit covers histogram semantics explicitly.
+    Histogram,
 }
 
 impl StatKind {
     /// Combines two observations of the same statistic.
     pub fn combine(self, a: u64, b: u64) -> u64 {
         match self {
-            StatKind::Counter => a + b,
+            StatKind::Counter | StatKind::Histogram => a + b,
             StatKind::Gauge => a.max(b),
         }
     }
@@ -217,7 +222,7 @@ mod tests {
         for &(name, kind) in EngineStats::FIELDS {
             let (va, vb) = (a.get(name).unwrap(), b.get(name).unwrap());
             let expected = match kind {
-                StatKind::Counter => va + vb,
+                StatKind::Counter | StatKind::Histogram => va + vb,
                 StatKind::Gauge => va.max(vb),
             };
             assert_eq!(
@@ -226,6 +231,34 @@ mod tests {
                 "field `{name}` must merge as a {kind:?}"
             );
         }
+    }
+
+    /// The histogram kind, used by [`crate::obs::Histogram`] bucket
+    /// populations, merges like a counter (bucket counts over disjoint
+    /// samples sum) — and bucket-wise merging under this kind must equal
+    /// summing each bucket.
+    #[test]
+    fn histogram_kind_sums_bucketwise() {
+        assert_eq!(StatKind::Histogram.combine(3, 4), 7);
+        assert_eq!(StatKind::Histogram.combine(0, 9), 9);
+        let mut a = crate::obs::Histogram::default();
+        let mut b = crate::obs::Histogram::default();
+        for v in [0u64, 2, 2, 70] {
+            a.record(v);
+        }
+        for v in [2u64, 1 << 40] {
+            b.record(v);
+        }
+        let mut merged = a;
+        merged.merge_from(&b);
+        for i in 0..crate::obs::HIST_BUCKETS {
+            assert_eq!(
+                merged.buckets[i],
+                StatKind::Histogram.combine(a.buckets[i], b.buckets[i]),
+                "bucket {i} must merge under StatKind::Histogram"
+            );
+        }
+        assert_eq!(merged.count, a.count + b.count);
     }
 
     /// The classification itself: the stats every shard observes about the

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Throughput and memory regression gates: re-runs the single-threaded
-# hot-path benchmark, the shard sweep, and the memory profile, and fails if
-# events/s fell more than 15% below — or the enforced-mode peak working set
-# rose more than 15% above — the committed references in
-# results/BENCH_hotpath.json / results/BENCH_shard.json / results/BENCH_mem.json.
+# hot-path benchmark, the shard sweep, the memory profile, and the
+# observability overhead ablation, and fails if events/s fell more than 15%
+# below — or the enforced-mode peak working set rose more than 15% above —
+# the committed references in results/BENCH_hotpath.json /
+# results/BENCH_shard.json / results/BENCH_mem.json, or if counters-level
+# observability costs more than ${OBS_OVERHEAD_MAX:-3}% vs observe-off
+# (results/BENCH_obs.json).
 # Pass a different tolerance (percent) as $1.
 #
 # The shard gate compares best-vs-best across the sweep: the fastest
@@ -151,5 +154,49 @@ if ! awk -v ref="$mem_ref_peak" -v new="$mem_new_peak" -v tol="$tolerance" 'BEGI
     printf "bench_gate.sh: OK (%.1f%% of reference)\n", 100 * new / ref
 }'; then
     cp "$mem_saved" "$mem_reference"
+    exit 1
+fi
+
+# --- observability-overhead gate ---------------------------------------------
+
+# Unlike the gates above, this one is absolute, not relative to a reference:
+# counters-level observability has a fixed budget (<= OBS_OVERHEAD_MAX % of
+# observe-off throughput on the hot-path workload), because the arena update
+# is meant to stay on in production. Full level is recorded in the JSON but
+# not gated — it is a diagnosis mode.
+obs_reference=results/BENCH_obs.json
+obs_max="${OBS_OVERHEAD_MAX:-3}"
+
+obs_saved=$(mktemp)
+[[ -f "$obs_reference" ]] && cp "$obs_reference" "$obs_saved"
+trap 'rm -f "$saved" "$shard_saved" "$mem_saved" "$obs_saved"' EXIT
+
+# First match only: the JSON leads with the gated counters figure.
+parse_obs_overhead() {
+    awk -F': ' '/"counters_overhead_pct"/ { gsub(/,/, "", $2); print $2; exit }' "$1"
+}
+
+# More reps than the throughput gates: the gated figure is a ~2% paired-
+# ratio median, so the estimator needs more pairs to hold still than a
+# min-of-N throughput floor does.
+echo "== bench gate: observability overhead (counters <= ${obs_max}% budget) =="
+cargo run -q --release -p rfid-bench --bin fig9_obs -- --reps 25 >/dev/null
+
+obs_pct=$(parse_obs_overhead "$obs_reference")
+if [[ -z "$obs_pct" ]]; then
+    echo "bench_gate.sh: could not parse counters_overhead_pct from $obs_reference" >&2
+    [[ -s "$obs_saved" ]] && cp "$obs_saved" "$obs_reference"
+    exit 1
+fi
+
+if ! awk -v pct="$obs_pct" -v max="$obs_max" 'BEGIN {
+    printf "  counters overhead: %.2f%% | budget: %.2f%%\n", pct, max
+    if (pct > max) {
+        printf "bench_gate.sh: FAIL — counters-level observability costs more than %s%%\n", max
+        exit 1
+    }
+    printf "bench_gate.sh: OK (%.2f%% of the %.0f%% budget)\n", pct, max
+}'; then
+    [[ -s "$obs_saved" ]] && cp "$obs_saved" "$obs_reference"
     exit 1
 fi

@@ -30,4 +30,11 @@ echo "== rceda-lint (canonical rule programs) =="
 # free of error-level findings; rceda-lint exits 1 on any E-code.
 cargo run -q --release -p rceda-lint -- --sim default --sim paper-scale
 
+echo "== rceda-obs (telemetry snapshot + provenance trace) =="
+# The observability layer must drive end to end on the Rule 1-5 program:
+# a counters-level snapshot exports, and the flight recorder replays at
+# least one firing's derivation chain (exit 1 if nothing was recorded).
+cargo run -q --release -p rceda-obs -- snapshot --events 5000 --format jsonl >/dev/null
+cargo run -q --release -p rceda-obs -- explain --events 5000 --last 1 >/dev/null
+
 echo "check.sh: all gates passed"
