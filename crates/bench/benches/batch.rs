@@ -1,0 +1,53 @@
+//! Criterion microbenches for the vectorized batch path (DESIGN.md §16):
+//! `Engine::process_batch` against the scalar `Engine::process` driver on
+//! the canonical rule set, across the chunk sizes of EXPERIMENTS.md's
+//! ablation table. Chunk size 0 denotes the scalar oracle, so one group
+//! renders the whole batch-vs-scalar curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rceda::EngineConfig;
+use rfid_bench::{bare_engine, BenchWorkload};
+
+/// Scalar first (0), then the ablation's chunk sizes.
+const CHUNKS: [usize; 5] = [0, 64, 256, 1024, 4096];
+
+/// The canonical rule set over a mid-size trace: per-event cost is real
+/// matching work, so the measured spread is exactly the dispatch, pseudo
+/// peek, and sweep scheduling overhead that batching amortizes.
+fn batch_vs_scalar(c: &mut Criterion) {
+    let workload = BenchWorkload::new();
+    let trace = workload.trace(15_000);
+    let mut group = c.benchmark_group("batch_vs_scalar");
+    group.sample_size(10);
+    for chunk in CHUNKS {
+        let name = if chunk == 0 {
+            "scalar".to_string()
+        } else {
+            format!("batch-{chunk}")
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &chunk, |b, &chunk| {
+            b.iter_with_setup(
+                || bare_engine(&workload, EngineConfig::default()),
+                |mut engine| {
+                    let mut count = 0u64;
+                    let mut sink = |_: rceda::RuleId, _: &rfid_events::Instance| count += 1;
+                    if chunk == 0 {
+                        for &obs in &trace.observations {
+                            engine.process(obs, &mut sink);
+                        }
+                    } else {
+                        for batch in trace.observations.chunks(chunk) {
+                            engine.process_batch(batch, &mut sink);
+                        }
+                    }
+                    engine.finish(&mut sink);
+                    count
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_vs_scalar);
+criterion_main!(benches);

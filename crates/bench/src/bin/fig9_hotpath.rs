@@ -16,13 +16,22 @@
 //! * `--events N` — trace length override (CI smoke runs use a small N).
 //! * `--reps N` — measured passes per mode (default 5). min-of-N is the
 //!   headline estimator, so more passes tighten it on a noisy box.
+//! * `--batch-size N` — restrict the batch ablation to one chunk size
+//!   (`0` disables it: scalar only). The default sweeps 64/256/1024/4096
+//!   through `Engine::process_batch` on the plan executor and reports
+//!   each size's in-run speedup against the scalar plan row measured in
+//!   the same invocation.
 
 use rceda::{EngineConfig, ExecMode};
 use rfid_bench::report::{self, JsonBuf};
-use rfid_bench::{bare_engine, time_engine_pass, BenchWorkload};
+use rfid_bench::{bare_engine, time_engine_batch_pass, time_engine_pass, BenchWorkload};
 
 const EVENTS: usize = 150_000;
 const REPS: usize = 5;
+
+/// The default batch-size ablation (EXPERIMENTS.md's table); `--batch-size`
+/// narrows it to one point, `--batch-size 0` drops it entirely.
+const BATCH_SIZES: [usize; 4] = [64, 256, 1024, 4096];
 
 /// Single-threaded ev/s of the pre-lowering engine (the graph walker,
 /// commit prior to the compiled-plan refactor) on this workload, same
@@ -37,6 +46,15 @@ struct ModeRun {
     median_ms: f64,
     eps: f64,
     firings: u64,
+}
+
+/// One batch-size point of the ablation: the vectorized path on the plan
+/// executor, compared in-run against the scalar plan row.
+struct BatchRun {
+    batch: usize,
+    passes: Vec<f64>,
+    best_ms: f64,
+    eps: f64,
 }
 
 fn mode_name(mode: ExecMode) -> &'static str {
@@ -58,6 +76,16 @@ fn main() {
         .position(|a| a == "--reps")
         .and_then(|i| args.get(i + 1))
         .map_or(REPS, |n| n.parse().expect("--reps takes a count"));
+    let batch_sizes: Vec<usize> = match args
+        .iter()
+        .position(|a| a == "--batch-size")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--batch-size takes a count"))
+    {
+        Some(0) => Vec::new(),
+        Some(n) => vec![n],
+        None => BATCH_SIZES.to_vec(),
+    };
     let modes: &[ExecMode] = match (
         args.iter().any(|a| a == "--plan"),
         args.iter().any(|a| a == "--graph"),
@@ -128,6 +156,47 @@ fn main() {
         });
     }
 
+    // Batch-size ablation: the vectorized path on the plan executor,
+    // interleaved with the scalar rows above in the *same invocation* so
+    // the speedup ratio is in-run (same box state, same trace) rather
+    // than cross-run. Firings must be byte-identical to the scalar pass.
+    let scalar_plan = runs.iter().position(|r| matches!(r.mode, ExecMode::Plan));
+    let mut batch_runs = Vec::with_capacity(batch_sizes.len());
+    if let Some(plan_idx) = scalar_plan.filter(|_| !batch_sizes.is_empty()) {
+        let scalar_firings = runs[plan_idx].firings;
+        let config = EngineConfig {
+            exec: ExecMode::Plan,
+            ..EngineConfig::default()
+        };
+        // Symmetric warm-up through the batch path (the scalar rows each
+        // warmed up above).
+        let mut warm = bare_engine(&workload, config.clone());
+        let (warm_ms, _) = time_engine_batch_pass(&mut warm, stream, batch_sizes[0]);
+        eprintln!("  [batch] warm-up: {warm_ms:.1} ms");
+        drop(warm);
+        for &batch in &batch_sizes {
+            let mut passes = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let mut engine = bare_engine(&workload, config.clone());
+                let (elapsed_ms, firings) = time_engine_batch_pass(&mut engine, stream, batch);
+                assert_eq!(
+                    firings, scalar_firings,
+                    "batch={batch} diverged from the scalar firing count"
+                );
+                eprintln!("  [batch {batch}] pass {}: {elapsed_ms:.1} ms", rep + 1);
+                passes.push(elapsed_ms);
+            }
+            let best_ms = passes.iter().copied().fold(f64::INFINITY, f64::min);
+            let eps = report::eps(stream.len(), best_ms);
+            batch_runs.push(BatchRun {
+                batch,
+                passes,
+                best_ms,
+                eps,
+            });
+        }
+    }
+
     let headline = &runs[0];
     let speedup = headline.eps / PRE_PR_BASELINE_EPS;
     println!(
@@ -148,15 +217,42 @@ fn main() {
     if runs.len() == 2 {
         println!("  plan vs graph: {:.2}x", runs[0].eps / runs[1].eps);
     }
+    let scalar_eps = scalar_plan.map(|i| runs[i].eps);
+    if let Some(scalar_eps) = scalar_eps {
+        for b in &batch_runs {
+            println!(
+                "  [batch {:>5}] best of {} passes: {:.1} ms ({:.0} ev/s) | vs scalar: {:.2}x",
+                b.batch,
+                b.passes.len(),
+                b.best_ms,
+                b.eps,
+                b.eps / scalar_eps
+            );
+        }
+        if let Some(best) = batch_runs.iter().map(|b| b.eps).fold(None, f64_max) {
+            println!("  batch vs scalar (best in-run): {:.2}x", best / scalar_eps);
+        }
+    }
     println!("  vs. pre-lowering baseline {PRE_PR_BASELINE_EPS:.0} ev/s: {speedup:.2}x");
 
-    write_json(stream.len(), rules, &runs, speedup);
+    write_json(stream.len(), rules, &runs, speedup, &batch_runs, scalar_eps);
+}
+
+fn f64_max(acc: Option<f64>, v: f64) -> Option<f64> {
+    Some(acc.map_or(v, |a| a.max(v)))
 }
 
 /// The headline (plan-mode) `events_per_sec` is written first so
 /// `bench_gate.sh`'s first-match parse reads it; the per-mode ablation
 /// rows follow (see `rfid_bench::report` for the shared stamp/builder).
-fn write_json(events: usize, rules: usize, runs: &[ModeRun], speedup: f64) {
+fn write_json(
+    events: usize,
+    rules: usize,
+    runs: &[ModeRun],
+    speedup: f64,
+    batch_runs: &[BatchRun],
+    scalar_eps: Option<f64>,
+) {
     let headline = &runs[0];
     let reps = headline.passes.len();
     let modes: Vec<&str> = runs.iter().map(|r| mode_name(r.mode)).collect();
@@ -186,5 +282,31 @@ fn write_json(events: usize, rules: usize, runs: &[ModeRun], speedup: f64) {
         json.end_obj();
     }
     json.end_arr();
+    // Batch ablation rows: the vectorized path at each chunk size, with
+    // the in-run speedup against the scalar plan row above.
+    // `bench_gate.sh`'s batch section reads `batch_best_speedup_vs_scalar`.
+    if let Some(scalar_eps) = scalar_eps.filter(|_| !batch_runs.is_empty()) {
+        let best = batch_runs
+            .iter()
+            .map(|b| b.eps)
+            .fold(f64::NEG_INFINITY, f64::max);
+        json.f64_field("batch_scalar_eps", scalar_eps, 1);
+        json.f64_field("batch_best_speedup_vs_scalar", best / scalar_eps, 3);
+        json.begin_arr("batch");
+        for b in batch_runs {
+            json.begin_obj(None);
+            json.u64_field("batch_size", b.batch as u64);
+            json.begin_arr("passes_ms");
+            for ms in &b.passes {
+                json.elem(&format!("{ms:.3}"));
+            }
+            json.end_arr();
+            json.f64_field("best_ms", b.best_ms, 3);
+            json.f64_field("events_per_sec", b.eps, 1);
+            json.f64_field("speedup_vs_scalar", b.eps / scalar_eps, 3);
+            json.end_obj();
+        }
+        json.end_arr();
+    }
     report::write_results("BENCH_hotpath.json", &json.finish());
 }

@@ -26,7 +26,8 @@
 //! arrival while mutating runtime state — no per-arrival plan or kind
 //! clones — and the per-event work queue is a buffer reused across events.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Span, Timestamp};
@@ -121,6 +122,10 @@ impl Default for EngineConfig {
 /// detected instance.
 pub type Sink<'s> = dyn FnMut(RuleId, &Instance) + 's;
 
+/// Chunk size [`Engine::process_all`] feeds through the batch path; matches
+/// the shard pipeline's default flush size.
+pub const PROCESS_ALL_BATCH: usize = 1024;
+
 /// The RFID complex event detection engine.
 pub struct Engine {
     graph: EventGraph,
@@ -165,6 +170,62 @@ struct Runtime {
     /// here keeps every instrumentation site a plain field access — no
     /// extra parameters through the arrival handlers.
     obs: ObsState,
+    /// Watermark-amortized sweeping (DESIGN.md §16): per-node effective
+    /// retention spans, the next-expiry deadline heap, and the per-batch
+    /// touched bitmap the batch path arms deadlines from.
+    sweep: SweepQueue,
+}
+
+/// State of the deadline-driven sweep the batch path uses instead of the
+/// scalar fixed-cadence sweep. A node is *armed* when its earliest logged
+/// entry has a finite death time sitting in the heap; quiescent nodes are
+/// neither armed nor visited. Arming happens at batch boundaries from the
+/// `touched` bitmap (set at every state admission), and a deadline fires
+/// only when the batch watermark — the engine clock after the batch —
+/// passes it.
+#[derive(Debug, Default)]
+struct SweepQueue {
+    /// Per-node `[side0, side1]` effective sweep spans (solved retention
+    /// plus the `max_lag` pad when bounds enforcement is off), rebuilt on
+    /// recompile. Non-join stores use slot 0; `Span::MAX` marks a side the
+    /// sweep can never prune by time.
+    spans: Vec<[Span; 2]>,
+    /// Min-heap of `(deadline, node)` for armed nodes.
+    heap: BinaryHeap<Reverse<(Timestamp, u32)>>,
+    /// Whether the node currently has a deadline in the heap.
+    armed: Vec<bool>,
+    /// Bitmap of nodes that admitted state since the last batch boundary.
+    touched: Vec<u64>,
+    /// Scratch for the nodes drained as due in one batch sweep. Draining
+    /// before pruning guarantees each due node is visited exactly once per
+    /// batch even when its re-armed deadline lands at the watermark again.
+    due: Vec<u32>,
+}
+
+impl SweepQueue {
+    /// Marks a node as having admitted state this batch. Called from the
+    /// arrival handlers on every admission (scalar path included, so mixed
+    /// scalar/batch usage arms deadlines correctly); two instructions.
+    #[inline]
+    fn touch(&mut self, node: NodeId) {
+        let i = node.idx();
+        self.touched[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Sizes the tables for `len` nodes, keeping existing armed state.
+    fn resize(&mut self, len: usize) {
+        self.spans.resize(len, [Span::MAX; 2]);
+        self.armed.resize(len, false);
+        self.touched.resize(len.div_ceil(64), 0);
+    }
+
+    /// Drops all armed deadlines and touched bits (engine reset).
+    fn clear_runtime(&mut self) {
+        self.heap.clear();
+        self.armed.iter_mut().for_each(|a| *a = false);
+        self.touched.iter_mut().for_each(|w| *w = 0);
+        self.due.clear();
+    }
 }
 
 /// Leaf dispatch index: maps an observation to candidate primitive nodes
@@ -212,6 +273,7 @@ impl Engine {
                 scratch: Vec::new(),
                 work: Vec::new(),
                 obs: ObsState::new(config.observe, config.flight_capacity, config.flight_sample),
+                sweep: SweepQueue::default(),
             },
             rules_at: HashMap::new(),
             rule_names: Vec::new(),
@@ -342,15 +404,166 @@ impl Engine {
         }
     }
 
+    /// Feeds a contiguous batch of observations through the vectorized
+    /// path (DESIGN.md §16). Semantically identical to calling
+    /// [`Engine::process`] per element — same firings, in the same order —
+    /// but the per-event overheads are amortized over the batch:
+    ///
+    /// * the `dispatch_dirty` recompile check runs once, not per event;
+    /// * leaf dispatch resolves the compiled reader row once per
+    ///   contiguous same-reader run of the batch;
+    /// * the pseudo-event queue is peeked only when the cached earliest
+    ///   execution time says something can actually be due;
+    /// * the fixed-cadence buffer sweep is replaced by next-expiry
+    ///   deadlines ([`SweepQueue`]) checked once at the batch boundary, so
+    ///   quiescent nodes are never visited.
+    ///
+    /// Sweep *timing* therefore differs from the scalar path (counted in
+    /// `sweeps`/`sweeps_skipped` and the per-node prune counters), which is
+    /// firing-neutral: matching discards dead entries at probe time and
+    /// history queries are range-checked, so later pruning never changes
+    /// what fires. `sweep_every == u64::MAX` disables deadline sweeping
+    /// here exactly as it disables the scalar cadence sweep.
+    pub fn process_batch(&mut self, batch: &[Observation], sink: &mut Sink<'_>) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.dispatch_dirty {
+            self.recompile();
+        }
+        self.rt.stats.batches_processed += 1;
+        match self.config.exec {
+            ExecMode::Plan => self.process_batch_plan(batch, sink),
+            ExecMode::Graph => self.process_batch_graph(batch, sink),
+        }
+        self.batch_sweep();
+    }
+
+    /// The plan-mode batch loop: outer iteration over contiguous
+    /// same-reader runs (dispatch row resolved once per run), inner scalar
+    /// semantics per observation.
+    fn process_batch_plan(&mut self, batch: &[Observation], sink: &mut Sink<'_>) {
+        let full = self.rt.obs.level.full();
+        // Cached earliest pending pseudo execution time; refreshed after
+        // anything that can schedule or consume pseudo events, so the
+        // per-event cost is one comparison instead of a heap peek.
+        let mut next_pseudo = self.rt.pseudo.next_exec();
+        let mut i = 0;
+        while i < batch.len() {
+            let reader = batch[i].reader;
+            let row = self.plan.reader_row(reader.0);
+            let can_match = self.plan.row_can_match(row);
+            let mut j = i;
+            while j < batch.len() && batch[j].reader == reader {
+                let obs = batch[j];
+                j += 1;
+                debug_assert!(!self.dispatch_dirty, "rule set changed mid-batch");
+                debug_assert!(obs.at >= self.rt.clock, "observations must be time-ordered");
+                let obs_t0 = full.then(std::time::Instant::now);
+                if next_pseudo.is_some_and(|t| t < obs.at) {
+                    while let Some(ev) = self.rt.pseudo.pop_due(obs.at) {
+                        self.fire_pseudo(ev, sink);
+                    }
+                    next_pseudo = self.rt.pseudo.next_exec();
+                }
+                self.rt.clock = self.rt.clock.max(obs.at);
+                self.rt.stats.events += 1;
+                if can_match {
+                    let mut hits: InlineBuf<NodeId, LEAF_HITS_INLINE> = InlineBuf::default();
+                    self.plan
+                        .leaf_hits_in_row(&self.catalog, &obs, row, &mut hits);
+                    if !hits.is_empty() {
+                        self.rt.stats.matched_events += 1;
+                        let inst = Arc::new(Instance::observation(obs));
+                        self.rt
+                            .work
+                            .extend(hits.iter().map(|&leaf| (leaf, inst.clone())));
+                        self.run_work_plan(sink);
+                        next_pseudo = self.rt.pseudo.next_exec();
+                    }
+                }
+                if let Some(t0) = obs_t0 {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.rt.obs.latency_ns.record(ns);
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// The graph-mode batch loop (differential oracle under batching): the
+    /// walker's candidate list is resolved once per contiguous same-reader
+    /// run — it depends only on the reader — and re-filtered per
+    /// observation, with the same cached-pseudo and boundary-sweep
+    /// amortizations as the plan loop.
+    fn process_batch_graph(&mut self, batch: &[Observation], sink: &mut Sink<'_>) {
+        let full = self.rt.obs.level.full();
+        let mut next_pseudo = self.rt.pseudo.next_exec();
+        let mut base: Vec<NodeId> = Vec::new();
+        let mut i = 0;
+        while i < batch.len() {
+            let reader = batch[i].reader;
+            base.clear();
+            self.dispatch
+                .candidates(&self.catalog, &batch[i], &mut base);
+            let mut j = i;
+            while j < batch.len() && batch[j].reader == reader {
+                let obs = batch[j];
+                j += 1;
+                debug_assert!(!self.dispatch_dirty, "rule set changed mid-batch");
+                debug_assert!(obs.at >= self.rt.clock, "observations must be time-ordered");
+                let obs_t0 = full.then(std::time::Instant::now);
+                if next_pseudo.is_some_and(|t| t < obs.at) {
+                    while let Some(ev) = self.rt.pseudo.pop_due(obs.at) {
+                        self.fire_pseudo(ev, sink);
+                    }
+                    next_pseudo = self.rt.pseudo.next_exec();
+                }
+                self.rt.clock = self.rt.clock.max(obs.at);
+                self.rt.stats.events += 1;
+                self.rt.scratch.clear();
+                self.rt.scratch.extend_from_slice(&base);
+                let (graph, catalog) = (&self.graph, &self.catalog);
+                self.rt
+                    .scratch
+                    .retain(|&leaf| match &graph.node(leaf).kind {
+                        NodeKind::Primitive(p) => p.matches(&obs, catalog),
+                        _ => false,
+                    });
+                if !self.rt.scratch.is_empty() {
+                    self.rt.stats.matched_events += 1;
+                    let inst = Arc::new(Instance::observation(obs));
+                    let Runtime { scratch, work, .. } = &mut self.rt;
+                    work.extend(scratch.iter().map(|&leaf| (leaf, inst.clone())));
+                    self.run_work_graph(sink);
+                    next_pseudo = self.rt.pseudo.next_exec();
+                }
+                if let Some(t0) = obs_t0 {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.rt.obs.latency_ns.record(ns);
+                }
+            }
+            i = j;
+        }
+    }
+
     /// Feeds a whole stream, then drains remaining pseudo events so windows
-    /// extending past the last observation resolve.
+    /// extending past the last observation resolve. Streams are executed
+    /// through the batch path ([`Engine::process_batch`]) in
+    /// [`PROCESS_ALL_BATCH`]-observation chunks.
     pub fn process_all<I>(&mut self, stream: I, sink: &mut Sink<'_>)
     where
         I: IntoIterator<Item = Observation>,
     {
+        let mut buf: Vec<Observation> = Vec::with_capacity(PROCESS_ALL_BATCH);
         for obs in stream {
-            self.process(obs, sink);
+            buf.push(obs);
+            if buf.len() == PROCESS_ALL_BATCH {
+                self.process_batch(&buf, sink);
+                buf.clear();
+            }
         }
+        self.process_batch(&buf, sink);
         self.finish(sink);
     }
 
@@ -493,6 +706,7 @@ impl Engine {
         self.rt.seq = 0;
         self.rt.stats = EngineStats::default();
         self.rt.obs.reset();
+        self.rt.sweep.clear_runtime();
         for f in &mut self.rule_firings {
             *f = 0;
         }
@@ -557,6 +771,38 @@ impl Engine {
             .obs
             .arena
             .ensure_len(self.graph.len().max(self.plan.node_count()));
+        self.rebuild_sweep_spans();
+    }
+
+    /// Exports the per-node effective sweep spans the deadline heap and
+    /// both sweep flavours prune against: the solved per-side retention
+    /// bounds when enforcement is on, else the conservative horizon plus
+    /// the graph-wide `max_lag` pad — exactly the horizons the cadence
+    /// sweep used to recompute per pass.
+    fn rebuild_sweep_spans(&mut self) {
+        let enforce = self.config.enforce_bounds && self.bounds.len() == self.graph.len();
+        let lag = self.graph.max_lag();
+        let len = self.graph.len();
+        self.rt.sweep.resize(len);
+        for idx in 0..len {
+            let id = NodeId(idx as u32);
+            let node = self.graph.node(id);
+            let (h0, h1, retention, pad) = if enforce {
+                let b = self.bounds.node(id);
+                (b.retain[0], b.retain[1], b.retention, Span::ZERO)
+            } else {
+                (node.horizon, node.horizon, node.retention, lag)
+            };
+            // Span addition saturates, so a `Span::MAX` horizon stays MAX
+            // ("never prune by time") through the pad.
+            self.rt.sweep.spans[idx] = match node.plan {
+                Plan::TwoSided => [h0 + pad, h1 + pad],
+                Plan::NegationRecorder | Plan::AperiodicRecorder => {
+                    [retention + pad, retention + pad]
+                }
+                _ => [Span::MAX; 2],
+            };
+        }
     }
 
     fn rebuild_dispatch(&mut self) {
@@ -800,56 +1046,152 @@ impl Engine {
         }
     }
 
-    /// Global buffer sweep: prune joins, histories, and element stores.
-    /// With bounds enforcement on, each store is pruned against its solved
-    /// per-node (and, for joins, per-side) retention from [`crate::bounds`]
-    /// — no graph-wide lag pad; otherwise the conservative horizon +
-    /// `max_lag` pruning applies.
+    /// Global buffer sweep (scalar cadence path): prune joins, histories,
+    /// and element stores. With bounds enforcement on, each store is pruned
+    /// against its solved per-node (and, for joins, per-side) retention
+    /// from [`crate::bounds`] — no graph-wide lag pad; otherwise the
+    /// conservative horizon + `max_lag` pruning applies. Both horizons are
+    /// precomputed into [`SweepQueue::spans`] at recompile.
     fn sweep(&mut self) {
         self.rt.stats.sweeps += 1;
-        let clock = self.rt.clock;
-        let enforce = self.config.enforce_bounds && self.bounds.len() == self.graph.len();
-        let lag = self.graph.max_lag();
+        debug_assert_eq!(
+            self.rt.sweep.spans.len(),
+            self.rt.states.len(),
+            "recompile sized the sweep spans"
+        );
         for idx in 0..self.rt.states.len() {
-            let id = NodeId(idx as u32);
-            let node = self.graph.node(id);
-            let (h0, h1, retention, pad) = if enforce {
-                let b = self.bounds.node(id);
-                (b.retain[0], b.retain[1], b.retention, Span::ZERO)
+            self.prune_node(idx);
+        }
+    }
+
+    /// Prunes one node's stores against its effective sweep spans — the
+    /// unit of work shared by the cadence sweep and the deadline sweep.
+    fn prune_node(&mut self, idx: usize) {
+        let clock = self.rt.clock;
+        let [s0, s1] = self.rt.sweep.spans[idx];
+        let counters = self.rt.obs.level.counters();
+        match &mut self.rt.states[idx] {
+            NodeState::Join { left, right } => {
+                let before = left.len() + right.len();
+                left.prune(dead_before(clock, s0, Span::ZERO));
+                right.prune(dead_before(clock, s1, Span::ZERO));
+                if counters {
+                    let dropped = before - (left.len() + right.len());
+                    self.rt.obs.arena.pruned(idx, dropped as u64);
+                }
+            }
+            NodeState::Negation(neg) => {
+                let dropped = neg.prune(dead_before(clock, s0, Span::ZERO));
+                if counters {
+                    self.rt.obs.arena.pruned(idx, dropped as u64);
+                }
+            }
+            NodeState::Aperiodic(ap) => {
+                let before = ap.len();
+                ap.prune(dead_before(clock, s0, Span::ZERO));
+                if counters {
+                    self.rt.obs.arena.pruned(idx, (before - ap.len()) as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The earliest instant at which something buffered on this node can
+    /// die, from the oldest expiry-log record of each store plus the
+    /// node's sweep span — `None` when nothing is buffered or the spans
+    /// are unbounded. Stale log heads (consumed entries) only make the
+    /// deadline early, never late, so arming from logs is conservative.
+    fn node_deadline(&self, idx: usize) -> Option<Timestamp> {
+        let [s0, s1] = self.rt.sweep.spans[idx];
+        let side = |oldest: Option<Timestamp>, span: Span| {
+            if span == Span::MAX {
+                None
             } else {
-                (node.horizon, node.horizon, node.retention, lag)
-            };
-            let counters = self.rt.obs.level.counters();
-            match &mut self.rt.states[idx] {
-                NodeState::Join { left, right } => {
-                    let before = left.len() + right.len();
-                    left.prune(dead_before(clock, h0, pad));
-                    right.prune(dead_before(clock, h1, pad));
-                    if counters {
-                        let dropped = before - (left.len() + right.len());
-                        self.rt.obs.arena.pruned(idx, dropped as u64);
+                oldest.map(|t| t.saturating_add(span))
+            }
+        };
+        match &self.rt.states[idx] {
+            NodeState::Join { left, right } => {
+                let d0 = side(left.oldest_logged(), s0);
+                let d1 = side(right.oldest_logged(), s1);
+                match (d0, d1) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (d, None) | (None, d) => d,
+                }
+            }
+            NodeState::Negation(neg) => side(neg.oldest_logged(), s0),
+            NodeState::Aperiodic(ap) => side(ap.oldest_logged(), s0),
+            _ => None,
+        }
+    }
+
+    /// Batch-boundary sweep: arm a deadline for every node that admitted
+    /// state this batch, then prune exactly the nodes whose deadline the
+    /// batch watermark passed. A batch that crosses no deadline prunes
+    /// nothing and touches no node state at all (`sweeps_skipped`).
+    fn batch_sweep(&mut self) {
+        // `sweep_every == u64::MAX` is the documented sweep-disable
+        // switch; the deadline sweep honors it like the cadence sweep.
+        if self.config.sweep_every == u64::MAX {
+            return;
+        }
+        let watermark = self.rt.clock;
+        for w in 0..self.rt.sweep.touched.len() {
+            let mut bits = std::mem::take(&mut self.rt.sweep.touched[w]);
+            while bits != 0 {
+                #[allow(clippy::cast_possible_truncation)]
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.rt.sweep.armed[idx] {
+                    continue;
+                }
+                match self.node_deadline(idx) {
+                    Some(d) => {
+                        self.rt.sweep.armed[idx] = true;
+                        self.rt.sweep.heap.push(Reverse((d, idx as u32)));
+                    }
+                    None => {
+                        // No finite deadline, but an unbounded-horizon join
+                        // still relies on the sweep for expiry-log
+                        // compaction (consumed entries leave stale records
+                        // a time-based prune never reaches). The prune
+                        // itself drops nothing here.
+                        if matches!(self.rt.states[idx], NodeState::Join { .. }) {
+                            self.prune_node(idx);
+                        }
                     }
                 }
-                NodeState::Negation(neg) => {
-                    let before = neg.recorded();
-                    neg.prune(dead_before(clock, retention, pad));
-                    if counters {
-                        self.rt
-                            .obs
-                            .arena
-                            .pruned(idx, (before - neg.recorded()) as u64);
-                    }
-                }
-                NodeState::Aperiodic(ap) => {
-                    let before = ap.len();
-                    ap.prune(dead_before(clock, retention, pad));
-                    if counters {
-                        self.rt.obs.arena.pruned(idx, (before - ap.len()) as u64);
-                    }
-                }
-                _ => {}
             }
         }
+        // Collect everything due before pruning: pruning re-arms nodes,
+        // and a re-armed deadline can land at the watermark again (equal
+        // timestamps); draining first visits each node once per batch.
+        let mut due = std::mem::take(&mut self.rt.sweep.due);
+        while let Some(&Reverse((d, idx))) = self.rt.sweep.heap.peek() {
+            // Strictly before: at `d == watermark` nothing is dead yet
+            // (`dead_before` is exclusive), so the deadline keeps waiting.
+            if d >= watermark {
+                break;
+            }
+            self.rt.sweep.heap.pop();
+            due.push(idx);
+        }
+        if due.is_empty() {
+            self.rt.stats.sweeps_skipped += 1;
+        } else {
+            self.rt.stats.sweeps += 1;
+            for &n in &due {
+                let idx = n as usize;
+                self.prune_node(idx);
+                match self.node_deadline(idx) {
+                    Some(d) => self.rt.sweep.heap.push(Reverse((d, n))),
+                    None => self.rt.sweep.armed[idx] = false,
+                }
+            }
+            due.clear();
+        }
+        self.rt.sweep.due = due;
     }
 }
 
@@ -891,6 +1233,7 @@ impl Runtime {
 
         self.seq += 1;
         let seq = self.seq;
+        self.sweep.touch(node.id);
         if self.obs.level.counters() {
             // One bucket access both probes for a partner and admits the
             // instance as a future initiator.
@@ -972,6 +1315,7 @@ impl Runtime {
         }
         let spec_idx = query_node.hist_spec.expect("query plan has a spec").0 as usize;
         let specs = graph.hist_specs(not_node.id);
+        self.sweep.touch(not_node.id);
         let NodeState::Negation(neg) = &mut self.states[not_node.id.idx()] else {
             unreachable!("negation state");
         };
@@ -1129,6 +1473,7 @@ impl Runtime {
                             seq: self.seq,
                         };
                         own.push(bucket.clone(), entry, cap);
+                        self.sweep.touch(parent);
                         if self.obs.level.counters() {
                             self.obs.arena.admitted(parent.idx());
                             if self.obs.level.full() {
@@ -1239,6 +1584,7 @@ impl Runtime {
             }
             Plan::NegationRecorder => {
                 let specs = graph.hist_specs(parent);
+                self.sweep.touch(parent);
                 let NodeState::Negation(neg) = &mut self.states[parent.idx()] else {
                     unreachable!("negation state");
                 };
@@ -1261,6 +1607,7 @@ impl Runtime {
                 }
             }
             Plan::AperiodicRecorder => {
+                self.sweep.touch(parent);
                 let NodeState::Aperiodic(ap) = &mut self.states[parent.idx()] else {
                     unreachable!("aperiodic state");
                 };

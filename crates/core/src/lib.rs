@@ -69,7 +69,7 @@ pub mod stats;
 
 pub use analyze::{DiagCode, Diagnostic, RuleEvent, Severity};
 pub use bounds::{Bounds, BoundsSummary, NodeBounds};
-pub use engine::{Engine, EngineConfig, ExecMode, RuleId};
+pub use engine::{Engine, EngineConfig, ExecMode, RuleId, PROCESS_ALL_BATCH};
 pub use error::InvalidRule;
 pub use graph::{DetectionMode, EventGraph, NodeId};
 pub use obs::{

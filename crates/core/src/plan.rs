@@ -554,7 +554,38 @@ impl CompiledPlan {
         obs: &Observation,
         out: &mut InlineBuf<NodeId, LEAF_HITS_INLINE>,
     ) {
-        if let Some(&(start, end)) = self.reader_rows.get(obs.reader.0 as usize) {
+        self.leaf_hits_in_row(catalog, obs, self.reader_row(obs.reader.0), out);
+    }
+
+    /// The reader's dispatch-row bounds in the leaf-check arena (`None`
+    /// for a reader the catalog never registered). Batch execution
+    /// resolves the row once per contiguous same-reader run and feeds it
+    /// back through [`CompiledPlan::leaf_hits_in_row`] instead of
+    /// re-indexing the row table per observation.
+    #[inline]
+    pub fn reader_row(&self, reader: u32) -> Option<(u32, u32)> {
+        self.reader_rows.get(reader as usize).copied()
+    }
+
+    /// Whether a resolved dispatch row can activate any leaf at all. A
+    /// `false` answer lets the batch path skip hit collection entirely
+    /// for every observation of that reader's run.
+    #[inline]
+    pub fn row_can_match(&self, row: Option<(u32, u32)>) -> bool {
+        row.is_some_and(|(start, end)| start != end) || !self.any_leaves.is_empty()
+    }
+
+    /// [`CompiledPlan::leaf_hits`] with the dispatch row pre-resolved by
+    /// [`CompiledPlan::reader_row`].
+    #[inline]
+    pub fn leaf_hits_in_row(
+        &self,
+        catalog: &Catalog,
+        obs: &Observation,
+        row: Option<(u32, u32)>,
+        out: &mut InlineBuf<NodeId, LEAF_HITS_INLINE>,
+    ) {
+        if let Some((start, end)) = row {
             for check in &self.leaf_checks[start as usize..end as usize] {
                 if check.object.matches(obs, catalog) {
                     out.push(NodeId(check.node));

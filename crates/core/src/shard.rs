@@ -861,9 +861,8 @@ fn worker_loop(
                 let mut sink = |rule: RuleId, inst: &Instance| {
                     push_firing(&map, &mut seq, &mut firings, rule, inst);
                 };
-                for obs in batch.drain(..) {
-                    engine.process(obs, &mut sink);
-                }
+                engine.process_batch(&batch, &mut sink);
+                batch.clear();
                 depth.fetch_sub(1, Ordering::AcqRel);
                 // Hand the emptied buffer back; if the router is gone the
                 // buffer just drops.

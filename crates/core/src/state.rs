@@ -391,6 +391,15 @@ impl KeyedBuffer {
     fn expiry_log_len(&self) -> usize {
         self.expiry.len()
     }
+
+    /// Timestamp of the oldest expiry-log record — a lower bound on when
+    /// the next buffered entry can die. Consumed entries leave stale
+    /// records behind, so this may be earlier than the oldest *live*
+    /// entry; a deadline armed from it fires at worst one sweep early,
+    /// never late.
+    pub fn oldest_logged(&self) -> Option<Timestamp> {
+        self.expiry.front().map(|&(t, _)| t)
+    }
 }
 
 /// End-times a key history can hold without touching the heap. Shelf-style
@@ -701,10 +710,14 @@ impl NegationState {
     /// aggregate `dropped_earliest`/`dropped_keys` record what was removed
     /// so the invariant is checkable (`debug_assert` in
     /// [`NegationState::occurred`]).
-    pub fn prune(&mut self, dead_before: Timestamp) {
+    /// Returns the number of occurrence records removed, so the caller's
+    /// prune accounting needs no before/after [`NegationState::recorded`]
+    /// walks (those are O(every slot of every table)).
+    pub fn prune(&mut self, dead_before: Timestamp) -> usize {
         if dead_before == Timestamp::ZERO {
-            return;
+            return 0;
         }
+        let mut removed = 0;
         let mut dropped_earliest = self.dropped_earliest;
         let mut dropped_keys = self.dropped_keys;
         for tb in &mut self.tables {
@@ -729,6 +742,7 @@ impl NegationState {
                 while let Some(front) = hist.times.front() {
                     if front < dead_before {
                         hist.times.pop_front();
+                        removed += 1;
                     } else {
                         break;
                     }
@@ -751,6 +765,7 @@ impl NegationState {
         }
         self.dropped_earliest = dropped_earliest;
         self.dropped_keys = dropped_keys;
+        removed
     }
 
     /// Total retained occurrence records (diagnostics).
@@ -767,6 +782,17 @@ impl NegationState {
     /// (the quantity [`NegationState::prune`] bounds; reported in stats).
     pub fn key_count(&self) -> usize {
         self.tables.iter().map(|tb| tb.index.len()).sum()
+    }
+
+    /// Oldest expiry-log timestamp across all history specs — the lower
+    /// bound expiry deadlines are armed from. Like
+    /// [`KeyedBuffer::oldest_logged`], stale log heads only make it
+    /// conservative (early), never late.
+    pub fn oldest_logged(&self) -> Option<Timestamp> {
+        self.tables
+            .iter()
+            .filter_map(|tb| tb.log.front().map(|&(t, _)| t))
+            .min()
     }
 }
 
@@ -817,6 +843,12 @@ impl AperiodicState {
     /// Whether the history is empty.
     pub fn is_empty(&self) -> bool {
         self.hist.is_empty()
+    }
+
+    /// End-time of the oldest retained occurrence (the history is exact,
+    /// so unlike the keyed logs this is never stale).
+    pub fn oldest_logged(&self) -> Option<Timestamp> {
+        self.hist.front().map(|&(t, _)| t)
     }
 }
 
@@ -1097,7 +1129,7 @@ mod tests {
         neg.ensure_specs(1);
         neg.record(0, Key::EMPTY, Timestamp::from_secs(1));
         neg.record(0, Key::EMPTY, Timestamp::from_secs(100));
-        neg.prune(Timestamp::from_secs(50));
+        assert_eq!(neg.prune(Timestamp::from_secs(50)), 1, "one record removed");
         assert_eq!(neg.recorded(), 1);
         assert_eq!(neg.key_count(), 1, "key still holds a live record");
         // "Did it ever occur before t=10?" still answerable exactly.
@@ -1132,7 +1164,7 @@ mod tests {
 
         // Keys 0 and 1 are fully behind the horizon: entry and `earliest`
         // both stale, so the whole entry goes.
-        neg.prune(Timestamp::from_secs(2));
+        assert_eq!(neg.prune(Timestamp::from_secs(2)), 2, "two records removed");
         assert_eq!(neg.key_count(), 2, "drained keys are dropped");
         assert_eq!(neg.recorded(), 2);
 
@@ -1156,7 +1188,7 @@ mod tests {
 
         // A zero horizon is a no-op, not a mass drop.
         let before = neg.key_count();
-        neg.prune(Timestamp::ZERO);
+        assert_eq!(neg.prune(Timestamp::ZERO), 0);
         assert_eq!(neg.key_count(), before);
     }
 

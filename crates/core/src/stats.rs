@@ -127,6 +127,14 @@ engine_stats! {
     /// spill; nonzero means `crate::state::RUN_INLINE` is undersized for
     /// the workload.
     run_spills: Counter,
+    /// Observation batches executed through the vectorized path
+    /// (`Engine::process_batch`); zero when every event went through the
+    /// scalar `Engine::process`.
+    batches_processed: Counter,
+    /// Batch-boundary sweep checks that found no due expiry deadline and
+    /// therefore pruned nothing — the passes the watermark-amortized
+    /// sweeping saves over the fixed `sweep_every` cadence.
+    sweeps_skipped: Counter,
 }
 
 impl std::fmt::Display for EngineStats {
@@ -135,7 +143,7 @@ impl std::fmt::Display for EngineStats {
             f,
             "events={} matched={} pseudo={}/{} occurrences={} firings={} drops={} sweeps={} \
              batches={} qdepth={} negkeys={} buffered={} joinkeys={} rworkers={} plan={}n/{}B \
-             rundepth={} spills={}",
+             rundepth={} spills={} pbatches={} sweepskip={}",
             self.events,
             self.matched_events,
             self.pseudo_fired,
@@ -154,6 +162,8 @@ impl std::fmt::Display for EngineStats {
             self.plan_arena_bytes,
             self.max_run_depth,
             self.run_spills,
+            self.batches_processed,
+            self.sweeps_skipped,
         )
     }
 }
@@ -183,6 +193,8 @@ mod tests {
             plan_arena_bytes: seed / 3,
             max_run_depth: seed / 4,
             run_spills: seed + 10,
+            batches_processed: seed + 11,
+            sweeps_skipped: seed + 12,
         }
     }
 
@@ -286,6 +298,6 @@ mod tests {
             "re-classifying a field is a semantic change: update this test \
              and the EXPERIMENTS.md tables together"
         );
-        assert_eq!(EngineStats::FIELDS.len(), 18);
+        assert_eq!(EngineStats::FIELDS.len(), 20);
     }
 }

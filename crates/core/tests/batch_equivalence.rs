@@ -1,0 +1,193 @@
+//! Batch execution ≡ scalar execution: for any rule program drawn from
+//! the paper's rule shapes, feeding a simulator trace through
+//! `Engine::process_batch` (at any chunking) must emit exactly the same
+//! multiset of rule firings — and the same invariant counter totals — as
+//! feeding it one observation at a time through `Engine::process`. This
+//! is the differential harness behind the vectorized path (DESIGN.md
+//! §16): batching only amortizes dispatch, pseudo-queue peeks, and sweep
+//! scheduling; it never changes what the engine detects.
+//!
+//! Counters that describe *sweep cadence* (`sweeps`, `sweeps_skipped`,
+//! `batches_processed`, the per-node prune counts, and the buffered-state
+//! gauges) legitimately diverge between the cadence sweep and the
+//! watermark-deadline sweep, so the comparison pins the detection
+//! counters only: events, matched events, occurrences, rule firings,
+//! pseudo events scheduled/fired, and capacity drops.
+
+use proptest::prelude::*;
+use rceda::engine::{Engine, EngineConfig, ExecMode, RuleId};
+use rceda::{EngineStats, ObserveLevel};
+use rfid_events::{EventExpr, Instance, Observation, Span, Timestamp};
+use rfid_simulator::{SimConfig, SupplyChain};
+use std::sync::OnceLock;
+
+/// A firing fingerprint that identifies an occurrence independently of
+/// emission order: rule, instance window, and constituent observations.
+type Fingerprint = (u32, Timestamp, Timestamp, Vec<Observation>);
+
+/// The same shape pool as `plan_equivalence`/`bounds_equivalence`: every
+/// plan variant the lowering distinguishes, so every arrival handler and
+/// every sweepable store sits under the batch loop.
+const SHAPES: usize = 8;
+const WINDOWS: [Span; 3] = [Span::from_secs(2), Span::from_secs(5), Span::from_secs(30)];
+
+fn shape(idx: usize, window: Span) -> EventExpr {
+    let shelf = || EventExpr::observation_in_group("shelves").bind_object("o");
+    match idx {
+        // Self-join duplicate filter (SelfJoin edges).
+        0 => EventExpr::observation()
+            .bind_reader("r")
+            .bind_object("o")
+            .seq(EventExpr::observation().bind_reader("r").bind_object("o"))
+            .within(window),
+        // In-field filtering: the twin-leaf `QueryRecord` fusion.
+        1 => shelf().not().seq(shelf()).within(window),
+        // AND with right-side negation (pseudo events on window close).
+        2 => EventExpr::observation_in_group("pos")
+            .bind_object("o")
+            .and(
+                EventExpr::observation_in_group("exits")
+                    .bind_object("o")
+                    .not(),
+            )
+            .within(window),
+        // Keyless chronicle join (TwoSided, trivial key).
+        3 => EventExpr::observation_in_group("docks")
+            .seq(EventExpr::observation_in_group("pos"))
+            .within(window),
+        // Global timed run (TimedAperiodic + CloseRun pseudo events).
+        4 => EventExpr::observation_in_group("shelves")
+            .tseq_plus(Span::ZERO, Span::from_millis(1_500))
+            .within(window),
+        // Right-side negation wait (anchor + window close).
+        5 => EventExpr::observation_in_group("docks")
+            .bind_object("o")
+            .seq(
+                EventExpr::observation_in_group("exits")
+                    .bind_object("o")
+                    .not(),
+            )
+            .within(window),
+        // Aperiodic drain (LeftAperiodicQuery / AperiodicRecorder).
+        6 => EventExpr::observation_in_group("shelves")
+            .seq_plus()
+            .seq(EventExpr::observation_in_group("docks"))
+            .within(window),
+        // Keyed two-sided join across groups (Left/Right edges).
+        7 => EventExpr::observation_in_group("docks")
+            .bind_object("o")
+            .seq(EventExpr::observation_in_group("pos").bind_object("o"))
+            .within(window),
+        _ => unreachable!("shape index out of pool"),
+    }
+}
+
+struct Fixture {
+    sim: SupplyChain,
+    stream: Vec<Observation>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let sim = SupplyChain::build(SimConfig::default());
+        let stream = sim.generate(2_000).observations;
+        Fixture { sim, stream }
+    })
+}
+
+/// Runs one configuration; `batch == 0` is the scalar oracle, anything
+/// else chunks the stream through `process_batch`.
+fn run(
+    mode: ExecMode,
+    enforce: bool,
+    observe: ObserveLevel,
+    batch: usize,
+    program: &[(usize, usize)],
+) -> (Vec<Fingerprint>, EngineStats) {
+    let fx = fixture();
+    let config = EngineConfig {
+        exec: mode,
+        enforce_bounds: enforce,
+        observe,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(fx.sim.catalog.clone(), config);
+    for (pos, &(idx, w)) in program.iter().enumerate() {
+        let name = format!("r{pos}");
+        engine
+            .add_rule(&name, shape(idx, WINDOWS[w]))
+            .expect("valid rule");
+    }
+    let mut out = Vec::new();
+    let mut sink = |rule: RuleId, inst: &Instance| {
+        out.push((rule.0, inst.t_begin(), inst.t_end(), inst.observations()));
+    };
+    if batch == 0 {
+        for &obs in &fx.stream {
+            engine.process(obs, &mut sink);
+        }
+    } else {
+        for chunk in fx.stream.chunks(batch) {
+            engine.process_batch(chunk, &mut sink);
+        }
+    }
+    engine.finish(&mut sink);
+    out.sort();
+    (out, engine.stats())
+}
+
+/// The counters batching must not change — everything that describes
+/// *detection* rather than sweep cadence.
+fn detection_counters(s: &EngineStats) -> [u64; 7] {
+    [
+        s.events,
+        s.matched_events,
+        s.occurrences,
+        s.rule_firings,
+        s.pseudo_scheduled,
+        s.pseudo_fired,
+        s.capacity_drops,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any program of up to four rules from the shape pool fires
+    /// identically — with identical detection counters — whether the
+    /// stream is fed per observation or in batches, at every chunking,
+    /// under both executors and both bound-enforcement modes.
+    #[test]
+    fn batched_execution_preserves_firings_and_counters(
+        program in proptest::collection::vec((0usize..SHAPES, 0usize..WINDOWS.len()), 1..=4),
+        batch in prop_oneof![Just(1usize), Just(7), Just(64), Just(256), Just(2_000)],
+        observe in prop_oneof![Just(ObserveLevel::Off), Just(ObserveLevel::Counters)],
+    ) {
+        for mode in [ExecMode::Plan, ExecMode::Graph] {
+            for enforce in [true, false] {
+                let (scalar_firings, scalar_stats) =
+                    run(mode, enforce, observe, 0, &program);
+                let (batch_firings, batch_stats) =
+                    run(mode, enforce, observe, batch, &program);
+                prop_assert_eq!(
+                    &scalar_firings,
+                    &batch_firings,
+                    "firing multisets diverged under {:?} enforce={} batch={}",
+                    mode, enforce, batch
+                );
+                prop_assert_eq!(
+                    detection_counters(&scalar_stats),
+                    detection_counters(&batch_stats),
+                    "detection counters diverged under {:?} enforce={} batch={}",
+                    mode, enforce, batch
+                );
+                prop_assert_eq!(
+                    batch_stats.batches_processed,
+                    (fixture().stream.len() as u64).div_ceil(batch.max(1) as u64),
+                    "every chunk goes through the batch path"
+                );
+            }
+        }
+    }
+}

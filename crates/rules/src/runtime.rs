@@ -308,11 +308,37 @@ impl RuleRuntime {
         });
     }
 
-    /// Feeds a whole stream and finishes it.
+    /// Feeds a contiguous batch of observations through the engine's
+    /// vectorized path ([`rceda::Engine::process_batch`]); firings run
+    /// their conditions and actions exactly as [`RuleRuntime::process`]
+    /// would, in the same order.
+    pub fn process_batch(&mut self, batch: &[Observation]) {
+        let Self {
+            engine,
+            catalog,
+            db,
+            procs,
+            rules,
+            errors,
+            ..
+        } = self;
+        engine.process_batch(batch, &mut |rule, inst| {
+            fire(rules, rule, inst, catalog, db, procs, errors);
+        });
+    }
+
+    /// Feeds a whole stream and finishes it, chunked through the batch
+    /// path in [`rceda::PROCESS_ALL_BATCH`]-observation slices.
     pub fn process_all<I: IntoIterator<Item = Observation>>(&mut self, stream: I) {
+        let mut buf: Vec<Observation> = Vec::with_capacity(rceda::PROCESS_ALL_BATCH);
         for obs in stream {
-            self.process(obs);
+            buf.push(obs);
+            if buf.len() == rceda::PROCESS_ALL_BATCH {
+                self.process_batch(&buf);
+                buf.clear();
+            }
         }
+        self.process_batch(&buf);
         self.finish();
     }
 

@@ -68,6 +68,42 @@ if ! awk -v ref="$ref_eps" -v new="$new_eps" -v tol="$tolerance" 'BEGIN {
     exit 1
 fi
 
+# --- batch-path gate ---------------------------------------------------------
+
+# The vectorized batch path (`Engine::process_batch`) must not fall behind
+# the scalar driver it amortizes: the fresh hot-path run above measured
+# both in the same invocation (same box state, same trace), and the best
+# batch size's in-run speedup over scalar is gated against a floor. The
+# floor is a regression guard, not the headline target — batch-boundary
+# sweeping going quadratic or a per-batch cost creeping in shows up here
+# as a ratio well below 1.
+batch_min="${BATCH_SPEEDUP_MIN:-0.95}"
+
+# First match only: the headline ratio precedes the per-size ablation rows.
+parse_batch_speedup() {
+    awk -F': ' '/"batch_best_speedup_vs_scalar"/ { gsub(/,/, "", $2); print $2; exit }' "$1"
+}
+
+batch_speedup=$(parse_batch_speedup "$reference")
+if [[ -z "$batch_speedup" ]]; then
+    echo "bench_gate.sh: no batch ablation rows in $reference" >&2
+    cp "$saved" "$reference"
+    exit 1
+fi
+
+echo "== bench gate: batch path (best batch/scalar ${batch_speedup}x, floor ${batch_min}x) =="
+if ! awk -v s="$batch_speedup" -v min="$batch_min" 'BEGIN {
+    printf "  batch vs scalar (best in-run): %.2fx | floor: %.2fx\n", s, min
+    if (s < min) {
+        printf "bench_gate.sh: FAIL — batch path fell below %.2fx of scalar\n", min
+        exit 1
+    }
+    printf "bench_gate.sh: OK\n"
+}'; then
+    cp "$saved" "$reference"
+    exit 1
+fi
+
 # --- shard-pipeline gate -----------------------------------------------------
 
 shard_reference=results/BENCH_shard.json

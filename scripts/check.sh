@@ -25,6 +25,12 @@ echo "== retention-bound differential suite =="
 # firing multiset exactly vs the conservative max_lag-padded eviction.
 cargo test -q -p rceda --test bounds_equivalence
 
+echo "== batch/scalar differential suite =="
+# The vectorized batch path must stay firing-identical to the scalar driver:
+# property tests compare the firing multiset and the detection counters
+# across batch sizes x ExecMode::{Plan,Graph} x bounds on/off x obs levels.
+cargo test -q -p rceda --test batch_equivalence
+
 echo "== rceda-lint (canonical rule programs) =="
 # The Rule 1-5 program and the 512-rule containment workload must lint
 # free of error-level findings; rceda-lint exits 1 on any E-code.
