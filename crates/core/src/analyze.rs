@@ -23,7 +23,9 @@
 //! | W003 | warning  | dead leaf: pattern can never match the catalog |
 //! | W004 | warning  | rule runs on the residual (non-sharded) path |
 //! | W005 | warning  | unbounded chronicle buffer on a join node |
+//! | W006 | warning  | rule provably subsumed by a wider rule (containment) |
 //! | N001 | note     | join buffer bounded at runtime by the solved retention |
+//! | N002 | note     | per-rule static cost ranking (top hotspots named) |
 //!
 //! E004 and W002 are script-level passes: they live in the rule-language
 //! crate (`rfid-rules`), but their codes are defined here so the taxonomy
@@ -36,6 +38,7 @@ use std::fmt;
 use rfid_events::{Catalog, EventExpr, ObjectSel, ReaderSel, Span};
 
 use crate::bounds::Bounds;
+use crate::cost::{self, Cost};
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
 use crate::plan::CompiledPlan;
 use crate::shard::{self, ResidualReason, Shardability};
@@ -101,10 +104,20 @@ pub enum DiagCode {
     /// A join node with no finite window retains partial matches until the
     /// capacity cap evicts them (`capacity_drops`).
     UnboundedBuffer,
+    /// The rule's firing set is provably contained in another rule's: a
+    /// wider rule with the same shape (larger window, looser `TSEQ`
+    /// maximum distance, or weaker leaf predicates) fires at every instant
+    /// this rule fires. The subsumed rule is redundant for detection
+    /// coverage.
+    SubsumedRule,
     /// A join side that *looks* unbounded (infinite window) but that the
     /// interval solver ([`crate::bounds`]) proved finite through emission
     /// lags: the engine prunes it eagerly at the solved horizon.
     BoundedRetention,
+    /// Static per-rule cost ranking from the [`crate::cost`] model: the
+    /// top-k hotspot rules by solved CPU weight, named so heavy rules are
+    /// visible before any event arrives.
+    CostReport,
 }
 
 impl DiagCode {
@@ -121,7 +134,9 @@ impl DiagCode {
             DiagCode::DeadLeaf => "W003",
             DiagCode::ResidualRule => "W004",
             DiagCode::UnboundedBuffer => "W005",
+            DiagCode::SubsumedRule => "W006",
             DiagCode::BoundedRetention => "N001",
+            DiagCode::CostReport => "N002",
         }
     }
 
@@ -137,8 +152,9 @@ impl DiagCode {
             | DiagCode::DuplicateDefine
             | DiagCode::DeadLeaf
             | DiagCode::ResidualRule
-            | DiagCode::UnboundedBuffer => Severity::Warning,
-            DiagCode::BoundedRetention => Severity::Note,
+            | DiagCode::UnboundedBuffer
+            | DiagCode::SubsumedRule => Severity::Warning,
+            DiagCode::BoundedRetention | DiagCode::CostReport => Severity::Note,
         }
     }
 
@@ -155,7 +171,9 @@ impl DiagCode {
             DiagCode::DeadLeaf => "pattern can never match the deployment catalog",
             DiagCode::ResidualRule => "rule falls to the residual (full-stream) path",
             DiagCode::UnboundedBuffer => "join buffers bounded only by the capacity cap",
+            DiagCode::SubsumedRule => "rule provably subsumed by a wider rule",
             DiagCode::BoundedRetention => "join buffer bounded at runtime by the solved retention",
+            DiagCode::CostReport => "static per-rule cost ranking (top hotspots)",
         }
     }
 }
@@ -462,6 +480,8 @@ pub fn analyze_program(rules: &[RuleEvent], catalog: Option<&Catalog>) -> Vec<Di
         out.extend(analyze_event(rule, catalog));
     }
     out.extend(analyze_shadowing(rules));
+    out.extend(analyze_subsumption(rules, catalog));
+    out.extend(analyze_cost(rules, catalog));
     out
 }
 
@@ -500,6 +520,141 @@ pub fn analyze_shadowing(rules: &[RuleEvent]) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// The W006 pass: pairwise containment over rules with matching
+/// constructor skeletons ([`cost::shape_signature`]), via the conservative
+/// prover ([`cost::subsumes`]) — a subsumed rule's every firing instant is
+/// provably matched by the wider rule, so it is redundant for detection
+/// coverage. Pairs that hash-cons to the *same* merged node are W001's
+/// domain and are skipped here; mutually-containing (equivalent but not
+/// merged-identical, e.g. α-renamed) pairs flag the later rule.
+pub fn analyze_subsumption(rules: &[RuleEvent], catalog: Option<&Catalog>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Roots in the production merged graph: merged-identical pairs are
+    // already reported as W001 and must not double-report.
+    let mut merged = EventGraph::new();
+    let roots: Vec<Option<NodeId>> = rules
+        .iter()
+        .map(|r| merged.add_event(&r.event).ok())
+        .collect();
+    let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        if roots[i].is_some() {
+            buckets
+                .entry(cost::shape_signature(&rule.event))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut flagged = vec![false; rules.len()];
+    let mut bucket_keys: Vec<&String> = buckets.keys().collect();
+    bucket_keys.sort();
+    for key in bucket_keys {
+        let members = &buckets[key];
+        for (a_pos, &i) in members.iter().enumerate() {
+            for &j in &members[a_pos + 1..] {
+                if roots[i] == roots[j] {
+                    continue; // merged-identical: W001 territory
+                }
+                // Prefer flagging the later rule: if each contains the
+                // other (equivalent), `j` is the redundant one.
+                let pairs = [(i, j), (j, i)];
+                for (wide, narrow) in pairs {
+                    if flagged[narrow] {
+                        continue;
+                    }
+                    let Some(proof) =
+                        cost::subsumes(&rules[wide].event, &rules[narrow].event, catalog)
+                    else {
+                        continue;
+                    };
+                    flagged[narrow] = true;
+                    let (w, n) = (&rules[wide], &rules[narrow]);
+                    out.push(Diagnostic {
+                        code: DiagCode::SubsumedRule,
+                        rule_id: n.id.clone(),
+                        rule_name: n.name.clone(),
+                        path: String::new(),
+                        message: format!(
+                            "every firing of this rule is provably matched by rule `{}` ({}) \
+                             at the same instant: same pattern shape with {}",
+                            w.id,
+                            w.name,
+                            proof.describe()
+                        ),
+                        hint: "drop this rule, or tighten the wider rule so they diverge"
+                            .to_owned(),
+                    });
+                    break; // one W006 per subsumed rule
+                }
+            }
+        }
+    }
+    out.sort_by_key(|d| {
+        rules
+            .iter()
+            .position(|r| r.id == d.rule_id)
+            .unwrap_or(usize::MAX)
+    });
+    out
+}
+
+/// How many hotspot rules the N002 cost ranking names.
+const COST_REPORT_TOP_K: usize = 3;
+
+/// The N002 pass: compiles the whole program into one merged graph, solves
+/// the interval bounds and the static cost model over it, ranks rules by
+/// cumulative solved CPU weight, and reports the top-k hotspots in a
+/// single note-level diagnostic (attributed to the costliest rule).
+/// Emitted only for programs with at least two compiled rules — a ranking
+/// of one is noise.
+pub fn analyze_cost(rules: &[RuleEvent], catalog: Option<&Catalog>) -> Vec<Diagnostic> {
+    let mut merged = EventGraph::new();
+    let compiled: Vec<(usize, NodeId)> = rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| merged.add_event(&r.event).ok().map(|root| (i, root)))
+        .collect();
+    if compiled.len() < 2 {
+        return Vec::new();
+    }
+    let bounds = Bounds::solve(&merged);
+    let cost = Cost::solve(&merged, &bounds, catalog);
+    let mut ranked: Vec<(usize, f64)> = compiled
+        .iter()
+        .map(|&(i, root)| (i, cost.subgraph_weight(&merged, root)))
+        .collect();
+    let total: f64 = ranked.iter().map(|&(_, w)| w).sum();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let top: Vec<String> = ranked
+        .iter()
+        .take(COST_REPORT_TOP_K)
+        .map(|&(i, w)| {
+            format!(
+                "`{}` ({:.1}, {:.0}% of total)",
+                rules[i].id,
+                w,
+                if total > 0.0 { 100.0 * w / total } else { 0.0 }
+            )
+        })
+        .collect();
+    let hottest = &rules[ranked[0].0];
+    vec![Diagnostic {
+        code: DiagCode::CostReport,
+        rule_id: hottest.id.clone(),
+        rule_name: hottest.name.clone(),
+        path: String::new(),
+        message: format!(
+            "static cost ranking over {} rules — top {}: {}",
+            compiled.len(),
+            top.len(),
+            top.join(", ")
+        ),
+        hint: "informational: solved CPU weights from the rceda::cost model; \
+               run `rceda-lint cost` for the full table"
+            .to_owned(),
+    }]
 }
 
 /// First path from the root to every reachable node, rendered as

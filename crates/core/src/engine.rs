@@ -33,6 +33,7 @@ use std::sync::Arc;
 use rfid_events::{dist, interval2, Catalog, EventExpr, Instance, Observation, Span, Timestamp};
 
 use crate::bounds::Bounds;
+use crate::cost::Cost;
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, Node, NodeId, NodeKind, Plan};
 use crate::key::{extract_all, Key};
@@ -641,6 +642,16 @@ impl Engine {
         &self.bounds
     }
 
+    /// The solved static cost model ([`crate::cost`]) for the current rule
+    /// set, recompiling first if it changed. Computed on demand — the
+    /// model is a compile-time artifact, not hot-path state.
+    pub fn cost(&mut self) -> Cost {
+        if self.dispatch_dirty {
+            self.recompile();
+        }
+        Cost::solve(&self.graph, &self.bounds, Some(&self.catalog))
+    }
+
     /// Total instances currently held in join buffers, negation histories,
     /// aperiodic stores, open runs, and waits — the engine's working-set
     /// gauge (memory diagnostics; sweeping should keep it bounded).
@@ -737,12 +748,16 @@ impl Engine {
             .obs
             .arena
             .ensure_len(self.graph.len().max(self.plan.node_count()));
+        let mut node_cost =
+            Cost::solve(&self.graph, &self.bounds, Some(&self.catalog)).cpu_weights();
+        node_cost.resize(self.rt.obs.arena.len(), 0.0);
         TelemetrySnapshot {
             label: "engine".to_owned(),
             clock_ms: self.rt.clock.as_millis(),
             stats: self.stats(),
             ops: self.plan.op_names(self.rt.obs.arena.len()),
             nodes: self.rt.obs.arena.clone(),
+            node_cost,
             latency_ns: self.rt.obs.latency_ns,
             occupancy: self.rt.obs.occupancy,
             queue_depth: Histogram::default(),

@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use rfid_events::{Instance, InstanceKind, Span};
 
 use crate::bounds::Bounds;
+use crate::cost::Cost;
 use crate::graph::{DetectionMode, EventGraph, NodeId, NodeKind, Plan};
 use crate::obs::FlightRecord;
 use crate::plan::{CompiledPlan, EdgeOp, OpTag};
@@ -20,14 +21,17 @@ impl EventGraph {
     /// A text table of every node's static analysis, in id order. The
     /// `retain` column is the interval solver's per-side buffer bound
     /// ([`crate::bounds::NodeBounds::retain`]) — what the engine actually
-    /// prunes against when bound enforcement is on.
+    /// prunes against when bound enforcement is on. The `cost` column is
+    /// the [`crate::cost`] model's node-local CPU weight (catalog-free
+    /// fallback rates; rankings, not absolutes).
     pub fn describe(&self) -> String {
         let solved = Bounds::solve(self);
+        let cost = Cost::solve(self, &solved, None);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:<10} detail",
-            "id", "kind", "mode", "plan", "within", "horizon", "retain", "children"
+            "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:>9} {:<10} detail",
+            "id", "kind", "mode", "plan", "within", "horizon", "retain", "cost", "children"
         );
         for node in self.nodes() {
             let mode = match node.mode {
@@ -45,7 +49,7 @@ impl EventGraph {
             let retain = solved.node(node.id).retain;
             let _ = writeln!(
                 out,
-                "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:<10} {}",
+                "{:>4} {:<14} {:<8} {:<20} {:>10} {:>10} {:<15} {:>9} {:<10} {}",
                 node.id.0,
                 node.kind.name(),
                 mode,
@@ -53,6 +57,7 @@ impl EventGraph {
                 fmt_span(node.within),
                 fmt_span(node.horizon),
                 format!("{}/{}", fmt_span(retain[0]), fmt_span(retain[1])),
+                format!("{:.1}", cost.node(node.id).cpu_weight),
                 children.join(","),
                 detail,
             );

@@ -47,6 +47,8 @@ use std::thread::JoinHandle;
 
 use rfid_events::{Catalog, EventExpr, Instance, Observation, ReaderSel, Timestamp};
 
+use crate::bounds::Bounds;
+use crate::cost::Cost;
 use crate::engine::{Engine, EngineConfig, RuleId, Sink};
 use crate::error::InvalidRule;
 use crate::graph::{EventGraph, NodeId, NodeKind, Plan};
@@ -130,6 +132,9 @@ pub struct ShardConfig {
     /// barrier. Off, firings arrive grouped by shard (cheaper, still
     /// deterministic for a fixed shard count).
     pub ordered_output: bool,
+    /// Which static weight drives the residual rule partitioning (see
+    /// [`PartitionCost`]).
+    pub partition_cost: PartitionCost,
     /// Configuration for each worker's inner engine.
     pub engine: EngineConfig,
 }
@@ -145,9 +150,38 @@ impl Default for ShardConfig {
             batch_size: 1024,
             queue_depth: 4,
             ordered_output: true,
+            partition_cost: PartitionCost::default(),
             engine: EngineConfig::default(),
         }
     }
+}
+
+/// Which static weight [`partition_rules_with`] balances residual workers
+/// by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionCost {
+    /// Solved per-node CPU weights from the [`crate::cost`] model (the
+    /// default): each merge group is weighted by the summed
+    /// [`crate::cost::CostEstimate::cpu_weight`] of its distinct nodes, so
+    /// join probe work and buffer scans count, not just leaf dispatch.
+    #[default]
+    Solved,
+    /// The original leaf-dispatch fan-out heuristic, kept as a comparison
+    /// oracle: each merge group is weighted by the summed catalog fan-out
+    /// of its distinct leaves.
+    FanOut,
+}
+
+/// Merge-aware partition of a rule set into at most `max_parts` disjoint
+/// subsets for rule-partitioned broadcast execution, balanced by the
+/// default cost model ([`PartitionCost::Solved`]). Equivalent to
+/// [`partition_rules_with`] with `PartitionCost::default()`.
+pub fn partition_rules(
+    catalog: &Catalog,
+    events: &[&EventExpr],
+    max_parts: usize,
+) -> Result<Vec<Vec<usize>>, InvalidRule> {
+    partition_rules_with(catalog, events, max_parts, PartitionCost::default())
 }
 
 /// Merge-aware partition of a rule set into at most `max_parts` disjoint
@@ -163,18 +197,21 @@ impl Default for ShardConfig {
 ///   of the full stream — but each worker would rebuild the shared subtree
 ///   and redo its detection work, forfeiting exactly the merging §4.3
 ///   introduces.
-/// * **Balance by leaf-dispatch fan-out.** A worker's per-observation
-///   broadcast cost is the dispatch work its leaves cause, not its rule
-///   count: a leaf naming one reader costs only when that reader speaks, a
-///   group leaf costs for every member, an `ANY` leaf for every
-///   observation. Merge groups are therefore weighted by the summed
-///   catalog fan-out of their distinct leaves and placed
-///   longest-processing-time-first onto the lightest partition, rather
-///   than dealt round-robin.
-pub fn partition_rules(
+/// * **Balance by static cost.** A worker's per-observation broadcast cost
+///   is the work its detection trees cause. Under
+///   [`PartitionCost::Solved`] each merge group is weighted by the summed
+///   solved CPU weight of its distinct nodes ([`crate::cost`]): leaf
+///   dispatch *and* expected join probes against the solved retention
+///   windows. Under [`PartitionCost::FanOut`] only leaf dispatch counts: a
+///   leaf naming one reader costs when that reader speaks, a group leaf
+///   for every member, an `ANY` leaf for every observation. Either way,
+///   groups are placed longest-processing-time-first onto the lightest
+///   partition, rather than dealt round-robin.
+pub fn partition_rules_with(
     catalog: &Catalog,
     events: &[&EventExpr],
     max_parts: usize,
+    cost_model: PartitionCost,
 ) -> Result<Vec<Vec<usize>>, InvalidRule> {
     if events.is_empty() {
         return Ok(Vec::new());
@@ -204,29 +241,44 @@ pub fn partition_rules(
         }
         rule_nodes.push(reachable);
     }
-    // Collect merge groups and weigh each by the dispatch fan-out of its
-    // distinct leaves (a shared leaf costs a worker once, so count it once).
+    // Collect merge groups and weigh each by its distinct nodes (a shared
+    // node costs a worker once, so count it once).
     let mut groups: HashMap<usize, (u64, Vec<usize>)> = HashMap::new();
     for i in 0..events.len() {
         let rep = find(&mut uf, i);
         groups.entry(rep).or_default().1.push(i);
     }
+    let solved = match cost_model {
+        PartitionCost::Solved => {
+            let bounds = Bounds::solve(&scratch);
+            Some(Cost::solve(&scratch, &bounds, Some(catalog)))
+        }
+        PartitionCost::FanOut => None,
+    };
     for (weight, members) in groups.values_mut() {
-        let mut leaves: Vec<NodeId> = members
+        let mut nodes: Vec<NodeId> = members
             .iter()
             .flat_map(|&i| rule_nodes[i].iter().copied())
-            .filter(|&n| matches!(scratch.node(n).plan, Plan::Leaf))
             .collect();
-        leaves.sort_unstable_by_key(|n| n.0);
-        leaves.dedup();
-        *weight = leaves
-            .iter()
-            .map(|&n| match &scratch.node(n).kind {
-                NodeKind::Primitive(p) => leaf_weight(catalog, &p.reader),
-                _ => 0,
-            })
-            .sum::<u64>()
-            .max(1);
+        nodes.sort_unstable_by_key(|n| n.0);
+        nodes.dedup();
+        *weight = match &solved {
+            // Fixed-point scale so LPT compares solved weights with enough
+            // resolution; +1 keeps every group schedulable.
+            Some(cost) => {
+                let w: f64 = nodes.iter().map(|&n| cost.node(n).cpu_weight).sum();
+                (w * 1024.0).round() as u64 + 1
+            }
+            None => nodes
+                .iter()
+                .filter(|&&n| matches!(scratch.node(n).plan, Plan::Leaf))
+                .map(|&n| match &scratch.node(n).kind {
+                    NodeKind::Primitive(p) => leaf_weight(catalog, &p.reader),
+                    _ => 0,
+                })
+                .sum::<u64>()
+                .max(1),
+        };
     }
     // LPT bin-packing: heaviest group first, onto the lightest partition.
     let mut ordered: Vec<(u64, usize, Vec<usize>)> = groups
@@ -711,11 +763,16 @@ impl ShardedEngine {
             return vec![indices.to_vec()];
         }
         let events: Vec<&EventExpr> = indices.iter().map(|&i| &self.rules[i].event).collect();
-        partition_rules(&self.catalog, &events, max_parts)
-            .expect("rules validated by add_rule")
-            .into_iter()
-            .map(|part| part.into_iter().map(|j| indices[j]).collect())
-            .collect()
+        partition_rules_with(
+            &self.catalog,
+            &events,
+            max_parts,
+            self.config.partition_cost,
+        )
+        .expect("rules validated by add_rule")
+        .into_iter()
+        .map(|part| part.into_iter().map(|j| indices[j]).collect())
+        .collect()
     }
 
     /// Builds one worker: an engine loaded with `rule_indices` (in global
@@ -1053,7 +1110,7 @@ mod tests {
             .map(|i| named_run(&format!("conv{i}"), &format!("caser{i}")))
             .collect();
         let refs: Vec<&EventExpr> = std::iter::once(&heavy).chain(cheap.iter()).collect();
-        let parts = partition_rules(&catalog, &refs, 2).unwrap();
+        let parts = partition_rules_with(&catalog, &refs, 2, PartitionCost::FanOut).unwrap();
         assert_eq!(parts.len(), 2);
         let heavy_part = parts
             .iter()
@@ -1063,6 +1120,43 @@ mod tests {
             heavy_part,
             &vec![0],
             "fan-out-weighted packing isolates the group-leaf rule: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn partitioner_solved_cost_sees_join_weight() {
+        // Rule 0 is a negation over a one-minute window: its history is
+        // never consumed, so every positive arrival rescans a minute of
+        // buffered stream — enormous solved probe cost from just two named
+        // leaves. Rules 1..=3 join the same-fan-out leaves over a 1 ms
+        // window: negligible probe cost. The fan-out oracle sees four
+        // equal-weight groups and splits them 2/2; solved weights isolate
+        // the negation rule.
+        let catalog = line_catalog(4);
+        let heavy = EventExpr::observation_at("conv0")
+            .and(EventExpr::observation_at("caser0").not())
+            .within(Span::from_secs(60));
+        let blips: Vec<EventExpr> = (1..=3)
+            .map(|i| {
+                EventExpr::observation_at(&format!("conv{i}"))
+                    .seq(EventExpr::observation_at(&format!("caser{i}")))
+                    .within(Span::from_millis(1))
+            })
+            .collect();
+        let refs: Vec<&EventExpr> = std::iter::once(&heavy).chain(blips.iter()).collect();
+        let fanout = partition_rules_with(&catalog, &refs, 2, PartitionCost::FanOut).unwrap();
+        let mut fanout_sizes: Vec<usize> = fanout.iter().map(Vec::len).collect();
+        fanout_sizes.sort_unstable();
+        assert_eq!(fanout_sizes, vec![2, 2], "fan-out oracle ties all groups");
+        let solved = partition_rules_with(&catalog, &refs, 2, PartitionCost::Solved).unwrap();
+        let heavy_part = solved
+            .iter()
+            .find(|p| p.contains(&0))
+            .expect("negation rule is somewhere");
+        assert_eq!(
+            heavy_part,
+            &vec![0],
+            "solved weights isolate the negation scan: {solved:?}"
         );
     }
 

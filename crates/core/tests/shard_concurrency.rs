@@ -26,6 +26,7 @@ fn tight_config() -> ShardConfig {
         queue_depth: 1,
         ordered_output: true,
         engine: EngineConfig::default(),
+        ..ShardConfig::default()
     }
 }
 

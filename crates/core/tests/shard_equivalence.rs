@@ -100,6 +100,7 @@ fn sharded_with_residual(
         queue_depth: 2,
         ordered_output: true,
         engine: EngineConfig::default(),
+        ..ShardConfig::default()
     };
     let mut engine = ShardedEngine::new(sim.catalog.clone(), config);
     for (name, event, expected) in rules() {

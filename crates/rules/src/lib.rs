@@ -46,6 +46,6 @@ pub mod stdlib;
 pub mod token;
 
 pub use driver::StreamHandle;
-pub use lint::{lint_script, LintLevel, LintReport};
+pub use lint::{cost_report, lint_script, CostRow, LintLevel, LintReport};
 pub use parser::{parse_script, ParseError};
 pub use runtime::{Procedures, RuleRuntime, RuntimeError};

@@ -11,7 +11,11 @@
 //! * **E004** — conditions or actions referencing variables no positive
 //!   (non-`NOT`) leaf can bind, so every firing would fail;
 //! * the graph passes of [`rceda::analyze`] (E001–E003, W003–W005) per
-//!   rule, and the merge-aware W001 shadowing pass across rules.
+//!   rule, the merge-aware W001 shadowing pass across rules, the W006
+//!   subsumption prover, and the N002 static cost ranking.
+//!
+//! [`cost_report`] exposes the full per-rule cost table behind N002 for
+//! the `rceda-lint cost` subcommand.
 //!
 //! [`crate::RuleRuntime::compile`] wraps this with a [`LintLevel`] policy:
 //! `deny` refuses to build a runtime from a program with error-level
@@ -19,7 +23,11 @@
 
 use std::collections::BTreeSet;
 
-use rceda::analyze::{analyze_event, analyze_shadowing, DiagCode, Diagnostic, RuleEvent};
+use rceda::analyze::{
+    analyze_cost, analyze_event, analyze_shadowing, analyze_subsumption, DiagCode, Diagnostic,
+    RuleEvent,
+};
+use rceda::{Bounds, Cost, EventGraph};
 use rfid_events::Catalog;
 
 use crate::ast::{ActionAst, CondAst, CondTerm, EventAst, RuleDecl, Term, ValueExpr, WhereCond};
@@ -177,13 +185,87 @@ pub fn lint_script(script: &str, catalog: Option<&Catalog>) -> Result<LintReport
         }
     }
 
-    // W001 across every rule that compiled.
+    // W001 across every rule that compiled, then the cost-model passes:
+    // W006 (provable subsumption) and N002 (hotspot ranking).
     diagnostics.extend(analyze_shadowing(&compiled));
+    diagnostics.extend(analyze_subsumption(&compiled, catalog));
+    diagnostics.extend(analyze_cost(&compiled, catalog));
 
     Ok(LintReport {
         diagnostics,
         rules: parsed.rules.len(),
     })
+}
+
+/// One row of the static cost table: a rule ranked by the cumulative
+/// solved CPU weight of its compiled subgraph in the merged event graph
+/// (shared nodes count toward every rule that reaches them).
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Declared rule id.
+    pub rule_id: String,
+    /// Declared rule name.
+    pub rule_name: String,
+    /// Cumulative solved CPU weight of the rule's subgraph.
+    pub weight: f64,
+    /// Expected occurrence rate at the rule root (occurrences/sec).
+    pub rate: f64,
+    /// Expected join probes/sec at the rule root.
+    pub probes_per_sec: f64,
+    /// Expected buffered entries held live at the rule root.
+    pub buffered: f64,
+}
+
+/// The full static cost table behind the N002 note: parses the script,
+/// compiles every rule into one merged [`EventGraph`], solves the interval
+/// bounds and the [`rceda::cost`] model over it, and returns one row per
+/// compilable rule sorted by weight descending (ties by script order).
+/// Rules that fail to resolve or compile are skipped — [`lint_script`]
+/// reports those.
+pub fn cost_report(script: &str, catalog: Option<&Catalog>) -> Result<Vec<CostRow>, ParseError> {
+    let parsed = parse_script(script)?;
+    let mut defines = std::collections::HashMap::new();
+    for d in &parsed.defines {
+        if let Ok(resolved) = resolve_aliases(&d.event, &defines) {
+            defines.insert(d.name.clone(), resolved);
+        }
+    }
+    let mut merged = EventGraph::new();
+    let mut compiled = Vec::new();
+    for rule in &parsed.rules {
+        let Ok(event) = resolve_aliases(&rule.event, &defines) else {
+            continue;
+        };
+        let Ok(expr) = compile_event(&event) else {
+            continue;
+        };
+        let Ok(root) = merged.add_event(&expr) else {
+            continue;
+        };
+        compiled.push((rule, root));
+    }
+    let bounds = Bounds::solve(&merged);
+    let cost = Cost::solve(&merged, &bounds, catalog);
+    let mut rows: Vec<CostRow> = compiled
+        .into_iter()
+        .map(|(rule, root)| {
+            let est = cost.node(root);
+            CostRow {
+                rule_id: rule.id.clone(),
+                rule_name: rule.name.clone(),
+                weight: cost.subgraph_weight(&merged, root),
+                rate: est.rate,
+                probes_per_sec: est.probes_per_sec,
+                buffered: est.buffered,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(rows)
 }
 
 /// E004: every variable the condition and actions reference must be

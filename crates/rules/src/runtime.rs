@@ -451,6 +451,19 @@ impl RuleRuntime {
         &self.engine
     }
 
+    /// Telemetry snapshot of the single-threaded engine: per-node metrics
+    /// arena plus the aligned static cost weights (see
+    /// [`rceda::TelemetrySnapshot`]).
+    pub fn telemetry(&mut self) -> rceda::TelemetrySnapshot {
+        self.engine.telemetry()
+    }
+
+    /// The solved static cost model for the loaded rule set, node-aligned
+    /// with [`Self::telemetry`]'s metrics arena.
+    pub fn cost(&mut self) -> rceda::Cost {
+        self.engine.cost()
+    }
+
     /// Detection counters of the single-threaded engine, including the
     /// negation-history working set ([`rceda::EngineStats::retained_keys`]).
     /// Sharded passes report their own merged stats from

@@ -236,3 +236,51 @@ if ! awk -v pct="$obs_pct" -v max="$obs_max" 'BEGIN {
     [[ -s "$obs_saved" ]] && cp "$obs_saved" "$obs_reference"
     exit 1
 fi
+
+# --- partitioner gate ---------------------------------------------------------
+
+# Cost-weighted residual partitioning (the default, `--partition cost`) must
+# not fall behind the retired dispatch fan-out heuristic it replaced: its
+# best sweep throughput has to reach PARTITION_RATIO_MIN (default 0.97) of
+# the heuristic's best. On the canonical workload the two packings are
+# near-identical (the 512 containment rules weigh the same under either
+# scheme), so a single run per scheme just measures box noise — the gate
+# interleaves PARTITION_REPS (default 3) runs of each and compares
+# best-of-N against best-of-N, the same max estimator the sweep itself
+# uses. The committed reference keeps the shard gate's cost-partitioned
+# numbers either way.
+part_min="${PARTITION_RATIO_MIN:-0.97}"
+part_reps="${PARTITION_REPS:-3}"
+
+part_saved=$(mktemp)
+cp "$shard_reference" "$part_saved"
+trap 'rm -f "$saved" "$shard_saved" "$mem_saved" "$obs_saved" "$part_saved"' EXIT
+
+echo "== bench gate: residual partitioner (cost >= ${part_min}x fan-out best, best of ${part_reps}) =="
+cost_eps="$shard_new_eps"
+fanout_eps=0
+for _ in $(seq "$part_reps"); do
+    cargo run -q --release -p rfid-bench --bin fig9_shard -- --partition fanout >/dev/null 2>&1
+    run_eps=$(parse_best_shard_eps "$shard_reference")
+    fanout_eps=$(awk -v a="$fanout_eps" -v b="${run_eps:-0}" 'BEGIN { print (b > a) ? b : a }')
+    cargo run -q --release -p rfid-bench --bin fig9_shard >/dev/null 2>&1
+    run_eps=$(parse_best_shard_eps "$shard_reference")
+    cost_eps=$(awk -v a="$cost_eps" -v b="${run_eps:-0}" 'BEGIN { print (b > a) ? b : a }')
+done
+cp "$part_saved" "$shard_reference"
+
+if ! awk -v cost="$cost_eps" -v fanout="$fanout_eps" -v min="$part_min" 'BEGIN {
+    if (fanout <= 0) {
+        printf "bench_gate.sh: could not parse fan-out sweep results\n"
+        exit 1
+    }
+    floor = fanout * min
+    printf "  cost-weighted: %.0f ev/s | fan-out: %.0f ev/s | floor: %.0f ev/s\n", cost, fanout, floor
+    if (cost < floor) {
+        printf "bench_gate.sh: FAIL — cost-weighted partitioning fell below %.2fx of fan-out\n", min
+        exit 1
+    }
+    printf "bench_gate.sh: OK (%.2fx of fan-out best)\n", cost / fanout
+}'; then
+    exit 1
+fi

@@ -31,10 +31,22 @@ echo "== batch/scalar differential suite =="
 # across batch sizes x ExecMode::{Plan,Graph} x bounds on/off x obs levels.
 cargo test -q -p rceda --test batch_equivalence
 
+echo "== subsumption-drop differential suite =="
+# Every relaxation the W006 prover admits must be semantically safe:
+# dropping a provably-subsumed rule preserves the survivors' firing
+# multiset under both executors and both merge settings.
+cargo test -q -p rceda --test subsumption_drop
+
 echo "== rceda-lint (canonical rule programs) =="
 # The Rule 1-5 program and the 512-rule containment workload must lint
 # free of error-level findings; rceda-lint exits 1 on any E-code.
 cargo run -q --release -p rceda-lint -- --sim default --sim paper-scale
+
+echo "== rceda-lint cost (static hotspot report) =="
+# The cost subcommand must rank the 512-rule paper-scale program; the JSON
+# run exercises the machine-readable path and the schema stamp.
+cargo run -q --release -p rceda-lint -- cost --sim paper-scale --top 5
+cargo run -q --release -p rceda-lint -- cost --json --sim default >/dev/null
 
 echo "== rceda-obs (telemetry snapshot + provenance trace) =="
 # The observability layer must drive end to end on the Rule 1-5 program:
